@@ -1,0 +1,132 @@
+// Command mevscope runs the full reproduction study: simulate the
+// 23-month window, run the measurement pipeline and print every table and
+// figure of the paper.
+//
+// Usage:
+//
+//	mevscope [-seed N] [-bpm BLOCKS] [-months M] [-section NAME]
+//
+// Sections: all (default), table1, fig3, fig4, fig5, fig6, fig7, fig8,
+// fig9, bundles, negatives, private.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mevscope"
+	"mevscope/internal/types"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+		bpm     = flag.Uint64("bpm", 600, "blocks per simulated month (mainnet ≈ 190k)")
+		months  = flag.Int("months", 0, "limit the window to the first N months (0 = all 23)")
+		miners  = flag.Int("miners", 0, "miner-set size (0 = default 55)")
+		section = flag.String("section", "all", "which artifact to print")
+		csvDir  = flag.String("csv", "", "also write every artifact as CSV into this directory")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: simulating %d months at %d blocks/month (seed %d)...\n",
+			pick(*months, types.StudyMonths), *bpm, *seed)
+	}
+	t0 := time.Now()
+	study, err := mevscope.Run(mevscope.Options{
+		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mevscope:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: %d blocks, %d MEV extractions measured in %v\n",
+			study.Sim.Chain.Len(), len(study.Profits), time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *csvDir != "" {
+		if err := study.Report.WriteCSVDir(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "mevscope: csv:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "mevscope: CSV artifacts written to %s/\n", *csvDir)
+		}
+	}
+
+	switch strings.ToLower(*section) {
+	case "all":
+		study.WriteReport(os.Stdout)
+	case "table1":
+		fmt.Print(study.Report.Table1.Format())
+	case "fig3":
+		for _, row := range study.Report.Fig3 {
+			fmt.Printf("%8s %5d/%5d %6.1f%%\n", row.Month, row.FlashbotsBlocks, row.TotalBlocks, 100*row.Ratio())
+		}
+	case "fig4":
+		for _, mv := range study.Report.Fig4 {
+			fmt.Printf("%8s %6.1f%%\n", mv.Month, 100*mv.Value)
+		}
+	case "fig5":
+		f := study.Report.Fig5
+		fmt.Printf("thresholds: %v\n", f.Thresholds)
+		for i, m := range f.Months {
+			fmt.Printf("%8s %v\n", m, f.Counts[i])
+		}
+	case "fig6":
+		for _, row := range study.Report.Fig6.Rows {
+			fmt.Printf("%8s fb=%d nonfb=%d gas=%.1f gwei\n", row.Month, row.FlashbotsSand, row.NonFlashbotsSand, row.AvgGasPriceGwei)
+		}
+		fmt.Printf("corr(nonFB sandwiches, gas) = %.3f\n", study.Report.Fig6.CorrNonFB)
+	case "fig7":
+		for _, row := range study.Report.Fig7.Rows {
+			fmt.Printf("%8s searchers=%v txs=%v\n", row.Month, row.Searchers, row.Txs)
+		}
+	case "fig8":
+		f := study.Report.Fig8
+		fmt.Printf("miners    non-FB: %s\nminers    FB:     %s\nsearchers non-FB: %s\nsearchers FB:     %s\n",
+			f.MinerNonFB, f.MinerFB, f.SearcherNonFB, f.SearcherFB)
+	case "fig9":
+		if study.Report.Fig9 == nil {
+			fmt.Println("no observation window in this run")
+			return
+		}
+		sp := study.Report.Fig9.Split
+		fmt.Printf("total=%d flashbots=%.1f%% private=%.1f%% public=%.1f%%\n",
+			sp.Total, 100*sp.FlashbotsShare(), 100*sp.PrivateShare(), 100*sp.PublicShare())
+	case "bundles":
+		b := study.Report.Bundles
+		fmt.Printf("bundles=%d blocks=%d mean/block=%.2f median=%.0f single-tx=%.1f%% max-txs=%d types=%v\n",
+			b.Bundles, b.FlashbotsBlocks, b.BundlesPerBlock.Mean, b.BundlesPerBlock.Median,
+			100*b.SingleTxShare(), b.MaxBundleTxs, b.ByType)
+	case "negatives":
+		n := study.Report.Negatives
+		fmt.Printf("unprofitable %d of %d FB sandwiches (%.2f%%), loss %.2f ETH\n",
+			n.Unprofitable, n.FlashbotsSandwiches, 100*n.Share(), n.TotalLossETH)
+	case "private":
+		for _, l := range study.Report.PrivateLinks {
+			m, single := l.SingleMiner()
+			tag := fmt.Sprintf("%d miners", len(l.Miners))
+			if single {
+				tag = "single miner " + m.String()
+			}
+			fmt.Printf("%s %4d private sandwiches (%s)\n", l.Account, l.Total, tag)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mevscope: unknown section %q\n", *section)
+		os.Exit(2)
+	}
+}
+
+func pick(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}

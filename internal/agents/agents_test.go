@@ -1,0 +1,334 @@
+package agents_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mevscope/internal/agents"
+	"mevscope/internal/evmlite"
+	"mevscope/internal/genesis"
+	"mevscope/internal/types"
+)
+
+func newWorld(t *testing.T) *genesis.World {
+	t.Helper()
+	w, err := genesis.Build(genesis.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestChannelString(t *testing.T) {
+	if agents.ChannelPublic.String() != "public" || agents.ChannelFlashbots.String() != "flashbots" || agents.ChannelPrivate.String() != "private" {
+		t.Error("names")
+	}
+	if agents.Channel(9).String() != "unknown" {
+		t.Error("unknown")
+	}
+}
+
+func TestAccountNonces(t *testing.T) {
+	a := agents.NewAccount("x", 1)
+	if a.NextNonce() != 0 || a.NextNonce() != 1 || a.NextNonce() != 2 {
+		t.Error("nonce sequence")
+	}
+}
+
+func TestTraderSwapTx(t *testing.T) {
+	w := newWorld(t)
+	rng := rand.New(rand.NewSource(1))
+	tr := agents.NewTrader(1)
+	w.St.Mint(tr.Addr, 100*types.Ether)
+	w.St.MintToken(w.WETH, tr.Addr, 100*types.Ether)
+	gas := agents.GasPricing{Price: 50 * types.Gwei}
+	for i := 0; i < 20; i++ {
+		tx := tr.SwapTx(&w.World, rng, 2*types.Ether, 100, gas)
+		if tx == nil {
+			t.Fatal("nil swap")
+		}
+		if tx.Payload.Kind != types.TxSwap || len(tx.Payload.Hops) != 1 {
+			t.Fatal("shape")
+		}
+		if tx.GasPrice != 50*types.Gwei {
+			t.Fatal("legacy pricing")
+		}
+		if tx.Payload.MinOut <= 0 {
+			t.Fatal("slippage guard should be set")
+		}
+	}
+	// Post-London pricing.
+	lTx := tr.SwapTx(&w.World, rng, types.Ether, 0, agents.GasPricing{London: true, BaseFee: 30 * types.Gwei, Price: 2 * types.Gwei})
+	if lTx.TipCap != 2*types.Gwei || lTx.FeeCap != 62*types.Gwei || lTx.GasPrice != 0 {
+		t.Errorf("london pricing: tip=%v cap=%v", lTx.TipCap, lTx.FeeCap)
+	}
+}
+
+func TestPlanSandwichProfitable(t *testing.T) {
+	w := newWorld(t)
+	s := agents.NewSearcher(1, 1.0)
+	s.Fund(&w.World, 10*types.Ether, 500*types.Ether)
+
+	victimAddr := types.DeriveAddress("victim", 7)
+	w.St.MintToken(w.WETH, victimAddr, 1000*types.Ether)
+	w.St.Mint(victimAddr, 10*types.Ether)
+
+	// A large buy on a thin pool is sandwichable: Bancor carries the
+	// shallowest SUSHI liquidity in the default world.
+	bancor, _ := w.Venues.ByName("Bancor")
+	sushi, _ := w.St.TokenBySymbol("SUSHI")
+	victim := &types.Transaction{
+		From: victimAddr, GasPrice: 60 * types.Gwei,
+		GasLimit: 200_000,
+		Payload: types.Payload{
+			Kind:     types.TxSwap,
+			Hops:     []types.SwapHop{{Venue: bancor.Addr, TokenIn: w.WETH, TokenOut: sushi}},
+			AmountIn: 100 * types.Ether,
+		},
+	}
+	plan, ok := s.PlanSandwich(&w.World, victim)
+	if !ok {
+		t.Fatal("large buy should be sandwichable")
+	}
+	if plan.ExpectedGross <= 0 {
+		t.Fatalf("gross = %v", plan.ExpectedGross)
+	}
+	if plan.AttackIn <= 0 || plan.AttackIn > 500*types.Ether {
+		t.Fatalf("attack size = %v", plan.AttackIn)
+	}
+
+	// Execute front → victim → back for real and verify realized ≈ planned.
+	front, back := s.SandwichTxs(&w.World, plan, agents.GasPricing{Price: 60 * types.Gwei}, types.Gwei, 0)
+	if front.GasPrice <= victim.GasPrice {
+		t.Error("front must outbid the victim")
+	}
+	if back.GasPrice >= victim.GasPrice {
+		t.Error("back must underbid the victim")
+	}
+	before := w.St.TokenBalance(w.WETH, s.Addr)
+	ctx := evmlite.BlockCtx{Number: 1, Miner: types.DeriveAddress("m", 0)}
+	for i, tx := range []*types.Transaction{front, victim, back} {
+		rcpt, err := w.Ex.Apply(ctx, tx, i)
+		if err != nil || rcpt.Status != types.StatusSuccess {
+			t.Fatalf("tx %d: %+v %v", i, rcpt, err)
+		}
+	}
+	realized := w.St.TokenBalance(w.WETH, s.Addr) - before
+	if realized <= 0 {
+		t.Fatalf("realized = %v", realized)
+	}
+	diff := (realized - plan.ExpectedGross).Abs()
+	if diff > plan.ExpectedGross/10 {
+		t.Errorf("plan %v vs realized %v", plan.ExpectedGross, realized)
+	}
+}
+
+func TestPlanSandwichRejectsNonVictims(t *testing.T) {
+	w := newWorld(t)
+	s := agents.NewSearcher(1, 1.0)
+	s.Fund(&w.World, types.Ether, 100*types.Ether)
+	// Token→WETH sells are not the heuristic's victim shape.
+	sell := &types.Transaction{Payload: types.Payload{
+		Kind: types.TxSwap, AmountIn: types.Ether,
+		Hops: []types.SwapHop{{Venue: w.Venues.Venues()[0].Addr, TokenIn: w.Tokens[0], TokenOut: w.WETH}},
+	}}
+	if _, ok := s.PlanSandwich(&w.World, sell); ok {
+		t.Error("sells should not be sandwichable")
+	}
+	transfer := &types.Transaction{Payload: types.Payload{Kind: types.TxTransfer}}
+	if _, ok := s.PlanSandwich(&w.World, transfer); ok {
+		t.Error("transfers should not be sandwichable")
+	}
+	// Tiny victim: not profitable.
+	tiny := &types.Transaction{Payload: types.Payload{
+		Kind: types.TxSwap, AmountIn: types.Gwei,
+		Hops: []types.SwapHop{{Venue: w.Venues.Venues()[0].Addr, TokenIn: w.WETH, TokenOut: w.Tokens[0]}},
+	}}
+	if _, ok := s.PlanSandwich(&w.World, tiny); ok {
+		t.Error("dust should not be profitable")
+	}
+}
+
+func TestVictimSlippageGuardBlocksSandwich(t *testing.T) {
+	w := newWorld(t)
+	s := agents.NewSearcher(1, 1.0)
+	s.Fund(&w.World, types.Ether, 1000*types.Ether)
+	venue := w.Venues.Venues()[0]
+	hop := types.SwapHop{Venue: venue.Addr, TokenIn: w.WETH, TokenOut: w.Tokens[0]}
+	quote, err := w.Ex.QuotePath([]types.SwapHop{hop}, 50*types.Ether)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Victim demands ≥ 99.9% of current quote: any meaningful frontrun
+	// pushes it below MinOut.
+	victim := &types.Transaction{
+		From: types.DeriveAddress("victim", 1),
+		Payload: types.Payload{
+			Kind: types.TxSwap, Hops: []types.SwapHop{hop},
+			AmountIn: 50 * types.Ether, MinOut: quote.MulDiv(9990, 10000),
+		},
+	}
+	w.St.MintToken(w.WETH, victim.From, 100*types.Ether)
+	if _, ok := s.PlanSandwich(&w.World, victim); ok {
+		t.Error("tight slippage should block the sandwich")
+	}
+}
+
+func TestFindArbPlans(t *testing.T) {
+	w := newWorld(t)
+	// No gap initially (within fee threshold) on fresh pools.
+	if plans := agents.FindArbPlans(&w.World, 5, 1000*types.Ether); len(plans) != 0 {
+		t.Errorf("fresh world should have no arb: %d", len(plans))
+	}
+	// Whale trade skews one venue.
+	whale := types.DeriveAddress("whale", 0)
+	w.St.MintToken(w.WETH, whale, 3_000*types.Ether)
+	uni, _ := w.Venues.ByName("UniswapV2")
+	pool, _ := uni.Pool(w.WETH, w.Tokens[0])
+	if _, err := pool.Swap(w.St, whale, w.WETH, 2_000*types.Ether, 0); err != nil {
+		t.Fatal(err)
+	}
+	plans := agents.FindArbPlans(&w.World, 5, 1000*types.Ether)
+	if len(plans) == 0 {
+		t.Fatal("whale trade should open an arb")
+	}
+	if plans[0].ExpectedGross <= 0 {
+		t.Error("plan gross")
+	}
+	// Best first.
+	for i := 1; i < len(plans); i++ {
+		if plans[i].ExpectedGross > plans[i-1].ExpectedGross {
+			t.Error("plans not sorted")
+		}
+	}
+	// Execute the best plan.
+	s := agents.NewSearcher(2, 1.0)
+	s.Fund(&w.World, 10*types.Ether, 1000*types.Ether)
+	tx := s.ArbTx(&w.World, plans[0], agents.GasPricing{Price: 30 * types.Gwei}, 0, false, types.Address{})
+	before := w.St.TokenBalance(w.WETH, s.Addr)
+	rcpt, err := w.Ex.Apply(evmlite.BlockCtx{Number: 1, Miner: types.DeriveAddress("m", 0)}, tx, 0)
+	if err != nil || rcpt.Status != types.StatusSuccess {
+		t.Fatalf("arb apply: %+v %v", rcpt, err)
+	}
+	if w.St.TokenBalance(w.WETH, s.Addr) <= before {
+		t.Error("arb should profit")
+	}
+}
+
+func TestArbTxFlashLoan(t *testing.T) {
+	w := newWorld(t)
+	whale := types.DeriveAddress("whale", 0)
+	w.St.MintToken(w.WETH, whale, 3_000*types.Ether)
+	uni, _ := w.Venues.ByName("UniswapV2")
+	pool, _ := uni.Pool(w.WETH, w.Tokens[0])
+	if _, err := pool.Swap(w.St, whale, w.WETH, 2_000*types.Ether, 0); err != nil {
+		t.Fatal(err)
+	}
+	plans := agents.FindArbPlans(&w.World, 1, 1000*types.Ether)
+	if len(plans) == 0 {
+		t.Fatal("no arb")
+	}
+	s := agents.NewSearcher(3, 1.0)
+	w.St.Mint(s.Addr, 10*types.Ether) // gas only, no capital
+	aave := w.Lending[1]
+	tx := s.ArbTx(&w.World, plans[0], agents.GasPricing{Price: 30 * types.Gwei}, 0, true, aave.Addr)
+	if tx.Payload.Kind != types.TxFlashLoan {
+		t.Fatal("should wrap in flash loan")
+	}
+	rcpt, err := w.Ex.Apply(evmlite.BlockCtx{Number: 1, Miner: types.DeriveAddress("m", 0)}, tx, 0)
+	if err != nil || rcpt.Status != types.StatusSuccess {
+		t.Fatalf("flash arb: %+v %v", rcpt, err)
+	}
+	if w.St.TokenBalance(w.WETH, s.Addr) <= 0 {
+		t.Error("flash arb should leave profit")
+	}
+}
+
+func TestCopyArb(t *testing.T) {
+	w := newWorld(t)
+	orig := &types.Transaction{
+		From: types.DeriveAddress("orig", 0), GasPrice: 40 * types.Gwei, GasLimit: 300_000,
+		Payload: types.Payload{Kind: types.TxMultiSwap, AmountIn: types.Ether, Hops: []types.SwapHop{
+			{Venue: w.Venues.Venues()[0].Addr, TokenIn: w.WETH, TokenOut: w.Tokens[0]},
+			{Venue: w.Venues.Venues()[1].Addr, TokenIn: w.Tokens[0], TokenOut: w.WETH},
+		}},
+	}
+	s := agents.NewSearcher(4, 1.0)
+	cp, ok := s.CopyArb(orig, agents.GasPricing{}, 5*types.Gwei)
+	if !ok {
+		t.Fatal("copy should work")
+	}
+	if cp.GasPrice != 45*types.Gwei {
+		t.Errorf("copy price = %v", cp.GasPrice)
+	}
+	if cp.From != s.Addr || cp.Payload.AmountIn != orig.Payload.AmountIn {
+		t.Error("copy contents")
+	}
+	if _, ok := s.CopyArb(&types.Transaction{Payload: types.Payload{Kind: types.TxTransfer}}, agents.GasPricing{}, 1); ok {
+		t.Error("non-arb should not be copyable")
+	}
+}
+
+func TestFindLiquidationsAndExecute(t *testing.T) {
+	w := newWorld(t)
+	rng := rand.New(rand.NewSource(3))
+	if plans := agents.FindLiquidations(&w.World); len(plans) != 0 {
+		t.Error("no loans yet")
+	}
+	b := agents.NewBorrower(1)
+	w.St.Mint(b.Addr, types.Ether)
+	prot := w.Lending[0]
+	loan, err := b.OpenRiskyLoan(&w.World, rng, prot, 100*types.Ether)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans := agents.FindLiquidations(&w.World); len(plans) != 0 {
+		t.Error("healthy loan should not be listed")
+	}
+	// Collateral price drop makes it unhealthy.
+	w.Oracle.SetPrice(w.WETH, types.FromEther(0.85))
+	plans := agents.FindLiquidations(&w.World)
+	if len(plans) != 1 || plans[0].LoanID != loan.ID {
+		t.Fatalf("plans = %+v", plans)
+	}
+	if plans[0].ExpectedGross <= 0 {
+		t.Error("liq gross")
+	}
+	s := agents.NewSearcher(5, 1.0)
+	s.Fund(&w.World, 10*types.Ether, 100*types.Ether)
+	tx := s.LiqTx(plans[0], agents.GasPricing{Price: 40 * types.Gwei}, 0, false, types.Address{})
+	rcpt, err := w.Ex.Apply(evmlite.BlockCtx{Number: 1, Miner: types.DeriveAddress("m", 0)}, tx, 0)
+	if err != nil || rcpt.Status != types.StatusSuccess {
+		t.Fatalf("liq apply: %+v %v", rcpt, err)
+	}
+	// Flash-loan variant for a second loan.
+	b2 := agents.NewBorrower(2)
+	w.St.Mint(b2.Addr, types.Ether)
+	if _, err := b2.OpenRiskyLoan(&w.World, rng, prot, 50*types.Ether); err != nil {
+		t.Fatal(err)
+	}
+	w.Oracle.SetPrice(w.WETH, types.FromEther(0.7))
+	plans = agents.FindLiquidations(&w.World)
+	if len(plans) == 0 {
+		t.Fatal("second loan should be liquidatable")
+	}
+	// A float-less bot cannot cover the flash fee: the tx reverts cleanly.
+	broke := agents.NewSearcher(7, 1.0)
+	w.St.Mint(broke.Addr, 10*types.Ether)
+	failTx := broke.LiqTx(plans[0], agents.GasPricing{Price: 40 * types.Gwei}, 0, true, w.Lending[1].Addr)
+	rcpt, err = w.Ex.Apply(evmlite.BlockCtx{Number: 2, Miner: types.DeriveAddress("m", 0)}, failTx, 0)
+	if err != nil || rcpt.Status != types.StatusFailed {
+		t.Fatalf("flash liq without fee float should revert: %+v %v", rcpt, err)
+	}
+	// With a working float for the 9 bps fee (as real bots hold), it lands.
+	s2 := agents.NewSearcher(6, 1.0)
+	s2.Fund(&w.World, 10*types.Ether, 0)
+	fltx := s2.LiqTx(plans[0], agents.GasPricing{Price: 40 * types.Gwei}, 0, true, w.Lending[1].Addr)
+	rcpt, err = w.Ex.Apply(evmlite.BlockCtx{Number: 3, Miner: types.DeriveAddress("m", 0)}, fltx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt.Status != types.StatusSuccess {
+		t.Error("flash liq should succeed (spread covers fee)")
+	}
+}

@@ -1,0 +1,163 @@
+// Package ablate implements the paper's §8.3 what-if analysis: would
+// randomizing intra-block transaction order (the countermeasure Piet et
+// al. propose) stop sandwich MEV?
+//
+// The paper argues it would not: after a uniform shuffle the victim lands
+// between the two attacker transactions with probability 1/4, so a
+// sandwich still succeeds 25 % of the time — and single-position attacks
+// (a frontrun or backrun relative to one victim) survive 50 % of the
+// time. This package verifies both numbers empirically over detected MEV
+// by re-shuffling the actual blocks.
+package ablate
+
+import (
+	"math/rand"
+
+	"mevscope/internal/chain"
+	"mevscope/internal/core/detect"
+	"mevscope/internal/core/profit"
+)
+
+// OrderingResult is the outcome of the random-ordering experiment.
+type OrderingResult struct {
+	// Sandwiches is the number of detected sandwiches examined.
+	Sandwiches int
+	// Trials is the number of shuffles per sandwich.
+	Trials int
+	// Survived counts (sandwich, trial) pairs where the shuffled order
+	// kept front < victim < back.
+	Survived int
+	// SingleSurvived counts pairs where the shuffled order kept the
+	// front before the victim (the frontrun-only success condition, which
+	// also models arbitrage/liquidation frontruns).
+	SingleSurvived int
+}
+
+// SurvivalRate is the empirical probability a full sandwich survives a
+// uniform shuffle (paper: 25 %).
+func (r OrderingResult) SurvivalRate() float64 {
+	n := r.Sandwiches * r.Trials
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Survived) / float64(n)
+}
+
+// SingleSurvivalRate is the empirical probability a single frontrun
+// survives (paper: 50 %).
+func (r OrderingResult) SingleSurvivalRate() float64 {
+	n := r.Sandwiches * r.Trials
+	if n == 0 {
+		return 0
+	}
+	return float64(r.SingleSurvived) / float64(n)
+}
+
+// RandomOrdering replays every detected sandwich under `trials` uniform
+// shuffles of its enclosing block and reports how often the attack
+// ordering survives. The shuffle permutes transaction positions exactly as
+// the §8.3 countermeasure would (a random seed derived from the previous
+// block).
+func RandomOrdering(c *chain.Chain, sandwiches []detect.Sandwich, trials int, seed int64) OrderingResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := OrderingResult{Trials: trials}
+	for _, s := range sandwiches {
+		blk, err := c.ByNumber(s.Block)
+		if err != nil {
+			continue
+		}
+		n := len(blk.Txs)
+		if n < 3 {
+			continue
+		}
+		res.Sandwiches++
+		perm := make([]int, n)
+		for t := 0; t < trials; t++ {
+			// Sample positions of the three transactions under a uniform
+			// permutation of the block.
+			for i := range perm {
+				perm[i] = i
+			}
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			fPos, vPos, bPos := perm[s.FrontIndex], perm[s.VictimIndex], perm[s.BackIndex]
+			if fPos < vPos {
+				res.SingleSurvived++
+				if vPos < bPos {
+					res.Survived++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// TipPoint is one counterfactual of the sealed-bid tip sensitivity.
+type TipPoint struct {
+	// TipFrac is the counterfactual tip as a fraction of gross gain.
+	TipFrac float64
+	// MeanNetETH is the searchers' mean net profit under that tip level.
+	MeanNetETH float64
+	// NegativeShare is the fraction of extractions that turn unprofitable.
+	NegativeShare float64
+}
+
+// TipSensitivity replays Flashbots sandwich economics under
+// counterfactual tip fractions — the §8.2 analysis that sealed-bid
+// auctions "indirectly force searchers to pay higher fees". For each
+// Flashbots sandwich the actual tip (the coinbase transfers of its
+// transactions) is removed from the costs and replaced by frac·gross.
+// Only sandwiches qualify: their gross gain IS the extraction margin,
+// whereas liquidation gains are offset by the repaid debt inside CostETH.
+func TipSensitivity(c *chain.Chain, records []profit.Record, fracs []float64) []TipPoint {
+	type econ struct{ gross, feeOnly float64 }
+	var rows []econ
+	for _, r := range records {
+		if !r.ViaFlashbots || r.Kind != profit.KindSandwich {
+			continue
+		}
+		var tip float64
+		for _, h := range r.Txs {
+			if rcpt, err := c.Receipt(h); err == nil {
+				tip += rcpt.CoinbaseTransfer.Ether()
+			}
+		}
+		rows = append(rows, econ{gross: r.GainETH.Ether(), feeOnly: r.CostETH.Ether() - tip})
+	}
+	out := make([]TipPoint, 0, len(fracs))
+	for _, frac := range fracs {
+		var sum float64
+		neg := 0
+		for _, e := range rows {
+			net := e.gross - e.feeOnly - frac*e.gross
+			sum += net
+			if net < 0 {
+				neg++
+			}
+		}
+		p := TipPoint{TipFrac: frac}
+		if len(rows) > 0 {
+			p.MeanNetETH = sum / float64(len(rows))
+			p.NegativeShare = float64(neg) / float64(len(rows))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ExpectedIncomeRetention returns the fraction of sandwich income an
+// extractor keeps under random ordering, assuming it can re-submit freely
+// and only pays gas for landed attacks — the paper's "expected income
+// would still be positive" argument. With survival probability p and the
+// attacker's two transactions always charged, retention is
+// p·gross − cost versus gross − cost.
+func ExpectedIncomeRetention(grossETH, costETH, survival float64) float64 {
+	base := grossETH - costETH
+	if base <= 0 {
+		return 0
+	}
+	randomized := survival*grossETH - costETH
+	if randomized < 0 {
+		return 0
+	}
+	return randomized / base
+}

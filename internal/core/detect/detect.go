@@ -1,0 +1,331 @@
+// Package detect implements the paper's heuristic MEV detectors (§3.1):
+//
+//   - sandwich detection following Torres et al.: two attacker swaps
+//     bracketing a victim swap in the same block, on the same pool, with
+//     near-identical bought and sold amounts;
+//   - arbitrage detection following Qin et al.: a single transaction whose
+//     swap events form a closed loop across exchanges;
+//   - liquidation detection from LiquidationCall / LiquidateBorrow events;
+//   - flash-loan detection following Wang et al. from FlashLoan events.
+//
+// Detectors consume only blocks, receipts and event logs — the archive-
+// node view. They never see simulator ground truth; tests score them
+// against it.
+package detect
+
+import (
+	"mevscope/internal/chain"
+	"mevscope/internal/events"
+	"mevscope/internal/types"
+)
+
+// txSwaps extracts the decoded Swap events of one transaction.
+func txSwaps(rcpt *types.Receipt) []events.Swap {
+	var out []events.Swap
+	for _, l := range rcpt.Logs {
+		if s, ok := events.DecodeSwap(l); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// txFlashLoans extracts the decoded FlashLoan events of one transaction.
+func txFlashLoans(rcpt *types.Receipt) []events.FlashLoan {
+	var out []events.FlashLoan
+	for _, l := range rcpt.Logs {
+		if f, ok := events.DecodeFlashLoan(l); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Sandwich is one detected sandwich attack (Definition 1).
+type Sandwich struct {
+	Block uint64
+	Month types.Month
+
+	Attacker types.Address
+	Victim   types.Address
+	Pool     types.Address
+	// Token is the sandwiched asset (bought in the front, sold in the back).
+	Token types.Address
+
+	FrontTx  types.Hash
+	VictimTx types.Hash
+	BackTx   types.Hash
+
+	FrontIndex, VictimIndex, BackIndex int
+
+	// FrontIn is WETH spent in the frontrun; BackOut is WETH recovered in
+	// the backrun. Gain = BackOut - FrontIn (before fees and tips).
+	FrontIn types.Amount
+	BackOut types.Amount
+
+	// GasPriceOrdered records whether the Torres et al. gas-price
+	// condition (front gas price > victim gas price) held — true for
+	// classic PGA sandwiches, typically false for bundle sandwiches.
+	GasPriceOrdered bool
+}
+
+// Gain is the attacker's gross WETH delta.
+func (s *Sandwich) Gain() types.Amount { return s.BackOut - s.FrontIn }
+
+// sandwichCandidate is a single-swap transaction eligible for matching.
+type sandwichCandidate struct {
+	txIdx int
+	tx    *types.Transaction
+	swap  events.Swap
+}
+
+// AmountTolerance is the relative tolerance (in basis points) between the
+// attacker's bought and sold amounts.
+const AmountTolerance = 100 // 1 %
+
+// SandwichesInBlock runs the sandwich heuristics over one block. weth
+// anchors the "buy then sell" direction, as in the paper's detectors
+// which track ether in/out of the attacker.
+func SandwichesInBlock(b *types.Block, weth types.Address) []Sandwich {
+	// Collect single-swap transactions (multi-hop swaps are arbitrage
+	// shaped and excluded from the sandwich heuristic).
+	var buys, sells []sandwichCandidate
+	for i, rcpt := range b.Receipts {
+		if rcpt.Status != types.StatusSuccess {
+			continue
+		}
+		swaps := txSwaps(rcpt)
+		if len(swaps) != 1 {
+			continue
+		}
+		c := sandwichCandidate{txIdx: i, tx: b.Txs[i], swap: swaps[0]}
+		if swaps[0].TokenIn == weth {
+			buys = append(buys, c)
+		} else if swaps[0].TokenOut == weth {
+			sells = append(sells, c)
+		}
+	}
+	var out []Sandwich
+	used := map[int]bool{}
+	for _, back := range sells {
+		if used[back.txIdx] {
+			continue
+		}
+		// Find the matching front: same sender, same pool, earlier in the
+		// block, bought ≈ what the back sells.
+		for _, front := range buys {
+			if used[front.txIdx] || front.txIdx >= back.txIdx {
+				continue
+			}
+			if front.tx.From != back.tx.From || front.swap.Pool != back.swap.Pool {
+				continue
+			}
+			diff := (front.swap.AmountOut - back.swap.AmountIn).Abs()
+			if front.swap.AmountOut == 0 || diff.MulDiv(10_000, front.swap.AmountOut) > AmountTolerance {
+				continue
+			}
+			// Find a victim strictly between them: different sender, same
+			// pool, same direction as the front.
+			for _, vic := range buys {
+				if vic.txIdx <= front.txIdx || vic.txIdx >= back.txIdx {
+					continue
+				}
+				if vic.tx.From == front.tx.From || vic.swap.Pool != front.swap.Pool {
+					continue
+				}
+				base := b.Header.BaseFee
+				out = append(out, Sandwich{
+					Block:    b.Header.Number,
+					Month:    types.MonthOf(b.Header.Time),
+					Attacker: front.tx.From,
+					Victim:   vic.tx.From,
+					Pool:     front.swap.Pool,
+					Token:    front.swap.TokenOut,
+					FrontTx:  front.tx.Hash(), VictimTx: vic.tx.Hash(), BackTx: back.tx.Hash(),
+					FrontIndex: front.txIdx, VictimIndex: vic.txIdx, BackIndex: back.txIdx,
+					FrontIn: front.swap.AmountIn, BackOut: back.swap.AmountOut,
+					GasPriceOrdered: front.tx.EffectiveGasPrice(base) > vic.tx.EffectiveGasPrice(base),
+				})
+				used[front.txIdx], used[back.txIdx] = true, true
+				break
+			}
+			if used[back.txIdx] {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Arbitrage is one detected closed-loop arbitrage (Definition 2 family).
+type Arbitrage struct {
+	Block uint64
+	Month types.Month
+
+	Extractor types.Address
+	Tx        types.Hash
+	TxIndex   int
+
+	// Token is the loop's start/end asset; Hops the number of swaps.
+	Token types.Address
+	Hops  int
+	// Pools traversed, in order.
+	Pools []types.Address
+
+	AmountIn  types.Amount
+	AmountOut types.Amount
+
+	// FlashLoan marks arbitrages funded by a flash loan; FlashFee is the
+	// fee visible in the FlashLoan event.
+	FlashLoan bool
+	FlashFee  types.Amount
+}
+
+// Gain is the gross profit in the loop asset.
+func (a *Arbitrage) Gain() types.Amount { return a.AmountOut - a.AmountIn }
+
+// ArbitragesInBlock runs the Qin et al. heuristics over one block: a
+// transaction with more than one swap event whose hops chain into a closed
+// loop.
+func ArbitragesInBlock(b *types.Block) []Arbitrage {
+	var out []Arbitrage
+	for i, rcpt := range b.Receipts {
+		if rcpt.Status != types.StatusSuccess {
+			continue
+		}
+		swaps := txSwaps(rcpt)
+		if len(swaps) < 2 {
+			continue
+		}
+		// Hops must chain: out token of hop k is in token of hop k+1.
+		chained := true
+		for k := 1; k < len(swaps); k++ {
+			if swaps[k].TokenIn != swaps[k-1].TokenOut {
+				chained = false
+				break
+			}
+		}
+		if !chained {
+			continue
+		}
+		// Closed loop: ends where it starts.
+		if swaps[len(swaps)-1].TokenOut != swaps[0].TokenIn {
+			continue
+		}
+		arb := Arbitrage{
+			Block:     b.Header.Number,
+			Month:     types.MonthOf(b.Header.Time),
+			Extractor: b.Txs[i].From,
+			Tx:        b.Txs[i].Hash(),
+			TxIndex:   i,
+			Token:     swaps[0].TokenIn,
+			Hops:      len(swaps),
+			AmountIn:  swaps[0].AmountIn,
+			AmountOut: swaps[len(swaps)-1].AmountOut,
+		}
+		for _, sw := range swaps {
+			arb.Pools = append(arb.Pools, sw.Pool)
+		}
+		if fls := txFlashLoans(rcpt); len(fls) > 0 {
+			arb.FlashLoan = true
+			arb.FlashFee = fls[0].Fee
+		}
+		out = append(out, arb)
+	}
+	return out
+}
+
+// Liquidation is one detected lending-pool liquidation (§3.1.3).
+type Liquidation struct {
+	Block uint64
+	Month types.Month
+
+	Liquidator types.Address
+	Borrower   types.Address
+	Protocol   types.Address
+	Tx         types.Hash
+	TxIndex    int
+
+	DebtToken       types.Address
+	CollateralToken types.Address
+	DebtRepaid      types.Amount
+	CollateralOut   types.Amount
+	Compound        bool
+
+	FlashLoan bool
+	FlashFee  types.Amount
+}
+
+// LiquidationsInBlock extracts liquidation events from one block.
+func LiquidationsInBlock(b *types.Block) []Liquidation {
+	var out []Liquidation
+	for i, rcpt := range b.Receipts {
+		if rcpt.Status != types.StatusSuccess {
+			continue
+		}
+		var liqs []Liquidation
+		for _, l := range rcpt.Logs {
+			ev, ok := events.DecodeLiquidation(l)
+			if !ok {
+				continue
+			}
+			liqs = append(liqs, Liquidation{
+				Block:      b.Header.Number,
+				Month:      types.MonthOf(b.Header.Time),
+				Liquidator: ev.Liquidator,
+				Borrower:   ev.Borrower,
+				Protocol:   ev.Protocol,
+				Tx:         b.Txs[i].Hash(),
+				TxIndex:    i,
+				DebtToken:  ev.DebtToken, CollateralToken: ev.CollateralToken,
+				DebtRepaid: ev.DebtRepaid, CollateralOut: ev.CollateralOut,
+				Compound: ev.Compound,
+			})
+		}
+		if len(liqs) > 0 {
+			if fls := txFlashLoans(rcpt); len(fls) > 0 {
+				for k := range liqs {
+					liqs[k].FlashLoan = true
+					liqs[k].FlashFee = fls[0].Fee
+				}
+			}
+			out = append(out, liqs...)
+		}
+	}
+	return out
+}
+
+// Result is the full detector sweep over a block range.
+type Result struct {
+	Sandwiches   []Sandwich
+	Arbitrages   []Arbitrage
+	Liquidations []Liquidation
+	// FlashLoanTxs is every transaction that emitted a FlashLoan event,
+	// whether or not an MEV detector matched it.
+	FlashLoanTxs map[types.Hash]bool
+}
+
+// Scan runs every detector over chain blocks in [from, to].
+func Scan(c *chain.Chain, weth types.Address, from, to uint64) *Result {
+	res := &Result{FlashLoanTxs: make(map[types.Hash]bool)}
+	c.Range(from, to, func(b *types.Block) bool {
+		res.Sandwiches = append(res.Sandwiches, SandwichesInBlock(b, weth)...)
+		res.Arbitrages = append(res.Arbitrages, ArbitragesInBlock(b)...)
+		res.Liquidations = append(res.Liquidations, LiquidationsInBlock(b)...)
+		for i, rcpt := range b.Receipts {
+			if rcpt.Status != types.StatusSuccess {
+				continue
+			}
+			if len(txFlashLoans(rcpt)) > 0 {
+				res.FlashLoanTxs[b.Txs[i].Hash()] = true
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// ScanAll sweeps the whole chain.
+func ScanAll(c *chain.Chain, weth types.Address) *Result {
+	return Scan(c, weth, c.Timeline.StartBlock, c.Timeline.EndBlock())
+}

@@ -1,0 +1,310 @@
+package detect
+
+import (
+	"testing"
+
+	"mevscope/internal/chain"
+	"mevscope/internal/events"
+	"mevscope/internal/types"
+)
+
+var (
+	weth  = types.DeriveAddress("tok", 0)
+	dai   = types.DeriveAddress("tok", 1)
+	usdc  = types.DeriveAddress("tok", 2)
+	pool  = types.DeriveAddress("pool", 1)
+	pool2 = types.DeriveAddress("pool", 2)
+)
+
+// swapTx builds a mined transaction with one swap event.
+func swapTx(nonce uint64, from types.Address, p types.Address, in, out types.Address, amtIn, amtOut types.Amount, gasPrice types.Amount) (*types.Transaction, *types.Receipt) {
+	tx := &types.Transaction{Nonce: nonce, From: from, GasPrice: gasPrice, GasLimit: 160_000}
+	rcpt := &types.Receipt{
+		TxHash: tx.Hash(), Status: types.StatusSuccess, GasUsed: 160_000, EffectiveGasPrice: gasPrice,
+		Logs: []types.Log{events.Swap{
+			Pool: p, Sender: from, Recipient: from,
+			TokenIn: in, TokenOut: out, AmountIn: amtIn, AmountOut: amtOut,
+		}.Log()},
+	}
+	return tx, rcpt
+}
+
+func mkBlock(n uint64, pairs ...any) *types.Block {
+	b := &types.Block{Header: types.Header{Number: n, Time: types.Month(10).Date()}}
+	for i := 0; i < len(pairs); i += 2 {
+		b.Txs = append(b.Txs, pairs[i].(*types.Transaction))
+		b.Receipts = append(b.Receipts, pairs[i+1].(*types.Receipt))
+	}
+	for i, r := range b.Receipts {
+		r.TxIndex = i
+	}
+	b.Seal()
+	return b
+}
+
+func TestSandwichDetected(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 1)
+	victim := types.DeriveAddress("victim", 1)
+	f, fr := swapTx(1, attacker, pool, weth, dai, 10_000, 20_000, 100*types.Gwei)
+	v, vr := swapTx(1, victim, pool, weth, dai, 50_000, 99_000, 80*types.Gwei)
+	bk, br := swapTx(2, attacker, pool, dai, weth, 20_000, 10_400, 60*types.Gwei)
+	b := mkBlock(1, f, fr, v, vr, bk, br)
+
+	got := SandwichesInBlock(b, weth)
+	if len(got) != 1 {
+		t.Fatalf("detected %d sandwiches", len(got))
+	}
+	s := got[0]
+	if s.Attacker != attacker || s.Victim != victim {
+		t.Error("parties")
+	}
+	if s.FrontIn != 10_000 || s.BackOut != 10_400 || s.Gain() != 400 {
+		t.Errorf("amounts: %+v", s)
+	}
+	if !s.GasPriceOrdered {
+		t.Error("gas price condition should hold")
+	}
+	if s.Token != dai || s.Pool != pool {
+		t.Error("asset/pool")
+	}
+}
+
+func TestSandwichOrderMatters(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 1)
+	victim := types.DeriveAddress("victim", 1)
+	// Victim BEFORE the front: not a sandwich.
+	v, vr := swapTx(1, victim, pool, weth, dai, 50_000, 99_000, 80*types.Gwei)
+	f, fr := swapTx(1, attacker, pool, weth, dai, 10_000, 20_000, 100*types.Gwei)
+	bk, br := swapTx(2, attacker, pool, dai, weth, 20_000, 10_400, 60*types.Gwei)
+	b := mkBlock(1, v, vr, f, fr, bk, br)
+	if got := SandwichesInBlock(b, weth); len(got) != 0 {
+		t.Errorf("false positive: %+v", got)
+	}
+}
+
+func TestSandwichAmountToleranceEnforced(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 1)
+	victim := types.DeriveAddress("victim", 1)
+	f, fr := swapTx(1, attacker, pool, weth, dai, 10_000, 20_000, 100*types.Gwei)
+	v, vr := swapTx(1, victim, pool, weth, dai, 50_000, 99_000, 80*types.Gwei)
+	// Sells 5% more than bought: unrelated trade, not a backrun.
+	bk, br := swapTx(2, attacker, pool, dai, weth, 21_000, 10_900, 60*types.Gwei)
+	b := mkBlock(1, f, fr, v, vr, bk, br)
+	if got := SandwichesInBlock(b, weth); len(got) != 0 {
+		t.Errorf("tolerance violated: %+v", got)
+	}
+}
+
+func TestSandwichRequiresSamePool(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 1)
+	victim := types.DeriveAddress("victim", 1)
+	f, fr := swapTx(1, attacker, pool, weth, dai, 10_000, 20_000, 100*types.Gwei)
+	v, vr := swapTx(1, victim, pool2, weth, dai, 50_000, 99_000, 80*types.Gwei) // other pool
+	bk, br := swapTx(2, attacker, pool, dai, weth, 20_000, 10_400, 60*types.Gwei)
+	b := mkBlock(1, f, fr, v, vr, bk, br)
+	if got := SandwichesInBlock(b, weth); len(got) != 0 {
+		t.Errorf("cross-pool false positive: %+v", got)
+	}
+}
+
+func TestSandwichIgnoresSelfTrading(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 1)
+	f, fr := swapTx(1, attacker, pool, weth, dai, 10_000, 20_000, 100*types.Gwei)
+	v, vr := swapTx(2, attacker, pool, weth, dai, 50_000, 99_000, 80*types.Gwei) // same address
+	bk, br := swapTx(3, attacker, pool, dai, weth, 20_000, 10_400, 60*types.Gwei)
+	b := mkBlock(1, f, fr, v, vr, bk, br)
+	if got := SandwichesInBlock(b, weth); len(got) != 0 {
+		t.Errorf("self-trade false positive: %+v", got)
+	}
+}
+
+func TestSandwichSkipsFailedTxs(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 1)
+	victim := types.DeriveAddress("victim", 1)
+	f, fr := swapTx(1, attacker, pool, weth, dai, 10_000, 20_000, 100*types.Gwei)
+	v, vr := swapTx(1, victim, pool, weth, dai, 50_000, 99_000, 80*types.Gwei)
+	bk, br := swapTx(2, attacker, pool, dai, weth, 20_000, 10_400, 60*types.Gwei)
+	br.Status = types.StatusFailed
+	br.Logs = nil
+	b := mkBlock(1, f, fr, v, vr, bk, br)
+	if got := SandwichesInBlock(b, weth); len(got) != 0 {
+		t.Error("failed back tx must not complete a sandwich")
+	}
+}
+
+func TestSandwichGasPriceOrderedFalseForBundles(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 1)
+	victim := types.DeriveAddress("victim", 1)
+	// Bundle-style: attacker pays minimal gas, still ordered around victim.
+	f, fr := swapTx(1, attacker, pool, weth, dai, 10_000, 20_000, types.Gwei)
+	v, vr := swapTx(1, victim, pool, weth, dai, 50_000, 99_000, 80*types.Gwei)
+	bk, br := swapTx(2, attacker, pool, dai, weth, 20_000, 10_400, types.Gwei)
+	b := mkBlock(1, f, fr, v, vr, bk, br)
+	got := SandwichesInBlock(b, weth)
+	if len(got) != 1 {
+		t.Fatal("bundle sandwich should still be detected")
+	}
+	if got[0].GasPriceOrdered {
+		t.Error("gas condition should be false for bundle ordering")
+	}
+}
+
+// multiSwapTx builds a transaction carrying several chained swap events.
+func multiSwapTx(nonce uint64, from types.Address, hops [][2]types.Address, pools []types.Address, amounts []types.Amount, flash bool) (*types.Transaction, *types.Receipt) {
+	tx := &types.Transaction{Nonce: nonce, From: from, GasPrice: types.Gwei, GasLimit: 400_000}
+	rcpt := &types.Receipt{TxHash: tx.Hash(), Status: types.StatusSuccess, GasUsed: 400_000, EffectiveGasPrice: types.Gwei}
+	for i, h := range hops {
+		rcpt.Logs = append(rcpt.Logs, events.Swap{
+			Pool: pools[i], Sender: from, Recipient: from,
+			TokenIn: h[0], TokenOut: h[1],
+			AmountIn: amounts[i], AmountOut: amounts[i+1],
+		}.Log())
+	}
+	if flash {
+		rcpt.Logs = append(rcpt.Logs, events.FlashLoan{
+			Protocol: types.DeriveAddress("prot", 1), Initiator: from,
+			Token: hops[0][0], Amount: amounts[0], Fee: 9,
+		}.Log())
+	}
+	return tx, rcpt
+}
+
+func TestArbitrageDetected(t *testing.T) {
+	arber := types.DeriveAddress("arber", 1)
+	tx, rcpt := multiSwapTx(1, arber,
+		[][2]types.Address{{weth, dai}, {dai, weth}},
+		[]types.Address{pool, pool2},
+		[]types.Amount{10_000, 20_000, 10_300}, false)
+	b := mkBlock(1, tx, rcpt)
+	got := ArbitragesInBlock(b)
+	if len(got) != 1 {
+		t.Fatalf("detected %d arbs", len(got))
+	}
+	a := got[0]
+	if a.Extractor != arber || a.Hops != 2 || a.Token != weth {
+		t.Errorf("arb = %+v", a)
+	}
+	if a.Gain() != 300 {
+		t.Errorf("gain = %d", a.Gain())
+	}
+	if a.FlashLoan {
+		t.Error("no flash loan here")
+	}
+	if len(a.Pools) != 2 || a.Pools[0] != pool {
+		t.Error("pools")
+	}
+}
+
+func TestArbitrageRequiresClosedLoop(t *testing.T) {
+	arber := types.DeriveAddress("arber", 1)
+	// weth → dai → usdc: chained but open.
+	tx, rcpt := multiSwapTx(1, arber,
+		[][2]types.Address{{weth, dai}, {dai, usdc}},
+		[]types.Address{pool, pool2},
+		[]types.Amount{10_000, 20_000, 9_900}, false)
+	b := mkBlock(1, tx, rcpt)
+	if got := ArbitragesInBlock(b); len(got) != 0 {
+		t.Errorf("open loop false positive: %+v", got)
+	}
+}
+
+func TestArbitrageRequiresChainedHops(t *testing.T) {
+	arber := types.DeriveAddress("arber", 1)
+	// Two unrelated swaps in one tx: out of hop 1 ≠ in of hop 2.
+	tx, rcpt := multiSwapTx(1, arber,
+		[][2]types.Address{{weth, dai}, {usdc, weth}},
+		[]types.Address{pool, pool2},
+		[]types.Amount{10_000, 20_000, 10_300}, false)
+	b := mkBlock(1, tx, rcpt)
+	if got := ArbitragesInBlock(b); len(got) != 0 {
+		t.Errorf("unchained false positive: %+v", got)
+	}
+}
+
+func TestArbitrageSingleSwapIgnored(t *testing.T) {
+	trader := types.DeriveAddress("trader", 1)
+	tx, rcpt := swapTx(1, trader, pool, weth, dai, 10_000, 20_000, types.Gwei)
+	b := mkBlock(1, tx, rcpt)
+	if got := ArbitragesInBlock(b); len(got) != 0 {
+		t.Error("plain swap is not an arb")
+	}
+}
+
+func TestArbitrageFlashLoanFlag(t *testing.T) {
+	arber := types.DeriveAddress("arber", 1)
+	tx, rcpt := multiSwapTx(1, arber,
+		[][2]types.Address{{dai, weth}, {weth, dai}},
+		[]types.Address{pool, pool2},
+		[]types.Amount{100_000, 50, 100_300}, true)
+	b := mkBlock(1, tx, rcpt)
+	got := ArbitragesInBlock(b)
+	if len(got) != 1 || !got[0].FlashLoan || got[0].FlashFee != 9 {
+		t.Errorf("flash arb = %+v", got)
+	}
+}
+
+func TestLiquidationDetected(t *testing.T) {
+	liq := types.DeriveAddress("liq", 1)
+	borrower := types.DeriveAddress("borrower", 1)
+	prot := types.DeriveAddress("prot", 1)
+	tx := &types.Transaction{Nonce: 1, From: liq, GasPrice: types.Gwei, GasLimit: 400_000}
+	rcpt := &types.Receipt{TxHash: tx.Hash(), Status: types.StatusSuccess, GasUsed: 400_000, EffectiveGasPrice: types.Gwei,
+		Logs: []types.Log{events.Liquidation{
+			Protocol: prot, Liquidator: liq, Borrower: borrower,
+			DebtToken: dai, CollateralToken: weth,
+			DebtRepaid: 10_000, CollateralOut: 11_000, Compound: true,
+		}.Log()},
+	}
+	b := mkBlock(1, tx, rcpt)
+	got := LiquidationsInBlock(b)
+	if len(got) != 1 {
+		t.Fatalf("detected %d liquidations", len(got))
+	}
+	l := got[0]
+	if l.Liquidator != liq || l.Borrower != borrower || !l.Compound {
+		t.Errorf("liq = %+v", l)
+	}
+	if l.DebtRepaid != 10_000 || l.CollateralOut != 11_000 {
+		t.Error("amounts")
+	}
+}
+
+func TestScanAggregates(t *testing.T) {
+	// One block with a sandwich and one with a flash arb, via Scan.
+	attacker := types.DeriveAddress("attacker", 1)
+	victim := types.DeriveAddress("victim", 1)
+	f, fr := swapTx(1, attacker, pool, weth, dai, 10_000, 20_000, 100*types.Gwei)
+	v, vr := swapTx(1, victim, pool, weth, dai, 50_000, 99_000, 80*types.Gwei)
+	bk, br := swapTx(2, attacker, pool, dai, weth, 20_000, 10_400, 60*types.Gwei)
+	arbTx, arbR := multiSwapTx(3, attacker,
+		[][2]types.Address{{weth, dai}, {dai, weth}},
+		[]types.Address{pool, pool2},
+		[]types.Amount{10_000, 20_000, 10_300}, true)
+
+	c := newTestChain(t)
+	b1 := &types.Block{Header: types.Header{Number: c.NextNumber(), Time: types.Month(10).Date()},
+		Txs: []*types.Transaction{f, v, bk}, Receipts: []*types.Receipt{fr, vr, br}}
+	b1.Seal()
+	if err := c.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := &types.Block{Header: types.Header{Number: c.NextNumber(), Time: types.Month(10).Date()},
+		Txs: []*types.Transaction{arbTx}, Receipts: []*types.Receipt{arbR}}
+	b2.Seal()
+	if err := c.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+
+	res := ScanAll(c, weth)
+	if len(res.Sandwiches) != 1 || len(res.Arbitrages) != 1 {
+		t.Fatalf("scan: %d sandwiches %d arbs", len(res.Sandwiches), len(res.Arbitrages))
+	}
+	if !res.FlashLoanTxs[arbTx.Hash()] {
+		t.Error("flash loan tx set")
+	}
+}
+
+func newTestChain(t *testing.T) *chain.Chain {
+	t.Helper()
+	return chain.New(types.DefaultTimeline(100))
+}

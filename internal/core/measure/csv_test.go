@@ -1,0 +1,113 @@
+package measure
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mevscope/internal/core/privinfer"
+	"mevscope/internal/stats"
+	"mevscope/internal/types"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Table1: Table1{
+			Rows: []Table1Row{
+				{Strategy: "Sandwiching", Extractions: 10, ViaFlashbots: 5},
+				{Strategy: "Arbitrage", Extractions: 30, ViaFlashbots: 9, ViaFlashLoans: 1},
+				{Strategy: "Liquidation", Extractions: 2},
+			},
+			Total: Table1Row{Strategy: "Total", Extractions: 42, ViaFlashbots: 14, ViaFlashLoans: 1},
+		},
+		Fig3: []Fig3Row{{Month: 9, FlashbotsBlocks: 3, TotalBlocks: 10}},
+		Fig4: []MonthValue{{Month: 9, Value: 0.5}},
+		Fig5: Fig5{Thresholds: []int{1, 2}, Months: []types.Month{9}, Counts: [][]int{{4, 2}}},
+		Fig6: Fig6{Rows: []Fig6Row{{Month: 9, FlashbotsSand: 1, NonFlashbotsSand: 2, AvgGasPriceGwei: 50}}},
+		Fig7: Fig7{Rows: []Fig7Row{{Month: 9, Searchers: map[string]int{"other": 3}, Txs: map[string]int{"other": 7}}}},
+		Fig8: Fig8{MinerFB: stats.Summarize([]float64{0.1, 0.2})},
+		Fig9: &Fig9{Split: privinfer.SandwichSplit{Total: 10, Flashbots: 8, Private: 1, Public: 1}},
+		Bundles: BundleStats{ByType: map[string]int{
+			"flashbots": 9, "rogue": 1, "miner-payout": 1,
+		}},
+	}
+}
+
+func TestCSVExportersShapes(t *testing.T) {
+	r := sampleReport()
+	cases := []struct {
+		name   string
+		fn     func(*Report) (string, error)
+		header string
+		lines  int
+	}{
+		{"table1", render((*Report).Table1CSV), "strategy,", 5},
+		{"fig3", render((*Report).Fig3CSV), "month,flashbots_blocks", 2},
+		{"fig4", render((*Report).Fig4CSV), "month,flashbots_hashrate", 2},
+		{"fig5", render((*Report).Fig5CSV), "month,ge_1,ge_2", 2},
+		{"fig6", render((*Report).Fig6CSV), "month,flashbots_sandwiches", 2},
+		{"fig7", render((*Report).Fig7CSV), "month,sandwiches_searchers", 2},
+		{"fig8", render((*Report).Fig8CSV), "subpopulation,", 5},
+		{"fig9", render((*Report).Fig9CSV), "channel,sandwiches,share", 4},
+		{"bundles", render((*Report).BundlesCSV), "bundle_type,count", 4},
+	}
+	for _, c := range cases {
+		out, err := c.fn(r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !strings.HasPrefix(out, c.header) {
+			t.Errorf("%s header = %q", c.name, strings.SplitN(out, "\n", 2)[0])
+		}
+		if got := strings.Count(strings.TrimSpace(out), "\n") + 1; got != c.lines {
+			t.Errorf("%s lines = %d want %d", c.name, got, c.lines)
+		}
+	}
+}
+
+func render(fn func(*Report, io.Writer) error) func(*Report) (string, error) {
+	return func(r *Report) (string, error) {
+		var buf bytes.Buffer
+		if err := fn(r, &buf); err != nil {
+			return "", err
+		}
+		return buf.String(), nil
+	}
+}
+
+func TestFig9CSVWithoutWindow(t *testing.T) {
+	r := sampleReport()
+	r.Fig9 = nil
+	var buf bytes.Buffer
+	if err := r.Fig9CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "channel,sandwiches,share" {
+		t.Errorf("header-only expected, got %q", got)
+	}
+}
+
+func TestWriteCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleReport()
+	if err := r.WriteCSVDir(filepath.Join(dir, "csv")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Errorf("files = %d", len(entries))
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "csv", "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "Sandwiching") {
+		t.Error("table1.csv content")
+	}
+}

@@ -1,0 +1,698 @@
+// Package measure aggregates detector output, the Flashbots public API
+// dataset and the private-transaction inference into the paper's tables
+// and figures: Table 1 (MEV dataset overview), Figures 3-9 and the §4.1,
+// §5.2, §6.2 and §6.3 statistics.
+package measure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mevscope/internal/chain"
+	"mevscope/internal/core/detect"
+	"mevscope/internal/core/privinfer"
+	"mevscope/internal/core/profit"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/stats"
+	"mevscope/internal/types"
+)
+
+// Inputs carries everything the aggregations read. Observer may be nil
+// when no pending-transaction capture exists (Figure 9 and §6 are then
+// skipped).
+type Inputs struct {
+	Chain    *chain.Chain
+	FBBlocks []flashbots.BlockRecord
+	FBSet    map[types.Hash]flashbots.BundleType
+	Detect   *detect.Result
+	Profits  []profit.Record
+	Observer privinfer.Observer
+	WETH     types.Address
+}
+
+// MinerSetOnChain derives the set of coinbase addresses that ever produced
+// a block — the public information the profit-split analysis uses to tell
+// miner extractors from searchers.
+func MinerSetOnChain(c *chain.Chain) map[types.Address]bool {
+	out := map[types.Address]bool{}
+	for _, b := range c.Blocks() {
+		out[b.Header.Miner] = true
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+// Table1Row is one strategy row of the MEV dataset overview.
+type Table1Row struct {
+	Strategy      string
+	Extractions   int
+	ViaFlashbots  int
+	ViaFlashLoans int
+	ViaBoth       int
+}
+
+// Pct formats n as a percentage of the row total.
+func (r Table1Row) Pct(n int) float64 {
+	if r.Extractions == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(r.Extractions)
+}
+
+// Table1 is the paper's Table 1.
+type Table1 struct {
+	Rows  []Table1Row // sandwiching, arbitrage, liquidation
+	Total Table1Row
+}
+
+// BuildTable1 aggregates profit records into Table 1.
+func BuildTable1(in Inputs) Table1 {
+	rows := map[profit.Kind]*Table1Row{
+		profit.KindSandwich:    {Strategy: "Sandwiching"},
+		profit.KindArbitrage:   {Strategy: "Arbitrage"},
+		profit.KindLiquidation: {Strategy: "Liquidation"},
+	}
+	for _, r := range in.Profits {
+		row := rows[r.Kind]
+		row.Extractions++
+		if r.ViaFlashbots {
+			row.ViaFlashbots++
+		}
+		if r.ViaFlashLoan {
+			row.ViaFlashLoans++
+		}
+		if r.ViaFlashbots && r.ViaFlashLoan {
+			row.ViaBoth++
+		}
+	}
+	t := Table1{Rows: []Table1Row{
+		*rows[profit.KindSandwich], *rows[profit.KindArbitrage], *rows[profit.KindLiquidation],
+	}}
+	t.Total.Strategy = "Total"
+	for _, r := range t.Rows {
+		t.Total.Extractions += r.Extractions
+		t.Total.ViaFlashbots += r.ViaFlashbots
+		t.Total.ViaFlashLoans += r.ViaFlashLoans
+		t.Total.ViaBoth += r.ViaBoth
+	}
+	return t
+}
+
+// Format renders the table in the paper's layout.
+func (t Table1) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %22s %18s %14s\n", "MEV Strategy", "Extractions", "Via Flashbots", "Via Flash Loans", "Via Both")
+	line := func(r Table1Row) {
+		fmt.Fprintf(&b, "%-12s %12d %12d (%5.2f%%) %10d (%4.2f%%) %7d (%4.2f%%)\n",
+			r.Strategy, r.Extractions,
+			r.ViaFlashbots, r.Pct(r.ViaFlashbots),
+			r.ViaFlashLoans, r.Pct(r.ViaFlashLoans),
+			r.ViaBoth, r.Pct(r.ViaBoth))
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	line(t.Total)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: Flashbots block ratio per month
+
+// MonthValue is one month's scalar data point.
+type MonthValue struct {
+	Month types.Month
+	Value float64
+}
+
+// Fig3Row is one month of the block-ratio series.
+type Fig3Row struct {
+	Month           types.Month
+	FlashbotsBlocks int
+	TotalBlocks     int
+}
+
+// Ratio is the Flashbots share of the month's blocks.
+func (r Fig3Row) Ratio() float64 {
+	if r.TotalBlocks == 0 {
+		return 0
+	}
+	return float64(r.FlashbotsBlocks) / float64(r.TotalBlocks)
+}
+
+// BuildFigure3 computes the monthly Flashbots vs non-Flashbots block
+// proportion.
+func BuildFigure3(in Inputs) []Fig3Row {
+	fbByMonth := map[types.Month]int{}
+	for _, rec := range in.FBBlocks {
+		fbByMonth[in.Chain.Timeline.MonthOfBlock(rec.BlockNumber)]++
+	}
+	out := make([]Fig3Row, 0, types.StudyMonths)
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		total := len(in.Chain.BlocksInMonth(m))
+		if total == 0 {
+			continue
+		}
+		out = append(out, Fig3Row{Month: m, FlashbotsBlocks: fbByMonth[m], TotalBlocks: total})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: estimated Flashbots hashrate per month
+
+// BuildFigure4 estimates the Flashbots hashpower share per month: the
+// block share of miners who mined at least one Flashbots block in that
+// month (§4.3's estimator).
+func BuildFigure4(in Inputs) []MonthValue {
+	fbMiners := map[types.Month]map[types.Address]bool{}
+	for _, rec := range in.FBBlocks {
+		m := in.Chain.Timeline.MonthOfBlock(rec.BlockNumber)
+		if fbMiners[m] == nil {
+			fbMiners[m] = map[types.Address]bool{}
+		}
+		fbMiners[m][rec.Miner] = true
+	}
+	var out []MonthValue
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		blocks := in.Chain.BlocksInMonth(m)
+		if len(blocks) == 0 {
+			continue
+		}
+		fb := 0
+		for _, b := range blocks {
+			if fbMiners[m][b.Header.Miner] {
+				fb++
+			}
+		}
+		out = append(out, MonthValue{Month: m, Value: float64(fb) / float64(len(blocks))})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: miners with at least n Flashbots blocks
+
+// Fig5 reports, per month, how many miners mined at least each threshold
+// of Flashbots blocks. Thresholds follow the paper (powers of ten); the
+// Scaled thresholds adjust for the compressed blocks-per-month so the
+// curve shapes are comparable.
+type Fig5 struct {
+	Thresholds []int
+	// Counts[mi][ti] = miners with ≥ Thresholds[ti] Flashbots blocks in
+	// month mi.
+	Months []types.Month
+	Counts [][]int
+}
+
+// BuildFigure5 computes the miners-with-n-blocks distribution. scale
+// converts paper thresholds to the compressed chain: thresholds are
+// multiplied by blocksPerMonth/190000 (mainnet months are ≈190k blocks),
+// with a floor of 1.
+func BuildFigure5(in Inputs) Fig5 {
+	paper := []int{1, 10, 100, 1_000, 10_000}
+	factor := float64(in.Chain.Timeline.BlocksPerMonth) / 190_000.0
+	thresholds := make([]int, len(paper))
+	for i, t := range paper {
+		s := int(float64(t) * factor)
+		if s < 1 {
+			s = 1
+		}
+		// Keep thresholds strictly increasing after scaling.
+		if i > 0 && s <= thresholds[i-1] {
+			s = thresholds[i-1] + 1
+		}
+		thresholds[i] = s
+	}
+	perMonth := map[types.Month]map[types.Address]int{}
+	for _, rec := range in.FBBlocks {
+		m := in.Chain.Timeline.MonthOfBlock(rec.BlockNumber)
+		if perMonth[m] == nil {
+			perMonth[m] = map[types.Address]int{}
+		}
+		perMonth[m][rec.Miner]++
+	}
+	f := Fig5{Thresholds: thresholds}
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		if len(in.Chain.BlocksInMonth(m)) == 0 {
+			continue
+		}
+		row := make([]int, len(thresholds))
+		for _, count := range perMonth[m] {
+			for ti, th := range thresholds {
+				if count >= th {
+					row[ti]++
+				}
+			}
+		}
+		f.Months = append(f.Months, m)
+		f.Counts = append(f.Counts, row)
+	}
+	return f
+}
+
+// MaxMinersInAnyMonth returns the peak number of distinct Flashbots miners
+// (threshold ≥1) across months — the paper found no month above 55.
+func (f Fig5) MaxMinersInAnyMonth() int {
+	maxC := 0
+	for _, row := range f.Counts {
+		if len(row) > 0 && row[0] > maxC {
+			maxC = row[0]
+		}
+	}
+	return maxC
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: sandwiches vs gas price
+
+// Fig6Row is one month of the sandwich/gas correlation series.
+type Fig6Row struct {
+	Month              types.Month
+	FlashbotsSand      int
+	NonFlashbotsSand   int
+	AvgGasPriceGwei    float64
+	MedianGasPriceGwei float64
+}
+
+// Fig6 is the full series plus the correlation the paper discusses.
+type Fig6 struct {
+	Rows []Fig6Row
+	// CorrNonFB is the Pearson correlation between monthly non-Flashbots
+	// sandwich counts and average gas price.
+	CorrNonFB float64
+	// CorrAll correlates total sandwich counts with gas price.
+	CorrAll float64
+}
+
+// BuildFigure6 computes the sandwich/gas-price series.
+func BuildFigure6(in Inputs) Fig6 {
+	fbSand := map[types.Month]int{}
+	nonFBSand := map[types.Month]int{}
+	for _, r := range in.Profits {
+		if r.Kind != profit.KindSandwich {
+			continue
+		}
+		if r.ViaFlashbots {
+			fbSand[r.Month]++
+		} else {
+			nonFBSand[r.Month]++
+		}
+	}
+	var f Fig6
+	var gasSeries, nonFBSeries, allSeries []float64
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		blocks := in.Chain.BlocksInMonth(m)
+		if len(blocks) == 0 {
+			continue
+		}
+		var sum float64
+		var all []float64
+		for _, b := range blocks {
+			for _, rcpt := range b.Receipts {
+				g := float64(rcpt.EffectiveGasPrice) / float64(types.Gwei)
+				sum += g
+				all = append(all, g)
+			}
+		}
+		row := Fig6Row{Month: m, FlashbotsSand: fbSand[m], NonFlashbotsSand: nonFBSand[m]}
+		if len(all) > 0 {
+			sort.Float64s(all)
+			row.AvgGasPriceGwei = sum / float64(len(all))
+			row.MedianGasPriceGwei = stats.Quantile(all, 0.5)
+		}
+		f.Rows = append(f.Rows, row)
+		gasSeries = append(gasSeries, row.AvgGasPriceGwei)
+		nonFBSeries = append(nonFBSeries, float64(row.NonFlashbotsSand))
+		allSeries = append(allSeries, float64(row.FlashbotsSand+row.NonFlashbotsSand))
+	}
+	f.CorrNonFB = stats.Pearson(nonFBSeries, gasSeries)
+	f.CorrAll = stats.Pearson(allSeries, gasSeries)
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: searchers and transactions by MEV type
+
+// Fig7Row is one month of per-type activity.
+type Fig7Row struct {
+	Month types.Month
+	// Searchers holds distinct extractor counts; Txs transaction counts.
+	Searchers map[string]int
+	Txs       map[string]int
+}
+
+// Fig7 series; type keys: "sandwiches", "arbitrages", "liquidations",
+// "other".
+type Fig7 struct {
+	Rows []Fig7Row
+}
+
+// BuildFigure7 counts Flashbots searchers and transactions by MEV type per
+// month. "other" covers Flashbots transactions not matched by any MEV
+// detector — order-dependent or MEV-protected trades.
+func BuildFigure7(in Inputs) Fig7 {
+	mevTx := map[types.Hash]string{}
+	kindKey := map[profit.Kind]string{
+		profit.KindSandwich:    "sandwiches",
+		profit.KindArbitrage:   "arbitrages",
+		profit.KindLiquidation: "liquidations",
+	}
+	for _, r := range in.Profits {
+		if !r.ViaFlashbots {
+			continue
+		}
+		key := kindKey[r.Kind]
+		for _, h := range r.Txs {
+			mevTx[h] = key
+		}
+	}
+	rows := map[types.Month]*Fig7Row{}
+	searcherSets := map[types.Month]map[string]map[types.Address]bool{}
+	get := func(m types.Month) (*Fig7Row, map[string]map[types.Address]bool) {
+		if rows[m] == nil {
+			rows[m] = &Fig7Row{Month: m, Searchers: map[string]int{}, Txs: map[string]int{}}
+			searcherSets[m] = map[string]map[types.Address]bool{}
+		}
+		return rows[m], searcherSets[m]
+	}
+	for _, rec := range in.FBBlocks {
+		m := in.Chain.Timeline.MonthOfBlock(rec.BlockNumber)
+		row, sets := get(m)
+		for _, tx := range rec.Txs {
+			key, ok := mevTx[tx.Hash]
+			if !ok {
+				key = "other"
+			}
+			row.Txs[key]++
+			if sets[key] == nil {
+				sets[key] = map[types.Address]bool{}
+			}
+			sets[key][tx.EOA] = true
+		}
+	}
+	var f Fig7
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		row, ok := rows[m]
+		if !ok {
+			continue
+		}
+		for key, set := range searcherSets[m] {
+			row.Searchers[key] = len(set)
+		}
+		f.Rows = append(f.Rows, *row)
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: sandwich profit distributions
+
+// Fig8 summarizes sandwich profit (net ETH) across the four
+// subpopulations of the paper's Figure 8.
+type Fig8 struct {
+	MinerNonFB    stats.Summary
+	MinerFB       stats.Summary
+	SearcherNonFB stats.Summary
+	SearcherFB    stats.Summary
+}
+
+// BuildFigure8 splits sandwich profits by extractor class (miner vs
+// searcher, from on-chain coinbase evidence) and channel.
+func BuildFigure8(in Inputs) Fig8 {
+	miners := MinerSetOnChain(in.Chain)
+	var mFB, mNon, sFB, sNon []float64
+	for _, r := range in.Profits {
+		if r.Kind != profit.KindSandwich {
+			continue
+		}
+		netETH := r.NetETH.Ether()
+		isMiner := miners[r.Extractor]
+		switch {
+		case isMiner && r.ViaFlashbots:
+			mFB = append(mFB, netETH)
+		case isMiner:
+			mNon = append(mNon, netETH)
+		case r.ViaFlashbots:
+			sFB = append(sFB, netETH)
+		default:
+			sNon = append(sNon, netETH)
+		}
+	}
+	return Fig8{
+		MinerNonFB:    stats.Summarize(mNon),
+		MinerFB:       stats.Summarize(mFB),
+		SearcherNonFB: stats.Summarize(sNon),
+		SearcherFB:    stats.Summarize(sFB),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 and §6.2: private vs public MEV
+
+// Fig9 is the private/public split of sandwich MEV in the observation
+// window.
+type Fig9 struct {
+	Split privinfer.SandwichSplit
+}
+
+// BuildFigure9 classifies window sandwiches via the §6.1 inference.
+func BuildFigure9(in Inputs, inf *privinfer.Inferrer) Fig9 {
+	return Fig9{Split: inf.SplitSandwiches(in.Detect.Sandwiches)}
+}
+
+// ---------------------------------------------------------------------------
+// §4.1: bundle statistics
+
+// BundleStats reproduces the §4.1 aggregate bundle numbers.
+type BundleStats struct {
+	Bundles         int
+	FlashbotsBlocks int
+	BundlesPerBlock stats.Summary
+	TxsPerBundle    stats.Summary
+	SingleTxBundles int
+	MaxBundleTxs    int
+	// ByType counts bundles per BundleType name.
+	ByType map[string]int
+}
+
+// SingleTxShare is the fraction of bundles containing one transaction.
+func (s BundleStats) SingleTxShare() float64 {
+	if s.Bundles == 0 {
+		return 0
+	}
+	return float64(s.SingleTxBundles) / float64(s.Bundles)
+}
+
+// BuildBundleStats aggregates the public blocks API dataset.
+func BuildBundleStats(in Inputs) BundleStats {
+	out := BundleStats{ByType: map[string]int{}}
+	var perBlock, perBundle []float64
+	for _, rec := range in.FBBlocks {
+		type bkey struct{ id uint64 }
+		sizes := map[bkey]int{}
+		btype := map[bkey]flashbots.BundleType{}
+		for _, tx := range rec.Txs {
+			k := bkey{tx.BundleID}
+			sizes[k]++
+			btype[k] = tx.BundleType
+		}
+		if len(sizes) == 0 {
+			continue
+		}
+		out.FlashbotsBlocks++
+		perBlock = append(perBlock, float64(len(sizes)))
+		for k, n := range sizes {
+			out.Bundles++
+			perBundle = append(perBundle, float64(n))
+			if n == 1 {
+				out.SingleTxBundles++
+			}
+			if n > out.MaxBundleTxs {
+				out.MaxBundleTxs = n
+			}
+			out.ByType[btype[k].String()]++
+		}
+	}
+	out.BundlesPerBlock = stats.Summarize(perBlock)
+	out.TxsPerBundle = stats.Summarize(perBundle)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// §5.2: negative profits
+
+// NegativeProfits summarizes unprofitable Flashbots sandwiches.
+type NegativeProfits struct {
+	FlashbotsSandwiches int
+	Unprofitable        int
+	TotalLossETH        float64
+}
+
+// Share is the unprofitable fraction (the paper: ≈1.58 %).
+func (n NegativeProfits) Share() float64 {
+	if n.FlashbotsSandwiches == 0 {
+		return 0
+	}
+	return float64(n.Unprofitable) / float64(n.FlashbotsSandwiches)
+}
+
+// BuildNegativeProfits aggregates §5.2.
+func BuildNegativeProfits(in Inputs) NegativeProfits {
+	var out NegativeProfits
+	for _, r := range in.Profits {
+		if r.Kind != profit.KindSandwich || !r.ViaFlashbots {
+			continue
+		}
+		out.FlashbotsSandwiches++
+		if r.NetETH < 0 {
+			out.Unprofitable++
+			out.TotalLossETH += -r.NetETH.Ether()
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Report: everything together
+
+// Report bundles every reproduced artifact.
+type Report struct {
+	Table1    Table1
+	Fig3      []Fig3Row
+	Fig4      []MonthValue
+	Fig5      Fig5
+	Fig6      Fig6
+	Fig7      Fig7
+	Fig8      Fig8
+	Fig9      *Fig9 // nil without an observer
+	Bundles   BundleStats
+	Negatives NegativeProfits
+	// Damage is the victim-loss extension analysis.
+	Damage VictimDamage
+	// Concentration is the §4.4 mining-concentration analysis.
+	Concentration Concentration
+	// MEVSplit extends Figure 9 to all MEV kinds (nil without an observer).
+	MEVSplit *privinfer.MEVSplit
+	// PrivateLinks is the §6.3 account→miner attribution.
+	PrivateLinks []privinfer.MinerLink
+}
+
+// Build assembles the full report. inf may be nil when no observation
+// window exists.
+func Build(in Inputs, inf *privinfer.Inferrer) *Report {
+	r := &Report{
+		Table1:    BuildTable1(in),
+		Fig3:      BuildFigure3(in),
+		Fig4:      BuildFigure4(in),
+		Fig5:      BuildFigure5(in),
+		Fig6:      BuildFigure6(in),
+		Fig7:      BuildFigure7(in),
+		Fig8:      BuildFigure8(in),
+		Bundles:   BuildBundleStats(in),
+		Negatives: BuildNegativeProfits(in),
+		Damage:    BuildVictimDamage(in),
+	}
+	r.Concentration = BuildConcentration(in)
+	if inf != nil {
+		f9 := BuildFigure9(in, inf)
+		r.Fig9 = &f9
+		split := inf.SplitAll(in.Detect)
+		r.MEVSplit = &split
+		r.PrivateLinks = inf.LinkPrivateSandwiches(in.Detect.Sandwiches)
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Extension: victim damage
+
+// VictimDamage quantifies what sandwich victims lost to slippage — the
+// externality the paper's introduction motivates (extraction "from all
+// participants in the Ethereum ecosystem"). The attacker's gross gain is
+// extracted from the victim's execution price, so it lower-bounds the
+// victim's loss.
+type VictimDamage struct {
+	Victims  int
+	TotalETH float64
+	PerMonth map[types.Month]float64
+	Summary  stats.Summary
+}
+
+// BuildVictimDamage aggregates per-victim losses from sandwich records.
+func BuildVictimDamage(in Inputs) VictimDamage {
+	out := VictimDamage{PerMonth: map[types.Month]float64{}}
+	var xs []float64
+	for _, r := range in.Profits {
+		if r.Kind != profit.KindSandwich {
+			continue
+		}
+		loss := r.GainETH.Ether()
+		if loss <= 0 {
+			continue
+		}
+		out.Victims++
+		out.TotalETH += loss
+		out.PerMonth[r.Month] += loss
+		xs = append(xs, loss)
+	}
+	out.Summary = stats.Summarize(xs)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// §4.4 extension: mining concentration
+
+// Concentration quantifies how concentrated Flashbots block production is
+// — the paper's "mining is just as centralized as it was prior to
+// Flashbots" takeaway.
+type Concentration struct {
+	// Gini of per-miner Flashbots block counts, per month.
+	GiniPerMonth map[types.Month]float64
+	// Top2Share is the fraction of all Flashbots blocks mined by the two
+	// most productive miners over the whole dataset.
+	Top2Share float64
+	// Miners is the number of distinct Flashbots miners overall.
+	Miners int
+}
+
+// BuildConcentration aggregates §4.4 concentration metrics.
+func BuildConcentration(in Inputs) Concentration {
+	out := Concentration{GiniPerMonth: map[types.Month]float64{}}
+	perMonth := map[types.Month]map[types.Address]int{}
+	total := map[types.Address]int{}
+	blocks := 0
+	for _, rec := range in.FBBlocks {
+		m := in.Chain.Timeline.MonthOfBlock(rec.BlockNumber)
+		if perMonth[m] == nil {
+			perMonth[m] = map[types.Address]int{}
+		}
+		perMonth[m][rec.Miner]++
+		total[rec.Miner]++
+		blocks++
+	}
+	for m, counts := range perMonth {
+		xs := make([]float64, 0, len(counts))
+		for _, n := range counts {
+			xs = append(xs, float64(n))
+		}
+		out.GiniPerMonth[m] = stats.Gini(xs)
+	}
+	out.Miners = len(total)
+	var all []int
+	for _, n := range total {
+		all = append(all, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top2 := 0
+	for i := 0; i < 2 && i < len(all); i++ {
+		top2 += all[i]
+	}
+	if blocks > 0 {
+		out.Top2Share = float64(top2) / float64(blocks)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package privinfer
+
+import (
+	"testing"
+
+	"mevscope/internal/chain"
+	"mevscope/internal/core/detect"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/types"
+)
+
+// fakeObs is a scripted observer.
+type fakeObs struct {
+	seen        map[types.Hash]bool
+	start, stop uint64
+}
+
+func (f *fakeObs) Seen(h types.Hash) bool   { return f.seen[h] }
+func (f *fakeObs) Window() (uint64, uint64) { return f.start, f.stop }
+
+func h(i byte) types.Hash { return types.Hash{i} }
+
+func newChainWithMiner(t *testing.T, miner types.Address, n int) *chain.Chain {
+	t.Helper()
+	c := chain.New(types.DefaultTimeline(100))
+	for i := 0; i < n; i++ {
+		b := &types.Block{Header: types.Header{Number: c.NextNumber(), Miner: miner, Time: types.Month(19).Date()}}
+		b.Seal()
+		if err := c.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestChannelString(t *testing.T) {
+	if ChannelPublic.String() != "public" || ChannelFlashbots.String() != "flashbots" || ChannelPrivate.String() != "private" {
+		t.Error("names")
+	}
+	if Channel(9).String() != "unknown" {
+		t.Error("unknown")
+	}
+}
+
+func TestClassifyTxs(t *testing.T) {
+	miner := types.DeriveAddress("m", 1)
+	c := newChainWithMiner(t, miner, 5)
+	obs := &fakeObs{seen: map[types.Hash]bool{h(1): true}, start: c.Timeline.StartBlock}
+	fbset := map[types.Hash]flashbots.BundleType{h(3): flashbots.TypeFlashbots}
+	inf := New(c, obs, fbset, 0, 0)
+
+	if got := inf.ClassifyTxs(h(1)); got != ChannelPublic {
+		t.Errorf("observed = %v", got)
+	}
+	if got := inf.ClassifyTxs(h(2)); got != ChannelPrivate {
+		t.Errorf("unobserved = %v", got)
+	}
+	if got := inf.ClassifyTxs(h(3)); got != ChannelFlashbots {
+		t.Errorf("fb = %v", got)
+	}
+	// FB beats private: any tx in the FB set decides.
+	if got := inf.ClassifyTxs(h(2), h(3)); got != ChannelFlashbots {
+		t.Errorf("mixed = %v", got)
+	}
+	// One observed + one not → public (not *all* private).
+	if got := inf.ClassifyTxs(h(1), h(2)); got != ChannelPublic {
+		t.Errorf("partial = %v", got)
+	}
+}
+
+func TestClassifySandwichWindow(t *testing.T) {
+	miner := types.DeriveAddress("m", 1)
+	c := newChainWithMiner(t, miner, 10)
+	start := c.Timeline.StartBlock + 5
+	obs := &fakeObs{seen: map[types.Hash]bool{h(2): true}, start: start}
+	inf := New(c, obs, nil, start, 0)
+
+	s := detect.Sandwich{Block: c.Timeline.StartBlock + 6, FrontTx: h(1), VictimTx: h(2), BackTx: h(3)}
+	ch, ok := inf.ClassifySandwich(s)
+	if !ok || ch != ChannelPrivate {
+		t.Errorf("in window: %v %v", ch, ok)
+	}
+	// Outside window: excluded.
+	early := detect.Sandwich{Block: c.Timeline.StartBlock + 1, FrontTx: h(1), VictimTx: h(2), BackTx: h(3)}
+	if _, ok := inf.ClassifySandwich(early); ok {
+		t.Error("pre-window sandwich should be excluded")
+	}
+}
+
+func TestSplitSandwiches(t *testing.T) {
+	miner := types.DeriveAddress("m", 1)
+	c := newChainWithMiner(t, miner, 10)
+	start := c.Timeline.StartBlock
+	obs := &fakeObs{seen: map[types.Hash]bool{h(2): true, h(10): true, h(11): true}, start: start}
+	fbset := map[types.Hash]flashbots.BundleType{h(20): flashbots.TypeFlashbots}
+	inf := New(c, obs, fbset, start, 0)
+
+	sandwiches := []detect.Sandwich{
+		{Block: start + 1, FrontTx: h(1), VictimTx: h(2), BackTx: h(3)},   // private
+		{Block: start + 2, FrontTx: h(10), VictimTx: h(2), BackTx: h(11)}, // public (both observed)
+		{Block: start + 3, FrontTx: h(20), VictimTx: h(2), BackTx: h(21)}, // flashbots
+	}
+	split := inf.SplitSandwiches(sandwiches)
+	if split.Total != 3 || split.Private != 1 || split.Public != 1 || split.Flashbots != 1 {
+		t.Errorf("split = %+v", split)
+	}
+	if split.FlashbotsShare() < 0.33 || split.FlashbotsShare() > 0.34 {
+		t.Error("fb share")
+	}
+	if split.PrivateShare() < 0.33 || split.PrivateShare() > 0.34 {
+		t.Error("priv share")
+	}
+	if split.PublicShare() < 0.33 || split.PublicShare() > 0.34 {
+		t.Error("pub share")
+	}
+	var empty SandwichSplit
+	if empty.FlashbotsShare() != 0 || empty.PrivateShare() != 0 || empty.PublicShare() != 0 {
+		t.Error("empty split shares should be 0")
+	}
+}
+
+func TestLinkPrivateSandwiches(t *testing.T) {
+	minerA := types.DeriveAddress("m", 1)
+	c := newChainWithMiner(t, minerA, 10)
+	start := c.Timeline.StartBlock
+	obs := &fakeObs{seen: map[types.Hash]bool{}, start: start}
+	inf := New(c, obs, nil, start, 0)
+
+	acct := types.DeriveAddress("acct", 1)
+	sandwiches := []detect.Sandwich{
+		{Block: start + 1, Attacker: acct, FrontTx: h(1), VictimTx: h(2), BackTx: h(3)},
+		{Block: start + 2, Attacker: acct, FrontTx: h(4), VictimTx: h(5), BackTx: h(6)},
+	}
+	links := inf.LinkPrivateSandwiches(sandwiches)
+	if len(links) != 1 {
+		t.Fatalf("links = %d", len(links))
+	}
+	l := links[0]
+	if l.Account != acct || l.Total != 2 {
+		t.Errorf("link = %+v", l)
+	}
+	m, single := l.SingleMiner()
+	if !single || m != minerA {
+		t.Error("single-miner attribution")
+	}
+	multi := MinerLink{Miners: map[types.Address]int{minerA: 1, types.DeriveAddress("m", 2): 1}}
+	if _, ok := multi.SingleMiner(); ok {
+		t.Error("multi-miner should not be single")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	miner := types.DeriveAddress("m", 1)
+	c := newChainWithMiner(t, miner, 3)
+	obs := &fakeObs{seen: map[types.Hash]bool{}, start: 42}
+	inf := New(c, obs, nil, 0, 0)
+	if inf.WindowStart != 42 {
+		t.Error("start should default to observer window")
+	}
+	if inf.WindowEnd != c.Head().Header.Number {
+		t.Error("end should default to head")
+	}
+	if !inf.InWindow(c.Head().Header.Number) {
+		t.Error("head in window")
+	}
+	if inf.InWindow(1) {
+		t.Error("pre-start not in window")
+	}
+}
+
+func TestSplitAll(t *testing.T) {
+	miner := types.DeriveAddress("m", 1)
+	c := newChainWithMiner(t, miner, 10)
+	start := c.Timeline.StartBlock
+	obs := &fakeObs{seen: map[types.Hash]bool{h(2): true, h(30): true}, start: start}
+	fbset := map[types.Hash]flashbots.BundleType{h(20): flashbots.TypeFlashbots}
+	inf := New(c, obs, fbset, start, 0)
+
+	res := &detect.Result{
+		Sandwiches: []detect.Sandwich{
+			{Block: start + 1, FrontTx: h(1), VictimTx: h(2), BackTx: h(3)}, // private
+		},
+		Arbitrages: []detect.Arbitrage{
+			{Block: start + 2, Tx: h(20)}, // flashbots
+			{Block: start + 3, Tx: h(30)}, // public (observed)
+			{Block: start - 1, Tx: h(31)}, // out of window: skipped
+		},
+		Liquidations: []detect.Liquidation{
+			{Block: start + 4, Tx: h(40)}, // private (unobserved)
+		},
+	}
+	split := inf.SplitAll(res)
+	if s := split.ByKind["sandwich"]; s.Total != 1 || s.Private != 1 {
+		t.Errorf("sandwich split = %+v", s)
+	}
+	if a := split.ByKind["arbitrage"]; a.Total != 2 || a.Flashbots != 1 || a.Public != 1 {
+		t.Errorf("arb split = %+v", a)
+	}
+	if l := split.ByKind["liquidation"]; l.Total != 1 || l.Private != 1 {
+		t.Errorf("liq split = %+v", l)
+	}
+	tot := split.Totals()
+	if tot.Total != 4 || tot.Private != 2 || tot.Flashbots != 1 || tot.Public != 1 {
+		t.Errorf("totals = %+v", tot)
+	}
+}

@@ -1,0 +1,228 @@
+// Package profit computes extractor profit for detected MEV following the
+// paper's §3.1 methodology: gain minus costs, where costs are transaction
+// fees plus any coinbase tips paid to the miner, and token gains are
+// converted to ETH through the historical price series (the CoinGecko
+// substitute).
+package profit
+
+import (
+	"fmt"
+
+	"mevscope/internal/chain"
+	"mevscope/internal/core/detect"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/prices"
+	"mevscope/internal/types"
+)
+
+// Kind labels the MEV strategy of a profit record.
+type Kind uint8
+
+// MEV strategies.
+const (
+	KindSandwich Kind = iota
+	KindArbitrage
+	KindLiquidation
+)
+
+// String names the kind with the paper's vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case KindSandwich:
+		return "sandwich"
+	case KindArbitrage:
+		return "arbitrage"
+	case KindLiquidation:
+		return "liquidation"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one MEV extraction with its economics resolved.
+type Record struct {
+	Kind  Kind
+	Block uint64
+	Month types.Month
+
+	Extractor types.Address
+	// Txs are the extractor's transactions (front and back for
+	// sandwiches).
+	Txs []types.Hash
+	// VictimTx is set for sandwiches.
+	VictimTx types.Hash
+
+	// GainETH is the gross gain; CostETH sums fees, coinbase tips and
+	// flash-loan fees; NetETH = GainETH - CostETH.
+	GainETH types.Amount
+	CostETH types.Amount
+	NetETH  types.Amount
+
+	// ViaFlashbots is true when any extractor transaction appears in the
+	// Flashbots blocks API; BundleType is its label there.
+	ViaFlashbots bool
+	BundleType   flashbots.BundleType
+	// ViaFlashLoan is true when a FlashLoan event funded the extraction.
+	ViaFlashLoan bool
+}
+
+// Computer resolves record economics against the chain, the price series
+// and the public Flashbots dataset.
+type Computer struct {
+	Chain  *chain.Chain
+	Prices *prices.Series
+	WETH   types.Address
+	// FBSet maps transaction hashes to bundle types per the Flashbots
+	// public API (§3.3).
+	FBSet map[types.Hash]flashbots.BundleType
+}
+
+// New creates a Computer.
+func New(c *chain.Chain, p *prices.Series, weth types.Address, fbset map[types.Hash]flashbots.BundleType) *Computer {
+	if fbset == nil {
+		fbset = map[types.Hash]flashbots.BundleType{}
+	}
+	return &Computer{Chain: c, Prices: p, WETH: weth, FBSet: fbset}
+}
+
+// txCost returns fee + coinbase tip for one mined transaction.
+func (c *Computer) txCost(h types.Hash) (types.Amount, error) {
+	rcpt, err := c.Chain.Receipt(h)
+	if err != nil {
+		return 0, fmt.Errorf("profit: receipt for %v: %w", h.Short(), err)
+	}
+	return rcpt.Fee() + rcpt.CoinbaseTransfer, nil
+}
+
+func (c *Computer) fbType(hashes ...types.Hash) (bool, flashbots.BundleType) {
+	for _, h := range hashes {
+		if t, ok := c.FBSet[h]; ok {
+			return true, t
+		}
+	}
+	return false, flashbots.TypeFlashbots
+}
+
+// valueETH converts a token amount into ETH at the price in effect at the
+// block; WETH converts 1:1.
+func (c *Computer) valueETH(token types.Address, amount types.Amount, block uint64) (types.Amount, error) {
+	if token == c.WETH {
+		return amount, nil
+	}
+	v, ok := c.Prices.ValueInETH(token, amount, block)
+	if !ok {
+		return 0, fmt.Errorf("profit: no price for token %v at block %d", token.Short(), block)
+	}
+	return v, nil
+}
+
+// Sandwich resolves a detected sandwich (§3.1.1): gain is the ether
+// difference between the sell-back and the purchase; costs are both
+// transaction fees plus coinbase tips.
+func (c *Computer) Sandwich(s detect.Sandwich) (Record, error) {
+	rec := Record{
+		Kind: KindSandwich, Block: s.Block, Month: s.Month,
+		Extractor: s.Attacker,
+		Txs:       []types.Hash{s.FrontTx, s.BackTx},
+		VictimTx:  s.VictimTx,
+		GainETH:   s.Gain(),
+	}
+	for _, h := range rec.Txs {
+		cost, err := c.txCost(h)
+		if err != nil {
+			return rec, err
+		}
+		rec.CostETH += cost
+	}
+	rec.NetETH = rec.GainETH - rec.CostETH
+	rec.ViaFlashbots, rec.BundleType = c.fbType(rec.Txs...)
+	return rec, nil
+}
+
+// Arbitrage resolves a detected arbitrage (§3.1.2): gain is the loop
+// surplus converted to ETH; costs are the transaction fee, coinbase tips
+// and the flash-loan fee if one funded it.
+func (c *Computer) Arbitrage(a detect.Arbitrage) (Record, error) {
+	rec := Record{
+		Kind: KindArbitrage, Block: a.Block, Month: a.Month,
+		Extractor:    a.Extractor,
+		Txs:          []types.Hash{a.Tx},
+		ViaFlashLoan: a.FlashLoan,
+	}
+	gain, err := c.valueETH(a.Token, a.Gain(), a.Block)
+	if err != nil {
+		return rec, err
+	}
+	rec.GainETH = gain
+	cost, err := c.txCost(a.Tx)
+	if err != nil {
+		return rec, err
+	}
+	rec.CostETH = cost
+	if a.FlashLoan {
+		fee, err := c.valueETH(a.Token, a.FlashFee, a.Block)
+		if err == nil {
+			rec.CostETH += fee
+		}
+	}
+	rec.NetETH = rec.GainETH - rec.CostETH
+	rec.ViaFlashbots, rec.BundleType = c.fbType(a.Tx)
+	return rec, nil
+}
+
+// Liquidation resolves a detected liquidation (§3.1.3): gain is the
+// received collateral value; costs are the fee, tips, the repaid debt
+// value and the flash-loan fee when used.
+func (c *Computer) Liquidation(l detect.Liquidation) (Record, error) {
+	rec := Record{
+		Kind: KindLiquidation, Block: l.Block, Month: l.Month,
+		Extractor:    l.Liquidator,
+		Txs:          []types.Hash{l.Tx},
+		ViaFlashLoan: l.FlashLoan,
+	}
+	collVal, err := c.valueETH(l.CollateralToken, l.CollateralOut, l.Block)
+	if err != nil {
+		return rec, err
+	}
+	debtVal, err := c.valueETH(l.DebtToken, l.DebtRepaid, l.Block)
+	if err != nil {
+		return rec, err
+	}
+	rec.GainETH = collVal
+	cost, err := c.txCost(l.Tx)
+	if err != nil {
+		return rec, err
+	}
+	rec.CostETH = cost + debtVal
+	if l.FlashLoan {
+		fee, err := c.valueETH(l.DebtToken, l.FlashFee, l.Block)
+		if err == nil {
+			rec.CostETH += fee
+		}
+	}
+	rec.NetETH = rec.GainETH - rec.CostETH
+	rec.ViaFlashbots, rec.BundleType = c.fbType(l.Tx)
+	return rec, nil
+}
+
+// ResolveAll converts a full detector sweep into profit records, skipping
+// records whose economics cannot be resolved (e.g. missing price history).
+func (c *Computer) ResolveAll(res *detect.Result) []Record {
+	out := make([]Record, 0, len(res.Sandwiches)+len(res.Arbitrages)+len(res.Liquidations))
+	for _, s := range res.Sandwiches {
+		if r, err := c.Sandwich(s); err == nil {
+			out = append(out, r)
+		}
+	}
+	for _, a := range res.Arbitrages {
+		if r, err := c.Arbitrage(a); err == nil {
+			out = append(out, r)
+		}
+	}
+	for _, l := range res.Liquidations {
+		if r, err := c.Liquidation(l); err == nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

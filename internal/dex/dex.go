@@ -1,0 +1,264 @@
+// Package dex implements constant-product automated market makers across
+// multiple exchange venues, mirroring the exchanges the paper crawls
+// (Uniswap V2/V3, SushiSwap, Bancor, …).
+//
+// Pool reserves are held in the state ledger under the pool's address, the
+// way real AMM contracts custody their tokens; reverting a transaction via
+// state snapshots therefore restores pool reserves automatically.
+//
+// Swaps emit Swap and Sync events plus the underlying ERC-20 Transfer
+// events, which is all the detection heuristics in internal/core/detect
+// get to see.
+package dex
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"mevscope/internal/state"
+	"mevscope/internal/types"
+)
+
+// Errors returned by swap execution.
+var (
+	ErrNoPool            = errors.New("dex: no pool for pair")
+	ErrInsufficientInput = errors.New("dex: insufficient input amount")
+	ErrSlippage          = errors.New("dex: output below minimum (slippage)")
+	ErrEmptyPool         = errors.New("dex: pool has no liquidity")
+)
+
+// Venue is one exchange deployment (e.g. "UniswapV2") holding many pools.
+type Venue struct {
+	Name   string
+	Addr   types.Address
+	FeeBps int // swap fee in basis points, e.g. 30 = 0.30 %
+
+	pools map[pairKey]*Pool
+}
+
+type pairKey struct{ a, b types.Address }
+
+func keyFor(x, y types.Address) pairKey {
+	if lessAddr(y, x) {
+		x, y = y, x
+	}
+	return pairKey{x, y}
+}
+
+func lessAddr(a, b types.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// NewVenue creates an exchange venue with the given swap fee.
+func NewVenue(name string, feeBps int) *Venue {
+	return &Venue{
+		Name:   name,
+		Addr:   types.DeriveAddress("venue:"+name, 0),
+		FeeBps: feeBps,
+		pools:  make(map[pairKey]*Pool),
+	}
+}
+
+// Pool is a constant-product pair on a venue. Reserves are read from the
+// ledger at the pool address.
+type Pool struct {
+	Venue          *Venue
+	Addr           types.Address
+	TokenA, TokenB types.Address // sorted
+}
+
+// EnsurePool returns the venue's pool for the token pair, creating the
+// (empty) pool on first use.
+func (v *Venue) EnsurePool(x, y types.Address) *Pool {
+	k := keyFor(x, y)
+	if p, ok := v.pools[k]; ok {
+		return p
+	}
+	p := &Pool{
+		Venue:  v,
+		Addr:   types.DeriveAddress("pool:"+v.Name, poolIndex(k)),
+		TokenA: k.a,
+		TokenB: k.b,
+	}
+	v.pools[k] = p
+	return p
+}
+
+func poolIndex(k pairKey) uint64 {
+	h := types.HashData(k.a[:], k.b[:])
+	var idx uint64
+	for i := 0; i < 8; i++ {
+		idx = idx<<8 | uint64(h[i])
+	}
+	return idx
+}
+
+// Pool returns the existing pool for a pair, if any.
+func (v *Venue) Pool(x, y types.Address) (*Pool, bool) {
+	p, ok := v.pools[keyFor(x, y)]
+	return p, ok
+}
+
+// Pools lists the venue's pools in deterministic order.
+func (v *Venue) Pools() []*Pool {
+	out := make([]*Pool, 0, len(v.pools))
+	for _, p := range v.pools {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessAddr(out[i].Addr, out[j].Addr) })
+	return out
+}
+
+// Reserves returns the current ledger balances of both pool tokens.
+func (p *Pool) Reserves(st *state.State) (ra, rb types.Amount) {
+	return st.TokenBalance(p.TokenA, p.Addr), st.TokenBalance(p.TokenB, p.Addr)
+}
+
+// Reserve returns the reserve of one token (which must be TokenA or TokenB).
+func (p *Pool) Reserve(st *state.State, token types.Address) types.Amount {
+	return st.TokenBalance(token, p.Addr)
+}
+
+// Other returns the counterpart token of the pair.
+func (p *Pool) Other(token types.Address) types.Address {
+	if token == p.TokenA {
+		return p.TokenB
+	}
+	return p.TokenA
+}
+
+// Has reports whether token is one side of the pair.
+func (p *Pool) Has(token types.Address) bool { return token == p.TokenA || token == p.TokenB }
+
+// AmountOut computes the constant-product output for an exact input,
+// after the venue fee. It uses big.Int internally to avoid overflow.
+func (p *Pool) AmountOut(st *state.State, tokenIn types.Address, in types.Amount) (types.Amount, error) {
+	if in <= 0 {
+		return 0, ErrInsufficientInput
+	}
+	if !p.Has(tokenIn) {
+		return 0, fmt.Errorf("dex: token %v not in pool", tokenIn.Short())
+	}
+	rin := p.Reserve(st, tokenIn)
+	rout := p.Reserve(st, p.Other(tokenIn))
+	if rin <= 0 || rout <= 0 {
+		return 0, ErrEmptyPool
+	}
+	// out = rout * in*(10000-fee) / (rin*10000 + in*(10000-fee))
+	feeNum := big.NewInt(int64(10000 - p.Venue.FeeBps))
+	inF := new(big.Int).Mul(big.NewInt(int64(in)), feeNum)
+	num := new(big.Int).Mul(big.NewInt(int64(rout)), inF)
+	den := new(big.Int).Mul(big.NewInt(int64(rin)), big.NewInt(10000))
+	den.Add(den, inF)
+	out := num.Div(num, den)
+	return types.Amount(out.Int64()), nil
+}
+
+// SpotPrice returns the marginal price of tokenOut per tokenIn as a float,
+// ignoring fees. Zero if the pool is empty.
+func (p *Pool) SpotPrice(st *state.State, tokenIn types.Address) float64 {
+	rin := p.Reserve(st, tokenIn)
+	rout := p.Reserve(st, p.Other(tokenIn))
+	if rin <= 0 {
+		return 0
+	}
+	return float64(rout) / float64(rin)
+}
+
+// SwapResult reports a completed swap for event emission and callers.
+type SwapResult struct {
+	Pool      *Pool
+	TokenIn   types.Address
+	TokenOut  types.Address
+	AmountIn  types.Amount
+	AmountOut types.Amount
+}
+
+// Swap executes an exact-input swap by trader against the pool, moving
+// tokens through the ledger. minOut of zero disables slippage protection.
+func (p *Pool) Swap(st *state.State, trader, tokenIn types.Address, in, minOut types.Amount) (SwapResult, error) {
+	out, err := p.AmountOut(st, tokenIn, in)
+	if err != nil {
+		return SwapResult{}, err
+	}
+	if out <= 0 {
+		return SwapResult{}, ErrInsufficientInput
+	}
+	if minOut > 0 && out < minOut {
+		return SwapResult{}, ErrSlippage
+	}
+	tokenOut := p.Other(tokenIn)
+	if err := st.TransferToken(tokenIn, trader, p.Addr, in); err != nil {
+		return SwapResult{}, err
+	}
+	if err := st.TransferToken(tokenOut, p.Addr, trader, out); err != nil {
+		return SwapResult{}, err
+	}
+	return SwapResult{Pool: p, TokenIn: tokenIn, TokenOut: tokenOut, AmountIn: in, AmountOut: out}, nil
+}
+
+// AddLiquidity deposits both tokens into the pool from provider. It does
+// not mint LP shares — liquidity provision bookkeeping is out of scope for
+// the measurements, only reserve depth matters.
+func (p *Pool) AddLiquidity(st *state.State, provider types.Address, amtA, amtB types.Amount) error {
+	if err := st.TransferToken(p.TokenA, provider, p.Addr, amtA); err != nil {
+		return err
+	}
+	return st.TransferToken(p.TokenB, provider, p.Addr, amtB)
+}
+
+// Registry resolves venues by address and name for the whole world.
+type Registry struct {
+	byAddr map[types.Address]*Venue
+	byName map[string]*Venue
+	order  []*Venue
+}
+
+// NewRegistry creates an empty venue registry.
+func NewRegistry() *Registry {
+	return &Registry{byAddr: make(map[types.Address]*Venue), byName: make(map[string]*Venue)}
+}
+
+// Add registers a venue.
+func (r *Registry) Add(v *Venue) {
+	if _, dup := r.byAddr[v.Addr]; dup {
+		return
+	}
+	r.byAddr[v.Addr] = v
+	r.byName[v.Name] = v
+	r.order = append(r.order, v)
+}
+
+// ByAddr resolves a venue by its address.
+func (r *Registry) ByAddr(a types.Address) (*Venue, bool) {
+	v, ok := r.byAddr[a]
+	return v, ok
+}
+
+// ByName resolves a venue by name.
+func (r *Registry) ByName(n string) (*Venue, bool) {
+	v, ok := r.byName[n]
+	return v, ok
+}
+
+// Venues lists venues in registration order.
+func (r *Registry) Venues() []*Venue { return r.order }
+
+// PoolByAddr finds a pool anywhere in the registry by its address.
+func (r *Registry) PoolByAddr(a types.Address) (*Pool, bool) {
+	for _, v := range r.order {
+		for _, p := range v.pools {
+			if p.Addr == a {
+				return p, true
+			}
+		}
+	}
+	return nil, false
+}

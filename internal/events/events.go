@@ -1,0 +1,257 @@
+// Package events defines the typed event-log vocabulary of the simulated
+// protocols and the encode/decode helpers for each event.
+//
+// The layout imitates Solidity event logs: topic 0 is the event signature,
+// indexed parameters occupy the remaining topics, and value parameters are
+// packed into Data. Detection code decodes logs with these helpers exactly
+// the way mev-inspect-style tools decode archive-node logs; nothing else
+// about the simulation is visible to it.
+package events
+
+import (
+	"encoding/binary"
+
+	"mevscope/internal/types"
+)
+
+// Event signatures (topic 0 values).
+var (
+	SigTransfer = types.EventSignature("Transfer(address,address,uint256)")
+	// SigSwap covers all AMM venues (the paper's detectors treat swap
+	// events from every exchange uniformly).
+	SigSwap = types.EventSignature("Swap(address,address,address,address,uint256,uint256)")
+	SigSync = types.EventSignature("Sync(uint112,uint112)")
+	// SigLiquidationCall is Aave's liquidation event.
+	SigLiquidationCall = types.EventSignature("LiquidationCall(address,address,address,uint256,uint256)")
+	// SigLiquidateBorrow is Compound's liquidation event.
+	SigLiquidateBorrow = types.EventSignature("LiquidateBorrow(address,address,uint256,address,uint256)")
+	SigFlashLoan       = types.EventSignature("FlashLoan(address,address,uint256,uint256)")
+	SigOracleUpdate    = types.EventSignature("AnswerUpdated(int256,uint256,uint256)")
+)
+
+func amt(b []byte, off int) types.Amount {
+	if off+8 > len(b) {
+		return 0
+	}
+	return types.Amount(binary.BigEndian.Uint64(b[off : off+8]))
+}
+
+func putAmt(b []byte, off int, a types.Amount) {
+	binary.BigEndian.PutUint64(b[off:off+8], uint64(a))
+}
+
+// Transfer is an ERC-20 transfer event emitted by the token contract.
+type Transfer struct {
+	Token    types.Address // emitting contract
+	From, To types.Address
+	Amount   types.Amount
+}
+
+// Log encodes the event.
+func (e Transfer) Log() types.Log {
+	data := make([]byte, 8)
+	putAmt(data, 0, e.Amount)
+	return types.Log{
+		Address: e.Token,
+		Topics:  []types.Hash{SigTransfer, e.From.Hash(), e.To.Hash()},
+		Data:    data,
+	}
+}
+
+// DecodeTransfer parses a Transfer event; ok is false for other logs.
+func DecodeTransfer(l types.Log) (Transfer, bool) {
+	if len(l.Topics) != 3 || l.Topics[0] != SigTransfer {
+		return Transfer{}, false
+	}
+	return Transfer{
+		Token:  l.Address,
+		From:   types.AddressFromHash(l.Topics[1]),
+		To:     types.AddressFromHash(l.Topics[2]),
+		Amount: amt(l.Data, 0),
+	}, true
+}
+
+// Swap is a DEX trade event emitted by the pool contract.
+type Swap struct {
+	Pool      types.Address // emitting pool contract
+	Sender    types.Address // account that initiated the swap
+	Recipient types.Address
+	TokenIn   types.Address
+	TokenOut  types.Address
+	AmountIn  types.Amount
+	AmountOut types.Amount
+}
+
+// Log encodes the event.
+func (e Swap) Log() types.Log {
+	data := make([]byte, 20+20+8+8)
+	copy(data[0:], e.TokenIn[:])
+	copy(data[20:], e.TokenOut[:])
+	putAmt(data, 40, e.AmountIn)
+	putAmt(data, 48, e.AmountOut)
+	return types.Log{
+		Address: e.Pool,
+		Topics:  []types.Hash{SigSwap, e.Sender.Hash(), e.Recipient.Hash()},
+		Data:    data,
+	}
+}
+
+// DecodeSwap parses a Swap event; ok is false for other logs.
+func DecodeSwap(l types.Log) (Swap, bool) {
+	if len(l.Topics) != 3 || l.Topics[0] != SigSwap || len(l.Data) < 56 {
+		return Swap{}, false
+	}
+	return Swap{
+		Pool:      l.Address,
+		Sender:    types.AddressFromHash(l.Topics[1]),
+		Recipient: types.AddressFromHash(l.Topics[2]),
+		TokenIn:   types.BytesToAddress(l.Data[0:20]),
+		TokenOut:  types.BytesToAddress(l.Data[20:40]),
+		AmountIn:  amt(l.Data, 40),
+		AmountOut: amt(l.Data, 48),
+	}, true
+}
+
+// Sync reports pool reserves after a swap or liquidity change.
+type Sync struct {
+	Pool               types.Address
+	ReserveA, ReserveB types.Amount
+}
+
+// Log encodes the event.
+func (e Sync) Log() types.Log {
+	data := make([]byte, 16)
+	putAmt(data, 0, e.ReserveA)
+	putAmt(data, 8, e.ReserveB)
+	return types.Log{Address: e.Pool, Topics: []types.Hash{SigSync}, Data: data}
+}
+
+// DecodeSync parses a Sync event; ok is false for other logs.
+func DecodeSync(l types.Log) (Sync, bool) {
+	if len(l.Topics) != 1 || l.Topics[0] != SigSync || len(l.Data) < 16 {
+		return Sync{}, false
+	}
+	return Sync{Pool: l.Address, ReserveA: amt(l.Data, 0), ReserveB: amt(l.Data, 8)}, true
+}
+
+// Liquidation is a lending-protocol liquidation event. Aave emits it as
+// LiquidationCall, Compound as LiquidateBorrow; Compound reports its own
+// signature via the Compound flag.
+type Liquidation struct {
+	Protocol        types.Address // emitting lending pool
+	Liquidator      types.Address
+	Borrower        types.Address
+	DebtToken       types.Address
+	CollateralToken types.Address
+	DebtRepaid      types.Amount
+	CollateralOut   types.Amount
+	Compound        bool
+}
+
+// Log encodes the event with the protocol-appropriate signature.
+func (e Liquidation) Log() types.Log {
+	sig := SigLiquidationCall
+	if e.Compound {
+		sig = SigLiquidateBorrow
+	}
+	data := make([]byte, 20+20+8+8)
+	copy(data[0:], e.DebtToken[:])
+	copy(data[20:], e.CollateralToken[:])
+	putAmt(data, 40, e.DebtRepaid)
+	putAmt(data, 48, e.CollateralOut)
+	return types.Log{
+		Address: e.Protocol,
+		Topics:  []types.Hash{sig, e.Liquidator.Hash(), e.Borrower.Hash()},
+		Data:    data,
+	}
+}
+
+// DecodeLiquidation parses either liquidation event; ok is false otherwise.
+func DecodeLiquidation(l types.Log) (Liquidation, bool) {
+	if len(l.Topics) != 3 || len(l.Data) < 56 {
+		return Liquidation{}, false
+	}
+	var compound bool
+	switch l.Topics[0] {
+	case SigLiquidationCall:
+	case SigLiquidateBorrow:
+		compound = true
+	default:
+		return Liquidation{}, false
+	}
+	return Liquidation{
+		Protocol:        l.Address,
+		Liquidator:      types.AddressFromHash(l.Topics[1]),
+		Borrower:        types.AddressFromHash(l.Topics[2]),
+		DebtToken:       types.BytesToAddress(l.Data[0:20]),
+		CollateralToken: types.BytesToAddress(l.Data[20:40]),
+		DebtRepaid:      amt(l.Data, 40),
+		CollateralOut:   amt(l.Data, 48),
+		Compound:        compound,
+	}, true
+}
+
+// FlashLoan is emitted by a lending protocol when a flash loan completes
+// successfully (the detection technique of Wang et al.).
+type FlashLoan struct {
+	Protocol  types.Address
+	Initiator types.Address
+	Token     types.Address
+	Amount    types.Amount
+	Fee       types.Amount
+}
+
+// Log encodes the event.
+func (e FlashLoan) Log() types.Log {
+	data := make([]byte, 20+8+8)
+	copy(data[0:], e.Token[:])
+	putAmt(data, 20, e.Amount)
+	putAmt(data, 28, e.Fee)
+	return types.Log{
+		Address: e.Protocol,
+		Topics:  []types.Hash{SigFlashLoan, e.Initiator.Hash()},
+		Data:    data,
+	}
+}
+
+// DecodeFlashLoan parses a FlashLoan event; ok is false for other logs.
+func DecodeFlashLoan(l types.Log) (FlashLoan, bool) {
+	if len(l.Topics) != 2 || l.Topics[0] != SigFlashLoan || len(l.Data) < 36 {
+		return FlashLoan{}, false
+	}
+	return FlashLoan{
+		Protocol:  l.Address,
+		Initiator: types.AddressFromHash(l.Topics[1]),
+		Token:     types.BytesToAddress(l.Data[0:20]),
+		Amount:    amt(l.Data, 20),
+		Fee:       amt(l.Data, 28),
+	}, true
+}
+
+// OracleUpdate is a price-feed answer update.
+type OracleUpdate struct {
+	Oracle types.Address
+	Token  types.Address
+	// Price is ETH per whole token in Amount base units.
+	Price types.Amount
+}
+
+// Log encodes the event.
+func (e OracleUpdate) Log() types.Log {
+	data := make([]byte, 20+8)
+	copy(data[0:], e.Token[:])
+	putAmt(data, 20, e.Price)
+	return types.Log{Address: e.Oracle, Topics: []types.Hash{SigOracleUpdate}, Data: data}
+}
+
+// DecodeOracleUpdate parses an oracle update; ok is false for other logs.
+func DecodeOracleUpdate(l types.Log) (OracleUpdate, bool) {
+	if len(l.Topics) != 1 || l.Topics[0] != SigOracleUpdate || len(l.Data) < 28 {
+		return OracleUpdate{}, false
+	}
+	return OracleUpdate{
+		Oracle: l.Address,
+		Token:  types.BytesToAddress(l.Data[0:20]),
+		Price:  amt(l.Data, 20),
+	}, true
+}

@@ -1,0 +1,83 @@
+package evmlite
+
+import (
+	"testing"
+
+	"mevscope/internal/types"
+)
+
+func TestApplyBundleAtomicSuccess(t *testing.T) {
+	w := newWorld(t)
+	alice := types.DeriveAddress("alice", 0)
+	bob := types.DeriveAddress("bob", 0)
+	w.fund(alice, 10*types.Ether)
+	mk := func(nonce uint64, amt types.Amount) *types.Transaction {
+		return &types.Transaction{
+			Nonce: nonce, From: alice, To: bob,
+			GasLimit: GasTransfer, GasPrice: types.Gwei,
+			Payload: types.Payload{Kind: types.TxTransfer, Amount: amt},
+		}
+	}
+	receipts, ok := w.ex.ApplyBundle(w.ctx(), []*types.Transaction{mk(1, types.Ether), mk(2, 2*types.Ether)}, 5)
+	if !ok || len(receipts) != 2 {
+		t.Fatalf("bundle: ok=%v receipts=%d", ok, len(receipts))
+	}
+	if receipts[0].TxIndex != 5 || receipts[1].TxIndex != 6 {
+		t.Error("indexes should start at startIndex")
+	}
+	if w.st.Balance(bob) != 3*types.Ether {
+		t.Error("both transfers should land")
+	}
+}
+
+func TestApplyBundleAtomicRevert(t *testing.T) {
+	w := newWorld(t)
+	alice := types.DeriveAddress("alice", 0)
+	bob := types.DeriveAddress("bob", 0)
+	w.fund(alice, 10*types.Ether)
+	good := &types.Transaction{
+		Nonce: 1, From: alice, To: bob,
+		GasLimit: GasTransfer, GasPrice: types.Gwei,
+		Payload: types.Payload{Kind: types.TxTransfer, Amount: types.Ether},
+	}
+	// Second tx is invalid (sender cannot pay): the whole bundle reverts,
+	// including the first transfer and its fees.
+	bad := &types.Transaction{
+		Nonce: 1, From: types.DeriveAddress("broke", 0), To: bob,
+		GasLimit: GasTransfer, GasPrice: types.Gwei,
+		Payload: types.Payload{Kind: types.TxTransfer, Amount: 1},
+	}
+	before := w.st.Balance(alice)
+	minerBefore := w.st.Balance(w.miner)
+	receipts, ok := w.ex.ApplyBundle(w.ctx(), []*types.Transaction{good, bad}, 0)
+	if ok || receipts != nil {
+		t.Fatal("bundle with invalid tx must fail atomically")
+	}
+	if w.st.Balance(bob) != 0 {
+		t.Error("first transfer must be rolled back")
+	}
+	if w.st.Balance(alice) != before || w.st.Balance(w.miner) != minerBefore {
+		t.Error("fees must be rolled back too")
+	}
+}
+
+func TestApplyBundleRevertsOnFailedTx(t *testing.T) {
+	w := newWorld(t)
+	alice := types.DeriveAddress("alice", 0)
+	w.fund(alice, 10*types.Ether)
+	w.st.MintToken(w.weth, alice, 10*types.Ether)
+	failing := &types.Transaction{
+		Nonce: 1, From: alice, GasLimit: GasSwapBase + GasSwapPerHop, GasPrice: types.Gwei,
+		Payload: types.Payload{
+			Kind:     types.TxSwap,
+			Hops:     []types.SwapHop{{Venue: w.uni.Addr, TokenIn: w.weth, TokenOut: w.dai}},
+			AmountIn: types.Ether, MinOut: 1 << 60, // reverts
+		},
+	}
+	if _, ok := w.ex.ApplyBundle(w.ctx(), []*types.Transaction{failing}, 0); ok {
+		t.Error("bundle containing a reverting tx must be rejected")
+	}
+	if w.st.TokenBalance(w.weth, alice) != 10*types.Ether {
+		t.Error("state must be untouched")
+	}
+}

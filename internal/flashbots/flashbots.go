@@ -1,0 +1,320 @@
+// Package flashbots models the Flashbots ecosystem as described in the
+// paper's §2.5: searchers submit immutable, atomic transaction bundles to
+// a relay; the relay forwards them to authorized miners; miners include
+// the most profitable bundles at the top of their blocks and are paid via
+// direct coinbase transfers.
+//
+// The relay also publishes the "blocks API" (blocks.flashbots.net): the
+// public record of every mined Flashbots block with per-transaction bundle
+// labels — the dataset the paper downloads in §3.3. The measurement
+// pipeline reads only this public API, never relay internals.
+package flashbots
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mevscope/internal/types"
+)
+
+// BundleType labels the three observed bundle flavours (§2.5).
+type BundleType uint8
+
+// Bundle types.
+const (
+	// TypeFlashbots is the standard searcher dataflow: MEV extraction or
+	// MEV-protected order-dependent trades.
+	TypeFlashbots BundleType = iota
+	// TypeRogue marks transactions introduced by the miner itself and not
+	// broadcast even within Flashbots.
+	TypeRogue
+	// TypeMinerPayout wraps mining-pool payout batches.
+	TypeMinerPayout
+)
+
+// String names the bundle type using the paper's vocabulary.
+func (t BundleType) String() string {
+	switch t {
+	case TypeFlashbots:
+		return "flashbots"
+	case TypeRogue:
+		return "rogue"
+	case TypeMinerPayout:
+		return "miner-payout"
+	default:
+		return "unknown"
+	}
+}
+
+// Bundle is an immutable, atomic, ordered set of transactions. Either all
+// of its transactions are included in order, or none are.
+type Bundle struct {
+	ID       uint64
+	Searcher types.Address
+	Type     BundleType
+	Txs      []*types.Transaction
+	// TargetBlock restricts inclusion to one height; zero means any.
+	TargetBlock uint64
+	// received orders the auction deterministically.
+	received uint64
+}
+
+// TipTotal sums the direct coinbase payments carried by the bundle.
+func (b *Bundle) TipTotal() types.Amount {
+	var sum types.Amount
+	for _, tx := range b.Txs {
+		sum += tx.CoinbaseTip
+	}
+	return sum
+}
+
+// GasTotal sums the gas limits of the bundle's transactions.
+func (b *Bundle) GasTotal() uint64 {
+	var sum uint64
+	for _, tx := range b.Txs {
+		sum += tx.GasLimit
+	}
+	return sum
+}
+
+// Score is the sealed-bid auction ranking: direct tips plus priced gas,
+// per unit of gas — an approximation of MEV-geth's bundle scoring.
+func (b *Bundle) Score(baseFee types.Amount) float64 {
+	gas := b.GasTotal()
+	if gas == 0 {
+		return 0
+	}
+	var value types.Amount
+	for _, tx := range b.Txs {
+		value += tx.CoinbaseTip + types.Amount(tx.GasLimit)*tx.EffectiveTip(baseFee)
+	}
+	return float64(value) / float64(gas)
+}
+
+// Errors returned by relay operations.
+var (
+	ErrEmptyBundle   = errors.New("flashbots: bundle has no transactions")
+	ErrNotAuthorized = errors.New("flashbots: miner not authorized")
+	ErrBanned        = errors.New("flashbots: participant is banned")
+)
+
+// TxRecord is one row of the public blocks API.
+type TxRecord struct {
+	Hash             types.Hash
+	EOA              types.Address // the searcher/submitter account
+	BundleID         uint64
+	BundleIndex      int // position of the bundle within the block
+	BundleType       BundleType
+	GasUsed          uint64
+	GasPrice         types.Amount
+	CoinbaseTransfer types.Amount
+}
+
+// BlockRecord is the public API's per-block entry.
+type BlockRecord struct {
+	BlockNumber uint64
+	Miner       types.Address
+	// MinerReward is the total bundle value delivered to the miner
+	// (coinbase transfers plus gas tips from bundle transactions).
+	MinerReward types.Amount
+	Txs         []TxRecord
+}
+
+// BundleCount returns the number of distinct bundles in the block.
+func (r *BlockRecord) BundleCount() int {
+	seen := map[uint64]bool{}
+	for _, tx := range r.Txs {
+		seen[tx.BundleID] = true
+	}
+	return len(seen)
+}
+
+// Relay is the single operational Flashbots relay: DoS protection in front
+// of the miners, bundle queue, authorization list and the public API.
+type Relay struct {
+	nextID     uint64
+	nextSeq    uint64
+	queue      map[uint64]*Bundle
+	authorized map[types.Address]bool
+	banned     map[types.Address]bool
+	records    []BlockRecord
+	byNumber   map[uint64]int // block number → records index
+}
+
+// NewRelay creates an empty relay.
+func NewRelay() *Relay {
+	return &Relay{
+		nextID:     1,
+		queue:      make(map[uint64]*Bundle),
+		authorized: make(map[types.Address]bool),
+		banned:     make(map[types.Address]bool),
+		byNumber:   make(map[uint64]int),
+	}
+}
+
+// AuthorizeMiner admits a miner after the (off-band) Flashbots review.
+func (r *Relay) AuthorizeMiner(m types.Address) error {
+	if r.banned[m] {
+		return ErrBanned
+	}
+	r.authorized[m] = true
+	return nil
+}
+
+// IsAuthorized reports whether the miner may receive bundles.
+func (r *Relay) IsAuthorized(m types.Address) bool { return r.authorized[m] && !r.banned[m] }
+
+// Ban permanently revokes a participant (the paper: equivocating on a
+// bundle leads to a permanent ban).
+func (r *Relay) Ban(m types.Address) {
+	r.banned[m] = true
+	delete(r.authorized, m)
+}
+
+// SubmitBundle accepts a bundle from a searcher and returns its ID.
+func (r *Relay) SubmitBundle(b *Bundle) (uint64, error) {
+	if len(b.Txs) == 0 {
+		return 0, ErrEmptyBundle
+	}
+	if r.banned[b.Searcher] {
+		return 0, ErrBanned
+	}
+	b.ID = r.nextID
+	r.nextID++
+	b.received = r.nextSeq
+	r.nextSeq++
+	r.queue[b.ID] = b
+	return b.ID, nil
+}
+
+// PendingFor returns the bundles available to an authorized miner for the
+// given height, best score first. Unauthorized miners see nothing.
+func (r *Relay) PendingFor(miner types.Address, blockNumber uint64, baseFee types.Amount) ([]*Bundle, error) {
+	if !r.IsAuthorized(miner) {
+		return nil, ErrNotAuthorized
+	}
+	var out []*Bundle
+	for _, b := range r.queue {
+		if b.TargetBlock == 0 || b.TargetBlock == blockNumber {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Score(baseFee), out[j].Score(baseFee)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].received < out[j].received
+	})
+	return out, nil
+}
+
+// QueueLen is the number of bundles waiting at the relay.
+func (r *Relay) QueueLen() int { return len(r.queue) }
+
+// IncludedBundle reports one bundle mined into a block, with the receipts
+// the block producer generated for its transactions.
+type IncludedBundle struct {
+	Bundle   *Bundle
+	Receipts []*types.Receipt
+}
+
+// RecordBlock registers a mined Flashbots block: included bundles leave
+// the queue, stale targeted bundles are dropped, and the public API gains
+// a BlockRecord. Miners call this after sealing.
+func (r *Relay) RecordBlock(block *types.Block, included []IncludedBundle) {
+	rec := BlockRecord{BlockNumber: block.Header.Number, Miner: block.Header.Miner}
+	for bi, inc := range included {
+		delete(r.queue, inc.Bundle.ID)
+		for ti, tx := range inc.Bundle.Txs {
+			var rcpt *types.Receipt
+			if ti < len(inc.Receipts) {
+				rcpt = inc.Receipts[ti]
+			}
+			txRec := TxRecord{
+				Hash:        tx.Hash(),
+				EOA:         tx.From,
+				BundleID:    inc.Bundle.ID,
+				BundleIndex: bi,
+				BundleType:  inc.Bundle.Type,
+			}
+			if rcpt != nil {
+				txRec.GasUsed = rcpt.GasUsed
+				txRec.GasPrice = rcpt.EffectiveGasPrice
+				txRec.CoinbaseTransfer = rcpt.CoinbaseTransfer
+				rec.MinerReward += rcpt.CoinbaseTransfer + types.Amount(rcpt.GasUsed)*tx.EffectiveTip(block.Header.BaseFee)
+			}
+			rec.Txs = append(rec.Txs, txRec)
+		}
+	}
+	// Drop bundles that targeted this (now past) height.
+	for id, b := range r.queue {
+		if b.TargetBlock != 0 && b.TargetBlock <= block.Header.Number {
+			delete(r.queue, id)
+		}
+	}
+	if len(included) > 0 {
+		r.byNumber[rec.BlockNumber] = len(r.records)
+		r.records = append(r.records, rec)
+	}
+}
+
+// Blocks returns the full public blocks API dataset (ascending height) —
+// what the paper downloaded "until block 14,444,725".
+func (r *Relay) Blocks() []BlockRecord {
+	out := make([]BlockRecord, len(r.records))
+	copy(out, r.records)
+	sort.Slice(out, func(i, j int) bool { return out[i].BlockNumber < out[j].BlockNumber })
+	return out
+}
+
+// BlockByNumber returns the API record for one height.
+func (r *Relay) BlockByNumber(n uint64) (BlockRecord, bool) {
+	i, ok := r.byNumber[n]
+	if !ok {
+		return BlockRecord{}, false
+	}
+	return r.records[i], true
+}
+
+// IsFlashbotsBlock reports whether the height carried at least one bundle.
+func (r *Relay) IsFlashbotsBlock(n uint64) bool {
+	_, ok := r.byNumber[n]
+	return ok
+}
+
+// FlashbotsTxSet builds the hash set of every transaction that reached the
+// chain inside a Flashbots bundle — how the paper marks "Flashbots
+// transactions" in its analysis (§3.3).
+func (r *Relay) FlashbotsTxSet() map[types.Hash]BundleType {
+	out := make(map[types.Hash]BundleType)
+	for _, rec := range r.records {
+		for _, tx := range rec.Txs {
+			out[tx.Hash] = tx.BundleType
+		}
+	}
+	return out
+}
+
+// String renders a bundle compactly for logs.
+func (b *Bundle) String() string {
+	return fmt.Sprintf("bundle{id=%d type=%s txs=%d tip=%v}", b.ID, b.Type, len(b.Txs), b.TipTotal())
+}
+
+// VerifyInclusion checks the core Flashbots invariant (§2.5): a miner that
+// chose to mine a bundle "cannot in any way modify that bundle" — every
+// transaction must appear in the block, in the bundle's relative order.
+// On violation the miner is permanently banned and false is returned.
+func (r *Relay) VerifyInclusion(block *types.Block, b *Bundle) bool {
+	pos := -1
+	for _, tx := range b.Txs {
+		i := block.TxIndex(tx.Hash())
+		if i < 0 || i <= pos {
+			r.Ban(block.Header.Miner)
+			return false
+		}
+		pos = i
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package flashbots
+
+import (
+	"testing"
+
+	"mevscope/internal/types"
+)
+
+func addr(i uint64) types.Address { return types.DeriveAddress("fb", i) }
+
+func mkTx(n uint64, tip types.Amount) *types.Transaction {
+	return &types.Transaction{Nonce: n, From: addr(100), GasLimit: 100_000, GasPrice: types.Gwei, CoinbaseTip: tip}
+}
+
+func TestBundleTypeString(t *testing.T) {
+	if TypeFlashbots.String() != "flashbots" || TypeRogue.String() != "rogue" || TypeMinerPayout.String() != "miner-payout" {
+		t.Error("names")
+	}
+	if BundleType(99).String() != "unknown" {
+		t.Error("unknown")
+	}
+}
+
+func TestBundleAggregates(t *testing.T) {
+	b := &Bundle{Txs: []*types.Transaction{mkTx(1, types.Ether), mkTx(2, 2*types.Ether)}}
+	if b.TipTotal() != 3*types.Ether {
+		t.Error("TipTotal")
+	}
+	if b.GasTotal() != 200_000 {
+		t.Error("GasTotal")
+	}
+	if b.Score(0) <= 0 {
+		t.Error("score should be positive")
+	}
+	empty := &Bundle{}
+	if empty.Score(0) != 0 {
+		t.Error("empty bundle score")
+	}
+}
+
+func TestScoreOrdersByTip(t *testing.T) {
+	lo := &Bundle{Txs: []*types.Transaction{mkTx(1, types.Milliether)}}
+	hi := &Bundle{Txs: []*types.Transaction{mkTx(2, types.Ether)}}
+	if hi.Score(0) <= lo.Score(0) {
+		t.Error("bigger tip should score higher")
+	}
+}
+
+func TestAuthorization(t *testing.T) {
+	r := NewRelay()
+	m := addr(1)
+	if r.IsAuthorized(m) {
+		t.Error("unauthorized by default")
+	}
+	if err := r.AuthorizeMiner(m); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsAuthorized(m) {
+		t.Error("authorized after review")
+	}
+	r.Ban(m)
+	if r.IsAuthorized(m) {
+		t.Error("banned miner must lose access")
+	}
+	if err := r.AuthorizeMiner(m); err != ErrBanned {
+		t.Errorf("re-authorizing banned: %v", err)
+	}
+}
+
+func TestSubmitBundleValidation(t *testing.T) {
+	r := NewRelay()
+	if _, err := r.SubmitBundle(&Bundle{Searcher: addr(1)}); err != ErrEmptyBundle {
+		t.Errorf("empty: %v", err)
+	}
+	r.Ban(addr(2))
+	if _, err := r.SubmitBundle(&Bundle{Searcher: addr(2), Txs: []*types.Transaction{mkTx(1, 0)}}); err != ErrBanned {
+		t.Errorf("banned searcher: %v", err)
+	}
+	id, err := r.SubmitBundle(&Bundle{Searcher: addr(1), Txs: []*types.Transaction{mkTx(1, 0)}})
+	if err != nil || id == 0 {
+		t.Errorf("submit: id=%d err=%v", id, err)
+	}
+	if r.QueueLen() != 1 {
+		t.Error("queue len")
+	}
+}
+
+func TestPendingForRequiresAuth(t *testing.T) {
+	r := NewRelay()
+	if _, err := r.PendingFor(addr(1), 100, 0); err != ErrNotAuthorized {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPendingForOrdersAndTargets(t *testing.T) {
+	r := NewRelay()
+	m := addr(1)
+	r.AuthorizeMiner(m)
+	lo := &Bundle{Searcher: addr(2), Txs: []*types.Transaction{mkTx(1, types.Milliether)}}
+	hi := &Bundle{Searcher: addr(3), Txs: []*types.Transaction{mkTx(2, types.Ether)}}
+	targeted := &Bundle{Searcher: addr(4), Txs: []*types.Transaction{mkTx(3, 2*types.Ether)}, TargetBlock: 200}
+	for _, b := range []*Bundle{lo, hi, targeted} {
+		if _, err := r.SubmitBundle(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r.PendingFor(m, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != hi || got[1] != lo {
+		t.Errorf("pending@100 = %v", got)
+	}
+	got, _ = r.PendingFor(m, 200, 0)
+	if len(got) != 3 || got[0] != targeted {
+		t.Errorf("pending@200 = %v", got)
+	}
+}
+
+func sealBlock(n uint64, miner types.Address, txs ...*types.Transaction) *types.Block {
+	b := &types.Block{Header: types.Header{Number: n, Miner: miner}, Txs: txs}
+	for _, tx := range txs {
+		b.Receipts = append(b.Receipts, &types.Receipt{TxHash: tx.Hash(), GasUsed: tx.GasLimit, EffectiveGasPrice: tx.GasPrice, CoinbaseTransfer: tx.CoinbaseTip})
+	}
+	b.Seal()
+	return b
+}
+
+func TestRecordBlockUpdatesQueueAndAPI(t *testing.T) {
+	r := NewRelay()
+	m := addr(1)
+	r.AuthorizeMiner(m)
+	tx1, tx2 := mkTx(1, types.Ether), mkTx(2, 0)
+	b1 := &Bundle{Searcher: addr(2), Type: TypeFlashbots, Txs: []*types.Transaction{tx1, tx2}}
+	stale := &Bundle{Searcher: addr(3), Txs: []*types.Transaction{mkTx(3, 0)}, TargetBlock: 100}
+	live := &Bundle{Searcher: addr(4), Txs: []*types.Transaction{mkTx(4, 0)}, TargetBlock: 150}
+	for _, b := range []*Bundle{b1, stale, live} {
+		if _, err := r.SubmitBundle(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	blk := sealBlock(100, m, tx1, tx2)
+	r.RecordBlock(blk, []IncludedBundle{{Bundle: b1, Receipts: blk.Receipts}})
+
+	if r.QueueLen() != 1 { // b1 included, stale dropped, live remains
+		t.Errorf("queue = %d", r.QueueLen())
+	}
+	if !r.IsFlashbotsBlock(100) {
+		t.Error("block 100 should be a Flashbots block")
+	}
+	rec, ok := r.BlockByNumber(100)
+	if !ok {
+		t.Fatal("api record missing")
+	}
+	if rec.BundleCount() != 1 || len(rec.Txs) != 2 {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.MinerReward < types.Ether {
+		t.Errorf("miner reward = %v", rec.MinerReward)
+	}
+	set := r.FlashbotsTxSet()
+	if len(set) != 2 {
+		t.Errorf("tx set = %d", len(set))
+	}
+	if tp, ok := set[tx1.Hash()]; !ok || tp != TypeFlashbots {
+		t.Error("tx1 should be marked flashbots")
+	}
+	if len(r.Blocks()) != 1 {
+		t.Error("Blocks()")
+	}
+}
+
+func TestRecordBlockWithoutBundlesIsNotFlashbots(t *testing.T) {
+	r := NewRelay()
+	blk := sealBlock(50, addr(1))
+	r.RecordBlock(blk, nil)
+	if r.IsFlashbotsBlock(50) {
+		t.Error("no bundles → not a Flashbots block")
+	}
+	if len(r.Blocks()) != 0 {
+		t.Error("no API record expected")
+	}
+}
+
+func TestBundleString(t *testing.T) {
+	b := &Bundle{ID: 3, Type: TypeRogue, Txs: []*types.Transaction{mkTx(1, types.Ether)}}
+	if got := b.String(); got != "bundle{id=3 type=rogue txs=1 tip=1.000000000 ETH}" {
+		t.Errorf("bundle string = %q", got)
+	}
+}
+
+func TestVerifyInclusion(t *testing.T) {
+	r := NewRelay()
+	m := addr(1)
+	r.AuthorizeMiner(m)
+	tx1, tx2 := mkTx(1, 0), mkTx(2, 0)
+	bundle := &Bundle{Searcher: addr(2), Txs: []*types.Transaction{tx1, tx2}}
+
+	// Honest inclusion: order preserved (other txs may interleave).
+	filler := mkTx(9, 0)
+	good := sealBlock(100, m, tx1, filler, tx2)
+	if !r.VerifyInclusion(good, bundle) {
+		t.Fatal("honest inclusion should verify")
+	}
+	if !r.IsAuthorized(m) {
+		t.Fatal("honest miner keeps access")
+	}
+
+	// Equivocation: order inverted → permanent ban (§2.5).
+	bad := sealBlock(101, m, tx2, tx1)
+	if r.VerifyInclusion(bad, bundle) {
+		t.Fatal("reordered bundle must fail verification")
+	}
+	if r.IsAuthorized(m) {
+		t.Fatal("equivocating miner must be banned")
+	}
+
+	// Dropped transaction is equivocation too.
+	m2 := addr(2)
+	r.AuthorizeMiner(m2)
+	partial := sealBlock(102, m2, tx1)
+	if r.VerifyInclusion(partial, bundle) || r.IsAuthorized(m2) {
+		t.Fatal("partial inclusion must ban")
+	}
+}

@@ -1,0 +1,186 @@
+// Package genesis assembles the simulated DeFi world at block zero: the
+// token set, the AMM venues the paper's detectors cover (Uniswap V2/V3,
+// SushiSwap, Bancor, Curve), the lending protocols (Aave V1/V2, Compound),
+// seeded liquidity, oracle prices and the executor wired over all of it.
+package genesis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mevscope/internal/agents"
+	"mevscope/internal/dex"
+	"mevscope/internal/evmlite"
+	"mevscope/internal/lending"
+	"mevscope/internal/state"
+	"mevscope/internal/types"
+)
+
+// TokenSpec seeds one trading token.
+type TokenSpec struct {
+	Symbol string
+	// PriceETH is the initial price in ETH per whole token.
+	PriceETH float64
+	// DepthWETH is the WETH depth of each venue's TOKEN/WETH pool.
+	DepthWETH types.Amount
+}
+
+// DefaultTokens mirrors the high-volume pairs of the study period.
+func DefaultTokens() []TokenSpec {
+	return []TokenSpec{
+		{Symbol: "DAI", PriceETH: 1.0 / 2000, DepthWETH: 80_000 * types.Ether},
+		{Symbol: "USDC", PriceETH: 1.0 / 2000, DepthWETH: 100_000 * types.Ether},
+		{Symbol: "USDT", PriceETH: 1.0 / 2000, DepthWETH: 60_000 * types.Ether},
+		{Symbol: "WBTC", PriceETH: 14.0, DepthWETH: 50_000 * types.Ether},
+		{Symbol: "LINK", PriceETH: 0.012, DepthWETH: 25_000 * types.Ether},
+		{Symbol: "UNI", PriceETH: 0.009, DepthWETH: 20_000 * types.Ether},
+		{Symbol: "SUSHI", PriceETH: 0.005, DepthWETH: 12_000 * types.Ether},
+		{Symbol: "AAVE", PriceETH: 0.12, DepthWETH: 10_000 * types.Ether},
+	}
+}
+
+// VenueSpec seeds one exchange venue.
+type VenueSpec struct {
+	Name   string
+	FeeBps int
+	// DepthScale multiplies token depths for this venue (liquidity is not
+	// uniform across exchanges).
+	DepthScale float64
+}
+
+// DefaultVenues lists the exchanges the paper's detectors cover.
+func DefaultVenues() []VenueSpec {
+	return []VenueSpec{
+		{Name: "UniswapV2", FeeBps: 30, DepthScale: 1.0},
+		{Name: "UniswapV3", FeeBps: 30, DepthScale: 1.4},
+		{Name: "SushiSwap", FeeBps: 30, DepthScale: 0.7},
+		{Name: "Bancor", FeeBps: 20, DepthScale: 0.35},
+		{Name: "Curve", FeeBps: 4, DepthScale: 0.5},
+	}
+}
+
+// LendingSpec seeds one lending protocol.
+type LendingSpec struct {
+	Name     string
+	Compound bool
+	// FlashLoanFeeBps < 0 disables flash loans (Compound offers none).
+	FlashLoanFeeBps int
+}
+
+// DefaultLending lists the platforms the paper crawls (§3.1.3): Aave V1,
+// Aave V2 and Compound, plus dYdX as a flash-loan source (§3.4).
+func DefaultLending() []LendingSpec {
+	return []LendingSpec{
+		{Name: "AaveV1", FlashLoanFeeBps: 9},
+		{Name: "AaveV2", FlashLoanFeeBps: 9},
+		{Name: "Compound", Compound: true, FlashLoanFeeBps: -1},
+		{Name: "dYdX", FlashLoanFeeBps: 2},
+	}
+}
+
+// Config controls world assembly.
+type Config struct {
+	Tokens  []TokenSpec
+	Venues  []VenueSpec
+	Lending []LendingSpec
+	// Seed feeds deterministic jitter in pool seeding.
+	Seed int64
+}
+
+// DefaultConfig returns the full default world.
+func DefaultConfig(seed int64) Config {
+	return Config{Tokens: DefaultTokens(), Venues: DefaultVenues(), Lending: DefaultLending(), Seed: seed}
+}
+
+// World is the assembled simulation world.
+type World struct {
+	agents.World
+	Lending []*lending.Protocol
+	// LiquidityOp owns the seeded pool liquidity.
+	LiquidityOp types.Address
+}
+
+// Build assembles the world.
+func Build(cfg Config) (*World, error) {
+	if len(cfg.Tokens) == 0 || len(cfg.Venues) == 0 {
+		return nil, fmt.Errorf("genesis: need at least one token and venue")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := state.New()
+	weth := st.RegisterToken("WETH", 18)
+
+	oracle := lending.NewOracle("chainlink")
+	oracle.SetPrice(weth, types.Ether)
+
+	tokens := make([]types.Address, len(cfg.Tokens))
+	for i, ts := range cfg.Tokens {
+		addr := st.RegisterToken(ts.Symbol, 18)
+		tokens[i] = addr
+		oracle.SetPrice(addr, types.FromEther(ts.PriceETH))
+	}
+
+	venues := dex.NewRegistry()
+	lp := types.DeriveAddress("genesis:liquidity", 0)
+	for _, vs := range cfg.Venues {
+		v := dex.NewVenue(vs.Name, vs.FeeBps)
+		venues.Add(v)
+		for i, ts := range cfg.Tokens {
+			depth := types.Amount(float64(ts.DepthWETH) * vs.DepthScale * (0.9 + 0.2*rng.Float64()))
+			if depth <= 0 {
+				continue
+			}
+			tokenDepth := types.Amount(float64(depth) / ts.PriceETH)
+			pool := v.EnsurePool(weth, tokens[i])
+			if err := st.MintToken(weth, lp, depth); err != nil {
+				return nil, err
+			}
+			if err := st.MintToken(tokens[i], lp, tokenDepth); err != nil {
+				return nil, err
+			}
+			var amtA, amtB types.Amount
+			if pool.TokenA == weth {
+				amtA, amtB = depth, tokenDepth
+			} else {
+				amtA, amtB = tokenDepth, depth
+			}
+			if err := pool.AddLiquidity(st, lp, amtA, amtB); err != nil {
+				return nil, fmt.Errorf("genesis: seed %s %s: %w", vs.Name, ts.Symbol, err)
+			}
+		}
+	}
+
+	lreg := lending.NewRegistry()
+	var prots []*lending.Protocol
+	for _, ls := range cfg.Lending {
+		p := lending.New(lending.Config{
+			Name:            ls.Name,
+			Compound:        ls.Compound,
+			LiqThresholdBps: 8000,
+			LiqBonusBps:     500,
+			CloseFactorBps:  5000,
+			FlashLoanFeeBps: ls.FlashLoanFeeBps,
+		}, oracle)
+		lreg.Add(p)
+		prots = append(prots, p)
+		// Treasury: deep reserves of every token plus WETH.
+		if err := p.SeedReserves(st, weth, 200_000*types.Ether); err != nil {
+			return nil, err
+		}
+		for i, ts := range cfg.Tokens {
+			amt := types.Amount(float64(100_000*types.Ether) / ts.PriceETH)
+			if err := p.SeedReserves(st, tokens[i], amt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	ex := evmlite.New(evmlite.Env{State: st, Venues: venues, Lending: lreg, Oracle: oracle, WETH: weth})
+	return &World{
+		World: agents.World{
+			Ex: ex, St: st, Venues: venues, Lending: lreg,
+			Oracle: oracle, WETH: weth, Tokens: tokens,
+		},
+		Lending:     prots,
+		LiquidityOp: lp,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package genesis
+
+import (
+	"testing"
+
+	"mevscope/internal/types"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestBuildDefaultWorld(t *testing.T) {
+	w, err := Build(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tokens) != 8 {
+		t.Errorf("tokens = %d", len(w.Tokens))
+	}
+	if len(w.Venues.Venues()) != 5 {
+		t.Errorf("venues = %d", len(w.Venues.Venues()))
+	}
+	if len(w.Lending) != 4 {
+		t.Errorf("lending = %d", len(w.Lending))
+	}
+	// Every venue quotes every TOKEN/WETH pool with both-sided liquidity.
+	for _, v := range w.Venues.Venues() {
+		for _, tok := range w.Tokens {
+			p, ok := v.Pool(w.WETH, tok)
+			if !ok {
+				t.Fatalf("%s missing pool for token", v.Name)
+			}
+			ra, rb := p.Reserves(w.St)
+			if ra <= 0 || rb <= 0 {
+				t.Fatalf("%s pool empty", v.Name)
+			}
+		}
+	}
+	// Oracle prices every token.
+	for _, tok := range w.Tokens {
+		if _, ok := w.Oracle.Price(tok); !ok {
+			t.Fatal("oracle missing token price")
+		}
+	}
+	if p, _ := w.Oracle.Price(w.WETH); p != types.Ether {
+		t.Error("WETH price should be 1 ETH")
+	}
+	// Pool prices are consistent with oracle prices (within jitter + fees).
+	uni, _ := w.Venues.ByName("UniswapV2")
+	dai, _ := w.St.TokenBySymbol("DAI")
+	pool, _ := uni.Pool(w.WETH, dai)
+	spot := pool.SpotPrice(w.St, w.WETH) // DAI per WETH
+	if spot < 1500 || spot > 2500 {
+		t.Errorf("DAI/WETH spot = %f", spot)
+	}
+	// Lending protocols hold reserves.
+	for _, prot := range w.Lending {
+		if w.St.TokenBalance(w.WETH, prot.Addr) <= 0 {
+			t.Error("lending reserves missing")
+		}
+	}
+	// Compound offers no flash loans; Aave does.
+	if _, err := w.Lending[2].FlashFee(100); err == nil {
+		t.Error("Compound should not offer flash loans")
+	}
+	if _, err := w.Lending[1].FlashFee(100); err != nil {
+		t.Error("AaveV2 should offer flash loans")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	w1, err := Build(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Build(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni1, _ := w1.Venues.ByName("UniswapV2")
+	uni2, _ := w2.Venues.ByName("UniswapV2")
+	p1, _ := uni1.Pool(w1.WETH, w1.Tokens[0])
+	p2, _ := uni2.Pool(w2.WETH, w2.Tokens[0])
+	ra1, rb1 := p1.Reserves(w1.St)
+	ra2, rb2 := p2.Reserves(w2.St)
+	if ra1 != ra2 || rb1 != rb2 {
+		t.Error("same seed should give identical reserves")
+	}
+}

@@ -1,0 +1,444 @@
+// Package lending implements collateralised lending protocols in the style
+// of Aave and Compound: over-collateralised loans priced by an oracle,
+// fixed-spread liquidations (first-come-first-served, settled in a single
+// transaction) and flash loans.
+//
+// Token custody goes through the state ledger under the protocol address.
+// Loan bookkeeping lives in the protocol and is journaled so the executor
+// can revert it together with the ledger when a transaction (for example a
+// flash loan that cannot repay) fails.
+package lending
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mevscope/internal/state"
+	"mevscope/internal/types"
+)
+
+// Errors returned by lending operations.
+var (
+	ErrLoanNotFound    = errors.New("lending: loan not found")
+	ErrLoanClosed      = errors.New("lending: loan already closed")
+	ErrHealthy         = errors.New("lending: loan is healthy, not liquidatable")
+	ErrCloseFactor     = errors.New("lending: repay amount exceeds close factor")
+	ErrNoReserves      = errors.New("lending: insufficient protocol reserves")
+	ErrNoPrice         = errors.New("lending: oracle has no price for token")
+	ErrFlashNotEnabled = errors.New("lending: protocol does not offer flash loans")
+)
+
+// Oracle is a price feed mapping tokens to their ETH value. Prices are
+// expressed as ETH (Amount base units) per whole token (1e9 base units).
+type Oracle struct {
+	Addr   types.Address
+	prices map[types.Address]types.Amount
+
+	journal []oracleEntry
+	snaps   []int
+}
+
+type oracleEntry struct {
+	token types.Address
+	prev  types.Amount
+	had   bool
+}
+
+// NewOracle creates an empty price oracle.
+func NewOracle(name string) *Oracle {
+	return &Oracle{
+		Addr:   types.DeriveAddress("oracle:"+name, 0),
+		prices: make(map[types.Address]types.Amount),
+	}
+}
+
+// SetPrice updates a token's ETH price.
+func (o *Oracle) SetPrice(token types.Address, price types.Amount) {
+	if len(o.snaps) > 0 {
+		prev, had := o.prices[token]
+		o.journal = append(o.journal, oracleEntry{token: token, prev: prev, had: had})
+	}
+	o.prices[token] = price
+}
+
+// Price returns the ETH price per whole token.
+func (o *Oracle) Price(token types.Address) (types.Amount, bool) {
+	p, ok := o.prices[token]
+	return p, ok
+}
+
+// Value converts a token quantity (base units) to its ETH value.
+func (o *Oracle) Value(token types.Address, amount types.Amount) (types.Amount, error) {
+	p, ok := o.prices[token]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNoPrice, token.Short())
+	}
+	return amount.MulDiv(p, types.Ether), nil
+}
+
+// Snapshot opens a revert point for oracle prices.
+func (o *Oracle) Snapshot() { o.snaps = append(o.snaps, len(o.journal)) }
+
+// Revert undoes price changes since the last snapshot.
+func (o *Oracle) Revert() {
+	if len(o.snaps) == 0 {
+		panic("lending: oracle Revert without Snapshot")
+	}
+	mark := o.snaps[len(o.snaps)-1]
+	o.snaps = o.snaps[:len(o.snaps)-1]
+	for i := len(o.journal) - 1; i >= mark; i-- {
+		e := o.journal[i]
+		if e.had {
+			o.prices[e.token] = e.prev
+		} else {
+			delete(o.prices, e.token)
+		}
+	}
+	o.journal = o.journal[:mark]
+}
+
+// Commit closes the last snapshot keeping changes.
+func (o *Oracle) Commit() {
+	if len(o.snaps) == 0 {
+		panic("lending: oracle Commit without Snapshot")
+	}
+	o.snaps = o.snaps[:len(o.snaps)-1]
+	if len(o.snaps) == 0 {
+		o.journal = o.journal[:0]
+	}
+}
+
+// Loan is one collateralised borrow position.
+type Loan struct {
+	ID               uint64
+	Borrower         types.Address
+	CollateralToken  types.Address
+	CollateralAmount types.Amount
+	DebtToken        types.Address
+	DebtAmount       types.Amount
+	Open             bool
+}
+
+// Protocol is one lending deployment (e.g. "AaveV2" or "Compound").
+type Protocol struct {
+	Name string
+	Addr types.Address
+	// Compound protocols emit LiquidateBorrow events; others emit Aave's
+	// LiquidationCall.
+	Compound bool
+	// LiqThresholdBps: the loan becomes liquidatable when
+	// debtValue*10000 > collateralValue*LiqThresholdBps.
+	LiqThresholdBps int
+	// LiqBonusBps is the fixed spread: the liquidator receives collateral
+	// worth (1 + bonus) times the repaid debt value.
+	LiqBonusBps int
+	// CloseFactorBps caps how much of the outstanding debt one liquidation
+	// may repay.
+	CloseFactorBps int
+	// FlashLoanFeeBps is charged on flash-loan principal; negative means
+	// flash loans are not offered.
+	FlashLoanFeeBps int
+
+	Oracle *Oracle
+
+	loans  map[uint64]*Loan
+	nextID uint64
+
+	journal []loanEntry
+	snaps   []int
+}
+
+type loanEntry struct {
+	id   uint64
+	prev Loan // by value
+	had  bool
+}
+
+// Config bundles protocol parameters for New.
+type Config struct {
+	Name            string
+	Compound        bool
+	LiqThresholdBps int
+	LiqBonusBps     int
+	CloseFactorBps  int
+	FlashLoanFeeBps int // negative disables flash loans
+}
+
+// New creates a lending protocol using the given oracle.
+func New(cfg Config, oracle *Oracle) *Protocol {
+	return &Protocol{
+		Name:            cfg.Name,
+		Addr:            types.DeriveAddress("lending:"+cfg.Name, 0),
+		Compound:        cfg.Compound,
+		LiqThresholdBps: cfg.LiqThresholdBps,
+		LiqBonusBps:     cfg.LiqBonusBps,
+		CloseFactorBps:  cfg.CloseFactorBps,
+		FlashLoanFeeBps: cfg.FlashLoanFeeBps,
+		Oracle:          oracle,
+		loans:           make(map[uint64]*Loan),
+		nextID:          1,
+	}
+}
+
+func (p *Protocol) record(id uint64) {
+	if len(p.snaps) == 0 {
+		return
+	}
+	if l, ok := p.loans[id]; ok {
+		p.journal = append(p.journal, loanEntry{id: id, prev: *l, had: true})
+	} else {
+		p.journal = append(p.journal, loanEntry{id: id, had: false})
+	}
+}
+
+// Snapshot opens a revert point for loan bookkeeping.
+func (p *Protocol) Snapshot() { p.snaps = append(p.snaps, len(p.journal)) }
+
+// Revert undoes loan changes since the last snapshot.
+func (p *Protocol) Revert() {
+	if len(p.snaps) == 0 {
+		panic("lending: Revert without Snapshot")
+	}
+	mark := p.snaps[len(p.snaps)-1]
+	p.snaps = p.snaps[:len(p.snaps)-1]
+	for i := len(p.journal) - 1; i >= mark; i-- {
+		e := p.journal[i]
+		if e.had {
+			cp := e.prev
+			p.loans[e.id] = &cp
+		} else {
+			delete(p.loans, e.id)
+			if e.id == p.nextID-1 {
+				p.nextID--
+			}
+		}
+	}
+	p.journal = p.journal[:mark]
+}
+
+// Commit closes the last snapshot keeping changes.
+func (p *Protocol) Commit() {
+	if len(p.snaps) == 0 {
+		panic("lending: Commit without Snapshot")
+	}
+	p.snaps = p.snaps[:len(p.snaps)-1]
+	if len(p.snaps) == 0 {
+		p.journal = p.journal[:0]
+	}
+}
+
+// SeedReserves credits lendable tokens to the protocol treasury.
+func (p *Protocol) SeedReserves(st *state.State, token types.Address, amount types.Amount) error {
+	return st.MintToken(token, p.Addr, amount)
+}
+
+// OpenLoan locks the borrower's collateral and draws debt tokens from the
+// protocol reserves. It does not check collateralisation — the simulation
+// opens loans at safe ratios and lets oracle moves make them unhealthy.
+func (p *Protocol) OpenLoan(st *state.State, borrower, collToken types.Address, collAmt types.Amount, debtToken types.Address, debtAmt types.Amount) (*Loan, error) {
+	if st.TokenBalance(debtToken, p.Addr) < debtAmt {
+		return nil, ErrNoReserves
+	}
+	if err := st.TransferToken(collToken, borrower, p.Addr, collAmt); err != nil {
+		return nil, err
+	}
+	if err := st.TransferToken(debtToken, p.Addr, borrower, debtAmt); err != nil {
+		return nil, err
+	}
+	id := p.nextID
+	p.nextID++
+	p.record(id)
+	l := &Loan{
+		ID: id, Borrower: borrower,
+		CollateralToken: collToken, CollateralAmount: collAmt,
+		DebtToken: debtToken, DebtAmount: debtAmt,
+		Open: true,
+	}
+	p.loans[id] = l
+	return l, nil
+}
+
+// Loan returns a copy of the loan with the given ID.
+func (p *Protocol) Loan(id uint64) (Loan, bool) {
+	l, ok := p.loans[id]
+	if !ok {
+		return Loan{}, false
+	}
+	return *l, true
+}
+
+// Loans returns copies of all loans in ID order.
+func (p *Protocol) Loans() []Loan {
+	out := make([]Loan, 0, len(p.loans))
+	for _, l := range p.loans {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IsLiquidatable reports whether the loan is unhealthy at current oracle
+// prices.
+func (p *Protocol) IsLiquidatable(id uint64) (bool, error) {
+	l, ok := p.loans[id]
+	if !ok {
+		return false, ErrLoanNotFound
+	}
+	if !l.Open {
+		return false, ErrLoanClosed
+	}
+	debtVal, err := p.Oracle.Value(l.DebtToken, l.DebtAmount)
+	if err != nil {
+		return false, err
+	}
+	collVal, err := p.Oracle.Value(l.CollateralToken, l.CollateralAmount)
+	if err != nil {
+		return false, err
+	}
+	return debtVal.MulDiv(10000, 1) > collVal.MulDiv(types.Amount(p.LiqThresholdBps), 1), nil
+}
+
+// LiquidatableLoans lists the IDs of all currently unhealthy loans.
+func (p *Protocol) LiquidatableLoans() []uint64 {
+	var out []uint64
+	for id := range p.loans {
+		if ok, err := p.IsLiquidatable(id); err == nil && ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LiquidationResult reports a completed liquidation for event emission.
+type LiquidationResult struct {
+	Protocol        types.Address
+	Liquidator      types.Address
+	Borrower        types.Address
+	DebtToken       types.Address
+	CollateralToken types.Address
+	DebtRepaid      types.Amount
+	CollateralOut   types.Amount
+	Compound        bool
+}
+
+// MaxRepay returns the most debt a single liquidation may repay now.
+func (p *Protocol) MaxRepay(id uint64) (types.Amount, error) {
+	l, ok := p.loans[id]
+	if !ok {
+		return 0, ErrLoanNotFound
+	}
+	return l.DebtAmount.MulDiv(types.Amount(p.CloseFactorBps), 10000), nil
+}
+
+// Liquidate executes a fixed-spread liquidation: the liquidator repays part
+// of the borrower's debt and seizes discounted collateral.
+func (p *Protocol) Liquidate(st *state.State, liquidator types.Address, id uint64, repay types.Amount) (LiquidationResult, error) {
+	l, ok := p.loans[id]
+	if !ok {
+		return LiquidationResult{}, ErrLoanNotFound
+	}
+	if !l.Open {
+		return LiquidationResult{}, ErrLoanClosed
+	}
+	liq, err := p.IsLiquidatable(id)
+	if err != nil {
+		return LiquidationResult{}, err
+	}
+	if !liq {
+		return LiquidationResult{}, ErrHealthy
+	}
+	maxRepay, _ := p.MaxRepay(id)
+	if repay <= 0 || repay > maxRepay {
+		return LiquidationResult{}, ErrCloseFactor
+	}
+	repayVal, err := p.Oracle.Value(l.DebtToken, repay)
+	if err != nil {
+		return LiquidationResult{}, err
+	}
+	collPrice, ok2 := p.Oracle.Price(l.CollateralToken)
+	if !ok2 || collPrice == 0 {
+		return LiquidationResult{}, ErrNoPrice
+	}
+	// Collateral units worth repayVal*(1+bonus) ETH.
+	seizeVal := repayVal.MulDiv(types.Amount(10000+p.LiqBonusBps), 10000)
+	seize := seizeVal.MulDiv(types.Ether, collPrice)
+	if seize > l.CollateralAmount {
+		seize = l.CollateralAmount
+	}
+	if err := st.TransferToken(l.DebtToken, liquidator, p.Addr, repay); err != nil {
+		return LiquidationResult{}, err
+	}
+	if err := st.TransferToken(l.CollateralToken, p.Addr, liquidator, seize); err != nil {
+		return LiquidationResult{}, err
+	}
+	p.record(id)
+	l.DebtAmount -= repay
+	l.CollateralAmount -= seize
+	if l.DebtAmount <= 0 || l.CollateralAmount <= 0 {
+		l.Open = false
+	}
+	return LiquidationResult{
+		Protocol:   p.Addr,
+		Liquidator: liquidator, Borrower: l.Borrower,
+		DebtToken: l.DebtToken, CollateralToken: l.CollateralToken,
+		DebtRepaid: repay, CollateralOut: seize,
+		Compound: p.Compound,
+	}, nil
+}
+
+// FlashFee returns the fee for flash-borrowing amount, or an error if the
+// protocol does not offer flash loans.
+func (p *Protocol) FlashFee(amount types.Amount) (types.Amount, error) {
+	if p.FlashLoanFeeBps < 0 {
+		return 0, ErrFlashNotEnabled
+	}
+	return amount.MulDiv(types.Amount(p.FlashLoanFeeBps), 10000), nil
+}
+
+// FlashBorrow moves principal to the borrower. The executor must call
+// FlashRepay before the transaction commits or revert everything.
+func (p *Protocol) FlashBorrow(st *state.State, borrower, token types.Address, amount types.Amount) error {
+	if p.FlashLoanFeeBps < 0 {
+		return ErrFlashNotEnabled
+	}
+	if st.TokenBalance(token, p.Addr) < amount {
+		return ErrNoReserves
+	}
+	return st.TransferToken(token, p.Addr, borrower, amount)
+}
+
+// FlashRepay returns principal plus fee to the protocol.
+func (p *Protocol) FlashRepay(st *state.State, borrower, token types.Address, amount, fee types.Amount) error {
+	return st.TransferToken(token, borrower, p.Addr, amount+fee)
+}
+
+// Registry resolves lending protocols by address.
+type Registry struct {
+	byAddr map[types.Address]*Protocol
+	order  []*Protocol
+}
+
+// NewRegistry creates an empty protocol registry.
+func NewRegistry() *Registry {
+	return &Registry{byAddr: make(map[types.Address]*Protocol)}
+}
+
+// Add registers a protocol.
+func (r *Registry) Add(p *Protocol) {
+	if _, dup := r.byAddr[p.Addr]; dup {
+		return
+	}
+	r.byAddr[p.Addr] = p
+	r.order = append(r.order, p)
+}
+
+// ByAddr resolves a protocol by address.
+func (r *Registry) ByAddr(a types.Address) (*Protocol, bool) {
+	p, ok := r.byAddr[a]
+	return p, ok
+}
+
+// Protocols lists protocols in registration order.
+func (r *Registry) Protocols() []*Protocol { return r.order }

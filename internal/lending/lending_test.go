@@ -1,0 +1,326 @@
+package lending
+
+import (
+	"testing"
+
+	"mevscope/internal/state"
+	"mevscope/internal/types"
+)
+
+func setup(t *testing.T) (*state.State, *Protocol, *Oracle, types.Address, types.Address) {
+	t.Helper()
+	st := state.New()
+	weth := st.RegisterToken("WETH", 18)
+	dai := st.RegisterToken("DAI", 18)
+	o := NewOracle("chainlink")
+	o.SetPrice(weth, types.Ether)     // 1 WETH = 1 ETH
+	o.SetPrice(dai, types.Ether/2000) // 2000 DAI per ETH
+	p := New(Config{
+		Name:            "AaveV2",
+		LiqThresholdBps: 8000,
+		LiqBonusBps:     500,
+		CloseFactorBps:  5000,
+		FlashLoanFeeBps: 9,
+	}, o)
+	if err := p.SeedReserves(st, dai, 10_000_000*types.Ether); err != nil {
+		t.Fatal(err)
+	}
+	return st, p, o, weth, dai
+}
+
+func openLoan(t *testing.T, st *state.State, p *Protocol, weth, dai types.Address) *Loan {
+	t.Helper()
+	borrower := types.DeriveAddress("borrower", 1)
+	st.MintToken(weth, borrower, 10*types.Ether)
+	// 10 WETH collateral (10 ETH), borrow 14000 DAI (7 ETH): health 70% < 80%.
+	l, err := p.OpenLoan(st, borrower, weth, 10*types.Ether, dai, 14_000*types.Ether)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestOracle(t *testing.T) {
+	_, _, o, weth, dai := setup(t)
+	v, err := o.Value(weth, 3*types.Ether)
+	if err != nil || v != 3*types.Ether {
+		t.Errorf("weth value = %v, %v", v, err)
+	}
+	v, err = o.Value(dai, 2000*types.Ether)
+	if err != nil || v != types.Ether {
+		t.Errorf("dai value = %v, %v", v, err)
+	}
+	if _, err := o.Value(types.DeriveAddress("x", 0), 1); err == nil {
+		t.Error("unknown token should error")
+	}
+}
+
+func TestOracleSnapshotRevert(t *testing.T) {
+	_, _, o, weth, _ := setup(t)
+	o.Snapshot()
+	o.SetPrice(weth, types.Ether*2)
+	o.Revert()
+	if p, _ := o.Price(weth); p != types.Ether {
+		t.Errorf("price not reverted: %v", p)
+	}
+	o.Snapshot()
+	o.SetPrice(weth, types.Ether*3)
+	o.Commit()
+	if p, _ := o.Price(weth); p != 3*types.Ether {
+		t.Errorf("price not committed: %v", p)
+	}
+}
+
+func TestOpenLoanMovesTokens(t *testing.T) {
+	st, p, _, weth, dai := setup(t)
+	l := openLoan(t, st, p, weth, dai)
+	borrower := l.Borrower
+	if st.TokenBalance(weth, borrower) != 0 {
+		t.Error("collateral not locked")
+	}
+	if st.TokenBalance(dai, borrower) != 14_000*types.Ether {
+		t.Error("debt not drawn")
+	}
+	if st.TokenBalance(weth, p.Addr) != 10*types.Ether {
+		t.Error("protocol should hold collateral")
+	}
+	got, ok := p.Loan(l.ID)
+	if !ok || !got.Open || got.DebtAmount != 14_000*types.Ether {
+		t.Errorf("loan record: %+v ok=%v", got, ok)
+	}
+}
+
+func TestOpenLoanInsufficientReserves(t *testing.T) {
+	st, p, _, weth, dai := setup(t)
+	b := types.DeriveAddress("b", 2)
+	st.MintToken(weth, b, types.Ether)
+	if _, err := p.OpenLoan(st, b, weth, types.Ether, dai, 100_000_000*types.Ether); err != ErrNoReserves {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHealthyLoanNotLiquidatable(t *testing.T) {
+	st, p, _, weth, dai := setup(t)
+	l := openLoan(t, st, p, weth, dai)
+	liq, err := p.IsLiquidatable(l.ID)
+	if err != nil || liq {
+		t.Errorf("healthy loan liquidatable=%v err=%v", liq, err)
+	}
+	if ids := p.LiquidatableLoans(); len(ids) != 0 {
+		t.Errorf("liquidatable ids = %v", ids)
+	}
+	liquidator := types.DeriveAddress("liq", 1)
+	st.MintToken(dai, liquidator, 10_000*types.Ether)
+	if _, err := p.Liquidate(st, liquidator, l.ID, 1000*types.Ether); err != ErrHealthy {
+		t.Errorf("liquidate healthy: %v", err)
+	}
+}
+
+func TestPriceDropMakesLiquidatable(t *testing.T) {
+	st, p, o, weth, dai := setup(t)
+	l := openLoan(t, st, p, weth, dai)
+	// WETH drops to 0.8 ETH: collateral 8 ETH, debt 7 ETH → 87.5% > 80%.
+	o.SetPrice(weth, types.FromEther(0.8))
+	liq, err := p.IsLiquidatable(l.ID)
+	if err != nil || !liq {
+		t.Fatalf("should be liquidatable: %v %v", liq, err)
+	}
+	if ids := p.LiquidatableLoans(); len(ids) != 1 || ids[0] != l.ID {
+		t.Errorf("ids = %v", ids)
+	}
+	_ = st
+}
+
+func TestLiquidationPaysFixedSpread(t *testing.T) {
+	st, p, o, weth, dai := setup(t)
+	l := openLoan(t, st, p, weth, dai)
+	o.SetPrice(weth, types.FromEther(0.8))
+
+	liquidator := types.DeriveAddress("liq", 1)
+	st.MintToken(dai, liquidator, 10_000*types.Ether)
+
+	maxRepay, err := p.MaxRepay(l.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxRepay != 7_000*types.Ether {
+		t.Errorf("maxRepay = %v", maxRepay)
+	}
+	res, err := p.Liquidate(st, liquidator, l.ID, 7_000*types.Ether)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repaid 7000 DAI = 3.5 ETH value; seize 3.5*1.05 = 3.675 ETH of WETH
+	// at 0.8 ETH/WETH = 4.59375 WETH.
+	wantSeize := types.FromEther(3.5 * 1.05 / 0.8)
+	if diff := (res.CollateralOut - wantSeize).Abs(); diff > types.Milliether {
+		t.Errorf("seize = %v want ≈ %v", res.CollateralOut, wantSeize)
+	}
+	if st.TokenBalance(weth, liquidator) != res.CollateralOut {
+		t.Error("collateral not delivered")
+	}
+	if st.TokenBalance(dai, liquidator) != 3_000*types.Ether {
+		t.Error("repay not debited")
+	}
+	got, _ := p.Loan(l.ID)
+	if got.DebtAmount != 7_000*types.Ether {
+		t.Errorf("debt after = %v", got.DebtAmount)
+	}
+	// Liquidation is profitable for the liquidator at oracle prices.
+	repaidVal, _ := o.Value(dai, res.DebtRepaid)
+	seizedVal, _ := o.Value(weth, res.CollateralOut)
+	if seizedVal <= repaidVal {
+		t.Error("fixed spread should make liquidation profitable")
+	}
+}
+
+func TestLiquidateRespectsCloseFactor(t *testing.T) {
+	st, p, o, weth, dai := setup(t)
+	l := openLoan(t, st, p, weth, dai)
+	o.SetPrice(weth, types.FromEther(0.8))
+	liquidator := types.DeriveAddress("liq", 1)
+	st.MintToken(dai, liquidator, 20_000*types.Ether)
+	if _, err := p.Liquidate(st, liquidator, l.ID, 8_000*types.Ether); err != ErrCloseFactor {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := p.Liquidate(st, liquidator, l.ID, 0); err != ErrCloseFactor {
+		t.Errorf("zero repay err = %v", err)
+	}
+}
+
+func TestLiquidateMissingLoan(t *testing.T) {
+	st, p, _, _, _ := setup(t)
+	if _, err := p.Liquidate(st, types.DeriveAddress("liq", 1), 999, 1); err != ErrLoanNotFound {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := p.IsLiquidatable(999); err != ErrLoanNotFound {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoanJournalRevert(t *testing.T) {
+	st, p, o, weth, dai := setup(t)
+	l := openLoan(t, st, p, weth, dai)
+	o.SetPrice(weth, types.FromEther(0.8))
+	liquidator := types.DeriveAddress("liq", 1)
+	st.MintToken(dai, liquidator, 10_000*types.Ether)
+
+	p.Snapshot()
+	st.Snapshot()
+	if _, err := p.Liquidate(st, liquidator, l.ID, 7_000*types.Ether); err != nil {
+		t.Fatal(err)
+	}
+	st.Revert()
+	p.Revert()
+
+	got, _ := p.Loan(l.ID)
+	if got.DebtAmount != 14_000*types.Ether || got.CollateralAmount != 10*types.Ether {
+		t.Errorf("loan not reverted: %+v", got)
+	}
+	if st.TokenBalance(dai, liquidator) != 10_000*types.Ether {
+		t.Error("ledger not reverted")
+	}
+}
+
+func TestLoanJournalRevertRemovesNewLoans(t *testing.T) {
+	st, p, _, weth, dai := setup(t)
+	b := types.DeriveAddress("b", 5)
+	st.MintToken(weth, b, 10*types.Ether)
+	p.Snapshot()
+	l, err := p.OpenLoan(st, b, weth, 5*types.Ether, dai, 1000*types.Ether)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Revert()
+	if _, ok := p.Loan(l.ID); ok {
+		t.Error("reverted loan should not exist")
+	}
+	if len(p.Loans()) != 0 {
+		t.Error("Loans should be empty after revert")
+	}
+}
+
+func TestFlashLoanLifecycle(t *testing.T) {
+	st, p, _, _, dai := setup(t)
+	borrower := types.DeriveAddress("fb", 1)
+	fee, err := p.FlashFee(1_000_000 * types.Ether)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fee != types.FromEther(900) { // 9 bps of 1M
+		t.Errorf("fee = %v", fee)
+	}
+	if err := p.FlashBorrow(st, borrower, dai, 1_000_000*types.Ether); err != nil {
+		t.Fatal(err)
+	}
+	if st.TokenBalance(dai, borrower) != 1_000_000*types.Ether {
+		t.Error("principal not delivered")
+	}
+	st.MintToken(dai, borrower, fee) // borrower earns the fee elsewhere
+	if err := p.FlashRepay(st, borrower, dai, 1_000_000*types.Ether, fee); err != nil {
+		t.Fatal(err)
+	}
+	if st.TokenBalance(dai, borrower) != 0 {
+		t.Error("repay wrong")
+	}
+}
+
+func TestFlashLoanDisabled(t *testing.T) {
+	st, _, o, _, dai := setup(t)
+	p2 := New(Config{Name: "NoFlash", LiqThresholdBps: 8000, LiqBonusBps: 500, CloseFactorBps: 5000, FlashLoanFeeBps: -1}, o)
+	if _, err := p2.FlashFee(100); err != ErrFlashNotEnabled {
+		t.Errorf("err = %v", err)
+	}
+	if err := p2.FlashBorrow(st, types.DeriveAddress("x", 0), dai, 1); err != ErrFlashNotEnabled {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFlashBorrowInsufficientReserves(t *testing.T) {
+	st, p, _, weth, _ := setup(t)
+	if err := p.FlashBorrow(st, types.DeriveAddress("x", 0), weth, types.Ether); err != ErrNoReserves {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	_, p, o, _, _ := setup(t)
+	r := NewRegistry()
+	r.Add(p)
+	r.Add(p)
+	if len(r.Protocols()) != 1 {
+		t.Error("duplicate add")
+	}
+	if got, ok := r.ByAddr(p.Addr); !ok || got != p {
+		t.Error("ByAddr")
+	}
+	_ = o
+}
+
+func TestFullLiquidationClosesLoan(t *testing.T) {
+	st, p, o, weth, dai := setup(t)
+	b := types.DeriveAddress("b", 9)
+	st.MintToken(weth, b, types.Ether)
+	l, err := p.OpenLoan(st, b, weth, types.Ether, dai, 1_500*types.Ether)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash collateral so hard the close factor seizes everything.
+	o.SetPrice(weth, types.FromEther(0.3))
+	liquidator := types.DeriveAddress("liq", 2)
+	st.MintToken(dai, liquidator, 1_000*types.Ether)
+	res, err := p.Liquidate(st, liquidator, l.ID, 750*types.Ether)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CollateralOut != types.Ether {
+		t.Errorf("seize should cap at collateral: %v", res.CollateralOut)
+	}
+	got, _ := p.Loan(l.ID)
+	if got.Open {
+		t.Error("loan with zero collateral should close")
+	}
+	if _, err := p.Liquidate(st, liquidator, l.ID, 1); err != ErrLoanClosed {
+		t.Errorf("closed loan liquidation: %v", err)
+	}
+}

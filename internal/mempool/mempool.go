@@ -1,0 +1,192 @@
+// Package mempool implements the public pending-transaction pool: a
+// fee-ordered set of transactions waiting for inclusion, with subscription
+// hooks analogous to web3.eth.subscribe("pendingTransactions") that the
+// measurement observer and searcher agents rely on.
+//
+// Like a real node's mempool it offers no consistency guarantees — only
+// "currently pending" plus notifications of arrivals.
+package mempool
+
+import (
+	"container/heap"
+	"sort"
+
+	"mevscope/internal/types"
+)
+
+// Listener receives newly admitted pending transactions.
+type Listener func(tx *types.Transaction)
+
+// Pool is a fee-ordered pending transaction pool. The zero value is not
+// usable; call New.
+type Pool struct {
+	byHash    map[types.Hash]*item
+	pq        priorityQueue
+	listeners []Listener
+	seq       uint64 // arrival order tiebreaker
+}
+
+type item struct {
+	tx    *types.Transaction
+	seq   uint64
+	index int // heap index, -1 once removed
+}
+
+// New creates an empty pool.
+func New() *Pool {
+	return &Pool{byHash: make(map[types.Hash]*item)}
+}
+
+// Subscribe registers a listener invoked synchronously for every future Add.
+func (p *Pool) Subscribe(l Listener) { p.listeners = append(p.listeners, l) }
+
+// Add admits a transaction; duplicates (by hash) are ignored. Returns true
+// if the transaction was newly admitted.
+func (p *Pool) Add(tx *types.Transaction) bool {
+	h := tx.Hash()
+	if _, dup := p.byHash[h]; dup {
+		return false
+	}
+	it := &item{tx: tx, seq: p.seq}
+	p.seq++
+	p.byHash[h] = it
+	heap.Push(&p.pq, it)
+	for _, l := range p.listeners {
+		l(tx)
+	}
+	return true
+}
+
+// Remove drops a transaction (after inclusion in a block). Returns true if
+// it was present.
+func (p *Pool) Remove(h types.Hash) bool {
+	it, ok := p.byHash[h]
+	if !ok {
+		return false
+	}
+	delete(p.byHash, h)
+	if it.index >= 0 {
+		heap.Remove(&p.pq, it.index)
+	}
+	return true
+}
+
+// Contains reports whether the transaction is pending.
+func (p *Pool) Contains(h types.Hash) bool {
+	_, ok := p.byHash[h]
+	return ok
+}
+
+// Get returns a pending transaction by hash.
+func (p *Pool) Get(h types.Hash) (*types.Transaction, bool) {
+	it, ok := p.byHash[h]
+	if !ok {
+		return nil, false
+	}
+	return it.tx, true
+}
+
+// Len is the number of pending transactions.
+func (p *Pool) Len() int { return len(p.byHash) }
+
+// Best returns up to n transactions in descending bid-price order without
+// removing them — the default block-building view ("sort pending
+// transactions by fees").
+func (p *Pool) Best(n int) []*types.Transaction {
+	out := make([]*types.Transaction, 0, min(n, len(p.byHash)))
+	for _, it := range p.byHash {
+		out = append(out, it.tx)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		bi, bj := out[i].BidPrice(), out[j].BidPrice()
+		if bi != bj {
+			return bi > bj
+		}
+		return p.byHash[out[i].Hash()].seq < p.byHash[out[j].Hash()].seq
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// PopBest removes and returns the highest-bidding transaction, or nil if
+// the pool is empty.
+func (p *Pool) PopBest() *types.Transaction {
+	for p.pq.Len() > 0 {
+		it := heap.Pop(&p.pq).(*item)
+		if _, live := p.byHash[it.tx.Hash()]; !live {
+			continue // lazily discarded
+		}
+		delete(p.byHash, it.tx.Hash())
+		return it.tx
+	}
+	return nil
+}
+
+// All returns every pending transaction in arrival order.
+func (p *Pool) All() []*types.Transaction {
+	items := make([]*item, 0, len(p.byHash))
+	for _, it := range p.byHash {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
+	out := make([]*types.Transaction, len(items))
+	for i, it := range items {
+		out[i] = it.tx
+	}
+	return out
+}
+
+// Filter returns pending transactions matching pred, in arrival order.
+func (p *Pool) Filter(pred func(*types.Transaction) bool) []*types.Transaction {
+	var out []*types.Transaction
+	for _, tx := range p.All() {
+		if pred(tx) {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// priorityQueue is a max-heap on (BidPrice, -seq).
+type priorityQueue []*item
+
+func (q priorityQueue) Len() int { return len(q) }
+
+func (q priorityQueue) Less(i, j int) bool {
+	bi, bj := q[i].tx.BidPrice(), q[j].tx.BidPrice()
+	if bi != bj {
+		return bi > bj
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q priorityQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *priorityQueue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *priorityQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,190 @@
+package mempool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mevscope/internal/types"
+)
+
+func tx(nonce uint64, price types.Amount) *types.Transaction {
+	return &types.Transaction{Nonce: nonce, From: types.DeriveAddress("mp", 1), GasPrice: price}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	p := New()
+	a := tx(1, 10)
+	if !p.Add(a) {
+		t.Error("first add")
+	}
+	if p.Add(a) {
+		t.Error("duplicate add should be rejected")
+	}
+	if p.Len() != 1 {
+		t.Error("len")
+	}
+	if !p.Contains(a.Hash()) {
+		t.Error("contains")
+	}
+	if got, ok := p.Get(a.Hash()); !ok || got != a {
+		t.Error("get")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := New()
+	a := tx(1, 10)
+	p.Add(a)
+	if !p.Remove(a.Hash()) {
+		t.Error("remove present")
+	}
+	if p.Remove(a.Hash()) {
+		t.Error("remove absent should be false")
+	}
+	if p.Len() != 0 || p.Contains(a.Hash()) {
+		t.Error("state after remove")
+	}
+	if p.PopBest() != nil {
+		t.Error("pop on empty")
+	}
+}
+
+func TestBestOrdering(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 10))
+	p.Add(tx(2, 30))
+	p.Add(tx(3, 20))
+	best := p.Best(2)
+	if len(best) != 2 || best[0].GasPrice != 30 || best[1].GasPrice != 20 {
+		t.Errorf("best = %v", best)
+	}
+	// Best does not remove.
+	if p.Len() != 3 {
+		t.Error("Best must not remove")
+	}
+}
+
+func TestBestTiebreakByArrival(t *testing.T) {
+	p := New()
+	first := tx(1, 10)
+	second := tx(2, 10)
+	p.Add(first)
+	p.Add(second)
+	best := p.Best(2)
+	if best[0] != first || best[1] != second {
+		t.Error("equal prices should order by arrival")
+	}
+}
+
+func TestPopBestDrainsInOrder(t *testing.T) {
+	p := New()
+	prices := []types.Amount{5, 50, 20, 40, 10}
+	for i, pr := range prices {
+		p.Add(tx(uint64(i), pr))
+	}
+	var got []types.Amount
+	for {
+		x := p.PopBest()
+		if x == nil {
+			break
+		}
+		got = append(got, x.GasPrice)
+	}
+	want := []types.Amount{50, 40, 20, 10, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order = %v", got)
+		}
+	}
+}
+
+func TestPopBestSkipsRemoved(t *testing.T) {
+	p := New()
+	hi := tx(1, 100)
+	lo := tx(2, 1)
+	p.Add(hi)
+	p.Add(lo)
+	p.Remove(hi.Hash())
+	if got := p.PopBest(); got != lo {
+		t.Error("should skip removed high bidder")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	p := New()
+	var seen []types.Hash
+	p.Subscribe(func(tx *types.Transaction) { seen = append(seen, tx.Hash()) })
+	a, b := tx(1, 10), tx(2, 20)
+	p.Add(a)
+	p.Add(b)
+	p.Add(a) // duplicate: no notification
+	if len(seen) != 2 || seen[0] != a.Hash() || seen[1] != b.Hash() {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestAllArrivalOrder(t *testing.T) {
+	p := New()
+	a, b, c := tx(1, 30), tx(2, 10), tx(3, 20)
+	p.Add(a)
+	p.Add(b)
+	p.Add(c)
+	all := p.All()
+	if len(all) != 3 || all[0] != a || all[1] != b || all[2] != c {
+		t.Error("All should preserve arrival order")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 10))
+	p.Add(tx(2, 100))
+	p.Add(tx(3, 200))
+	got := p.Filter(func(tx *types.Transaction) bool { return tx.GasPrice >= 100 })
+	if len(got) != 2 {
+		t.Errorf("filter = %d", len(got))
+	}
+}
+
+// Property: PopBest always yields a non-increasing price sequence and
+// returns exactly the non-removed transactions.
+func TestPopBestProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New()
+		var added []*types.Transaction
+		for i := 0; i < int(n); i++ {
+			x := tx(uint64(i), types.Amount(rng.Intn(50)))
+			p.Add(x)
+			added = append(added, x)
+		}
+		removed := map[types.Hash]bool{}
+		for _, x := range added {
+			if rng.Intn(3) == 0 {
+				p.Remove(x.Hash())
+				removed[x.Hash()] = true
+			}
+		}
+		last := types.Amount(1 << 60)
+		count := 0
+		for {
+			x := p.PopBest()
+			if x == nil {
+				break
+			}
+			if removed[x.Hash()] {
+				return false
+			}
+			if x.BidPrice() > last {
+				return false
+			}
+			last = x.BidPrice()
+			count++
+		}
+		return count == len(added)-len(removed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package miner
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mevscope/internal/dex"
+	"mevscope/internal/evmlite"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/mempool"
+	"mevscope/internal/privpool"
+	"mevscope/internal/state"
+	"mevscope/internal/types"
+)
+
+func TestUsesFlashbots(t *testing.T) {
+	m := &Miner{AdoptsFlashbots: 9}
+	if m.UsesFlashbots(8) || !m.UsesFlashbots(9) || !m.UsesFlashbots(20) {
+		t.Error("adoption month logic")
+	}
+	never := &Miner{AdoptsFlashbots: NeverAdopts}
+	if never.UsesFlashbots(types.StudyMonths - 1) {
+		t.Error("never-adopter")
+	}
+}
+
+func TestSetPickProportional(t *testing.T) {
+	a := &Miner{Name: "big", Addr: types.DeriveAddress("m", 1), Hashpower: 0.9}
+	b := &Miner{Name: "small", Addr: types.DeriveAddress("m", 2), Hashpower: 0.1}
+	s := NewSet([]*Miner{a, b})
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 10_000; i++ {
+		counts[s.Pick(rng).Name]++
+	}
+	if counts["big"] < 8_500 || counts["big"] > 9_500 {
+		t.Errorf("big picked %d of 10000, want ≈ 9000", counts["big"])
+	}
+	if got, ok := s.ByAddr(a.Addr); !ok || got != a {
+		t.Error("ByAddr")
+	}
+	if _, ok := s.ByAddr(types.DeriveAddress("m", 99)); ok {
+		t.Error("ByAddr miss")
+	}
+	if NewSet(nil).Pick(rng) != nil {
+		t.Error("empty set pick")
+	}
+}
+
+func TestFlashbotsHashpower(t *testing.T) {
+	a := &Miner{Hashpower: 3, AdoptsFlashbots: 9}
+	b := &Miner{Hashpower: 1, AdoptsFlashbots: NeverAdopts}
+	s := NewSet([]*Miner{a, b})
+	if got := s.FlashbotsHashpower(8); got != 0 {
+		t.Errorf("pre-adoption = %f", got)
+	}
+	if got := s.FlashbotsHashpower(10); got != 0.75 {
+		t.Errorf("post-adoption = %f", got)
+	}
+}
+
+func TestMainnetLikeSetShape(t *testing.T) {
+	s := NewMainnetLikeSet(55, 42)
+	if s.Len() != 55 {
+		t.Fatal("size")
+	}
+	ms := s.Miners()
+	if ms[0].Name != "Ethermine" || ms[1].Name != "F2Pool" {
+		t.Error("head names")
+	}
+	// Head-heavy: top-2 should dwarf the tail median.
+	if ms[0].Hashpower < 5*ms[30].Hashpower {
+		t.Errorf("distribution not skewed: %f vs %f", ms[0].Hashpower, ms[30].Hashpower)
+	}
+	if ms[0].PayoutEvery == 0 || ms[1].PayoutEvery == 0 {
+		t.Error("big pools should batch payouts")
+	}
+	// Deterministic per seed.
+	s2 := NewMainnetLikeSet(55, 42)
+	for i := range ms {
+		if ms[i].Hashpower != s2.Miners()[i].Hashpower {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+// buildWorld wires a tiny executor world for block-building tests.
+func buildWorld(t *testing.T) (*evmlite.Executor, *dex.Venue, types.Address, types.Address) {
+	t.Helper()
+	st := state.New()
+	weth := st.RegisterToken("WETH", 18)
+	dai := st.RegisterToken("DAI", 18)
+	venues := dex.NewRegistry()
+	uni := dex.NewVenue("Uni", 30)
+	venues.Add(uni)
+	lp := types.DeriveAddress("lp", 0)
+	st.MintToken(weth, lp, 1_000*types.Ether)
+	st.MintToken(dai, lp, 2_000_000*types.Ether)
+	if err := uni.EnsurePool(weth, dai).AddLiquidity(st, lp, 1_000*types.Ether, 2_000_000*types.Ether); err != nil {
+		t.Fatal(err)
+	}
+	ex := evmlite.New(evmlite.Env{State: st, Venues: venues, WETH: weth})
+	return ex, uni, weth, dai
+}
+
+func fundTx(ex *evmlite.Executor, who types.Address, nonce uint64, price types.Amount) *types.Transaction {
+	ex.Env.State.Mint(who, 10*types.Ether)
+	return &types.Transaction{
+		Nonce: nonce, From: who, To: who, Value: 0,
+		GasLimit: evmlite.GasTransfer, GasPrice: price,
+		Payload: types.Payload{Kind: types.TxTransfer, Amount: 1},
+	}
+}
+
+func TestBuildOrdersBundlesFirst(t *testing.T) {
+	ex, _, _, _ := buildWorld(t)
+	coinbase := types.DeriveAddress("cb", 0)
+	pool := mempool.New()
+
+	alice := types.DeriveAddress("alice", 0)
+	pub := fundTx(ex, alice, 1, 500*types.Gwei) // very high gas price
+	pool.Add(pub)
+
+	searcher := types.DeriveAddress("searcher", 0)
+	bTx := fundTx(ex, searcher, 1, types.Gwei)
+	bTx.CoinbaseTip = types.Ether
+	bundle := &flashbots.Bundle{ID: 1, Searcher: searcher, Type: flashbots.TypeFlashbots, Txs: []*types.Transaction{bTx}}
+
+	res := Build(ex, BuildInput{
+		Number: 100, Time: time.Unix(0, 0), GasLimit: 15_000_000, Coinbase: coinbase,
+		Bundles: []*flashbots.Bundle{bundle}, MaxBundles: 3, Public: pool,
+	})
+	blk := res.Block
+	if len(blk.Txs) != 2 {
+		t.Fatalf("txs = %d", len(blk.Txs))
+	}
+	if blk.Txs[0] != bTx {
+		t.Error("bundle tx must lead the block despite lower gas price")
+	}
+	if blk.Txs[1] != pub {
+		t.Error("public tx should follow")
+	}
+	if len(res.Included) != 1 || res.Included[0].Bundle != bundle {
+		t.Error("included bundles")
+	}
+	if res.Included[0].Receipts[0].CoinbaseTransfer != types.Ether {
+		t.Error("coinbase tip should be recorded")
+	}
+	if pool.Len() != 0 {
+		t.Error("included public tx should leave the pool")
+	}
+	if ex.Env.State.Balance(coinbase) < BlockReward+types.Ether {
+		t.Error("coinbase should earn reward + tip")
+	}
+	if blk.Hash().IsZero() {
+		t.Error("block must be sealed")
+	}
+}
+
+func TestBuildSkipsRevertingBundle(t *testing.T) {
+	ex, uni, weth, dai := buildWorld(t)
+	coinbase := types.DeriveAddress("cb", 0)
+	searcher := types.DeriveAddress("searcher", 0)
+	ex.Env.State.Mint(searcher, 10*types.Ether)
+	// Impossible MinOut → revert → whole bundle dropped.
+	ex.Env.State.MintToken(weth, searcher, 5*types.Ether)
+	bad := &types.Transaction{
+		From: searcher, GasLimit: evmlite.GasSwapBase + evmlite.GasSwapPerHop, GasPrice: types.Gwei,
+		Payload: types.Payload{
+			Kind:     types.TxSwap,
+			Hops:     []types.SwapHop{{Venue: uni.Addr, TokenIn: weth, TokenOut: dai}},
+			AmountIn: types.Ether, MinOut: 1 << 55,
+		},
+	}
+	bundle := &flashbots.Bundle{ID: 1, Searcher: searcher, Txs: []*types.Transaction{bad}}
+	balBefore := ex.Env.State.Balance(searcher)
+	res := Build(ex, BuildInput{
+		Number: 100, Time: time.Unix(0, 0), GasLimit: 15_000_000, Coinbase: coinbase,
+		Bundles: []*flashbots.Bundle{bundle}, MaxBundles: 3,
+	})
+	if len(res.Block.Txs) != 0 || len(res.Included) != 0 {
+		t.Error("reverting bundle must be dropped entirely")
+	}
+	if ex.Env.State.Balance(searcher) != balBefore {
+		t.Error("dropped bundle must cost the searcher nothing")
+	}
+}
+
+func TestBuildRespectsMaxBundles(t *testing.T) {
+	ex, _, _, _ := buildWorld(t)
+	coinbase := types.DeriveAddress("cb", 0)
+	var bundles []*flashbots.Bundle
+	for i := 0; i < 5; i++ {
+		s := types.DeriveAddress("s", uint64(i))
+		tx := fundTx(ex, s, 1, types.Gwei)
+		bundles = append(bundles, &flashbots.Bundle{ID: uint64(i + 1), Searcher: s, Txs: []*types.Transaction{tx}})
+	}
+	res := Build(ex, BuildInput{
+		Number: 100, Time: time.Unix(0, 0), GasLimit: 15_000_000, Coinbase: coinbase,
+		Bundles: bundles, MaxBundles: 2,
+	})
+	if len(res.Included) != 2 {
+		t.Errorf("included = %d, want 2", len(res.Included))
+	}
+}
+
+func TestBuildRespectsGasLimit(t *testing.T) {
+	ex, _, _, _ := buildWorld(t)
+	coinbase := types.DeriveAddress("cb", 0)
+	pool := mempool.New()
+	for i := 0; i < 10; i++ {
+		pool.Add(fundTx(ex, types.DeriveAddress("u", uint64(i)), 1, types.Gwei))
+	}
+	res := Build(ex, BuildInput{
+		Number: 100, Time: time.Unix(0, 0), GasLimit: evmlite.GasTransfer * 3, Coinbase: coinbase,
+		Public: pool,
+	})
+	if len(res.Block.Txs) != 3 {
+		t.Errorf("txs = %d, want 3 (gas limit)", len(res.Block.Txs))
+	}
+	if res.Block.Header.GasUsed != evmlite.GasTransfer*3 {
+		t.Error("header gas used")
+	}
+	if pool.Len() != 7 {
+		t.Errorf("pool should keep overflow: %d", pool.Len())
+	}
+}
+
+func TestBuildDirectPrivateTxs(t *testing.T) {
+	ex, _, _, _ := buildWorld(t)
+	coinbase := types.DeriveAddress("cb", 0)
+	who := types.DeriveAddress("private", 0)
+	ptx := fundTx(ex, who, 1, types.Gwei)
+	res := Build(ex, BuildInput{
+		Number: 100, Time: time.Unix(0, 0), GasLimit: 15_000_000, Coinbase: coinbase,
+		Private: []privpool.Entry{{Txs: []*types.Transaction{ptx}}},
+	})
+	if len(res.Block.Txs) != 1 || res.Block.Txs[0] != ptx {
+		t.Error("private tx should be included")
+	}
+	// Invalid private txs are dropped silently.
+	broke := &types.Transaction{From: types.DeriveAddress("broke", 0), GasLimit: evmlite.GasTransfer, GasPrice: types.Gwei, Payload: types.Payload{Kind: types.TxTransfer, Amount: 1}}
+	res2 := Build(ex, BuildInput{
+		Number: 101, Time: time.Unix(0, 0), GasLimit: 15_000_000, Coinbase: coinbase,
+		Private: []privpool.Entry{{Txs: []*types.Transaction{broke}}},
+	})
+	if len(res2.Block.Txs) != 0 {
+		t.Error("unpayable private tx should be dropped")
+	}
+}
+
+func TestBuildSeenFilter(t *testing.T) {
+	ex, _, _, _ := buildWorld(t)
+	coinbase := types.DeriveAddress("cb", 0)
+	pool := mempool.New()
+	dup := fundTx(ex, types.DeriveAddress("dup", 0), 1, types.Gwei)
+	fresh := fundTx(ex, types.DeriveAddress("fresh", 0), 1, types.Gwei)
+	pool.Add(dup)
+	pool.Add(fresh)
+	res := Build(ex, BuildInput{
+		Number: 100, Time: time.Unix(0, 0), GasLimit: 15_000_000, Coinbase: coinbase,
+		Public: pool,
+		Seen:   func(h types.Hash) bool { return h == dup.Hash() },
+	})
+	if len(res.Block.Txs) != 1 || res.Block.Txs[0] != fresh {
+		t.Error("seen tx must be excluded")
+	}
+	if pool.Contains(dup.Hash()) {
+		t.Error("seen tx should be evicted from the pool")
+	}
+}

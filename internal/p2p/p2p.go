@@ -1,0 +1,246 @@
+// Package p2p simulates Ethereum's transaction gossip network and the
+// paper's measurement vantage point.
+//
+// A Network is a random regular-ish graph of nodes. Publicly submitted
+// transactions enter at a random origin node and flood-fill to all peers;
+// one designated node is the measurement observer, standing in for the
+// paper's archive node subscribed to pendingTransactions events. The
+// observer sees a transaction after a hop-latency delay and — matching the
+// paper's assumption that their node saw "the vast majority" but not all
+// of the public traffic — misses a small configurable fraction entirely.
+//
+// Private transactions never touch the network: Flashbots bundles and
+// other private-pool submissions go directly to miners, which is exactly
+// what makes them invisible to the observer and detectable only by the
+// set-difference inference in internal/core/privinfer.
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mevscope/internal/mempool"
+	"mevscope/internal/types"
+)
+
+// Config describes the gossip network.
+type Config struct {
+	// Nodes is the network size (observer included). Minimum 2.
+	Nodes int
+	// Degree is the target peer count per node.
+	Degree int
+	// HopLatency is the per-hop propagation delay.
+	HopLatency time.Duration
+	// ObserverMissRate is the probability the observer never sees a given
+	// public transaction (mempool churn, race with inclusion, ...).
+	ObserverMissRate float64
+	// Seed feeds the network's private RNG.
+	Seed int64
+}
+
+// DefaultConfig is a small but structurally realistic network.
+func DefaultConfig(seed int64) Config {
+	return Config{Nodes: 200, Degree: 8, HopLatency: 80 * time.Millisecond, ObserverMissRate: 0.01, Seed: seed}
+}
+
+// ObservedTx is one pending-transaction record captured by the observer —
+// the record shape the paper stored in MongoDB.
+type ObservedTx struct {
+	Hash types.Hash
+	// FirstSeenBlock is the chain height at which the observer first saw
+	// the transaction.
+	FirstSeenBlock uint64
+	// FirstSeen is the wall-clock observation moment.
+	FirstSeen time.Time
+	// Hops is the gossip distance from the origin node to the observer.
+	Hops int
+}
+
+// Observer records pending transactions during its observation window.
+type Observer struct {
+	active    bool
+	startedAt uint64
+	stoppedAt uint64
+	records   map[types.Hash]ObservedTx
+	order     []types.Hash
+}
+
+// Active reports whether the observer is currently recording.
+func (o *Observer) Active() bool { return o.active }
+
+// Seen reports whether the observer recorded the transaction.
+func (o *Observer) Seen(h types.Hash) bool {
+	_, ok := o.records[h]
+	return ok
+}
+
+// Record returns the observation record for a transaction.
+func (o *Observer) Record(h types.Hash) (ObservedTx, bool) {
+	r, ok := o.records[h]
+	return r, ok
+}
+
+// Records returns all observations in capture order.
+func (o *Observer) Records() []ObservedTx {
+	out := make([]ObservedTx, len(o.order))
+	for i, h := range o.order {
+		out[i] = o.records[h]
+	}
+	return out
+}
+
+// Count is the number of recorded pending transactions.
+func (o *Observer) Count() int { return len(o.records) }
+
+// Window returns the observation start and stop heights (stop is zero
+// while still active).
+func (o *Observer) Window() (start, stop uint64) { return o.startedAt, o.stoppedAt }
+
+// Network is the gossip graph plus the public mempool it feeds.
+type Network struct {
+	cfg      Config
+	rng      *rand.Rand
+	peers    [][]int // adjacency lists
+	distObs  []int   // hop distance from each node to the observer (node 0)
+	pool     *mempool.Pool
+	observer Observer
+}
+
+// New builds the network graph and its public mempool.
+func New(cfg Config) (*Network, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("p2p: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Degree < 1 {
+		return nil, fmt.Errorf("p2p: need degree >= 1, got %d", cfg.Degree)
+	}
+	n := &Network{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		pool: mempool.New(),
+	}
+	n.buildGraph()
+	n.computeDistances()
+	n.observer.records = make(map[types.Hash]ObservedTx)
+	return n, nil
+}
+
+// buildGraph wires a connected random graph: a ring for connectivity plus
+// random chords up to the target degree.
+func (n *Network) buildGraph() {
+	nodes := n.cfg.Nodes
+	n.peers = make([][]int, nodes)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		for _, p := range n.peers[a] {
+			if p == b {
+				return
+			}
+		}
+		n.peers[a] = append(n.peers[a], b)
+		n.peers[b] = append(n.peers[b], a)
+	}
+	for i := 0; i < nodes; i++ {
+		addEdge(i, (i+1)%nodes)
+	}
+	for i := 0; i < nodes; i++ {
+		for len(n.peers[i]) < n.cfg.Degree {
+			addEdge(i, n.rng.Intn(nodes))
+		}
+	}
+}
+
+// computeDistances runs BFS from the observer (node 0).
+func (n *Network) computeDistances() {
+	dist := make([]int, n.cfg.Nodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range n.peers[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	n.distObs = dist
+}
+
+// Pool returns the canonical public mempool fed by this network.
+func (n *Network) Pool() *mempool.Pool { return n.pool }
+
+// Observer returns the measurement observer.
+func (n *Network) Observer() *Observer { return &n.observer }
+
+// StartObservation begins recording pending transactions at the given
+// chain height (the paper's Nov 8th, 2021 moment).
+func (n *Network) StartObservation(block uint64) {
+	n.observer.active = true
+	n.observer.startedAt = block
+}
+
+// StopObservation ends the recording window.
+func (n *Network) StopObservation(block uint64) {
+	n.observer.active = false
+	n.observer.stoppedAt = block
+}
+
+// Broadcast gossips a transaction from a random origin node at the given
+// height, admitting it to the public mempool and possibly recording it at
+// the observer. It returns whether the observer captured it.
+func (n *Network) Broadcast(tx *types.Transaction, block uint64, at time.Time) bool {
+	if !n.pool.Add(tx) {
+		return false // duplicate
+	}
+	if !n.observer.active {
+		return false
+	}
+	if n.rng.Float64() < n.cfg.ObserverMissRate {
+		return false
+	}
+	origin := n.rng.Intn(n.cfg.Nodes)
+	hops := n.distObs[origin]
+	if hops < 0 {
+		return false // unreachable (cannot happen with ring base graph)
+	}
+	h := tx.Hash()
+	n.observer.records[h] = ObservedTx{
+		Hash:           h,
+		FirstSeenBlock: block,
+		FirstSeen:      at.Add(time.Duration(hops) * n.cfg.HopLatency),
+		Hops:           hops,
+	}
+	n.observer.order = append(n.observer.order, h)
+	return true
+}
+
+// Diameter returns the maximum observer distance, a sanity metric for the
+// generated topology.
+func (n *Network) Diameter() int {
+	d := 0
+	for _, v := range n.distObs {
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// PeerCount returns the degree of one node.
+func (n *Network) PeerCount(node int) int {
+	if node < 0 || node >= len(n.peers) {
+		return 0
+	}
+	return len(n.peers[node])
+}
+
+// Nodes returns the network size.
+func (n *Network) Nodes() int { return n.cfg.Nodes }

@@ -1,0 +1,181 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"mevscope/internal/types"
+)
+
+func mkTx(i uint64) *types.Transaction {
+	return &types.Transaction{Nonce: i, From: types.DeriveAddress("p2p", 1), GasPrice: types.Gwei}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1, Degree: 2}); err == nil {
+		t.Error("1 node should be rejected")
+	}
+	if _, err := New(Config{Nodes: 10, Degree: 0}); err == nil {
+		t.Error("degree 0 should be rejected")
+	}
+	if _, err := New(DefaultConfig(1)); err != nil {
+		t.Errorf("default config: %v", err)
+	}
+}
+
+func TestGraphConnectivity(t *testing.T) {
+	n, err := New(Config{Nodes: 100, Degree: 6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS distances must all be reachable and the ring bound the diameter.
+	for i := 0; i < n.Nodes(); i++ {
+		if n.distObs[i] < 0 {
+			t.Fatalf("node %d unreachable", i)
+		}
+	}
+	if n.Diameter() <= 0 || n.Diameter() > 50 {
+		t.Errorf("diameter = %d", n.Diameter())
+	}
+	for i := 0; i < n.Nodes(); i++ {
+		if n.PeerCount(i) < 6 {
+			t.Errorf("node %d degree %d < 6", i, n.PeerCount(i))
+		}
+	}
+	if n.PeerCount(-1) != 0 || n.PeerCount(10_000) != 0 {
+		t.Error("out-of-range PeerCount should be 0")
+	}
+}
+
+func TestBroadcastFeedsPool(t *testing.T) {
+	n, _ := New(Config{Nodes: 20, Degree: 4, Seed: 1})
+	tx := mkTx(1)
+	n.Broadcast(tx, 100, time.Unix(0, 0))
+	if !n.Pool().Contains(tx.Hash()) {
+		t.Error("broadcast should admit to mempool")
+	}
+	// Duplicate broadcast is a no-op.
+	if n.Broadcast(tx, 101, time.Unix(1, 0)) {
+		t.Error("duplicate broadcast should return false")
+	}
+	if n.Pool().Len() != 1 {
+		t.Error("pool should hold one tx")
+	}
+}
+
+func TestObserverWindow(t *testing.T) {
+	n, _ := New(Config{Nodes: 20, Degree: 4, Seed: 1, ObserverMissRate: 0})
+	obs := n.Observer()
+	if obs.Active() {
+		t.Error("observer should start inactive")
+	}
+
+	before := mkTx(1)
+	n.Broadcast(before, 50, time.Unix(0, 0))
+	if obs.Seen(before.Hash()) {
+		t.Error("tx before window should be unseen")
+	}
+
+	n.StartObservation(100)
+	during := mkTx(2)
+	if !n.Broadcast(during, 120, time.Unix(10, 0)) {
+		t.Error("tx during window should be captured")
+	}
+	if !obs.Seen(during.Hash()) {
+		t.Error("Seen during window")
+	}
+	rec, ok := obs.Record(during.Hash())
+	if !ok || rec.FirstSeenBlock != 120 {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.FirstSeen.Before(time.Unix(10, 0)) {
+		t.Error("first seen should include hop latency")
+	}
+
+	n.StopObservation(200)
+	after := mkTx(3)
+	n.Broadcast(after, 220, time.Unix(20, 0))
+	if obs.Seen(after.Hash()) {
+		t.Error("tx after window should be unseen")
+	}
+
+	start, stop := obs.Window()
+	if start != 100 || stop != 200 {
+		t.Errorf("window = %d..%d", start, stop)
+	}
+	if obs.Count() != 1 {
+		t.Errorf("count = %d", obs.Count())
+	}
+	if len(obs.Records()) != 1 {
+		t.Error("records len")
+	}
+}
+
+func TestObserverMissRate(t *testing.T) {
+	n, _ := New(Config{Nodes: 50, Degree: 4, Seed: 7, ObserverMissRate: 0.2})
+	n.StartObservation(0)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Broadcast(mkTx(uint64(i)), uint64(i), time.Unix(int64(i), 0))
+	}
+	missed := total - n.Observer().Count()
+	// Expect ~20% misses; allow generous slack.
+	if missed < total*10/100 || missed > total*30/100 {
+		t.Errorf("missed %d of %d, want ≈ 20%%", missed, total)
+	}
+	// Everything still reached the mempool.
+	if n.Pool().Len() != total {
+		t.Error("all txs should be pending regardless of observer")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		n, _ := New(Config{Nodes: 60, Degree: 5, Seed: 99, ObserverMissRate: 0.1})
+		n.StartObservation(0)
+		var hops []int
+		for i := 0; i < 100; i++ {
+			tx := mkTx(uint64(i))
+			n.Broadcast(tx, uint64(i), time.Unix(int64(i), 0))
+			if r, ok := n.Observer().Record(tx.Hash()); ok {
+				hops = append(hops, r.Hops)
+			} else {
+				hops = append(hops, -1)
+			}
+		}
+		return hops
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestObserverOutageWindow(t *testing.T) {
+	// Failure injection: the observer goes dark mid-study (node outage);
+	// transactions broadcast during the gap must be classified private by
+	// the §6.1 inference — a known limitation the paper's window bounds
+	// protect against.
+	n, _ := New(Config{Nodes: 30, Degree: 4, Seed: 5, ObserverMissRate: 0})
+	n.StartObservation(100)
+	during := mkTx(1)
+	n.Broadcast(during, 110, time.Unix(0, 0))
+
+	n.StopObservation(150) // outage begins
+	gap := mkTx(2)
+	n.Broadcast(gap, 160, time.Unix(1, 0))
+
+	n.StartObservation(200) // node recovers
+	after := mkTx(3)
+	n.Broadcast(after, 210, time.Unix(2, 0))
+
+	obs := n.Observer()
+	if !obs.Seen(during.Hash()) || obs.Seen(gap.Hash()) || !obs.Seen(after.Hash()) {
+		t.Error("outage gap should be blind, bracketing windows visible")
+	}
+	if obs.Count() != 2 {
+		t.Errorf("count = %d", obs.Count())
+	}
+}

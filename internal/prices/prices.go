@@ -1,0 +1,101 @@
+// Package prices is the CoinGecko substitute: historical token→ETH price
+// series the profit computation uses to convert token gains into ether
+// (§3.1.2 and §3.1.3 of the paper convert arbitrage and liquidation gains
+// via the CoinGecko API).
+//
+// The simulation records a price point per token whenever oracle or pool
+// prices move; lookups return the last price at or before a block height.
+package prices
+
+import (
+	"sort"
+
+	"mevscope/internal/types"
+)
+
+// Point is one historical price observation.
+type Point struct {
+	Block uint64
+	// Price is ETH (Amount base units) per whole token.
+	Price types.Amount
+}
+
+// Series holds block-indexed price history per token.
+type Series struct {
+	hist map[types.Address][]Point
+}
+
+// NewSeries creates an empty price history.
+func NewSeries() *Series {
+	return &Series{hist: make(map[types.Address][]Point)}
+}
+
+// Record appends a price observation. Observations must be recorded in
+// non-decreasing block order per token; a same-block update overwrites.
+func (s *Series) Record(token types.Address, block uint64, price types.Amount) {
+	h := s.hist[token]
+	if n := len(h); n > 0 && h[n-1].Block == block {
+		h[n-1].Price = price
+		return
+	}
+	s.hist[token] = append(h, Point{Block: block, Price: price})
+}
+
+// At returns the token price in effect at the given block: the most recent
+// observation at or before it.
+func (s *Series) At(token types.Address, block uint64) (types.Amount, bool) {
+	h := s.hist[token]
+	if len(h) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(h), func(i int) bool { return h[i].Block > block })
+	if i == 0 {
+		return 0, false
+	}
+	return h[i-1].Price, true
+}
+
+// Latest returns the most recent price for a token.
+func (s *Series) Latest(token types.Address) (types.Amount, bool) {
+	h := s.hist[token]
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[len(h)-1].Price, true
+}
+
+// ValueInETH converts a token amount to ETH at the price in effect at
+// block. Unknown tokens return (0, false).
+func (s *Series) ValueInETH(token types.Address, amount types.Amount, block uint64) (types.Amount, bool) {
+	p, ok := s.At(token, block)
+	if !ok {
+		return 0, false
+	}
+	return amount.MulDiv(p, types.Ether), true
+}
+
+// Tokens lists all tokens with history.
+func (s *Series) Tokens() []types.Address {
+	out := make([]types.Address, 0, len(s.hist))
+	for t := range s.hist {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// History returns the full series for one token.
+func (s *Series) History(token types.Address) []Point {
+	h := s.hist[token]
+	out := make([]Point, len(h))
+	copy(out, h)
+	return out
+}

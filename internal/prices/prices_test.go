@@ -1,0 +1,92 @@
+package prices
+
+import (
+	"testing"
+
+	"mevscope/internal/types"
+)
+
+func tok(i uint64) types.Address { return types.DeriveAddress("price", i) }
+
+func TestRecordAndAt(t *testing.T) {
+	s := NewSeries()
+	s.Record(tok(1), 100, types.Ether/2000)
+	s.Record(tok(1), 200, types.Ether/1000)
+
+	if _, ok := s.At(tok(1), 50); ok {
+		t.Error("before first observation should miss")
+	}
+	if p, ok := s.At(tok(1), 100); !ok || p != types.Ether/2000 {
+		t.Errorf("at 100 = %v %v", p, ok)
+	}
+	if p, ok := s.At(tok(1), 150); !ok || p != types.Ether/2000 {
+		t.Errorf("at 150 = %v %v", p, ok)
+	}
+	if p, ok := s.At(tok(1), 999); !ok || p != types.Ether/1000 {
+		t.Errorf("at 999 = %v %v", p, ok)
+	}
+	if _, ok := s.At(tok(2), 100); ok {
+		t.Error("unknown token")
+	}
+}
+
+func TestSameBlockOverwrite(t *testing.T) {
+	s := NewSeries()
+	s.Record(tok(1), 100, 1)
+	s.Record(tok(1), 100, 2)
+	if p, _ := s.At(tok(1), 100); p != 2 {
+		t.Errorf("overwrite = %v", p)
+	}
+	if len(s.History(tok(1))) != 1 {
+		t.Error("history length")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := NewSeries()
+	if _, ok := s.Latest(tok(1)); ok {
+		t.Error("empty latest")
+	}
+	s.Record(tok(1), 10, 5)
+	s.Record(tok(1), 20, 7)
+	if p, ok := s.Latest(tok(1)); !ok || p != 7 {
+		t.Errorf("latest = %v", p)
+	}
+}
+
+func TestValueInETH(t *testing.T) {
+	s := NewSeries()
+	dai := tok(1)
+	s.Record(dai, 100, types.Ether/2000) // 2000 DAI per ETH
+	v, ok := s.ValueInETH(dai, 4000*types.Ether, 150)
+	if !ok || v != 2*types.Ether {
+		t.Errorf("value = %v %v", v, ok)
+	}
+	if _, ok := s.ValueInETH(tok(9), 1, 100); ok {
+		t.Error("unknown token value")
+	}
+}
+
+func TestTokensSorted(t *testing.T) {
+	s := NewSeries()
+	s.Record(tok(3), 1, 1)
+	s.Record(tok(1), 1, 1)
+	s.Record(tok(2), 1, 1)
+	toks := s.Tokens()
+	if len(toks) != 3 {
+		t.Fatal("count")
+	}
+	for i := 1; i < len(toks); i++ {
+		a, b := toks[i-1], toks[i]
+		less := false
+		for k := range a {
+			if a[k] != b[k] {
+				less = a[k] < b[k]
+				break
+			}
+		}
+		if !less {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package privpool models non-Flashbots private transaction pools — the
+// Eden-Network/Taichi style RPC endpoints of the paper's §6, plus the
+// single-miner private channels inferred in §6.3.
+//
+// Unlike Flashbots, these pools publish nothing: there is no public API,
+// no bundle records, no mined-block disclosure. Transactions submitted
+// here bypass the gossip network and appear on chain "out of nowhere",
+// which is precisely the signal the private-transaction inference keys on.
+//
+// Submissions are atomic entries: an ordered transaction sequence the
+// miner must include together (a private sandwich interleaves with its
+// public victim exactly like a Flashbots bundle does).
+package privpool
+
+import (
+	"errors"
+	"sort"
+
+	"mevscope/internal/types"
+)
+
+// ErrNotMember is returned when a non-member miner asks for transactions.
+var ErrNotMember = errors.New("privpool: miner is not a member of this pool")
+
+// Entry is one atomic private submission: either a single transaction or
+// an ordered sequence the miner honours as a unit.
+type Entry struct {
+	Txs []*types.Transaction
+	// Expires drops the entry after this block height (0 = never).
+	Expires uint64
+}
+
+// Value is the miner-visible worth of the entry (coinbase tips plus priced
+// gas) used for ordering.
+func (e Entry) Value(baseFee types.Amount) types.Amount {
+	var v types.Amount
+	for _, tx := range e.Txs {
+		v += tx.CoinbaseTip + types.Amount(tx.GasLimit)*tx.EffectiveTip(baseFee)
+	}
+	return v
+}
+
+// Pool is one private transaction pool with a fixed miner membership.
+type Pool struct {
+	Name    string
+	defunct bool
+
+	members map[types.Address]bool
+	order   []types.Address
+
+	queue []Entry
+	seen  map[types.Hash]bool
+}
+
+// New creates a private pool with the given participating miners.
+func New(name string, miners ...types.Address) *Pool {
+	p := &Pool{
+		Name:    name,
+		members: make(map[types.Address]bool),
+		seen:    make(map[types.Hash]bool),
+	}
+	for _, m := range miners {
+		p.AddMiner(m)
+	}
+	return p
+}
+
+// NewSingleMiner creates the degenerate one-miner pool of §6.3 — a miner
+// extracting MEV through its own private channel.
+func NewSingleMiner(name string, miner types.Address) *Pool {
+	return New(name, miner)
+}
+
+// AddMiner admits a miner to the pool.
+func (p *Pool) AddMiner(m types.Address) {
+	if p.members[m] {
+		return
+	}
+	p.members[m] = true
+	p.order = append(p.order, m)
+}
+
+// IsMember reports whether the miner participates in this pool.
+func (p *Pool) IsMember(m types.Address) bool { return p.members[m] }
+
+// Miners lists the member miners in admission order.
+func (p *Pool) Miners() []types.Address {
+	out := make([]types.Address, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// SingleMiner reports whether the pool has exactly one member.
+func (p *Pool) SingleMiner() bool { return len(p.order) == 1 }
+
+// Shutdown marks the pool defunct (the Taichi Network went dark on
+// October 15th, 2021); further submissions are dropped.
+func (p *Pool) Shutdown() { p.defunct = true }
+
+// Defunct reports whether the pool has shut down.
+func (p *Pool) Defunct() bool { return p.defunct }
+
+// Submit queues an atomic private entry. Entries with no transactions,
+// duplicate leading hashes, or submitted to a defunct pool are ignored;
+// returns whether the entry was queued.
+func (p *Pool) Submit(e Entry) bool {
+	if p.defunct || len(e.Txs) == 0 {
+		return false
+	}
+	h := e.Txs[0].Hash()
+	if p.seen[h] {
+		return false
+	}
+	p.seen[h] = true
+	p.queue = append(p.queue, e)
+	return true
+}
+
+// SubmitTx queues a single-transaction entry.
+func (p *Pool) SubmitTx(tx *types.Transaction) bool {
+	return p.Submit(Entry{Txs: []*types.Transaction{tx}})
+}
+
+// PendingFor returns queued entries visible to a member miner at a height,
+// best value first. Non-members get ErrNotMember — the pool is dark to
+// them.
+func (p *Pool) PendingFor(miner types.Address, block uint64, baseFee types.Amount) ([]Entry, error) {
+	if !p.members[miner] {
+		return nil, ErrNotMember
+	}
+	var out []Entry
+	for _, e := range p.queue {
+		if e.Expires != 0 && block > e.Expires {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Value(baseFee) > out[j].Value(baseFee) })
+	return out, nil
+}
+
+// Prune drops expired entries as of the given height.
+func (p *Pool) Prune(block uint64) {
+	kept := p.queue[:0]
+	for _, e := range p.queue {
+		if e.Expires != 0 && block > e.Expires {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	p.queue = kept
+}
+
+// MarkIncluded removes entries whose transactions made it on chain (an
+// entry is dropped when any of its transactions is in the given set).
+func (p *Pool) MarkIncluded(hashes ...types.Hash) {
+	drop := make(map[types.Hash]bool, len(hashes))
+	for _, h := range hashes {
+		drop[h] = true
+	}
+	kept := p.queue[:0]
+	for _, e := range p.queue {
+		hit := false
+		for _, tx := range e.Txs {
+			if drop[tx.Hash()] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			kept = append(kept, e)
+		}
+	}
+	p.queue = kept
+}
+
+// Len is the number of queued entries.
+func (p *Pool) Len() int { return len(p.queue) }
+
+// Registry tracks every private pool in the world so miners can poll the
+// ones they belong to.
+type Registry struct {
+	pools []*Pool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a pool.
+func (r *Registry) Add(p *Pool) { r.pools = append(r.pools, p) }
+
+// Pools lists every pool.
+func (r *Registry) Pools() []*Pool { return r.pools }
+
+// PoolsFor lists the live pools a miner belongs to.
+func (r *Registry) PoolsFor(miner types.Address) []*Pool {
+	var out []*Pool
+	for _, p := range r.pools {
+		if !p.Defunct() && p.IsMember(miner) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PendingFor aggregates the private entries a miner can draw from across
+// all its pools, de-duplicated by leading transaction, best value first.
+func (r *Registry) PendingFor(miner types.Address, block uint64, baseFee types.Amount) []Entry {
+	seen := map[types.Hash]bool{}
+	var out []Entry
+	for _, p := range r.PoolsFor(miner) {
+		entries, err := p.PendingFor(miner, block, baseFee)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			h := e.Txs[0].Hash()
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Value(baseFee) > out[j].Value(baseFee) })
+	return out
+}
+
+// MarkIncluded removes the given transactions from every pool.
+func (r *Registry) MarkIncluded(hashes ...types.Hash) {
+	for _, p := range r.pools {
+		p.MarkIncluded(hashes...)
+	}
+}
+
+// Prune drops expired entries from every pool.
+func (r *Registry) Prune(block uint64) {
+	for _, p := range r.pools {
+		p.Prune(block)
+	}
+}

@@ -1,0 +1,163 @@
+package privpool
+
+import (
+	"testing"
+
+	"mevscope/internal/types"
+)
+
+func addr(i uint64) types.Address { return types.DeriveAddress("pp", i) }
+
+func mkTx(n uint64, tip types.Amount) *types.Transaction {
+	return &types.Transaction{Nonce: n, From: addr(50), GasLimit: 100_000, GasPrice: types.Gwei, CoinbaseTip: tip}
+}
+
+func one(tx *types.Transaction) Entry { return Entry{Txs: []*types.Transaction{tx}} }
+
+func TestMembership(t *testing.T) {
+	p := New("Eden", addr(1), addr(2))
+	if !p.IsMember(addr(1)) || !p.IsMember(addr(2)) || p.IsMember(addr(3)) {
+		t.Error("membership")
+	}
+	p.AddMiner(addr(1)) // duplicate
+	if len(p.Miners()) != 2 {
+		t.Error("duplicate AddMiner")
+	}
+	if p.SingleMiner() {
+		t.Error("two-miner pool is not single")
+	}
+	sm := NewSingleMiner("F2Pool-private", addr(9))
+	if !sm.SingleMiner() {
+		t.Error("single-miner pool")
+	}
+}
+
+func TestSubmitAndVisibility(t *testing.T) {
+	p := New("Eden", addr(1))
+	tx := mkTx(1, types.Ether)
+	if !p.SubmitTx(tx) {
+		t.Error("submit")
+	}
+	if p.SubmitTx(tx) {
+		t.Error("duplicate submit should be rejected")
+	}
+	if !p.Submit(Entry{}) == false {
+		t.Error("empty entry should be rejected")
+	}
+	if p.Len() != 1 {
+		t.Error("len")
+	}
+	got, err := p.PendingFor(addr(1), 10, 0)
+	if err != nil || len(got) != 1 || got[0].Txs[0] != tx {
+		t.Errorf("member view: %v %v", got, err)
+	}
+	if _, err := p.PendingFor(addr(2), 10, 0); err != ErrNotMember {
+		t.Errorf("non-member must see nothing: %v", err)
+	}
+}
+
+func TestEntryValueOrdering(t *testing.T) {
+	p := New("Eden", addr(1))
+	lo, hi := mkTx(1, types.Milliether), mkTx(2, types.Ether)
+	p.SubmitTx(lo)
+	p.SubmitTx(hi)
+	got, _ := p.PendingFor(addr(1), 10, 0)
+	if got[0].Txs[0] != hi || got[1].Txs[0] != lo {
+		t.Error("ordering")
+	}
+}
+
+func TestMultiTxEntryAtomicity(t *testing.T) {
+	p := New("solo", addr(1))
+	front, back := mkTx(1, 0), mkTx(2, types.Ether)
+	p.Submit(Entry{Txs: []*types.Transaction{front, back}})
+	if p.Len() != 1 {
+		t.Error("one entry")
+	}
+	// Including either tx drops the whole entry.
+	p.MarkIncluded(back.Hash())
+	if p.Len() != 0 {
+		t.Error("entry should drop when any tx lands")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	p := New("Eden", addr(1))
+	p.Submit(Entry{Txs: []*types.Transaction{mkTx(1, 0)}, Expires: 100})
+	p.Submit(Entry{Txs: []*types.Transaction{mkTx(2, 0)}}) // never expires
+	got, _ := p.PendingFor(addr(1), 100, 0)
+	if len(got) != 2 {
+		t.Errorf("at expiry boundary = %d", len(got))
+	}
+	got, _ = p.PendingFor(addr(1), 101, 0)
+	if len(got) != 1 {
+		t.Errorf("past expiry = %d", len(got))
+	}
+	p.Prune(101)
+	if p.Len() != 1 {
+		t.Errorf("prune should drop expired: %d", p.Len())
+	}
+}
+
+func TestShutdown(t *testing.T) {
+	p := New("Taichi", addr(1))
+	p.Shutdown()
+	if !p.Defunct() {
+		t.Error("defunct flag")
+	}
+	if p.SubmitTx(mkTx(1, 0)) {
+		t.Error("defunct pool must reject submissions")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	eden := New("Eden", addr(1), addr(2))
+	taichi := New("Taichi", addr(1))
+	solo := NewSingleMiner("solo", addr(3))
+	r.Add(eden)
+	r.Add(taichi)
+	r.Add(solo)
+
+	if n := len(r.PoolsFor(addr(1))); n != 2 {
+		t.Errorf("miner1 pools = %d", n)
+	}
+	taichi.Shutdown()
+	if n := len(r.PoolsFor(addr(1))); n != 1 {
+		t.Errorf("miner1 pools after shutdown = %d", n)
+	}
+	if n := len(r.Pools()); n != 3 {
+		t.Errorf("all pools = %d", n)
+	}
+}
+
+func TestRegistryAggregationDedupes(t *testing.T) {
+	r := NewRegistry()
+	p1 := New("A", addr(1))
+	p2 := New("B", addr(1))
+	r.Add(p1)
+	r.Add(p2)
+	shared := mkTx(1, types.Ether)
+	only1 := mkTx(2, types.Milliether)
+	p1.SubmitTx(shared)
+	p2.SubmitTx(shared) // same tx via both pools
+	p1.SubmitTx(only1)
+
+	got := r.PendingFor(addr(1), 10, 0)
+	if len(got) != 2 {
+		t.Fatalf("want dedup to 2, got %d", len(got))
+	}
+	if got[0].Txs[0] != shared { // higher value first
+		t.Error("value ordering")
+	}
+	r.MarkIncluded(shared.Hash(), only1.Hash())
+	if p1.Len() != 0 || p2.Len() != 0 {
+		t.Error("MarkIncluded should clear all pools")
+	}
+	// Registry prune drops expired everywhere.
+	p1.Submit(Entry{Txs: []*types.Transaction{mkTx(3, 0)}, Expires: 5})
+	r.Prune(10)
+	if p1.Len() != 0 {
+		t.Error("registry prune")
+	}
+}

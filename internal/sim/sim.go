@@ -1,0 +1,1182 @@
+// Package sim is the simulation driver: it assembles the world (chain,
+// gossip network, Flashbots relay, private pools, miners, agents), runs
+// the 23-month study window block by block following the per-month
+// calibration table, and retains ground truth for validation.
+//
+// Everything downstream — detection, private-transaction inference, the
+// tables and figures — consumes only the artifacts a real measurement
+// would have: the chain, the observer's pending-transaction records and
+// the Flashbots public API.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mevscope/internal/agents"
+	"mevscope/internal/chain"
+	"mevscope/internal/evmlite"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/genesis"
+	"mevscope/internal/miner"
+	"mevscope/internal/p2p"
+	"mevscope/internal/prices"
+	"mevscope/internal/privpool"
+	"mevscope/internal/types"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	Seed           int64
+	BlocksPerMonth uint64
+	// Months limits the run (≤ types.StudyMonths); zero runs the full
+	// window.
+	Months    int
+	NumMiners int
+	// NumTraders is the ordinary-user population.
+	NumTraders int
+	// DisableFlashbots runs the counterfactual world where Flashbots never
+	// launches: no relay, no bundles, priority gas auctions persist at
+	// pre-2021 intensity. Used by the §8.2 gas-price ablation.
+	DisableFlashbots bool
+	Genesis          genesis.Config
+	Net              p2p.Config
+}
+
+// DefaultConfig is a full-window run at a laptop-friendly scale.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		BlocksPerMonth: 600,
+		NumMiners:      55,
+		NumTraders:     400,
+		Genesis:        genesis.DefaultConfig(seed + 1),
+		Net:            p2p.DefaultConfig(seed + 2),
+	}
+}
+
+// Sim is a running simulation.
+type Sim struct {
+	Cfg   Config
+	Cal   [types.StudyMonths]MonthCal
+	World *genesis.World
+	Chain *chain.Chain
+	Net   *p2p.Network
+	Relay *flashbots.Relay
+	Priv  *privpool.Registry
+	Mset  *miner.Set
+	Truth *TruthLog
+	// Prices is the CoinGecko-substitute series recorded during the run.
+	Prices *prices.Series
+
+	rng *rand.Rand
+
+	traders     []*agents.Trader
+	protected   []*agents.Trader
+	sandwichers []*agents.Searcher
+	arbers      []*agents.Searcher
+	liquidators []*agents.Searcher
+	minerBots   map[types.Address]*agents.Searcher
+	rogueBots   map[types.Address]*agents.Searcher
+
+	// §6.3 dedicated accounts: each submits private MEV exclusively
+	// through one single-miner pool.
+	DedicatedF2   *agents.Searcher
+	DedicatedFlex *agents.Searcher
+	Eden          *privpool.Pool
+	F2Priv        *privpool.Pool
+	FlexPriv      *privpool.Pool
+
+	oracleAdmin *agents.Account
+	borrowerSeq uint64
+	borrowers   []*agents.Borrower
+
+	authorizedThrough types.Month
+	emitted700        bool
+	obsStarted        bool
+	obsStopped        bool
+
+	// liqAttempted throttles repeat liquidation submissions per loan.
+	liqAttempted map[liqKey]uint64
+	// botAddrs marks searcher/miner-bot accounts: their pending
+	// transactions are never treated as sandwich victims (real PGA
+	// competitors bid on the same victim, not on each other's frontruns).
+	botAddrs map[types.Address]bool
+}
+
+type liqKey struct {
+	protocol types.Address
+	loanID   uint64
+}
+
+// New assembles a simulation.
+func New(cfg Config) (*Sim, error) {
+	if cfg.BlocksPerMonth == 0 {
+		return nil, fmt.Errorf("sim: BlocksPerMonth must be positive")
+	}
+	if cfg.Months <= 0 || cfg.Months > types.StudyMonths {
+		cfg.Months = types.StudyMonths
+	}
+	if cfg.NumMiners < 10 {
+		cfg.NumMiners = 10
+	}
+	if cfg.NumTraders < 20 {
+		cfg.NumTraders = 20
+	}
+	w, err := genesis.Build(cfg.Genesis)
+	if err != nil {
+		return nil, err
+	}
+	net, err := p2p.New(cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		Cfg:               cfg,
+		Cal:               DefaultCalibration(),
+		World:             w,
+		Chain:             chain.New(types.DefaultTimeline(cfg.BlocksPerMonth)),
+		Net:               net,
+		Relay:             flashbots.NewRelay(),
+		Priv:              privpool.NewRegistry(),
+		Mset:              miner.NewMainnetLikeSet(cfg.NumMiners, cfg.Seed+3),
+		Truth:             &TruthLog{},
+		Prices:            prices.NewSeries(),
+		rng:               rand.New(rand.NewSource(cfg.Seed)),
+		minerBots:         make(map[types.Address]*agents.Searcher),
+		rogueBots:         make(map[types.Address]*agents.Searcher),
+		oracleAdmin:       agents.NewAccount("oracle-admin", 0),
+		authorizedThrough: -1,
+		liqAttempted:      make(map[liqKey]uint64),
+		botAddrs:          make(map[types.Address]bool),
+	}
+	if cfg.DisableFlashbots {
+		disableFlashbots(&s.Cal)
+	} else {
+		s.assignAdoption()
+	}
+	s.setupAgents()
+	s.setupPrivatePools()
+	s.World.St.Mint(s.oracleAdmin.Addr, 10_000*types.Ether)
+	s.recordPrices(s.Chain.Timeline.StartBlock)
+	return s, nil
+}
+
+// assignAdoption gives each miner a Flashbots adoption month so cumulative
+// hashpower tracks the paper's §4.3 curve: biggest miners first.
+func (s *Sim) assignAdoption() {
+	targets := AdoptionTargets()
+	miners := append([]*miner.Miner(nil), s.Mset.Miners()...)
+	// Sort by hashpower descending (stable insertion; the set is small).
+	for i := 1; i < len(miners); i++ {
+		for j := i; j > 0 && miners[j].Hashpower > miners[j-1].Hashpower; j-- {
+			miners[j], miners[j-1] = miners[j-1], miners[j]
+		}
+	}
+	var total float64
+	for _, m := range miners {
+		total += m.Hashpower
+	}
+	cum := 0.0
+	idx := 0
+	for m := types.FlashbotsLaunchMonth; m <= 17; m++ {
+		target := targets[m]
+		for idx < len(miners) && cum/total < target {
+			miners[idx].AdoptsFlashbots = m
+			cum += miners[idx].Hashpower
+			idx++
+		}
+	}
+	// The remaining tail (≈0.1 % of hashpower) never adopts.
+}
+
+func (s *Sim) setupAgents() {
+	for i := 0; i < s.Cfg.NumTraders; i++ {
+		s.traders = append(s.traders, agents.NewTrader(uint64(i)))
+	}
+	for i := 0; i < 2000; i++ {
+		s.protected = append(s.protected, agents.NewTrader(uint64(100_000+i)))
+	}
+	for i := 0; i < 60; i++ {
+		sw := agents.NewSearcher(uint64(1000+i), 0.85+0.15*s.rng.Float64())
+		sw.Fund(&s.World.World, 200*types.Ether, 3_000*types.Ether)
+		s.sandwichers = append(s.sandwichers, sw)
+		s.botAddrs[sw.Addr] = true
+	}
+	for i := 0; i < 80; i++ {
+		ar := agents.NewSearcher(uint64(2000+i), 0.8+0.2*s.rng.Float64())
+		ar.Fund(&s.World.World, 200*types.Ether, 2_000*types.Ether)
+		s.arbers = append(s.arbers, ar)
+		s.botAddrs[ar.Addr] = true
+	}
+	for i := 0; i < 20; i++ {
+		lq := agents.NewSearcher(uint64(3000+i), 1.0)
+		lq.Fund(&s.World.World, 200*types.Ether, 1_000*types.Ether)
+		s.liquidators = append(s.liquidators, lq)
+		s.botAddrs[lq.Addr] = true
+	}
+	// Miner self-extraction bots trade from the coinbase account. Before
+	// MEV-geth, miners size attacks naively (lower skill); rogue bundles
+	// post-adoption are planned with full tooling.
+	for _, m := range s.Mset.Miners() {
+		bot := agents.NewSearcherAt(m.Addr, 0.4)
+		bot.Fund(&s.World.World, 500*types.Ether, 3_000*types.Ether)
+		s.minerBots[m.Addr] = bot
+		s.botAddrs[m.Addr] = true
+		rogue := agents.NewSearcherAt(m.Addr, 1.0)
+		// Disjoint nonce space from the payout/self bot so the two
+		// planners never produce colliding transactions.
+		rogue.SkipNonces(1 << 40)
+		s.rogueBots[m.Addr] = rogue
+	}
+}
+
+func (s *Sim) setupPrivatePools() {
+	miners := s.Mset.Miners()
+	// Eden-like pool: a handful of mid-size miners (plus the two big pools,
+	// which the paper found participate in broader private pools too).
+	members := []types.Address{}
+	for _, i := range []int{0, 1, 3, 5, 6, 8, 11, 14} {
+		if i < len(miners) {
+			members = append(members, miners[i].Addr)
+		}
+	}
+	s.Eden = privpool.New("eden-like", members...)
+	s.Priv.Add(s.Eden)
+
+	// §6.3 single-miner channels with dedicated extractor accounts.
+	if len(miners) > 1 {
+		s.F2Priv = privpool.NewSingleMiner("f2pool-private", miners[1].Addr)
+		s.Priv.Add(s.F2Priv)
+		s.DedicatedF2 = agents.NewSearcherAt(types.HexToAddress("0xDD28D64E40e00aF54a0B5147539A515C4A0bC1c5"), 1.0)
+		s.DedicatedF2.Fund(&s.World.World, 200*types.Ether, 2_000*types.Ether)
+	}
+	if len(miners) > 4 {
+		s.FlexPriv = privpool.NewSingleMiner("flexpool-private", miners[4].Addr)
+		s.Priv.Add(s.FlexPriv)
+		s.DedicatedFlex = agents.NewSearcherAt(types.HexToAddress("0x42B2C65dB7F9e3b6c26Bc6151CCf30CcE0fb99EA"), 1.0)
+		s.DedicatedFlex.Fund(&s.World.World, 200*types.Ether, 2_000*types.Ether)
+	}
+}
+
+// EndBlock returns the last block of the configured run.
+func (s *Sim) EndBlock() uint64 {
+	return s.Chain.Timeline.StartBlock + uint64(s.Cfg.Months)*s.Cfg.BlocksPerMonth - 1
+}
+
+// Run simulates the configured window to completion.
+func (s *Sim) Run() error {
+	end := s.EndBlock()
+	for s.Chain.NextNumber() <= end {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step simulates one block.
+func (s *Sim) Step() error {
+	n := s.Chain.NextNumber()
+	month := s.Chain.Timeline.MonthOfBlock(n)
+	cal := &s.Cal[month]
+	baseFee := s.Chain.NextBaseFee()
+	now := s.Chain.Timeline.TimeOfBlock(n)
+	london := baseFee > 0
+	fbLive := month >= types.FlashbotsLaunchMonth && !s.Cfg.DisableFlashbots
+
+	s.toggleObservation(n, month)
+	s.authorizeMiners(month)
+
+	// The proposer for this height is drawn up front: private-pool
+	// searchers act on slot knowledge (Eden-style slot tenancy).
+	proposer := s.Mset.Pick(s.rng)
+	proposerFB := fbLive && proposer.UsesFlashbots(month)
+
+	// 1. Credit market: drift, new risky loans, oracle shocks.
+	s.driftOracle()
+	if s.rng.Float64() < cal.NewLoanProb {
+		s.openLoan()
+	}
+	var shockTx *types.Transaction
+	if s.rng.Float64() < cal.OracleShockProb {
+		shockTx = s.broadcastOracleShock(n, now, cal, london, baseFee)
+	}
+
+	// 2. Ordinary traders. Post-London, demand is price-elastic: traffic
+	// grows while the base fee sits below the organic gas level and backs
+	// off above it, so the EIP-1559 base fee equilibrates near the
+	// calibrated level.
+	rate := cal.TraderTxPerBlock
+	if london {
+		mult := cal.GasBaseGwei / (float64(baseFee) / float64(types.Gwei))
+		if mult > 6.0 {
+			mult = 6.0
+		}
+		if mult < 0.35 {
+			mult = 0.35
+		}
+		rate *= mult
+	}
+	bigScale := cal.TraderTxPerBlock / rate
+	nTrades := s.poisson(rate)
+	for i := 0; i < nTrades; i++ {
+		s.broadcastTraderSwap(n, now, cal, london, baseFee, bigScale)
+	}
+
+	// 3. MEV-protected users: bursty bundle traffic (order-dependent
+	// trades and MEV-protected swaps).
+	if fbLive && s.rng.Float64() < cal.ProtectedBurstProb {
+		k := 1 + s.poisson(cal.ProtectedBurstSize)
+		if s.rng.Float64() < 0.012 {
+			k += 10 + s.rng.Intn(33) // occasional very busy block (max 42 in the paper)
+		}
+		for i := 0; i < k; i++ {
+			s.submitProtectedTrade(n, month, cal, london, baseFee)
+		}
+	}
+
+	// 4. Proposer-side MEV and payouts. The proposer picks victims before
+	// outside searchers: it controls the block.
+	targeted := make(map[types.Hash]bool)
+	poolsUsed := make(map[types.Address]bool)
+	var ownBundles []*flashbots.Bundle
+	var ownEntries []privpool.Entry
+	if proposerFB {
+		if b := s.maybePayoutBundle(proposer, n); b != nil {
+			ownBundles = append(ownBundles, b)
+		}
+		if s.rng.Float64() < cal.RogueProb {
+			if b := s.rogueSandwich(n, month, proposer, targeted, poolsUsed); b != nil {
+				ownBundles = append(ownBundles, b)
+			}
+		}
+		if s.rng.Float64() < cal.RogueMiscProb {
+			if b := s.rogueMiscBundle(proposer, n, baseFee); b != nil {
+				ownBundles = append(ownBundles, b)
+			}
+		}
+	} else if s.rng.Float64() < cal.MinerSelfProb {
+		if e, ok := s.minerSelfSandwich(n, month, proposer, targeted, poolsUsed); ok {
+			ownEntries = append(ownEntries, e)
+		}
+	}
+
+	// 5. Searchers. Every sandwichable victim pending this block is
+	// attacked with probability SandwichTakeRate.
+	for s.rng.Float64() < cal.SandwichTakeRate {
+		if !s.attemptSandwich(n, month, cal, london, baseFee, fbLive, proposer, targeted, poolsUsed) {
+			break
+		}
+	}
+	s.attemptArbs(n, month, cal, london, baseFee, fbLive, proposer, poolsUsed)
+	if cal.LiqScan {
+		s.attemptLiquidations(n, month, cal, london, baseFee, fbLive, proposer, shockTx)
+	}
+
+	// 6. Build the block.
+	var relayBundles []*flashbots.Bundle
+	if proposerFB {
+		relayBundles, _ = s.Relay.PendingFor(proposer.Addr, n, baseFee)
+	}
+	bundles := append(ownBundles, relayBundles...)
+	private := append(ownEntries, s.Priv.PendingFor(proposer.Addr, n, baseFee)...)
+	res := miner.Build(s.World.Ex, miner.BuildInput{
+		Number:     n,
+		Time:       now,
+		BaseFee:    baseFee,
+		GasLimit:   s.Chain.GasLimit,
+		Coinbase:   proposer.Addr,
+		Bundles:    bundles,
+		MaxBundles: len(ownBundles) + proposer.MaxBundles,
+		Private:    private,
+		Public:     s.Net.Pool(),
+		Seen:       s.Chain.HasTx,
+	})
+	s.Relay.RecordBlock(res.Block, res.Included)
+	if len(res.Block.Txs) > 0 {
+		hashes := make([]types.Hash, len(res.Block.Txs))
+		for i, tx := range res.Block.Txs {
+			hashes[i] = tx.Hash()
+		}
+		s.Priv.MarkIncluded(hashes...)
+	}
+	s.Priv.Prune(n)
+	if err := s.Chain.Append(res.Block); err != nil {
+		return err
+	}
+	proposer.Produced++
+
+	s.Truth.Resolve(s.landedOK)
+	if n%25 == 0 {
+		s.recordPrices(n)
+	}
+	return nil
+}
+
+// victimPriceOf is the victim's effective gas price at the given base fee.
+func victimPriceOf(v *types.Transaction, baseFee types.Amount) types.Amount {
+	return v.EffectiveGasPrice(baseFee)
+}
+
+// landedOK reports whether a transaction is on chain and succeeded.
+func (s *Sim) landedOK(h types.Hash) bool {
+	rcpt, err := s.Chain.Receipt(h)
+	return err == nil && rcpt.Status == types.StatusSuccess
+}
+
+func (s *Sim) toggleObservation(n uint64, month types.Month) {
+	if !s.obsStarted && month >= types.ObservationStartMonth {
+		s.Net.StartObservation(n)
+		s.obsStarted = true
+	}
+}
+
+func (s *Sim) authorizeMiners(month types.Month) {
+	if month <= s.authorizedThrough {
+		return
+	}
+	for _, m := range s.Mset.Miners() {
+		if m.UsesFlashbots(month) {
+			_ = s.Relay.AuthorizeMiner(m.Addr)
+		}
+	}
+	s.authorizedThrough = month
+}
+
+func (s *Sim) gasPricing(cal *MonthCal, london bool, baseFee types.Amount) agents.GasPricing {
+	price := types.Amount(cal.GasBaseGwei * math.Exp(s.rng.NormFloat64()*0.35) * float64(types.Gwei))
+	if price < types.Gwei {
+		price = types.Gwei
+	}
+	if london {
+		// Post-London users bid priority fees on top of the base fee.
+		tip := types.Amount(2+s.rng.Float64()*4) * types.Gwei
+		return agents.GasPricing{London: true, BaseFee: baseFee, Price: tip}
+	}
+	return agents.GasPricing{Price: price}
+}
+
+// bundleGas is the minimal pricing searchers give bundle transactions
+// (payment rides the coinbase transfer instead).
+func bundleGas(london bool, baseFee types.Amount) agents.GasPricing {
+	if london {
+		return agents.GasPricing{London: true, BaseFee: baseFee, Price: types.Gwei}
+	}
+	return agents.GasPricing{Price: 2 * types.Gwei}
+}
+
+func (s *Sim) broadcastTraderSwap(n uint64, now time.Time, cal *MonthCal, london bool, baseFee types.Amount, bigScale float64) {
+	tr := s.traders[s.rng.Intn(len(s.traders))]
+	size := types.Amount(cal.TradeSizeETH * math.Exp(s.rng.NormFloat64()*0.8) * float64(types.Ether))
+	if s.rng.Float64() < cal.BigTradeProb*bigScale {
+		size *= types.Amount(8 + s.rng.Intn(14))
+	}
+	if limit := 130 * types.Ether; size > limit {
+		// Whales split orders; single swaps above ~130 WETH are rare.
+		size = limit.MulDiv(types.Amount(80+s.rng.Intn(40)), 100)
+	}
+	if size < types.Milliether {
+		size = types.Milliether
+	}
+	s.topUp(tr.Addr, size*3)
+	tx := tr.SwapTx(&s.World.World, s.rng, size, 200+s.rng.Intn(400), s.gasPricing(cal, london, baseFee))
+	if tx == nil {
+		return
+	}
+	s.Net.Broadcast(tx, n, now)
+}
+
+func (s *Sim) submitProtectedTrade(n uint64, month types.Month, cal *MonthCal, london bool, baseFee types.Amount) {
+	idx := s.rng.Intn(maxInt(cal.ActiveProtected, 1))
+	if idx >= len(s.protected) {
+		idx = s.rng.Intn(len(s.protected))
+	}
+	user := s.protected[idx]
+	size := types.Amount(cal.TradeSizeETH * math.Exp(s.rng.NormFloat64()*0.7) * float64(types.Ether))
+	if size < types.Milliether {
+		size = types.Milliether
+	}
+	s.topUp(user.Addr, size*12)
+	// Most protection bundles carry one trade; about a third are
+	// order-dependent multi-transaction sequences (§4.1: 61.4 % of
+	// bundles contain a single transaction).
+	count := 1
+	if s.rng.Float64() < 0.35 {
+		count = 2 + s.rng.Intn(3)
+	}
+	var txs []*types.Transaction
+	var hashes []types.Hash
+	for i := 0; i < count; i++ {
+		tx := user.SwapTx(&s.World.World, s.rng, size, 300, bundleGas(london, baseFee))
+		if tx == nil {
+			continue
+		}
+		txs = append(txs, tx)
+		hashes = append(hashes, tx.Hash())
+	}
+	if len(txs) == 0 {
+		return
+	}
+	txs[len(txs)-1].CoinbaseTip = types.Amount(2+s.rng.Intn(9)) * types.Milliether
+	bundle := &flashbots.Bundle{
+		Searcher: user.Addr, Type: flashbots.TypeFlashbots,
+		Txs: txs, TargetBlock: n,
+	}
+	if _, err := s.Relay.SubmitBundle(bundle); err != nil {
+		return
+	}
+	s.Truth.Add(TruthRecord{
+		Kind: TruthProtected, Channel: agents.ChannelFlashbots, Month: month, Block: n,
+		Extractor: user.Addr, Hashes: hashes, Tip: txs[len(txs)-1].CoinbaseTip,
+	})
+}
+
+// bestVictim picks the largest pending sandwichable swap not yet targeted,
+// skipping pools another sandwich already claimed this block (a second
+// sandwich there would execute on shifted reserves and miss its plan).
+func (s *Sim) bestVictim(targeted map[types.Hash]bool, poolsUsed map[types.Address]bool, minSize types.Amount) *types.Transaction {
+	var best *types.Transaction
+	var bestIn types.Amount
+	for _, tx := range s.Net.Pool().All() {
+		if targeted[tx.Hash()] || s.botAddrs[tx.From] {
+			continue
+		}
+		hop, in, ok := agents.VictimSwap(&s.World.World, tx)
+		if !ok || in < minSize || in <= bestIn {
+			continue
+		}
+		if poolsUsed[s.poolAddr(hop)] {
+			continue
+		}
+		best, bestIn = tx, in
+	}
+	return best
+}
+
+// poolAddr resolves the pool a swap hop trades on.
+func (s *Sim) poolAddr(hop types.SwapHop) types.Address {
+	v, ok := s.World.Venues.ByAddr(hop.Venue)
+	if !ok {
+		return types.Address{}
+	}
+	p, ok := v.Pool(hop.TokenIn, hop.TokenOut)
+	if !ok {
+		return types.Address{}
+	}
+	return p.Addr
+}
+
+// attemptSandwich targets the best untargeted pending victim; it reports
+// whether a victim existed at all (profitable or not).
+func (s *Sim) attemptSandwich(n uint64, month types.Month, cal *MonthCal, london bool, baseFee types.Amount, fbLive bool, proposer *miner.Miner, targeted map[types.Hash]bool, poolsUsed map[types.Address]bool) bool {
+	victim := s.bestVictim(targeted, poolsUsed, 10*types.Ether)
+	if victim == nil {
+		return false
+	}
+	active := maxInt(1, minInt(cal.ActiveSandwichers, len(s.sandwichers)))
+	sw := s.sandwichers[s.rng.Intn(active)]
+	s.topUp(sw.Addr, 3_000*types.Ether)
+	plan, ok := sw.PlanSandwich(&s.World.World, victim)
+	targeted[victim.Hash()] = true
+	if !ok || plan.ExpectedGross < 5*types.Milliether {
+		return true
+	}
+	poolsUsed[s.poolAddr(victim.Payload.Hops[0])] = true
+
+	channel := s.pickChannel(cal.SandwichFB, cal.SandwichPriv, fbLive, proposer, month)
+
+	// §6.3 dedicated accounts hijack the private slot when their miner
+	// proposes.
+	if channel == agents.ChannelPrivate {
+		if ded, pool := s.dedicatedFor(proposer); ded != nil {
+			s.topUp(ded.Addr, 3_000*types.Ether)
+			if plan2, ok2 := ded.PlanSandwich(&s.World.World, victim); ok2 {
+				s.submitPrivateSandwich(ded, plan2, victim, pool, n, month, london, baseFee)
+				return true
+			}
+		}
+		s.submitPrivateSandwich(sw, plan, victim, s.Eden, n, month, london, baseFee)
+		return true
+	}
+
+	if channel == agents.ChannelFlashbots {
+		gross := plan.ExpectedGross
+		estFee := types.Amount(2*(evmlite.GasSwapBase+evmlite.GasSwapPerHop)) * (baseFee + types.Gwei)
+		if gross < estFee+8*types.Milliether {
+			return true // not worth a bundle after fees
+		}
+		tip := gross.MulDiv(types.Amount(cal.TipFrac*1000), 1000)
+		// Rational searchers leave themselves a margin over gas costs and
+		// same-block pool drift.
+		margin := estFee + 6*types.Milliether + gross/8
+		if floor := gross - margin; tip > floor {
+			tip = floor
+		}
+		if tip < 0 {
+			tip = 0
+		}
+		if s.rng.Float64() < cal.FaultyProb {
+			// Faulty bundle arithmetic (§5.2): the tip overshoots the
+			// realized gross, leaving the searcher at a loss.
+			tip = gross.MulDiv(125+types.Amount(s.rng.Intn(40)), 100)
+		}
+		front, back := sw.SandwichTxs(&s.World.World, plan, bundleGas(london, baseFee), types.Gwei, tip)
+		bundle := &flashbots.Bundle{
+			Searcher: sw.Addr, Type: flashbots.TypeFlashbots,
+			Txs: []*types.Transaction{front, victim, back}, TargetBlock: n,
+		}
+		if _, err := s.Relay.SubmitBundle(bundle); err != nil {
+			return true
+		}
+		s.Truth.Add(TruthRecord{
+			Kind: TruthSandwich, Channel: agents.ChannelFlashbots, Month: month, Block: n,
+			Extractor: sw.Addr, Hashes: []types.Hash{front.Hash(), back.Hash()},
+			Victim: victim.Hash(), ExpectedGross: plan.ExpectedGross, Tip: tip,
+		})
+		return true
+	}
+
+	// Public: a priority gas auction around the victim. Only worthwhile
+	// when the gross clears the two transactions' gas at auction prices.
+	gas := s.gasPricing(cal, london, baseFee)
+	pubFee := types.Amount(2*(evmlite.GasSwapBase+evmlite.GasSwapPerHop)) * (victimPriceOf(victim, baseFee) + 2*types.Gwei)
+	if plan.ExpectedGross < pubFee.MulDiv(12, 10) {
+		return true
+	}
+	margin := types.Amount(1+s.rng.Intn(3)) * types.Gwei
+	front, back := sw.SandwichTxs(&s.World.World, plan, gas, margin, 0)
+	if s.rng.Float64() < cal.PGACompetition {
+		// Bidding war: the winner escalates; a loser's stale frontrun
+		// lands behind and reverts on its slippage guard. A rational
+		// bidder never spends more than ~90 % of the expected gross on
+		// gas, which bounds the auction.
+		esc := types.Amount(float64(front.BidPrice()) * (1 + 0.8*float64(cal.PGARounds)))
+		maxSpend := plan.ExpectedGross.MulDiv(9, 10)
+		if maxPrice := maxSpend / types.Amount(front.GasLimit+back.GasLimit); esc > maxPrice && maxPrice > 0 {
+			esc = maxPrice
+		}
+		if esc < front.BidPrice() {
+			esc = front.BidPrice()
+		}
+		if london {
+			front.TipCap = esc - baseFee
+			front.FeeCap = esc + baseFee
+		} else {
+			front.GasPrice = esc
+		}
+		front.ResetHash()
+		loser := s.sandwichers[s.rng.Intn(active)]
+		if loser != sw {
+			s.topUp(loser.Addr, 1_000*types.Ether)
+			if lplan, ok := loser.PlanSandwich(&s.World.World, victim); ok {
+				lfront, _ := loser.SandwichTxs(&s.World.World, lplan, gas, margin/2, 0)
+				lfront.Payload.MinOut = lplan.AttackIn * 1000 // reverts after the winner moves the price
+				lfront.ResetHash()
+				s.Net.Broadcast(lfront, n, s.Chain.Timeline.TimeOfBlock(n))
+			}
+		}
+	}
+	s.Net.Broadcast(front, n, s.Chain.Timeline.TimeOfBlock(n))
+	s.Net.Broadcast(back, n, s.Chain.Timeline.TimeOfBlock(n))
+	s.Truth.Add(TruthRecord{
+		Kind: TruthSandwich, Channel: agents.ChannelPublic, Month: month, Block: n,
+		Extractor: sw.Addr, Hashes: []types.Hash{front.Hash(), back.Hash()},
+		Victim: victim.Hash(), ExpectedGross: plan.ExpectedGross,
+	})
+	return true
+}
+
+func (s *Sim) submitPrivateSandwich(sw *agents.Searcher, plan agents.SandwichPlan, victim *types.Transaction, pool *privpool.Pool, n uint64, month types.Month, london bool, baseFee types.Amount) {
+	if pool == nil {
+		return
+	}
+	front, back := sw.SandwichTxs(&s.World.World, plan, bundleGas(london, baseFee), types.Gwei, 0)
+	entry := privpool.Entry{Txs: []*types.Transaction{front, victim, back}, Expires: n}
+	if !pool.Submit(entry) {
+		return
+	}
+	s.Truth.Add(TruthRecord{
+		Kind: TruthSandwich, Channel: agents.ChannelPrivate, Month: month, Block: n,
+		Extractor: sw.Addr, Hashes: []types.Hash{front.Hash(), back.Hash()},
+		Victim: victim.Hash(), ExpectedGross: plan.ExpectedGross,
+	})
+}
+
+// dedicatedFor returns the §6.3 dedicated account and pool when the
+// proposer runs one of the single-miner channels.
+func (s *Sim) dedicatedFor(proposer *miner.Miner) (*agents.Searcher, *privpool.Pool) {
+	if s.F2Priv != nil && s.F2Priv.IsMember(proposer.Addr) && s.rng.Float64() < 0.5 {
+		return s.DedicatedF2, s.F2Priv
+	}
+	if s.FlexPriv != nil && s.FlexPriv.IsMember(proposer.Addr) && s.rng.Float64() < 0.5 {
+		return s.DedicatedFlex, s.FlexPriv
+	}
+	return nil, nil
+}
+
+func (s *Sim) pickChannel(pFB, pPriv float64, fbLive bool, proposer *miner.Miner, month types.Month) agents.Channel {
+	// Private-pool submission is only worthwhile when the upcoming
+	// proposer belongs to a pool (slot tenancy).
+	privOK := len(s.Priv.PoolsFor(proposer.Addr)) > 0
+	if privOK && s.rng.Float64() < pPriv*1.9 {
+		// pPriv is the target *landed* share; the 1.9 factor compensates
+		// for the pools' combined hashpower (≈0.5 of proposer slots).
+		return agents.ChannelPrivate
+	}
+	if fbLive {
+		pPub := 1 - pFB - pPriv
+		if pPub < 0 {
+			pPub = 0
+		}
+		if pFB+pPub == 0 || s.rng.Float64() < pFB/(pFB+pPub) {
+			return agents.ChannelFlashbots
+		}
+	}
+	return agents.ChannelPublic
+}
+
+func (s *Sim) attemptArbs(n uint64, month types.Month, cal *MonthCal, london bool, baseFee types.Amount, fbLive bool, proposer *miner.Miner, poolsUsed map[types.Address]bool) {
+	attempts := s.poisson(cal.ArbAttempts)
+	if attempts == 0 {
+		return
+	}
+	plans := agents.FindArbPlans(&s.World.World, attempts+2, 2_000*types.Ether)
+	active := maxInt(1, minInt(cal.ActiveArbers, len(s.arbers)))
+	taken := 0
+	for _, plan := range plans {
+		if taken >= attempts {
+			break
+		}
+		// Skip plans that would trade through a pool a sandwich bundle
+		// already claimed this block.
+		conflict := false
+		for _, hop := range plan.Hops {
+			if poolsUsed[s.poolAddr(hop)] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		taken++
+		minProfit := 5 * types.Milliether
+		if plan.ExpectedGross < minProfit {
+			continue
+		}
+		ar := s.arbers[s.rng.Intn(active)]
+		s.topUp(ar.Addr, 2_000*types.Ether)
+		useFlash := s.rng.Float64() < cal.ArbFlashLoanProb
+		flashProt := s.World.Lending[1].Addr // AaveV2
+		channel := s.pickChannel(cal.ArbFB, cal.ArbPriv, fbLive, proposer, month)
+		switch channel {
+		case agents.ChannelFlashbots:
+			tip := plan.ExpectedGross.MulDiv(types.Amount(cal.TipFrac*1000), 1000)
+			estFee := types.Amount(evmlite.GasSwapBase+2*evmlite.GasSwapPerHop) * (baseFee + types.Gwei)
+			if floor := plan.ExpectedGross - estFee - 3*types.Milliether; tip > floor {
+				tip = floor
+			}
+			if tip < 0 {
+				tip = 0
+			}
+			tx := ar.ArbTx(&s.World.World, plan, bundleGas(london, baseFee), tip, useFlash, flashProt)
+			bundle := &flashbots.Bundle{Searcher: ar.Addr, Type: flashbots.TypeFlashbots, Txs: []*types.Transaction{tx}, TargetBlock: n}
+			if _, err := s.Relay.SubmitBundle(bundle); err != nil {
+				continue
+			}
+			s.Truth.Add(TruthRecord{
+				Kind: TruthArbitrage, Channel: agents.ChannelFlashbots, Month: month, Block: n,
+				Extractor: ar.Addr, Hashes: []types.Hash{tx.Hash()},
+				ExpectedGross: plan.ExpectedGross, Tip: tip, UsedFlashLoan: useFlash,
+			})
+		case agents.ChannelPrivate:
+			tx := ar.ArbTx(&s.World.World, plan, bundleGas(london, baseFee), plan.ExpectedGross/10, useFlash, flashProt)
+			if !s.Eden.Submit(privpool.Entry{Txs: []*types.Transaction{tx}, Expires: n}) {
+				continue
+			}
+			s.Truth.Add(TruthRecord{
+				Kind: TruthArbitrage, Channel: agents.ChannelPrivate, Month: month, Block: n,
+				Extractor: ar.Addr, Hashes: []types.Hash{tx.Hash()},
+				ExpectedGross: plan.ExpectedGross, UsedFlashLoan: useFlash,
+			})
+		default:
+			gas := s.gasPricing(cal, london, baseFee)
+			tx := ar.ArbTx(&s.World.World, plan, gas, 0, useFlash, flashProt)
+			s.Net.Broadcast(tx, n, s.Chain.Timeline.TimeOfBlock(n))
+			// Proactive competitor copies and outbids (§2.2.2); the
+			// original reverts when the gap is already taken.
+			if s.rng.Float64() < cal.PGACompetition/2 {
+				rival := s.arbers[s.rng.Intn(active)]
+				if rival != ar {
+					s.topUp(rival.Addr, 2_000*types.Ether)
+					if cp, ok := rival.CopyArb(tx, gas, 2*types.Gwei); ok {
+						s.Net.Broadcast(cp, n, s.Chain.Timeline.TimeOfBlock(n))
+						s.Truth.Add(TruthRecord{
+							Kind: TruthArbitrage, Channel: agents.ChannelPublic, Month: month, Block: n,
+							Extractor: rival.Addr, Hashes: []types.Hash{cp.Hash()},
+							ExpectedGross: plan.ExpectedGross,
+						})
+					}
+				}
+			}
+			s.Truth.Add(TruthRecord{
+				Kind: TruthArbitrage, Channel: agents.ChannelPublic, Month: month, Block: n,
+				Extractor: ar.Addr, Hashes: []types.Hash{tx.Hash()},
+				ExpectedGross: plan.ExpectedGross, UsedFlashLoan: useFlash,
+			})
+		}
+	}
+}
+
+func (s *Sim) attemptLiquidations(n uint64, month types.Month, cal *MonthCal, london bool, baseFee types.Amount, fbLive bool, proposer *miner.Miner, shockTx *types.Transaction) {
+	// Passive: loans already unhealthy, excluding recently attempted ones
+	// (a close-factor liquidation can leave the loan unhealthy; real bots
+	// wait for their pending transaction to land before re-firing).
+	plans := agents.FindLiquidations(&s.World.World)
+	fresh := plans[:0]
+	for _, p := range plans {
+		k := liqKey{protocol: p.Protocol, loanID: p.LoanID}
+		if last, ok := s.liqAttempted[k]; ok && n-last < 5 {
+			continue
+		}
+		s.liqAttempted[k] = n
+		fresh = append(fresh, p)
+	}
+	plans = fresh
+	if len(plans) > 3 {
+		plans = plans[:3]
+	}
+
+	// Proactive: simulate the pending oracle shock and backrun it.
+	var proactive []agents.LiqPlan
+	if shockTx != nil {
+		s.World.Oracle.Snapshot()
+		s.World.Oracle.SetPrice(shockTx.Payload.OracleToken, shockTx.Payload.OraclePrice)
+		for _, p := range agents.FindLiquidations(&s.World.World) {
+			k := liqKey{protocol: p.Protocol, loanID: p.LoanID}
+			if last, ok := s.liqAttempted[k]; ok && n-last < 5 {
+				continue
+			}
+			s.liqAttempted[k] = n
+			proactive = append(proactive, p)
+			if len(proactive) >= 3 {
+				break
+			}
+		}
+		s.World.Oracle.Revert()
+	}
+
+	active := maxInt(1, minInt(cal.ActiveLiquidators, len(s.liquidators)))
+	submit := func(plan agents.LiqPlan, backrun *types.Transaction) {
+		if plan.ExpectedGross < 5*types.Milliether {
+			return
+		}
+		lq := s.liquidators[s.rng.Intn(active)]
+		s.topUp(lq.Addr, 1_000*types.Ether)
+		useFlash := s.rng.Float64() < cal.LiqFlashLoanProb
+		flashProt := s.World.Lending[1].Addr
+		channel := s.pickChannel(cal.LiqFB, cal.LiqPriv, fbLive, proposer, month)
+		switch channel {
+		case agents.ChannelFlashbots:
+			tip := plan.ExpectedGross.MulDiv(types.Amount(cal.TipFrac*1000), 1000)
+			estFee := types.Amount(evmlite.GasLiquidate) * (baseFee + types.Gwei)
+			if floor := plan.ExpectedGross - estFee - 3*types.Milliether; tip > floor {
+				tip = floor
+			}
+			if tip < 0 {
+				tip = 0
+			}
+			tx := lq.LiqTx(plan, bundleGas(london, baseFee), tip, useFlash, flashProt)
+			txs := []*types.Transaction{tx}
+			if backrun != nil {
+				txs = []*types.Transaction{backrun, tx}
+			}
+			bundle := &flashbots.Bundle{Searcher: lq.Addr, Type: flashbots.TypeFlashbots, Txs: txs, TargetBlock: n}
+			if _, err := s.Relay.SubmitBundle(bundle); err != nil {
+				return
+			}
+			s.Truth.Add(TruthRecord{
+				Kind: TruthLiquidation, Channel: agents.ChannelFlashbots, Month: month, Block: n,
+				Extractor: lq.Addr, Hashes: []types.Hash{tx.Hash()},
+				ExpectedGross: plan.ExpectedGross, Tip: tip, UsedFlashLoan: useFlash,
+			})
+		case agents.ChannelPrivate:
+			tx := lq.LiqTx(plan, bundleGas(london, baseFee), plan.ExpectedGross/10, useFlash, flashProt)
+			txs := []*types.Transaction{tx}
+			if backrun != nil {
+				txs = []*types.Transaction{backrun, tx}
+			}
+			if !s.Eden.Submit(privpool.Entry{Txs: txs, Expires: n}) {
+				return
+			}
+			s.Truth.Add(TruthRecord{
+				Kind: TruthLiquidation, Channel: agents.ChannelPrivate, Month: month, Block: n,
+				Extractor: lq.Addr, Hashes: []types.Hash{tx.Hash()},
+				ExpectedGross: plan.ExpectedGross, UsedFlashLoan: useFlash,
+			})
+		default:
+			gas := s.gasPricing(cal, london, baseFee)
+			if backrun != nil {
+				// Order just below the shock so it lands right after.
+				gas.Price = backrun.EffectiveGasPrice(baseFee) - types.Gwei - baseFee
+				if !london {
+					gas.Price = backrun.EffectiveGasPrice(0) - types.Gwei
+				}
+				if gas.Price < 1 {
+					gas.Price = 1
+				}
+			}
+			tx := lq.LiqTx(plan, gas, 0, useFlash, flashProt)
+			s.Net.Broadcast(tx, n, s.Chain.Timeline.TimeOfBlock(n))
+			s.Truth.Add(TruthRecord{
+				Kind: TruthLiquidation, Channel: agents.ChannelPublic, Month: month, Block: n,
+				Extractor: lq.Addr, Hashes: []types.Hash{tx.Hash()},
+				ExpectedGross: plan.ExpectedGross, UsedFlashLoan: useFlash,
+			})
+		}
+	}
+	for _, p := range plans {
+		submit(p, nil)
+	}
+	for _, p := range proactive {
+		submit(p, shockTx)
+	}
+}
+
+// rogueSandwich is the miner extracting for itself through a rogue bundle.
+func (s *Sim) rogueSandwich(n uint64, month types.Month, proposer *miner.Miner, targeted map[types.Hash]bool, poolsUsed map[types.Address]bool) *flashbots.Bundle {
+	victim := s.bestVictim(targeted, poolsUsed, 15*types.Ether)
+	if victim == nil {
+		return nil
+	}
+	bot := s.rogueBots[proposer.Addr]
+	s.topUp(bot.Addr, 3_000*types.Ether)
+	plan, ok := bot.PlanSandwich(&s.World.World, victim)
+	if !ok || plan.ExpectedGross < 5*types.Milliether {
+		return nil
+	}
+	targeted[victim.Hash()] = true
+	poolsUsed[s.poolAddr(victim.Payload.Hops[0])] = true
+	baseFee := s.Chain.NextBaseFee()
+	front, back := bot.SandwichTxs(&s.World.World, plan, bundleGas(baseFee > 0, baseFee), types.Gwei, 0)
+	bundle := &flashbots.Bundle{
+		Searcher: proposer.Addr, Type: flashbots.TypeRogue,
+		Txs: []*types.Transaction{front, victim, back}, TargetBlock: n,
+	}
+	if _, err := s.Relay.SubmitBundle(bundle); err != nil {
+		return nil
+	}
+	s.Truth.Add(TruthRecord{
+		Kind: TruthSandwich, Channel: agents.ChannelFlashbots, Month: month, Block: n,
+		Extractor: proposer.Addr, MinerExtractor: true,
+		Hashes: []types.Hash{front.Hash(), back.Hash()}, Victim: victim.Hash(),
+		ExpectedGross: plan.ExpectedGross,
+	})
+	return bundle
+}
+
+// rogueMiscBundle wraps miner-internal housekeeping transactions (never
+// broadcast publicly) as a rogue bundle — the §4.1 rogue category beyond
+// self-MEV.
+func (s *Sim) rogueMiscBundle(proposer *miner.Miner, n uint64, baseFee types.Amount) *flashbots.Bundle {
+	bot := s.minerBots[proposer.Addr]
+	s.topUp(bot.Addr, types.Ether)
+	count := 1 + s.rng.Intn(2)
+	gas := bundleGas(baseFee > 0, baseFee)
+	txs := make([]*types.Transaction, count)
+	for i := range txs {
+		tx := &types.Transaction{
+			Nonce: bot.NextNonce(), From: proposer.Addr,
+			To:       types.DeriveAddress("miner-internal:"+proposer.Name, uint64(s.rng.Intn(8))),
+			GasLimit: evmlite.GasTransfer,
+			Payload:  types.Payload{Kind: types.TxTransfer, Amount: types.Milliether},
+		}
+		gas.Apply(tx)
+		txs[i] = tx
+	}
+	b := &flashbots.Bundle{Searcher: proposer.Addr, Type: flashbots.TypeRogue, Txs: txs, TargetBlock: n}
+	if _, err := s.Relay.SubmitBundle(b); err != nil {
+		return nil
+	}
+	return b
+}
+
+// minerSelfSandwich is pre-Flashbots direct insertion by the proposer.
+func (s *Sim) minerSelfSandwich(n uint64, month types.Month, proposer *miner.Miner, targeted map[types.Hash]bool, poolsUsed map[types.Address]bool) (privpool.Entry, bool) {
+	victim := s.bestVictim(targeted, poolsUsed, 8*types.Ether)
+	if victim == nil {
+		return privpool.Entry{}, false
+	}
+	bot := s.minerBots[proposer.Addr]
+	s.topUp(bot.Addr, 3_000*types.Ether)
+	plan, ok := bot.PlanSandwich(&s.World.World, victim)
+	if !ok || plan.ExpectedGross < 3*types.Milliether {
+		return privpool.Entry{}, false
+	}
+	targeted[victim.Hash()] = true
+	poolsUsed[s.poolAddr(victim.Payload.Hops[0])] = true
+	baseFee := s.Chain.NextBaseFee()
+	front, back := bot.SandwichTxs(&s.World.World, plan, bundleGas(baseFee > 0, baseFee), types.Gwei, 0)
+	s.Truth.Add(TruthRecord{
+		Kind: TruthSandwich, Channel: agents.ChannelPrivate, Month: month, Block: n,
+		Extractor: proposer.Addr, MinerExtractor: true,
+		Hashes: []types.Hash{front.Hash(), back.Hash()}, Victim: victim.Hash(),
+		ExpectedGross: plan.ExpectedGross,
+	})
+	return privpool.Entry{Txs: []*types.Transaction{front, victim, back}, Expires: n}, true
+}
+
+// maybePayoutBundle emits the mining pool's periodic payout batch as a
+// miner-payout bundle, including one month-13 F2Pool batch of 700
+// transactions (the paper's block 12,481,590 anecdote).
+func (s *Sim) maybePayoutBundle(proposer *miner.Miner, n uint64) *flashbots.Bundle {
+	if proposer.PayoutEvery == 0 || proposer.Produced == 0 || proposer.Produced%uint64(proposer.PayoutEvery) != 0 {
+		return nil
+	}
+	workers := proposer.PayoutWorkers
+	month := s.Chain.Timeline.MonthOfBlock(n)
+	if !s.emitted700 && month >= 13 && proposer.Name == "F2Pool" {
+		workers = 700
+		s.emitted700 = true
+	}
+	perWorker := types.Amount(float64(miner.BlockReward) * float64(proposer.PayoutEvery) * 0.9 / float64(workers))
+	total := perWorker * types.Amount(workers)
+	s.World.St.Mint(proposer.Addr, total+types.Amount(workers)*types.Amount(evmlite.GasTransfer)*50*types.Gwei+types.Ether)
+
+	bot := s.minerBots[proposer.Addr]
+	txs := make([]*types.Transaction, workers)
+	baseFee := s.Chain.NextBaseFee()
+	gas := bundleGas(baseFee > 0, baseFee)
+	hashes := make([]types.Hash, workers)
+	for i := 0; i < workers; i++ {
+		tx := &types.Transaction{
+			Nonce: bot.NextNonce(), From: proposer.Addr,
+			To:       types.DeriveAddress("worker:"+proposer.Name, uint64(i)),
+			GasLimit: evmlite.GasTransfer,
+			Payload:  types.Payload{Kind: types.TxTransfer, Amount: perWorker},
+		}
+		gas.Apply(tx)
+		txs[i] = tx
+		hashes[i] = tx.Hash()
+	}
+	bundle := &flashbots.Bundle{
+		Searcher: proposer.Addr, Type: flashbots.TypeMinerPayout,
+		Txs: txs, TargetBlock: n,
+	}
+	if _, err := s.Relay.SubmitBundle(bundle); err != nil {
+		return nil
+	}
+	s.Truth.Add(TruthRecord{
+		Kind: TruthPayout, Channel: agents.ChannelFlashbots,
+		Month: month, Block: n, Extractor: proposer.Addr, MinerExtractor: true,
+		Hashes: hashes,
+	})
+	return bundle
+}
+
+func (s *Sim) driftOracle() {
+	for _, tok := range s.World.Tokens {
+		p, ok := s.World.Oracle.Price(tok)
+		if !ok {
+			continue
+		}
+		drift := 1 + s.rng.NormFloat64()*0.002
+		np := types.Amount(float64(p) * drift)
+		if np < 1 {
+			np = 1
+		}
+		s.World.Oracle.SetPrice(tok, np)
+	}
+}
+
+func (s *Sim) openLoan() {
+	b := agents.NewBorrower(s.borrowerSeq)
+	s.borrowerSeq++
+	s.borrowers = append(s.borrowers, b)
+	s.World.St.Mint(b.Addr, types.Ether)
+	prot := s.World.Lending[s.rng.Intn(3)] // AaveV1, AaveV2 or Compound
+	coll := types.Amount(20+s.rng.Intn(180)) * types.Ether
+	_, _ = b.OpenRiskyLoan(&s.World.World, s.rng, prot, coll)
+}
+
+func (s *Sim) broadcastOracleShock(n uint64, now time.Time, cal *MonthCal, london bool, baseFee types.Amount) *types.Transaction {
+	tok := s.World.Tokens[s.rng.Intn(len(s.World.Tokens))]
+	p, ok := s.World.Oracle.Price(tok)
+	if !ok {
+		return nil
+	}
+	newPrice := types.Amount(float64(p) * (1.04 + s.rng.Float64()*0.08))
+	gas := s.gasPricing(cal, london, baseFee)
+	gas.Price *= 2 // oracle updates pay to land fast
+	tx := &types.Transaction{
+		Nonce: s.oracleAdmin.NextNonce(), From: s.oracleAdmin.Addr,
+		GasLimit: evmlite.GasOracleUpdate,
+		Payload:  types.Payload{Kind: types.TxOracleUpdate, OracleToken: tok, OraclePrice: newPrice},
+	}
+	gas.Apply(tx)
+	s.Net.Broadcast(tx, n, now)
+	return tx
+}
+
+// topUp keeps an account liquid in gas ether, WETH and tokens.
+func (s *Sim) topUp(a types.Address, wethFloor types.Amount) {
+	st := s.World.St
+	if st.Balance(a) < 50*types.Ether {
+		st.Mint(a, 500*types.Ether)
+	}
+	if st.TokenBalance(s.World.WETH, a) < wethFloor {
+		if err := st.MintToken(s.World.WETH, a, wethFloor*2); err == nil {
+			// Keep token floats alive too so sells and repayments work.
+			for _, tok := range s.World.Tokens {
+				if st.TokenBalance(tok, a) < 10_000*types.Ether {
+					_ = st.MintToken(tok, a, 100_000*types.Ether)
+				}
+			}
+		}
+	}
+}
+
+func (s *Sim) recordPrices(n uint64) {
+	s.Prices.Record(s.World.WETH, n, types.Ether)
+	for _, tok := range s.World.Tokens {
+		if p, ok := s.World.Oracle.Price(tok); ok {
+			s.Prices.Record(tok, n, p)
+		}
+	}
+}
+
+func (s *Sim) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

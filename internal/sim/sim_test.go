@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+
+	"mevscope/internal/agents"
+	"mevscope/internal/core/detect"
+	"mevscope/internal/types"
+)
+
+// testConfig is a fast full-window configuration shared by the tests.
+func testConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.BlocksPerMonth = 60
+	return cfg
+}
+
+// runSim runs one simulation to completion.
+func runSim(t *testing.T, cfg Config) *Sim {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero BlocksPerMonth should fail")
+	}
+	cfg := testConfig(1)
+	cfg.Months = 99 // clamped
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.Months != types.StudyMonths {
+		t.Error("months clamp")
+	}
+	cfg.NumMiners = 1 // raised to floor
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mset.Len() < 10 {
+		t.Error("miner floor")
+	}
+}
+
+func TestAdoptionCurveMatchesTargets(t *testing.T) {
+	s, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := AdoptionTargets()
+	for m, want := range targets {
+		got := s.Mset.FlashbotsHashpower(m)
+		if got < want-0.02 {
+			t.Errorf("month %v hashpower %f below target %f", m, got, want)
+		}
+	}
+	if hp := s.Mset.FlashbotsHashpower(types.FlashbotsLaunchMonth - 1); hp != 0 {
+		t.Errorf("pre-launch hashpower = %f", hp)
+	}
+	// Adoption never decreases.
+	prev := 0.0
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		hp := s.Mset.FlashbotsHashpower(m)
+		if hp < prev {
+			t.Fatalf("hashpower decreased at month %v", m)
+		}
+		prev = hp
+	}
+}
+
+func TestShortRunProducesAllArtifacts(t *testing.T) {
+	cfg := testConfig(7)
+	s := runSim(t, cfg)
+
+	if got := s.Chain.Len(); got != int(cfg.BlocksPerMonth)*types.StudyMonths {
+		t.Fatalf("chain length = %d", got)
+	}
+	counts := s.Truth.CountBy()
+	for _, kind := range []TruthKind{TruthSandwich, TruthArbitrage, TruthProtected, TruthPayout} {
+		if counts[kind] == 0 {
+			t.Errorf("no landed %v events", kind)
+		}
+	}
+	if len(s.Relay.Blocks()) == 0 {
+		t.Error("no Flashbots blocks")
+	}
+	if s.Net.Observer().Count() == 0 {
+		t.Error("observer captured nothing")
+	}
+	if len(s.Prices.Tokens()) < 8 {
+		t.Error("price series incomplete")
+	}
+	// No Flashbots block before the launch month.
+	launch := s.Chain.Timeline.FlashbotsLaunchBlock()
+	for _, rec := range s.Relay.Blocks() {
+		if rec.BlockNumber < launch {
+			t.Fatalf("Flashbots block %d before launch %d", rec.BlockNumber, launch)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runSim(t, testConfig(11))
+	b := runSim(t, testConfig(11))
+	if a.Chain.Len() != b.Chain.Len() {
+		t.Fatal("lengths differ")
+	}
+	ha := a.Chain.Head().Hash()
+	hb := b.Chain.Head().Hash()
+	if ha != hb {
+		t.Error("same seed must give identical chains")
+	}
+	if len(a.Truth.Records()) != len(b.Truth.Records()) {
+		t.Error("truth logs differ")
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	a := runSim(t, testConfig(1))
+	b := runSim(t, testConfig(2))
+	if a.Chain.Head().Hash() == b.Chain.Head().Hash() {
+		t.Error("different seeds should diverge")
+	}
+}
+
+// TestDetectorRecallAgainstTruth scores the §3.1 sandwich detector against
+// the simulator's ground truth — validation the paper could not run.
+func TestDetectorRecallAgainstTruth(t *testing.T) {
+	s := runSim(t, testConfig(5))
+	res := detect.ScanAll(s.Chain, s.World.WETH)
+
+	detected := map[types.Hash]bool{}
+	for _, d := range res.Sandwiches {
+		detected[d.FrontTx] = true
+	}
+	var truthSand, hit int
+	for _, r := range s.Truth.Landed() {
+		if r.Kind != TruthSandwich {
+			continue
+		}
+		truthSand++
+		if detected[r.Hashes[0]] {
+			hit++
+		}
+	}
+	if truthSand == 0 {
+		t.Fatal("no landed sandwiches in truth")
+	}
+	recall := float64(hit) / float64(truthSand)
+	if recall < 0.9 {
+		t.Errorf("sandwich recall = %.2f (%d/%d)", recall, hit, truthSand)
+	}
+
+	// Precision: every detected sandwich matches some truth record.
+	truthFronts := map[types.Hash]bool{}
+	for _, r := range s.Truth.Records() {
+		if r.Kind == TruthSandwich {
+			truthFronts[r.Hashes[0]] = true
+		}
+	}
+	var fp int
+	for _, d := range res.Sandwiches {
+		if !truthFronts[d.FrontTx] {
+			fp++
+		}
+	}
+	if prec := 1 - float64(fp)/float64(len(res.Sandwiches)); prec < 0.95 {
+		t.Errorf("sandwich precision = %.2f (%d false of %d)", prec, fp, len(res.Sandwiches))
+	}
+}
+
+func TestArbDetectorRecallAgainstTruth(t *testing.T) {
+	s := runSim(t, testConfig(5))
+	res := detect.ScanAll(s.Chain, s.World.WETH)
+	detected := map[types.Hash]bool{}
+	for _, a := range res.Arbitrages {
+		detected[a.Tx] = true
+	}
+	var truthArb, hit int
+	for _, r := range s.Truth.Landed() {
+		if r.Kind != TruthArbitrage {
+			continue
+		}
+		truthArb++
+		if detected[r.Hashes[0]] {
+			hit++
+		}
+	}
+	if truthArb == 0 {
+		t.Fatal("no landed arbs")
+	}
+	if recall := float64(hit) / float64(truthArb); recall < 0.9 {
+		t.Errorf("arb recall = %.2f (%d/%d)", recall, hit, truthArb)
+	}
+}
+
+func TestChannelMixShapes(t *testing.T) {
+	s := runSim(t, testConfig(9))
+	// Within the observation window, most landed sandwiches go via
+	// Flashbots (the §6.2 shape).
+	var fb, priv, pub int
+	for _, r := range s.Truth.Landed() {
+		if r.Kind != TruthSandwich || r.Month < types.PrivateWindowStartMonth {
+			continue
+		}
+		switch r.Channel {
+		case agents.ChannelFlashbots:
+			fb++
+		case agents.ChannelPrivate:
+			priv++
+		default:
+			pub++
+		}
+	}
+	total := fb + priv + pub
+	if total == 0 {
+		t.Fatal("no window sandwiches")
+	}
+	if share := float64(fb) / float64(total); share < 0.6 {
+		t.Errorf("window FB share = %.2f, want dominant", share)
+	}
+	if priv == 0 {
+		t.Error("no private sandwiches in window")
+	}
+}
+
+func TestPayout700Emitted(t *testing.T) {
+	s := runSim(t, testConfig(13))
+	maxTxs := 0
+	for _, rec := range s.Relay.Blocks() {
+		perBundle := map[uint64]int{}
+		for _, tx := range rec.Txs {
+			perBundle[tx.BundleID]++
+		}
+		for _, n := range perBundle {
+			if n > maxTxs {
+				maxTxs = n
+			}
+		}
+	}
+	if maxTxs != 700 {
+		t.Errorf("largest bundle = %d txs, want the 700-tx payout", maxTxs)
+	}
+}
+
+func TestLondonChangesBaseFee(t *testing.T) {
+	s := runSim(t, testConfig(17))
+	fork := s.Chain.Timeline.LondonForkBlock()
+	pre, _ := s.Chain.ByNumber(fork - 1)
+	post, _ := s.Chain.ByNumber(fork)
+	if pre.Header.BaseFee != 0 {
+		t.Error("base fee before London should be zero")
+	}
+	if post.Header.BaseFee == 0 {
+		t.Error("base fee after London should be positive")
+	}
+	// Base fee stays sane (demand elasticity holds it near the calibrated
+	// organic gas level).
+	last := s.Chain.Head().Header.BaseFee
+	if last <= 0 || last > 1000*types.Gwei {
+		t.Errorf("final base fee = %v", last)
+	}
+}
+
+func TestTruthResolveMarksFailures(t *testing.T) {
+	s := runSim(t, testConfig(19))
+	landed := len(s.Truth.Landed())
+	all := len(s.Truth.Records())
+	if landed == 0 || landed >= all {
+		t.Errorf("landed=%d all=%d: expect some submissions to miss", landed, all)
+	}
+}
+
+func TestObservationWindowOpens(t *testing.T) {
+	s := runSim(t, testConfig(23))
+	start, _ := s.Net.Observer().Window()
+	wantStart := s.Chain.Timeline.FirstBlockOfMonth(types.ObservationStartMonth)
+	if start != wantStart {
+		t.Errorf("observation start = %d want %d", start, wantStart)
+	}
+}
+
+func TestDedicatedAccountsUseSingleMiner(t *testing.T) {
+	s := runSim(t, testConfig(29))
+	// Every landed private sandwich from the dedicated F2 account must be
+	// in a block mined by the F2 pool's single member.
+	f2 := s.F2Priv.Miners()[0]
+	for _, r := range s.Truth.Landed() {
+		if r.Kind != TruthSandwich || r.Extractor != s.DedicatedF2.Addr {
+			continue
+		}
+		loc, ok := s.Chain.TxLocation(r.Hashes[0])
+		if !ok {
+			continue
+		}
+		b, _ := s.Chain.ByNumber(loc.BlockNumber)
+		if b.Header.Miner != f2 {
+			t.Fatalf("dedicated F2 sandwich mined by %v", b.Header.Miner.Short())
+		}
+	}
+}
+
+func TestDisableFlashbotsCounterfactual(t *testing.T) {
+	cfg := testConfig(31)
+	cfg.Months = 12
+	cfg.DisableFlashbots = true
+	s := runSim(t, cfg)
+	if len(s.Relay.Blocks()) != 0 {
+		t.Error("counterfactual world must have no Flashbots blocks")
+	}
+	for _, r := range s.Truth.Records() {
+		if r.Channel == agents.ChannelFlashbots {
+			t.Fatal("no truth record should use the Flashbots channel")
+		}
+	}
+	// PGA competition persists: public sandwiches keep landing post-Feb-21.
+	post := 0
+	for _, r := range s.Truth.Landed() {
+		if r.Kind == TruthSandwich && r.Month >= types.FlashbotsLaunchMonth {
+			post++
+		}
+	}
+	if post == 0 {
+		t.Error("public sandwiches should continue in the counterfactual")
+	}
+}

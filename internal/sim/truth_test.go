@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"mevscope/internal/agents"
+	"mevscope/internal/types"
+)
+
+func TestTruthKindString(t *testing.T) {
+	kinds := map[TruthKind]string{
+		TruthSandwich: "sandwich", TruthArbitrage: "arbitrage",
+		TruthLiquidation: "liquidation", TruthProtected: "protected",
+		TruthPayout: "payout", TruthKind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d = %q want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestTruthLogResolve(t *testing.T) {
+	var l TruthLog
+	h1, h2, h3 := types.Hash{1}, types.Hash{2}, types.Hash{3}
+	l.Add(TruthRecord{Kind: TruthSandwich, Channel: agents.ChannelPublic, Hashes: []types.Hash{h1, h2}})
+	l.Add(TruthRecord{Kind: TruthArbitrage, Channel: agents.ChannelFlashbots, Hashes: []types.Hash{h3}})
+	l.Add(TruthRecord{Kind: TruthArbitrage}) // no hashes: never lands
+
+	onChain := map[types.Hash]bool{h1: true, h2: true} // h3 missing
+	l.Resolve(func(h types.Hash) bool { return onChain[h] })
+
+	landed := l.Landed()
+	if len(landed) != 1 || landed[0].Kind != TruthSandwich {
+		t.Fatalf("landed = %+v", landed)
+	}
+	counts := l.CountBy()
+	if counts[TruthSandwich] != 1 || counts[TruthArbitrage] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+	// Resolve clears pending: later Resolve with h3 present does not
+	// retroactively flip already-resolved records.
+	onChain[h3] = true
+	l.Resolve(func(h types.Hash) bool { return onChain[h] })
+	if len(l.Landed()) != 1 {
+		t.Error("resolution should be one-shot per record")
+	}
+	if len(l.Records()) != 3 {
+		t.Error("records retained")
+	}
+}

@@ -1,0 +1,254 @@
+// Package state holds the mutable world state of the simulated chain:
+// ether balances, ERC-20 style token balances and the token registry.
+//
+// State supports nested snapshots so the executor can revert failed
+// transactions (and failed flash-loan inner calls) atomically, exactly as
+// the EVM does.
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"mevscope/internal/types"
+)
+
+// Token describes a registered ERC-20 style token.
+type Token struct {
+	Addr   types.Address
+	Symbol string
+	// Decimals is informational; all amounts use types.Amount base units.
+	Decimals int
+}
+
+// State is the account/token ledger. The zero value is not usable; call New.
+type State struct {
+	eth    map[types.Address]types.Amount
+	tokens map[types.Address]map[types.Address]types.Amount // token → holder → balance
+	reg    map[types.Address]Token
+	symbol map[string]types.Address
+
+	journal []journalEntry
+	snaps   []int // journal lengths at snapshot points
+}
+
+type journalEntry struct {
+	token  types.Address // zero for ETH
+	holder types.Address
+	prev   types.Amount
+	had    bool
+}
+
+// New creates an empty ledger.
+func New() *State {
+	return &State{
+		eth:    make(map[types.Address]types.Amount),
+		tokens: make(map[types.Address]map[types.Address]types.Amount),
+		reg:    make(map[types.Address]Token),
+		symbol: make(map[string]types.Address),
+	}
+}
+
+// RegisterToken adds a token to the registry and returns its address,
+// derived from the symbol so registrations are deterministic.
+func (s *State) RegisterToken(symbol string, decimals int) types.Address {
+	if a, ok := s.symbol[symbol]; ok {
+		return a
+	}
+	addr := types.DeriveAddress("token:"+symbol, 0)
+	s.reg[addr] = Token{Addr: addr, Symbol: symbol, Decimals: decimals}
+	s.symbol[symbol] = addr
+	s.tokens[addr] = make(map[types.Address]types.Amount)
+	return addr
+}
+
+// TokenBySymbol looks up a registered token address.
+func (s *State) TokenBySymbol(symbol string) (types.Address, bool) {
+	a, ok := s.symbol[symbol]
+	return a, ok
+}
+
+// TokenInfo returns registry metadata for a token address.
+func (s *State) TokenInfo(addr types.Address) (Token, bool) {
+	t, ok := s.reg[addr]
+	return t, ok
+}
+
+// Tokens lists all registered tokens in deterministic (symbol) order.
+func (s *State) Tokens() []Token {
+	out := make([]Token, 0, len(s.reg))
+	for _, t := range s.reg {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Symbol < out[j].Symbol })
+	return out
+}
+
+// Balance returns the ether balance of an account.
+func (s *State) Balance(a types.Address) types.Amount { return s.eth[a] }
+
+// TokenBalance returns the balance of token held by holder.
+func (s *State) TokenBalance(token, holder types.Address) types.Amount {
+	m := s.tokens[token]
+	if m == nil {
+		return 0
+	}
+	return m[holder]
+}
+
+func (s *State) record(token, holder types.Address) {
+	if len(s.snaps) == 0 {
+		return // no open snapshot: no need to journal
+	}
+	var prev types.Amount
+	var had bool
+	if token.IsZero() {
+		prev, had = s.eth[holder]
+	} else if m := s.tokens[token]; m != nil {
+		prev, had = m[holder]
+	}
+	s.journal = append(s.journal, journalEntry{token: token, holder: holder, prev: prev, had: had})
+}
+
+// Mint credits ether to an account out of thin air (genesis funding and
+// block rewards).
+func (s *State) Mint(a types.Address, amt types.Amount) {
+	s.record(types.ZeroAddress, a)
+	s.eth[a] += amt
+}
+
+// Burn destroys ether from an account (EIP-1559 base-fee burn). It fails
+// if the balance is insufficient.
+func (s *State) Burn(a types.Address, amt types.Amount) error {
+	if s.eth[a] < amt {
+		return fmt.Errorf("state: burn %v from %v: insufficient balance %v", amt, a.Short(), s.eth[a])
+	}
+	s.record(types.ZeroAddress, a)
+	s.eth[a] -= amt
+	return nil
+}
+
+// Transfer moves ether between accounts, failing on insufficient funds.
+func (s *State) Transfer(from, to types.Address, amt types.Amount) error {
+	if amt < 0 {
+		return fmt.Errorf("state: negative transfer %v", amt)
+	}
+	if s.eth[from] < amt {
+		return fmt.Errorf("state: transfer %v from %v: insufficient balance %v", amt, from.Short(), s.eth[from])
+	}
+	s.record(types.ZeroAddress, from)
+	s.record(types.ZeroAddress, to)
+	s.eth[from] -= amt
+	s.eth[to] += amt
+	return nil
+}
+
+// MintToken credits token units to a holder (pool seeding, loan drawdown).
+func (s *State) MintToken(token, holder types.Address, amt types.Amount) error {
+	m := s.tokens[token]
+	if m == nil {
+		return fmt.Errorf("state: mint of unregistered token %v", token.Short())
+	}
+	s.record(token, holder)
+	m[holder] += amt
+	return nil
+}
+
+// BurnToken destroys token units held by holder.
+func (s *State) BurnToken(token, holder types.Address, amt types.Amount) error {
+	m := s.tokens[token]
+	if m == nil {
+		return fmt.Errorf("state: burn of unregistered token %v", token.Short())
+	}
+	if m[holder] < amt {
+		return fmt.Errorf("state: burn %v of %v from %v: balance %v", amt, token.Short(), holder.Short(), m[holder])
+	}
+	s.record(token, holder)
+	m[holder] -= amt
+	return nil
+}
+
+// TransferToken moves token units between holders, failing on insufficient
+// balance.
+func (s *State) TransferToken(token, from, to types.Address, amt types.Amount) error {
+	if amt < 0 {
+		return fmt.Errorf("state: negative token transfer %v", amt)
+	}
+	m := s.tokens[token]
+	if m == nil {
+		return fmt.Errorf("state: transfer of unregistered token %v", token.Short())
+	}
+	if m[from] < amt {
+		return fmt.Errorf("state: transfer %v of %v from %v: balance %v", amt, token.Short(), from.Short(), m[from])
+	}
+	s.record(token, from)
+	s.record(token, to)
+	m[from] -= amt
+	m[to] += amt
+	return nil
+}
+
+// Snapshot opens a revert point. Snapshots nest; each Revert or Commit
+// closes the most recent one.
+func (s *State) Snapshot() {
+	s.snaps = append(s.snaps, len(s.journal))
+}
+
+// Revert undoes every balance change since the most recent Snapshot and
+// closes it. It panics if no snapshot is open (a programming error in the
+// executor).
+func (s *State) Revert() {
+	if len(s.snaps) == 0 {
+		panic("state: Revert without Snapshot")
+	}
+	mark := s.snaps[len(s.snaps)-1]
+	s.snaps = s.snaps[:len(s.snaps)-1]
+	for i := len(s.journal) - 1; i >= mark; i-- {
+		e := s.journal[i]
+		if e.token.IsZero() {
+			if e.had {
+				s.eth[e.holder] = e.prev
+			} else {
+				delete(s.eth, e.holder)
+			}
+		} else if m := s.tokens[e.token]; m != nil {
+			if e.had {
+				m[e.holder] = e.prev
+			} else {
+				delete(m, e.holder)
+			}
+		}
+	}
+	s.journal = s.journal[:mark]
+}
+
+// Commit closes the most recent snapshot, keeping all changes. If an outer
+// snapshot remains open the journal entries are retained so the outer
+// revert still covers them.
+func (s *State) Commit() {
+	if len(s.snaps) == 0 {
+		panic("state: Commit without Snapshot")
+	}
+	s.snaps = s.snaps[:len(s.snaps)-1]
+	if len(s.snaps) == 0 {
+		s.journal = s.journal[:0]
+	}
+}
+
+// TotalEther sums all ether balances; conservation checks use it.
+func (s *State) TotalEther() types.Amount {
+	var sum types.Amount
+	for _, v := range s.eth {
+		sum += v
+	}
+	return sum
+}
+
+// TotalToken sums all balances of one token.
+func (s *State) TotalToken(token types.Address) types.Amount {
+	var sum types.Amount
+	for _, v := range s.tokens[token] {
+		sum += v
+	}
+	return sum
+}

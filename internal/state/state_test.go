@@ -1,0 +1,260 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mevscope/internal/types"
+)
+
+func addr(i uint64) types.Address { return types.DeriveAddress("statetest", i) }
+
+func TestRegisterTokenIdempotent(t *testing.T) {
+	s := New()
+	a1 := s.RegisterToken("WETH", 18)
+	a2 := s.RegisterToken("WETH", 18)
+	if a1 != a2 {
+		t.Error("re-registration should return same address")
+	}
+	if got, ok := s.TokenBySymbol("WETH"); !ok || got != a1 {
+		t.Error("TokenBySymbol")
+	}
+	info, ok := s.TokenInfo(a1)
+	if !ok || info.Symbol != "WETH" || info.Decimals != 18 {
+		t.Errorf("TokenInfo = %+v", info)
+	}
+	if _, ok := s.TokenInfo(addr(1)); ok {
+		t.Error("unregistered token should not resolve")
+	}
+}
+
+func TestTokensSorted(t *testing.T) {
+	s := New()
+	s.RegisterToken("ZRX", 18)
+	s.RegisterToken("AAVE", 18)
+	s.RegisterToken("DAI", 18)
+	toks := s.Tokens()
+	if len(toks) != 3 || toks[0].Symbol != "AAVE" || toks[2].Symbol != "ZRX" {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestEtherTransfer(t *testing.T) {
+	s := New()
+	s.Mint(addr(1), 10*types.Ether)
+	if err := s.Transfer(addr(1), addr(2), 4*types.Ether); err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance(addr(1)) != 6*types.Ether || s.Balance(addr(2)) != 4*types.Ether {
+		t.Error("balances wrong after transfer")
+	}
+	if err := s.Transfer(addr(1), addr(2), 100*types.Ether); err == nil {
+		t.Error("overdraft should fail")
+	}
+	if err := s.Transfer(addr(1), addr(2), -1); err == nil {
+		t.Error("negative transfer should fail")
+	}
+}
+
+func TestBurn(t *testing.T) {
+	s := New()
+	s.Mint(addr(1), types.Ether)
+	if err := s.Burn(addr(1), types.Ether/2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance(addr(1)) != types.Ether/2 {
+		t.Error("burn balance")
+	}
+	if err := s.Burn(addr(1), types.Ether); err == nil {
+		t.Error("over-burn should fail")
+	}
+}
+
+func TestTokenTransfer(t *testing.T) {
+	s := New()
+	tok := s.RegisterToken("DAI", 18)
+	if err := s.MintToken(tok, addr(1), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TransferToken(tok, addr(1), addr(2), 30); err != nil {
+		t.Fatal(err)
+	}
+	if s.TokenBalance(tok, addr(1)) != 70 || s.TokenBalance(tok, addr(2)) != 30 {
+		t.Error("token balances wrong")
+	}
+	if err := s.TransferToken(tok, addr(1), addr(2), 1000); err == nil {
+		t.Error("token overdraft should fail")
+	}
+	if err := s.TransferToken(addr(9), addr(1), addr(2), 1); err == nil {
+		t.Error("unregistered token transfer should fail")
+	}
+	if err := s.BurnToken(tok, addr(2), 30); err != nil {
+		t.Fatal(err)
+	}
+	if s.TokenBalance(tok, addr(2)) != 0 {
+		t.Error("burned balance should be zero")
+	}
+}
+
+func TestSnapshotRevert(t *testing.T) {
+	s := New()
+	tok := s.RegisterToken("DAI", 18)
+	s.Mint(addr(1), 10*types.Ether)
+	s.MintToken(tok, addr(1), 100)
+
+	s.Snapshot()
+	s.Transfer(addr(1), addr(2), types.Ether)
+	s.TransferToken(tok, addr(1), addr(3), 50)
+	s.Mint(addr(4), types.Ether)
+	s.Revert()
+
+	if s.Balance(addr(1)) != 10*types.Ether {
+		t.Error("eth not reverted")
+	}
+	if s.Balance(addr(2)) != 0 || s.Balance(addr(4)) != 0 {
+		t.Error("credited accounts not reverted")
+	}
+	if s.TokenBalance(tok, addr(1)) != 100 || s.TokenBalance(tok, addr(3)) != 0 {
+		t.Error("token not reverted")
+	}
+}
+
+func TestNestedSnapshots(t *testing.T) {
+	s := New()
+	s.Mint(addr(1), 10*types.Ether)
+
+	s.Snapshot() // outer
+	s.Transfer(addr(1), addr(2), types.Ether)
+	s.Snapshot() // inner
+	s.Transfer(addr(1), addr(3), types.Ether)
+	s.Revert() // inner undone
+	if s.Balance(addr(3)) != 0 {
+		t.Error("inner transfer should be undone")
+	}
+	if s.Balance(addr(2)) != types.Ether {
+		t.Error("outer transfer should survive inner revert")
+	}
+	s.Revert() // outer undone
+	if s.Balance(addr(1)) != 10*types.Ether || s.Balance(addr(2)) != 0 {
+		t.Error("outer revert incomplete")
+	}
+}
+
+func TestCommitInnerThenRevertOuter(t *testing.T) {
+	s := New()
+	s.Mint(addr(1), 10*types.Ether)
+	s.Snapshot() // outer
+	s.Snapshot() // inner
+	s.Transfer(addr(1), addr(2), types.Ether)
+	s.Commit() // inner kept
+	if s.Balance(addr(2)) != types.Ether {
+		t.Error("committed inner change missing")
+	}
+	s.Revert() // outer revert must still undo inner's committed entries
+	if s.Balance(addr(2)) != 0 {
+		t.Error("outer revert should undo inner committed changes")
+	}
+}
+
+func TestRevertWithoutSnapshotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New().Revert()
+}
+
+func TestCommitWithoutSnapshotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New().Commit()
+}
+
+func TestTotals(t *testing.T) {
+	s := New()
+	tok := s.RegisterToken("DAI", 18)
+	s.Mint(addr(1), 3*types.Ether)
+	s.Mint(addr(2), 4*types.Ether)
+	s.MintToken(tok, addr(1), 11)
+	s.MintToken(tok, addr(2), 22)
+	if s.TotalEther() != 7*types.Ether {
+		t.Error("TotalEther")
+	}
+	if s.TotalToken(tok) != 33 {
+		t.Error("TotalToken")
+	}
+}
+
+// Property: ether conservation — transfers never change the total supply,
+// and a revert restores the exact pre-snapshot balance vector.
+func TestTransferConservationProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		accounts := make([]types.Address, 8)
+		for i := range accounts {
+			accounts[i] = addr(uint64(i))
+			s.Mint(accounts[i], types.Amount(rng.Int63n(int64(types.Ether))))
+		}
+		total := s.TotalEther()
+		for i := 0; i < int(ops); i++ {
+			from := accounts[rng.Intn(len(accounts))]
+			to := accounts[rng.Intn(len(accounts))]
+			amt := types.Amount(rng.Int63n(int64(types.Ether)))
+			_ = s.Transfer(from, to, amt) // overdrafts fail atomically
+		}
+		return s.TotalEther() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRestoreProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		tok := s.RegisterToken("T", 18)
+		accounts := make([]types.Address, 5)
+		for i := range accounts {
+			accounts[i] = addr(uint64(i))
+			s.Mint(accounts[i], types.Amount(rng.Int63n(int64(types.Ether)))+1)
+			s.MintToken(tok, accounts[i], types.Amount(rng.Int63n(1000)))
+		}
+		before := make(map[types.Address][2]types.Amount)
+		for _, a := range accounts {
+			before[a] = [2]types.Amount{s.Balance(a), s.TokenBalance(tok, a)}
+		}
+		s.Snapshot()
+		for i := 0; i < int(ops); i++ {
+			from := accounts[rng.Intn(len(accounts))]
+			to := accounts[rng.Intn(len(accounts))]
+			switch rng.Intn(4) {
+			case 0:
+				_ = s.Transfer(from, to, types.Amount(rng.Int63n(int64(types.Ether))))
+			case 1:
+				_ = s.TransferToken(tok, from, to, types.Amount(rng.Int63n(500)))
+			case 2:
+				s.Mint(from, types.Amount(rng.Int63n(100)))
+			case 3:
+				_ = s.BurnToken(tok, from, types.Amount(rng.Int63n(100)))
+			}
+		}
+		s.Revert()
+		for _, a := range accounts {
+			want := before[a]
+			if s.Balance(a) != want[0] || s.TokenBalance(tok, a) != want[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package stats provides the summary statistics, histograms and
+// correlation measures the paper's figures are built from.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample: the moments and quantiles used in the
+// paper's profit-distribution analysis (Figure 8 reports means, medians
+// and standard deviations).
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Std    float64
+	Min    float64
+	Max    float64
+	P25    float64
+	P75    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
+	var ss float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(sorted) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	s.Median = Quantile(sorted, 0.5)
+	s.P25 = Quantile(sorted, 0.25)
+	s.P75 = Quantile(sorted, 0.75)
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f med=%.4f std=%.4f min=%.4f max=%.4f", s.N, s.Mean, s.Median, s.Std, s.Min, s.Max)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Pearson computes the Pearson correlation coefficient of two equal-length
+// series; it returns 0 for degenerate inputs. The paper uses the
+// correlation between daily sandwich counts and gas prices (Figure 6).
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Histogram is a fixed-width bucketed count of a sample.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	// Under and Over count out-of-range samples.
+	Under, Over int
+}
+
+// NewHistogram creates a histogram over [lo, hi) with n buckets.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total is the number of in-range observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Buckets {
+		t += c
+	}
+	return t
+}
+
+// Render draws an ASCII bar chart of the histogram, width chars wide.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxC := 1
+	for _, c := range h.Buckets {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	out := ""
+	step := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		bar := ""
+		for j := 0; j < c*width/maxC; j++ {
+			bar += "█"
+		}
+		out += fmt.Sprintf("%10.3f |%-*s| %d\n", h.Lo+float64(i)*step, width, bar, c)
+	}
+	return out
+}
+
+// CDF returns the empirical distribution value at x for a sorted sample.
+func CDF(sorted []float64, x float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(sorted, x)
+	// advance over equal elements so CDF is right-continuous
+	for i < len(sorted) && sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(sorted))
+}
+
+// Gini computes the Gini coefficient of a non-negative sample — used to
+// quantify mining (de)centralization in the §4.4 analysis.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for _, x := range sorted {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	var lorenz float64
+	for _, x := range sorted {
+		cum += x
+		lorenz += cum
+	}
+	n := float64(len(sorted))
+	return (n + 1 - 2*lorenz/total) / n
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Median, 3) || !almost(s.Min, 1) || !almost(s.Max, 5) {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2.5)) {
+		t.Errorf("std = %f", s.Std)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary")
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 || one.Median != 7 {
+		t.Errorf("singleton = %+v", one)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if !almost(Quantile(xs, 0), 10) || !almost(Quantile(xs, 1), 40) {
+		t.Error("extremes")
+	}
+	if !almost(Quantile(xs, 0.5), 25) {
+		t.Errorf("median = %f", Quantile(xs, 0.5))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if !almost(Pearson(xs, ys), 1) {
+		t.Errorf("perfect corr = %f", Pearson(xs, ys))
+	}
+	inv := []float64{10, 8, 6, 4, 2}
+	if !almost(Pearson(xs, inv), -1) {
+		t.Errorf("perfect anticorr = %f", Pearson(xs, inv))
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if Pearson(xs, flat) != 0 {
+		t.Error("degenerate should be 0")
+	}
+	if Pearson(xs, ys[:3]) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1, 2.5, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Buckets[0] != 2 { // 0 and 1
+		t.Errorf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[4] != 1 { // 9.99
+		t.Errorf("bucket4 = %d", h.Buckets[4])
+	}
+	if out := h.Render(20); len(out) == 0 {
+		t.Error("render")
+	}
+	// Degenerate constructor args are clamped.
+	bad := NewHistogram(5, 5, 0)
+	bad.Add(5)
+	if bad.Total() != 1 {
+		t.Error("clamped histogram should accept")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	if !almost(CDF(xs, 0), 0) {
+		t.Error("below")
+	}
+	if !almost(CDF(xs, 2), 0.75) {
+		t.Errorf("at 2 = %f", CDF(xs, 2))
+	}
+	if !almost(CDF(xs, 5), 1) {
+		t.Error("above")
+	}
+	if CDF(nil, 1) != 0 {
+		t.Error("empty")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); !almost(g, 0) {
+		t.Errorf("equal gini = %f", g)
+	}
+	// One holder of everything among many: approaches 1.
+	xs := make([]float64, 100)
+	xs[0] = 1000
+	if g := Gini(xs); g < 0.95 {
+		t.Errorf("concentrated gini = %f", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Error("degenerate gini")
+	}
+}
+
+// Property: quantile is monotonic in q and bounded by min/max.
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		a, b := Quantile(sorted, q1), Quantile(sorted, q2)
+		return a <= b && a >= sorted[0] && b <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gini is within [0, 1] for non-negative samples.
+func TestGiniBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		g := Gini(xs)
+		return g >= -1e-9 && g <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := s.String()
+	if len(out) == 0 || out[0] != 'n' {
+		t.Errorf("summary string = %q", out)
+	}
+}

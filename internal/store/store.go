@@ -1,0 +1,201 @@
+// Package store is an embeddable document store standing in for the
+// MongoDB instance the paper's collection scripts wrote to: typed
+// collections with secondary indexes, predicate queries and JSON
+// persistence.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Collection is an append-only set of documents of one type with optional
+// secondary indexes. The zero value is not usable; call NewCollection.
+type Collection[T any] struct {
+	name    string
+	docs    []T
+	indexes map[string]*index[T]
+}
+
+type index[T any] struct {
+	key     func(T) string
+	entries map[string][]int
+}
+
+// NewCollection creates an empty named collection.
+func NewCollection[T any](name string) *Collection[T] {
+	return &Collection[T]{name: name, indexes: make(map[string]*index[T])}
+}
+
+// Name returns the collection name.
+func (c *Collection[T]) Name() string { return c.name }
+
+// Count is the number of stored documents.
+func (c *Collection[T]) Count() int { return len(c.docs) }
+
+// AddIndex registers a secondary index computed by key. Existing documents
+// are indexed immediately.
+func (c *Collection[T]) AddIndex(name string, key func(T) string) error {
+	if _, dup := c.indexes[name]; dup {
+		return fmt.Errorf("store: duplicate index %q on %q", name, c.name)
+	}
+	ix := &index[T]{key: key, entries: make(map[string][]int)}
+	for i, d := range c.docs {
+		k := key(d)
+		ix.entries[k] = append(ix.entries[k], i)
+	}
+	c.indexes[name] = ix
+	return nil
+}
+
+// Insert appends a document and returns its position.
+func (c *Collection[T]) Insert(doc T) int {
+	id := len(c.docs)
+	c.docs = append(c.docs, doc)
+	for _, ix := range c.indexes {
+		k := ix.key(doc)
+		ix.entries[k] = append(ix.entries[k], id)
+	}
+	return id
+}
+
+// InsertAll appends many documents.
+func (c *Collection[T]) InsertAll(docs ...T) {
+	for _, d := range docs {
+		c.Insert(d)
+	}
+}
+
+// Get returns the document at position id.
+func (c *Collection[T]) Get(id int) (T, bool) {
+	var zero T
+	if id < 0 || id >= len(c.docs) {
+		return zero, false
+	}
+	return c.docs[id], true
+}
+
+// All returns every document in insertion order. The slice is a copy; the
+// documents are shared.
+func (c *Collection[T]) All() []T {
+	out := make([]T, len(c.docs))
+	copy(out, c.docs)
+	return out
+}
+
+// Find returns the documents whose indexed key equals key, in insertion
+// order. An unknown index name returns an error.
+func (c *Collection[T]) Find(indexName, key string) ([]T, error) {
+	ix, ok := c.indexes[indexName]
+	if !ok {
+		return nil, fmt.Errorf("store: no index %q on %q", indexName, c.name)
+	}
+	ids := ix.entries[key]
+	out := make([]T, len(ids))
+	for i, id := range ids {
+		out[i] = c.docs[id]
+	}
+	return out, nil
+}
+
+// CountBy returns the number of documents per distinct key of an index —
+// the aggregation shape behind most of the paper's per-month plots.
+func (c *Collection[T]) CountBy(indexName string) (map[string]int, error) {
+	ix, ok := c.indexes[indexName]
+	if !ok {
+		return nil, fmt.Errorf("store: no index %q on %q", indexName, c.name)
+	}
+	out := make(map[string]int, len(ix.entries))
+	for k, ids := range ix.entries {
+		out[k] = len(ids)
+	}
+	return out, nil
+}
+
+// Keys returns the sorted distinct keys of an index.
+func (c *Collection[T]) Keys(indexName string) ([]string, error) {
+	ix, ok := c.indexes[indexName]
+	if !ok {
+		return nil, fmt.Errorf("store: no index %q on %q", indexName, c.name)
+	}
+	keys := make([]string, 0, len(ix.entries))
+	for k := range ix.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Filter returns documents matching pred in insertion order.
+func (c *Collection[T]) Filter(pred func(T) bool) []T {
+	var out []T
+	for _, d := range c.docs {
+		if pred(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Each iterates documents in insertion order; fn returning false stops.
+func (c *Collection[T]) Each(fn func(T) bool) {
+	for _, d := range c.docs {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// WriteJSON streams the collection as JSON lines.
+func (c *Collection[T]) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range c.docs {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("store: encode %q: %w", c.name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON appends JSON-lines documents from r.
+func (c *Collection[T]) ReadJSON(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	for {
+		var d T
+		if err := dec.Decode(&d); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("store: decode %q: %w", c.name, err)
+		}
+		c.Insert(d)
+	}
+}
+
+// SaveFile persists the collection to dir/<name>.jsonl.
+func (c *Collection[T]) SaveFile(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, c.name+".jsonl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.WriteJSON(f)
+}
+
+// LoadFile appends documents from dir/<name>.jsonl.
+func (c *Collection[T]) LoadFile(dir string) error {
+	f, err := os.Open(filepath.Join(dir, c.name+".jsonl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.ReadJSON(f)
+}

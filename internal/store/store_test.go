@@ -1,0 +1,173 @@
+package store
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+type doc struct {
+	ID    int    `json:"id"`
+	Month string `json:"month"`
+	Kind  string `json:"kind"`
+}
+
+func sample() *Collection[doc] {
+	c := NewCollection[doc]("mev")
+	c.AddIndex("month", func(d doc) string { return d.Month })
+	c.InsertAll(
+		doc{1, "1/2021", "sandwich"},
+		doc{2, "1/2021", "arbitrage"},
+		doc{3, "2/2021", "sandwich"},
+	)
+	return c
+}
+
+func TestInsertAndGet(t *testing.T) {
+	c := sample()
+	if c.Count() != 3 || c.Name() != "mev" {
+		t.Error("count/name")
+	}
+	d, ok := c.Get(1)
+	if !ok || d.ID != 2 {
+		t.Error("Get")
+	}
+	if _, ok := c.Get(-1); ok {
+		t.Error("Get negative")
+	}
+	if _, ok := c.Get(99); ok {
+		t.Error("Get out of range")
+	}
+	if len(c.All()) != 3 {
+		t.Error("All")
+	}
+}
+
+func TestIndexFind(t *testing.T) {
+	c := sample()
+	got, err := c.Find("month", "1/2021")
+	if err != nil || len(got) != 2 {
+		t.Errorf("find = %v %v", got, err)
+	}
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Error("insertion order within index")
+	}
+	if _, err := c.Find("nope", "x"); err == nil {
+		t.Error("unknown index should error")
+	}
+	empty, err := c.Find("month", "12/2030")
+	if err != nil || len(empty) != 0 {
+		t.Error("missing key should return empty")
+	}
+}
+
+func TestAddIndexAfterInsert(t *testing.T) {
+	c := sample()
+	if err := c.AddIndex("kind", func(d doc) string { return d.Kind }); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Find("kind", "sandwich")
+	if len(got) != 2 {
+		t.Errorf("late index should cover existing docs: %d", len(got))
+	}
+	if err := c.AddIndex("kind", func(d doc) string { return d.Kind }); err == nil {
+		t.Error("duplicate index should error")
+	}
+}
+
+func TestCountByAndKeys(t *testing.T) {
+	c := sample()
+	counts, err := c.CountBy("month")
+	if err != nil || counts["1/2021"] != 2 || counts["2/2021"] != 1 {
+		t.Errorf("counts = %v %v", counts, err)
+	}
+	keys, err := c.Keys("month")
+	if err != nil || len(keys) != 2 || keys[0] != "1/2021" {
+		t.Errorf("keys = %v", keys)
+	}
+	if _, err := c.CountBy("nope"); err == nil {
+		t.Error("unknown index")
+	}
+	if _, err := c.Keys("nope"); err == nil {
+		t.Error("unknown index")
+	}
+}
+
+func TestFilterEach(t *testing.T) {
+	c := sample()
+	got := c.Filter(func(d doc) bool { return d.Kind == "sandwich" })
+	if len(got) != 2 {
+		t.Error("filter")
+	}
+	n := 0
+	c.Each(func(d doc) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Error("early stop")
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("lines = %d", lines)
+	}
+	c2 := NewCollection[doc]("mev")
+	c2.AddIndex("month", func(d doc) string { return d.Month })
+	if err := c2.ReadJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Count() != 3 {
+		t.Error("roundtrip count")
+	}
+	got, _ := c2.Find("month", "1/2021")
+	if len(got) != 2 {
+		t.Error("index rebuilt on load")
+	}
+}
+
+func TestReadJSONBadInput(t *testing.T) {
+	c := NewCollection[doc]("x")
+	if err := c.ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("bad json should error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	c := sample()
+	if err := c.SaveFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCollection[doc]("mev")
+	if err := c2.LoadFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Count() != 3 {
+		t.Error("file roundtrip")
+	}
+	missing := NewCollection[doc]("absent")
+	if err := missing.LoadFile(dir); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLargeCollection(t *testing.T) {
+	c := NewCollection[doc]("big")
+	c.AddIndex("month", func(d doc) string { return d.Month })
+	for i := 0; i < 10_000; i++ {
+		c.Insert(doc{ID: i, Month: strconv.Itoa(i % 23), Kind: "x"})
+	}
+	counts, _ := c.CountBy("month")
+	if len(counts) != 23 {
+		t.Error("bucket count")
+	}
+	got, _ := c.Find("month", "7")
+	if len(got) == 0 {
+		t.Error("find in large collection")
+	}
+}

@@ -1,0 +1,83 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	a := DeriveAddress("str", 1)
+	if !strings.HasPrefix(a.String(), "0x") || len(a.String()) != 42 {
+		t.Errorf("address string = %q", a.String())
+	}
+	if !strings.HasPrefix(a.Short(), "0x") || len(a.Short()) != 10 {
+		t.Errorf("address short = %q", a.Short())
+	}
+	h := HashData([]byte("x"))
+	if len(h.String()) != 66 || len(h.Short()) != 10 {
+		t.Errorf("hash strings = %q %q", h.String(), h.Short())
+	}
+	if got := (Ether + Ether/2).String(); got != "1.500000000 ETH" {
+		t.Errorf("amount string = %q", got)
+	}
+	if (2 * Gwei).GweiFloat() != 2 {
+		t.Error("gwei float")
+	}
+}
+
+func TestTxKindStrings(t *testing.T) {
+	kinds := map[TxKind]string{
+		TxTransfer: "transfer", TxTokenTransfer: "token-transfer",
+		TxSwap: "swap", TxMultiSwap: "multi-swap",
+		TxLiquidate: "liquidate", TxFlashLoan: "flash-loan",
+		TxOracleUpdate: "oracle-update", TxMinerPayout: "miner-payout",
+		TxAddLiquidity: "add-liquidity", TxNoop: "noop",
+		TxKind(200): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d = %q want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestResetHash(t *testing.T) {
+	tx := &Transaction{Nonce: 1, GasPrice: 5}
+	h1 := tx.Hash()
+	tx.GasPrice = 10
+	tx.ResetHash()
+	if tx.Hash() == h1 {
+		t.Error("hash should change after mutation + reset")
+	}
+}
+
+func TestTextMarshalRoundtrip(t *testing.T) {
+	a := DeriveAddress("marshal", 1)
+	txt, err := a.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Address
+	if err := back.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if back != a {
+		t.Error("address roundtrip")
+	}
+	if err := back.UnmarshalText([]byte("zz")); err == nil {
+		t.Error("bad hex should fail")
+	}
+
+	h := HashData([]byte("x"))
+	txt, _ = h.MarshalText()
+	var hb Hash
+	if err := hb.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if hb != h {
+		t.Error("hash roundtrip")
+	}
+	if err := hb.UnmarshalText([]byte("0x1234")); err == nil {
+		t.Error("short hash should fail")
+	}
+}

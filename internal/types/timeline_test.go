@@ -1,0 +1,89 @@
+package types
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonthString(t *testing.T) {
+	if got := Month(0).String(); got != "5/2020" {
+		t.Errorf("month 0 = %s", got)
+	}
+	if got := FlashbotsLaunchMonth.String(); got != "2/2021" {
+		t.Errorf("flashbots launch = %s", got)
+	}
+	if got := Month(StudyMonths - 1).String(); got != "3/2022" {
+		t.Errorf("last month = %s", got)
+	}
+	if got := LondonForkMonth.String(); got != "8/2021" {
+		t.Errorf("london = %s", got)
+	}
+	if got := BerlinForkMonth.String(); got != "4/2021" {
+		t.Errorf("berlin = %s", got)
+	}
+}
+
+func TestMonthOf(t *testing.T) {
+	if m := MonthOf(time.Date(2021, time.February, 11, 0, 0, 0, 0, time.UTC)); m != FlashbotsLaunchMonth {
+		t.Errorf("feb 2021 = %d", m)
+	}
+	if m := MonthOf(time.Date(2019, time.January, 1, 0, 0, 0, 0, time.UTC)); m != 0 {
+		t.Error("clamp low")
+	}
+	if m := MonthOf(time.Date(2030, time.January, 1, 0, 0, 0, 0, time.UTC)); m != StudyMonths-1 {
+		t.Error("clamp high")
+	}
+}
+
+func TestTimelineBlockMapping(t *testing.T) {
+	tl := DefaultTimeline(1000)
+	if tl.TotalBlocks() != 23000 {
+		t.Errorf("total = %d", tl.TotalBlocks())
+	}
+	if tl.EndBlock() != 10_000_000+23000-1 {
+		t.Errorf("end = %d", tl.EndBlock())
+	}
+	if m := tl.MonthOfBlock(10_000_000); m != 0 {
+		t.Errorf("first block month = %d", m)
+	}
+	if m := tl.MonthOfBlock(10_000_999); m != 0 {
+		t.Errorf("last block of month 0 = %d", m)
+	}
+	if m := tl.MonthOfBlock(10_001_000); m != 1 {
+		t.Errorf("first block of month 1 = %d", m)
+	}
+	if m := tl.MonthOfBlock(tl.EndBlock() + 5000); m != StudyMonths-1 {
+		t.Error("clamp beyond end")
+	}
+	if m := tl.MonthOfBlock(5); m != 0 {
+		t.Error("clamp before start")
+	}
+}
+
+func TestTimelineTimeMonotonic(t *testing.T) {
+	tl := DefaultTimeline(100)
+	prev := tl.TimeOfBlock(tl.StartBlock)
+	for n := tl.StartBlock + 1; n <= tl.EndBlock(); n += 37 {
+		cur := tl.TimeOfBlock(n)
+		if !cur.After(prev) {
+			t.Fatalf("time not increasing at block %d: %v !> %v", n, cur, prev)
+		}
+		if MonthOf(cur) != tl.MonthOfBlock(n) {
+			t.Fatalf("time/month disagree at block %d", n)
+		}
+		prev = cur
+	}
+}
+
+func TestForkBlocks(t *testing.T) {
+	tl := DefaultTimeline(500)
+	if tl.MonthOfBlock(tl.LondonForkBlock()) != LondonForkMonth {
+		t.Error("london fork block in wrong month")
+	}
+	if tl.MonthOfBlock(tl.LondonForkBlock()-1) != LondonForkMonth-1 {
+		t.Error("block before london fork in wrong month")
+	}
+	if tl.MonthOfBlock(tl.FlashbotsLaunchBlock()) != FlashbotsLaunchMonth {
+		t.Error("flashbots launch block in wrong month")
+	}
+}

@@ -1,0 +1,212 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesToAddress(t *testing.T) {
+	long := make([]byte, 25)
+	for i := range long {
+		long[i] = byte(i)
+	}
+	a := BytesToAddress(long)
+	if a[0] != 5 || a[19] != 24 {
+		t.Errorf("truncation wrong: %v", a)
+	}
+	short := []byte{0xaa, 0xbb}
+	b := BytesToAddress(short)
+	if b[18] != 0xaa || b[19] != 0xbb || b[0] != 0 {
+		t.Errorf("padding wrong: %v", b)
+	}
+}
+
+func TestHexToAddress(t *testing.T) {
+	a := HexToAddress("0x42B2C65dB7F9e3b6c26Bc6151CCf30CcE0fb99EA")
+	if a.IsZero() {
+		t.Fatal("parse failed")
+	}
+	if got := a.String(); got != "0x42b2c65db7f9e3b6c26bc6151ccf30cce0fb99ea" {
+		t.Errorf("roundtrip = %s", got)
+	}
+	if !HexToAddress("nothex").IsZero() {
+		t.Error("invalid hex should yield zero address")
+	}
+}
+
+func TestAddressHashRoundtrip(t *testing.T) {
+	a := DeriveAddress("test", 7)
+	if got := AddressFromHash(a.Hash()); got != a {
+		t.Errorf("roundtrip via topic: got %s want %s", got, a)
+	}
+}
+
+func TestDeriveAddressDistinct(t *testing.T) {
+	seen := map[Address]bool{}
+	for i := uint64(0); i < 100; i++ {
+		a := DeriveAddress("ns", i)
+		if seen[a] {
+			t.Fatalf("duplicate address at %d", i)
+		}
+		seen[a] = true
+	}
+	if DeriveAddress("ns", 0) == DeriveAddress("other", 0) {
+		t.Error("namespaces should not collide")
+	}
+}
+
+func TestAmountConversions(t *testing.T) {
+	if FromEther(1.5) != Ether+Ether/2 {
+		t.Errorf("FromEther(1.5) = %d", FromEther(1.5))
+	}
+	if got := (2 * Ether).Ether(); got != 2.0 {
+		t.Errorf("Ether() = %f", got)
+	}
+	if (-3 * Gwei).Abs() != 3*Gwei {
+		t.Error("Abs")
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	cases := []struct{ a, num, den, want Amount }{
+		{100, 3, 4, 75},
+		{Ether, Ether, Ether, Ether},                      // 1e9*1e9/1e9 — needs 128-bit
+		{5_000_000 * Ether, 997, 1000, 4_985_000 * Ether}, // AMM fee shape
+		{-100, 3, 4, -75},
+		{100, -3, 4, -75},
+		{100, 3, -4, -75},
+		{0, 5, 7, 0},
+		{5, 7, 0, 0}, // divide by zero guarded
+	}
+	for _, c := range cases {
+		if got := c.a.MulDiv(c.num, c.den); got != c.want {
+			t.Errorf("%d.MulDiv(%d,%d) = %d, want %d", c.a, c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestMulDivSaturates(t *testing.T) {
+	big := Amount(math.MaxInt64)
+	if got := big.MulDiv(big, 1); got != math.MaxInt64 {
+		t.Errorf("overflow should saturate high, got %d", got)
+	}
+	if got := (-big).MulDiv(big, 1); got != math.MinInt64 {
+		t.Errorf("overflow should saturate low, got %d", got)
+	}
+}
+
+func TestMulDivMatchesFloatProperty(t *testing.T) {
+	// Property: for moderate magnitudes MulDiv agrees with float math to
+	// within rounding.
+	f := func(a, num uint32, den uint16) bool {
+		if den == 0 {
+			return true
+		}
+		x, n, d := Amount(a), Amount(num), Amount(den)
+		got := x.MulDiv(n, d)
+		want := int64(float64(a) * float64(num) / float64(den))
+		diff := int64(got) - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxHashStableAndDistinct(t *testing.T) {
+	tx1 := &Transaction{Nonce: 1, From: DeriveAddress("a", 1), GasPrice: 50}
+	tx2 := &Transaction{Nonce: 2, From: DeriveAddress("a", 1), GasPrice: 50}
+	if tx1.Hash() != tx1.Hash() {
+		t.Error("hash not stable")
+	}
+	if tx1.Hash() == tx2.Hash() {
+		t.Error("distinct txs collide")
+	}
+}
+
+func TestTxHashCoversPayload(t *testing.T) {
+	mk := func(amt Amount) *Transaction {
+		return &Transaction{Nonce: 1, Payload: Payload{Kind: TxSwap, AmountIn: amt}}
+	}
+	if mk(5).Hash() == mk(6).Hash() {
+		t.Error("payload not covered by hash")
+	}
+	inner1 := &Transaction{Payload: Payload{Kind: TxFlashLoan, Inner: &Payload{Kind: TxSwap, AmountIn: 1}}}
+	inner2 := &Transaction{Payload: Payload{Kind: TxFlashLoan, Inner: &Payload{Kind: TxSwap, AmountIn: 2}}}
+	if inner1.Hash() == inner2.Hash() {
+		t.Error("inner payload not covered by hash")
+	}
+}
+
+func TestEffectiveGasPriceLegacy(t *testing.T) {
+	tx := &Transaction{GasPrice: 80 * Gwei}
+	if tx.EffectiveGasPrice(0) != 80*Gwei {
+		t.Error("legacy price pre-London")
+	}
+	if tx.EffectiveGasPrice(30*Gwei) != 80*Gwei {
+		t.Error("legacy price post-London is still GasPrice")
+	}
+	if tx.BidPrice() != 80*Gwei {
+		t.Error("bid price legacy")
+	}
+}
+
+func TestEffectiveGasPrice1559(t *testing.T) {
+	tx := &Transaction{FeeCap: 100 * Gwei, TipCap: 2 * Gwei}
+	if got := tx.EffectiveGasPrice(30 * Gwei); got != 32*Gwei {
+		t.Errorf("effective = %d", got)
+	}
+	if got := tx.EffectiveTip(30 * Gwei); got != 2*Gwei {
+		t.Errorf("tip = %d", got)
+	}
+	// Fee cap binds.
+	if got := tx.EffectiveGasPrice(99 * Gwei); got != 100*Gwei {
+		t.Errorf("capped effective = %d", got)
+	}
+	if got := tx.EffectiveTip(99 * Gwei); got != 1*Gwei {
+		t.Errorf("capped tip = %d", got)
+	}
+	// Base fee above cap: tip clamps to zero.
+	if got := tx.EffectiveTip(200 * Gwei); got != 0 {
+		t.Errorf("underwater tip = %d", got)
+	}
+	if tx.BidPrice() != 100*Gwei {
+		t.Error("bid price 1559 should be fee cap")
+	}
+}
+
+func TestBlockSealAndIndex(t *testing.T) {
+	tx1 := &Transaction{Nonce: 1}
+	tx2 := &Transaction{Nonce: 2}
+	b := &Block{Header: Header{Number: 10}, Txs: []*Transaction{tx1, tx2}}
+	if !b.Hash().IsZero() {
+		t.Error("hash should be zero before Seal")
+	}
+	b.Seal()
+	if b.Hash().IsZero() {
+		t.Error("hash should be set after Seal")
+	}
+	if b.TxIndex(tx2.Hash()) != 1 {
+		t.Error("TxIndex")
+	}
+	if b.TxIndex(Hash{1}) != -1 {
+		t.Error("TxIndex missing")
+	}
+}
+
+func TestReceiptFee(t *testing.T) {
+	r := &Receipt{GasUsed: 21000, EffectiveGasPrice: 100 * Gwei}
+	if r.Fee() != 2_100_000*Gwei {
+		t.Errorf("fee = %d", r.Fee())
+	}
+}
+
+func TestEventSignatureDistinct(t *testing.T) {
+	if EventSignature("Swap") == EventSignature("Transfer") {
+		t.Error("signatures collide")
+	}
+}

@@ -1,0 +1,159 @@
+package mevscope
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mevscope/internal/types"
+)
+
+// runStudy runs a small full-window study once per test binary.
+func runStudy(t *testing.T) *Study {
+	t.Helper()
+	study, err := Run(Options{Seed: 99, BlocksPerMonth: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study
+}
+
+func TestRunProducesFullReport(t *testing.T) {
+	st := runStudy(t)
+	r := st.Report
+	if r.Table1.Total.Extractions == 0 {
+		t.Error("Table 1 empty")
+	}
+	if len(r.Fig3) != types.StudyMonths || len(r.Fig4) != types.StudyMonths {
+		t.Error("monthly series incomplete")
+	}
+	if r.Fig9 == nil {
+		t.Fatal("Fig9 missing (observer should be live)")
+	}
+	if r.Fig9.Split.Total == 0 {
+		t.Error("no window sandwiches")
+	}
+	if r.Bundles.Bundles == 0 {
+		t.Error("no bundles")
+	}
+	if st.Inferrer == nil {
+		t.Error("inferrer missing")
+	}
+	if len(st.Profits) == 0 || len(st.Detected.Sandwiches) == 0 {
+		t.Error("pipeline artifacts missing")
+	}
+}
+
+func TestReportShapes(t *testing.T) {
+	st := runStudy(t)
+	r := st.Report
+
+	// Figure 3: no Flashbots blocks pre-launch, majority-share later.
+	for _, row := range r.Fig3 {
+		if row.Month < types.FlashbotsLaunchMonth && row.FlashbotsBlocks != 0 {
+			t.Fatalf("FB blocks before launch in %v", row.Month)
+		}
+	}
+	var peak float64
+	for _, row := range r.Fig3 {
+		if row.Ratio() > peak {
+			peak = row.Ratio()
+		}
+	}
+	if peak < 0.4 || peak > 0.85 {
+		t.Errorf("Fig3 peak ratio = %.2f, want near the paper's 0.6", peak)
+	}
+
+	// Figure 4: hashrate estimate is near-total by late 2021. The paper's
+	// estimator (≥1 Flashbots block that month) undercounts at this
+	// compressed 60-blocks/month scale, so the bound is looser than the
+	// paper's 99.9 %.
+	for _, mv := range r.Fig4 {
+		if mv.Month >= 17 && mv.Value < 0.78 {
+			t.Errorf("month %v hashrate estimate %.2f < 0.78", mv.Month, mv.Value)
+		}
+	}
+
+	// Figure 5: no month has more miners than the configured set.
+	if r.Fig5.MaxMinersInAnyMonth() > 55 {
+		t.Error("more Flashbots miners than miners exist")
+	}
+
+	// Figure 8 orderings (the §5.1 findings):
+	if r.Fig8.SearcherFB.Mean >= r.Fig8.SearcherNonFB.Mean {
+		t.Error("searchers should earn less via Flashbots")
+	}
+	if r.Fig8.MinerFB.Mean <= r.Fig8.MinerNonFB.Mean {
+		t.Error("miners should earn more via Flashbots")
+	}
+
+	// Figure 9: Flashbots dominates; public is a small minority.
+	sp := r.Fig9.Split
+	if sp.FlashbotsShare() < 0.6 {
+		t.Errorf("FB share = %.2f", sp.FlashbotsShare())
+	}
+	if sp.PublicShare() > 0.25 {
+		t.Errorf("public share = %.2f", sp.PublicShare())
+	}
+
+	// §5.2: some unprofitable Flashbots sandwiches exist, but a minority.
+	if r.Negatives.Unprofitable == 0 {
+		t.Error("expected some unprofitable FB sandwiches")
+	}
+	if r.Negatives.Share() > 0.25 {
+		t.Errorf("negative share = %.2f", r.Negatives.Share())
+	}
+
+	// §4.1: bundles per block near the paper's 2.71, median small.
+	if r.Bundles.BundlesPerBlock.Mean < 1.5 || r.Bundles.BundlesPerBlock.Mean > 4 {
+		t.Errorf("bundles/block = %.2f", r.Bundles.BundlesPerBlock.Mean)
+	}
+}
+
+func TestWriteReportRendersAllSections(t *testing.T) {
+	st := runStudy(t)
+	var buf bytes.Buffer
+	st.WriteReport(&buf)
+	out := buf.String()
+	for _, section := range []string{
+		"Table 1", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+		"Figure 7", "Figure 8", "Figure 9", "bundle statistics",
+		"negative profits", "private non-Flashbots sandwich accounts",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+	if !strings.Contains(out, "London fork") {
+		t.Error("fork markers missing")
+	}
+}
+
+func TestOptionsPropagate(t *testing.T) {
+	study, err := Run(Options{Seed: 3, BlocksPerMonth: 30, Months: 3, NumMiners: 12, NumTraders: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Sim.Chain.Len() != 90 {
+		t.Errorf("blocks = %d", study.Sim.Chain.Len())
+	}
+	if study.Sim.Mset.Len() != 12 {
+		t.Error("miners")
+	}
+	// Short pre-launch run: no Flashbots artifacts, no inferrer.
+	if study.Report.Fig9 != nil {
+		t.Error("no observer window in a 3-month run")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0.5, 10); got != "#####....." {
+		t.Errorf("bar = %q", got)
+	}
+	if got := bar(-1, 4); got != "...." {
+		t.Errorf("bar clamp low = %q", got)
+	}
+	if got := bar(2, 4); got != "####" {
+		t.Errorf("bar clamp high = %q", got)
+	}
+}
