@@ -257,6 +257,45 @@ func BenchmarkMinerPrivatePools(b *testing.B) {
 	b.ReportMetric(float64(single), "single_miner_accounts")
 }
 
+// benchAnalyze measures the full measurement pipeline (detect + profit +
+// inference + report) over the shared world at a fixed worker count.
+func benchAnalyze(b *testing.B, workers int) {
+	benchSetup(b)
+	s := benchStudy.Sim
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeWith(s, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeSequential is the single-worker measurement pipeline —
+// the baseline the parallel pipeline is compared against.
+func BenchmarkAnalyzeSequential(b *testing.B) { benchAnalyze(b, 1) }
+
+// BenchmarkAnalyzeParallel2 runs the pipeline with a 2-worker pool.
+func BenchmarkAnalyzeParallel2(b *testing.B) { benchAnalyze(b, 2) }
+
+// BenchmarkAnalyzeParallel4 runs the pipeline with a 4-worker pool; on a
+// ≥4-core machine wall-clock should be well under the sequential run.
+func BenchmarkAnalyzeParallel4(b *testing.B) { benchAnalyze(b, 4) }
+
+// BenchmarkAnalyzeParallelNumCPU runs the default Analyze configuration.
+func BenchmarkAnalyzeParallelNumCPU(b *testing.B) { benchAnalyze(b, -1) }
+
+// BenchmarkEnsemble4Seeds measures a small multi-seed ensemble end to end
+// (4 seeds × 3 months), the scenario-sweep workload.
+func BenchmarkEnsemble4Seeds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := Options{BlocksPerMonth: 40, Months: 3, Scenario: "baseline"}
+		seeds := []int64{int64(4*i + 1), int64(4*i + 2), int64(4*i + 3), int64(4*i + 4)}
+		if _, err := RunEnsembleWith(base, seeds, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFullPipeline measures simulate+measure end to end at small
 // scale — the cost of a complete reproduction run.
 func BenchmarkFullPipeline(b *testing.B) {

@@ -1,46 +1,64 @@
 // Command mevscope runs the full reproduction study: simulate the
 // 23-month window, run the measurement pipeline and print every table and
-// figure of the paper.
+// figure of the paper — or an ensemble of runs with confidence intervals.
 //
 // Usage:
 //
 //	mevscope [-seed N] [-bpm BLOCKS] [-months M] [-section NAME]
+//	         [-scenario NAME] [-seeds N,N,...] [-parallel W]
 //
 // Sections: all (default), table1, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, bundles, negatives, private.
+//
+// Scenarios: baseline, no-flashbots, hashpower-skew, high-private,
+// post-london. With -seeds, one study runs per seed under the scenario and
+// the merged report carries mean ± stddev per table cell.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"mevscope"
+	"mevscope/internal/scenario"
 	"mevscope/internal/types"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
-		bpm     = flag.Uint64("bpm", 600, "blocks per simulated month (mainnet ≈ 190k)")
-		months  = flag.Int("months", 0, "limit the window to the first N months (0 = all 23)")
-		miners  = flag.Int("miners", 0, "miner-set size (0 = default 55)")
-		section = flag.String("section", "all", "which artifact to print")
-		csvDir  = flag.String("csv", "", "also write every artifact as CSV into this directory")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		seed        = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+		seeds       = flag.String("seeds", "", "comma-separated seed list; enables the multi-seed ensemble")
+		scen        = flag.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
+		parallelism = flag.Int("parallel", 0, "worker-pool size for analysis and ensemble fan-out (0 = all cores)")
+		bpm         = flag.Uint64("bpm", 600, "blocks per simulated month (mainnet ≈ 190k)")
+		months      = flag.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
+		miners      = flag.Int("miners", 0, "miner-set size (0 = default 55)")
+		section     = flag.String("section", "all", "which artifact to print")
+		csvDir      = flag.String("csv", "", "also write every artifact as CSV into this directory")
+		quiet       = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
+	opts := mevscope.Options{
+		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners,
+		Scenario: *scen, Parallelism: *parallelism,
+	}
+
+	if *seeds != "" {
+		runEnsemble(opts, *seeds, *parallelism, *quiet)
+		return
+	}
+
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "mevscope: simulating %d months at %d blocks/month (seed %d)...\n",
-			pick(*months, types.StudyMonths), *bpm, *seed)
+		fmt.Fprintf(os.Stderr, "mevscope: simulating %d months at %d blocks/month (seed %d, scenario %s)...\n",
+			pick(*months, types.StudyMonths), *bpm, *seed, *scen)
 	}
 	t0 := time.Now()
-	study, err := mevscope.Run(mevscope.Options{
-		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners,
-	})
+	study, err := mevscope.Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mevscope:", err)
 		os.Exit(1)
@@ -129,4 +147,49 @@ func pick(v, def int) int {
 		return v
 	}
 	return def
+}
+
+// runEnsemble parses the seed list, fans the runs out and prints the
+// merged mean ± stddev report.
+func runEnsemble(base mevscope.Options, seedList string, parallelism int, quiet bool) {
+	seeds, err := parseSeeds(seedList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mevscope:", err)
+		os.Exit(2)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: ensemble of %d seeds under scenario %s at %d blocks/month...\n",
+			len(seeds), base.Scenario, base.BlocksPerMonth)
+	}
+	t0 := time.Now()
+	ens, err := mevscope.RunEnsembleWith(base, seeds, parallelism)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mevscope:", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: %d runs merged in %v\n", len(ens.Seeds), time.Since(t0).Round(time.Millisecond))
+	}
+	ens.WriteSummary(os.Stdout)
+}
+
+// parseSeeds parses a comma-separated int64 list.
+func parseSeeds(s string) ([]int64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in -seeds", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-seeds given but no seeds parsed")
+	}
+	return out, nil
 }

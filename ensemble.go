@@ -1,0 +1,289 @@
+package mevscope
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mevscope/internal/parallel"
+	"mevscope/internal/stats"
+	"mevscope/internal/types"
+)
+
+// CellStat is one report cell aggregated across an ensemble: the
+// mean/stddev (and range) of that cell over the per-seed runs.
+type CellStat struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// cellOf summarizes per-seed samples into a cell.
+func cellOf(xs []float64) CellStat {
+	s := stats.Summarize(xs)
+	return CellStat{N: s.N, Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max}
+}
+
+// String renders the cell as mean ± stddev.
+func (c CellStat) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", c.Mean, c.Std)
+}
+
+// MonthStat is one month of an ensemble-aggregated series.
+type MonthStat struct {
+	Month types.Month
+	Value CellStat
+}
+
+// EnsembleTable1Row aggregates one Table 1 strategy row across seeds.
+type EnsembleTable1Row struct {
+	Strategy      string
+	Extractions   CellStat
+	ViaFlashbots  CellStat
+	ViaFlashLoans CellStat
+	ViaBoth       CellStat
+}
+
+// Ensemble is the merged outcome of a multi-seed scenario sweep: every
+// table cell carries a mean and standard deviation over the seeds instead
+// of the point estimate a single replay gives.
+type Ensemble struct {
+	Scenario string
+	// Seeds are the run seeds in ascending order; the merge is computed in
+	// this order, so the result is independent of submission order and of
+	// the parallelism the runs executed with.
+	Seeds []int64
+
+	// Table1 holds the sandwiching/arbitrage/liquidation rows plus the
+	// total row, in the paper's order.
+	Table1 []EnsembleTable1Row
+	// Fig3Ratio is the monthly Flashbots block share.
+	Fig3Ratio []MonthStat
+	// Fig4Hashrate is the monthly Flashbots hashrate estimate.
+	Fig4Hashrate []MonthStat
+
+	// Figure 9 channel shares over the runs whose observation window
+	// opened (Fig9Runs of len(Seeds)).
+	Fig9Runs       int
+	FlashbotsShare CellStat
+	PrivateShare   CellStat
+	PublicShare    CellStat
+
+	// Headline scalars.
+	BundlesPerBlock CellStat
+	NegativeShare   CellStat
+	Top2Share       CellStat
+}
+
+// RunEnsemble simulates one study per seed under the named scenario,
+// fanning runs across min(parallelism, len(seeds)) goroutines, and merges
+// the per-seed reports into mean/stddev cells. parallelism < 1 selects
+// runtime.NumCPU(). The merge iterates seeds in ascending order and each
+// run is deterministic in its seed alone, so the result does not depend on
+// seed order or parallelism.
+func RunEnsemble(seeds []int64, scenarioName string, parallelism int) (*Ensemble, error) {
+	return RunEnsembleWith(Options{Scenario: scenarioName}, seeds, parallelism)
+}
+
+// RunEnsembleWith is RunEnsemble with explicit scale options; base.Seed is
+// overridden by each entry of seeds. When runs fan out across seeds, each
+// run's own analysis defaults to sequential (the cores are already busy)
+// unless base.Parallelism asks otherwise.
+func RunEnsembleWith(base Options, seeds []int64, parallelism int) (*Ensemble, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("mevscope: ensemble needs at least one seed")
+	}
+	if _, err := base.Config(); err != nil {
+		return nil, err
+	}
+	sorted := append([]int64(nil), seeds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	// Split the pool between the seed fan-out and each run's own
+	// analysis: with fewer seeds than workers, the leftover cores go to
+	// the per-run pipelines instead of idling.
+	parallelism = parallel.Workers(parallelism)
+	fanOut := parallelism
+	if fanOut > len(sorted) {
+		fanOut = len(sorted)
+	}
+	if base.Parallelism < 1 {
+		base.Parallelism = parallelism / fanOut
+		if base.Parallelism < 1 {
+			base.Parallelism = 1
+		}
+	}
+	type outcome struct {
+		study *Study
+		err   error
+	}
+	outcomes := parallel.Map(len(sorted), fanOut, func(i int) outcome {
+		opts := base
+		opts.Seed = sorted[i]
+		st, err := Run(opts)
+		return outcome{study: st, err: err}
+	})
+	studies := make([]*Study, len(outcomes))
+	for i, o := range outcomes {
+		if o.err != nil {
+			return nil, fmt.Errorf("mevscope: seed %d: %w", sorted[i], o.err)
+		}
+		studies[i] = o.study
+	}
+	ens := mergeStudies(studies)
+	ens.Scenario = base.Scenario
+	if ens.Scenario == "" {
+		ens.Scenario = "baseline"
+	}
+	ens.Seeds = sorted
+	return ens, nil
+}
+
+// mergeStudies folds per-seed reports into ensemble cells. Studies must be
+// ordered (ascending seed); every aggregation reads them in slice order.
+func mergeStudies(studies []*Study) *Ensemble {
+	ens := &Ensemble{}
+
+	// Table 1: strategy rows plus total, cell by cell.
+	nRows := len(studies[0].Report.Table1.Rows)
+	for ri := 0; ri <= nRows; ri++ {
+		var row EnsembleTable1Row
+		var ex, fb, fl, both []float64
+		for _, st := range studies {
+			t := st.Report.Table1
+			r := t.Total
+			if ri < nRows {
+				r = t.Rows[ri]
+			}
+			row.Strategy = r.Strategy
+			ex = append(ex, float64(r.Extractions))
+			fb = append(fb, float64(r.ViaFlashbots))
+			fl = append(fl, float64(r.ViaFlashLoans))
+			both = append(both, float64(r.ViaBoth))
+		}
+		row.Extractions = cellOf(ex)
+		row.ViaFlashbots = cellOf(fb)
+		row.ViaFlashLoans = cellOf(fl)
+		row.ViaBoth = cellOf(both)
+		ens.Table1 = append(ens.Table1, row)
+	}
+
+	// Monthly series: months present in any run, ascending.
+	ens.Fig3Ratio = mergeMonthly(studies, func(st *Study) []MonthValuePair {
+		out := make([]MonthValuePair, 0, len(st.Report.Fig3))
+		for _, r := range st.Report.Fig3 {
+			out = append(out, MonthValuePair{Month: r.Month, Value: r.Ratio()})
+		}
+		return out
+	})
+	ens.Fig4Hashrate = mergeMonthly(studies, func(st *Study) []MonthValuePair {
+		out := make([]MonthValuePair, 0, len(st.Report.Fig4))
+		for _, mv := range st.Report.Fig4 {
+			out = append(out, MonthValuePair{Month: mv.Month, Value: mv.Value})
+		}
+		return out
+	})
+
+	// Figure 9 shares, over runs with an observation window.
+	var fbs, privs, pubs []float64
+	for _, st := range studies {
+		f9 := st.Report.Fig9
+		if f9 == nil || f9.Split.Total == 0 {
+			continue
+		}
+		ens.Fig9Runs++
+		fbs = append(fbs, f9.Split.FlashbotsShare())
+		privs = append(privs, f9.Split.PrivateShare())
+		pubs = append(pubs, f9.Split.PublicShare())
+	}
+	ens.FlashbotsShare = cellOf(fbs)
+	ens.PrivateShare = cellOf(privs)
+	ens.PublicShare = cellOf(pubs)
+
+	// Headline scalars.
+	var bpb, neg, top2 []float64
+	for _, st := range studies {
+		bpb = append(bpb, st.Report.Bundles.BundlesPerBlock.Mean)
+		neg = append(neg, st.Report.Negatives.Share())
+		top2 = append(top2, st.Report.Concentration.Top2Share)
+	}
+	ens.BundlesPerBlock = cellOf(bpb)
+	ens.NegativeShare = cellOf(neg)
+	ens.Top2Share = cellOf(top2)
+	return ens
+}
+
+// MonthValuePair is one month's scalar from a single run, used when
+// merging monthly series across seeds.
+type MonthValuePair struct {
+	Month types.Month
+	Value float64
+}
+
+// mergeMonthly aggregates a per-run monthly series cell by cell.
+func mergeMonthly(studies []*Study, series func(*Study) []MonthValuePair) []MonthStat {
+	perMonth := map[types.Month][]float64{}
+	for _, st := range studies {
+		for _, p := range series(st) {
+			perMonth[p.Month] = append(perMonth[p.Month], p.Value)
+		}
+	}
+	months := make([]types.Month, 0, len(perMonth))
+	for m := range perMonth {
+		months = append(months, m)
+	}
+	sort.Slice(months, func(i, j int) bool { return months[i] < months[j] })
+	out := make([]MonthStat, 0, len(months))
+	for _, m := range months {
+		out = append(out, MonthStat{Month: m, Value: cellOf(perMonth[m])})
+	}
+	return out
+}
+
+// Format renders the ensemble summary as text, in paper order.
+func (e *Ensemble) Format() string {
+	var b strings.Builder
+	e.WriteSummary(&b)
+	return b.String()
+}
+
+// WriteSummary writes the ensemble report to w.
+func (e *Ensemble) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "=== Ensemble: scenario %q over %d seeds %v ===\n\n", e.Scenario, len(e.Seeds), e.Seeds)
+
+	fmt.Fprintf(w, "--- Table 1 (mean ± stddev per cell) ---\n")
+	fmt.Fprintf(w, "%-12s %18s %18s %18s %14s\n", "MEV Strategy", "Extractions", "Via Flashbots", "Via Flash Loans", "Via Both")
+	for _, r := range e.Table1 {
+		fmt.Fprintf(w, "%-12s %18s %18s %18s %14s\n",
+			r.Strategy, r.Extractions, r.ViaFlashbots, r.ViaFlashLoans, r.ViaBoth)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "--- Figure 3: Flashbots block ratio per month ---\n")
+	for _, ms := range e.Fig3Ratio {
+		fmt.Fprintf(w, "%8s  %6.1f%% ± %4.1f%%\n", ms.Month, 100*ms.Value.Mean, 100*ms.Value.Std)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "--- Figure 4: estimated Flashbots hashrate per month ---\n")
+	for _, ms := range e.Fig4Hashrate {
+		fmt.Fprintf(w, "%8s  %6.1f%% ± %4.1f%%\n", ms.Month, 100*ms.Value.Mean, 100*ms.Value.Std)
+	}
+	fmt.Fprintln(w)
+
+	if e.Fig9Runs > 0 {
+		fmt.Fprintf(w, "--- Figure 9: window sandwich channels (%d/%d runs) ---\n", e.Fig9Runs, len(e.Seeds))
+		fmt.Fprintf(w, "via Flashbots %5.1f%% ± %4.1f%% | private %5.1f%% ± %4.1f%% | public %5.1f%% ± %4.1f%%\n\n",
+			100*e.FlashbotsShare.Mean, 100*e.FlashbotsShare.Std,
+			100*e.PrivateShare.Mean, 100*e.PrivateShare.Std,
+			100*e.PublicShare.Mean, 100*e.PublicShare.Std)
+	}
+
+	fmt.Fprintf(w, "--- headline scalars ---\n")
+	fmt.Fprintf(w, "bundles/block:            %s\n", e.BundlesPerBlock)
+	fmt.Fprintf(w, "unprofitable FB share:    %.2f%% ± %.2f%%\n", 100*e.NegativeShare.Mean, 100*e.NegativeShare.Std)
+	fmt.Fprintf(w, "top-2 miner share:        %.1f%% ± %.1f%%\n", 100*e.Top2Share.Mean, 100*e.Top2Share.Std)
+}

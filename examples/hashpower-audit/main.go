@@ -64,6 +64,17 @@ func main() {
 	top2 := topK(xs, 2)
 	fmt.Printf("\n§4.4 — concentration in %s: gini=%.2f, top-2 miners mined %.0f%% of Flashbots blocks\n",
 		last, stats.Gini(xs), 100*top2/float64(max(1, total)))
+
+	// Counterfactual: the hashpower-skew scenario doubles the Zipf
+	// exponent of the miner set — how much worse does concentration get?
+	// Same seed and scale as the baseline run, so only the skew differs.
+	skewed, err := mevscope.Run(mevscope.Options{Seed: 4, BlocksPerMonth: 250, Scenario: "hashpower-skew"})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nhashpower-skew scenario: top-2 share %.0f%% (baseline %.0f%%)\n",
+		100*skewed.Report.Concentration.Top2Share, 100*study.Report.Concentration.Top2Share)
 }
 
 func topK(xs []float64, k int) float64 {

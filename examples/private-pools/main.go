@@ -13,7 +13,9 @@ import (
 )
 
 func main() {
-	study, err := mevscope.Run(mevscope.Options{Seed: 21, BlocksPerMonth: 250})
+	// Swap Scenario for "high-private" to rerun the analysis in the
+	// counterfactual where private pools adopt early and capture 2.5x MEV.
+	study, err := mevscope.Run(mevscope.Options{Seed: 21, BlocksPerMonth: 250, Scenario: "baseline"})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

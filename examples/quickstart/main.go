@@ -13,8 +13,10 @@ import (
 
 func main() {
 	// 150 blocks per month keeps the run under a few seconds while still
-	// producing every artifact; bump for smoother curves.
-	study, err := mevscope.Run(mevscope.Options{Seed: 7, BlocksPerMonth: 150})
+	// producing every artifact; bump for smoother curves. Scenario ""
+	// (baseline) replays the paper's world; Parallelism 0 fans the
+	// measurement pipeline across all cores.
+	study, err := mevscope.Run(mevscope.Options{Seed: 7, BlocksPerMonth: 150, Scenario: "baseline"})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module mevscope
+
+go 1.21

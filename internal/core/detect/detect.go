@@ -16,6 +16,7 @@ package detect
 import (
 	"mevscope/internal/chain"
 	"mevscope/internal/events"
+	"mevscope/internal/parallel"
 	"mevscope/internal/types"
 )
 
@@ -305,27 +306,67 @@ type Result struct {
 	FlashLoanTxs map[types.Hash]bool
 }
 
-// Scan runs every detector over chain blocks in [from, to].
-func Scan(c *chain.Chain, weth types.Address, from, to uint64) *Result {
-	res := &Result{FlashLoanTxs: make(map[types.Hash]bool)}
-	c.Range(from, to, func(b *types.Block) bool {
-		res.Sandwiches = append(res.Sandwiches, SandwichesInBlock(b, weth)...)
-		res.Arbitrages = append(res.Arbitrages, ArbitragesInBlock(b)...)
-		res.Liquidations = append(res.Liquidations, LiquidationsInBlock(b)...)
-		for i, rcpt := range b.Receipts {
-			if rcpt.Status != types.StatusSuccess {
-				continue
-			}
-			if len(txFlashLoans(rcpt)) > 0 {
-				res.FlashLoanTxs[b.Txs[i].Hash()] = true
-			}
+// scanBlock runs every detector over one block, appending into res.
+func scanBlock(res *Result, b *types.Block, weth types.Address) {
+	res.Sandwiches = append(res.Sandwiches, SandwichesInBlock(b, weth)...)
+	res.Arbitrages = append(res.Arbitrages, ArbitragesInBlock(b)...)
+	res.Liquidations = append(res.Liquidations, LiquidationsInBlock(b)...)
+	for i, rcpt := range b.Receipts {
+		if rcpt.Status != types.StatusSuccess {
+			continue
 		}
+		if len(txFlashLoans(rcpt)) > 0 {
+			res.FlashLoanTxs[b.Txs[i].Hash()] = true
+		}
+	}
+}
+
+// merge appends other's findings onto res, preserving block order when
+// partial results are merged in ascending chunk order.
+func (res *Result) merge(other *Result) {
+	res.Sandwiches = append(res.Sandwiches, other.Sandwiches...)
+	res.Arbitrages = append(res.Arbitrages, other.Arbitrages...)
+	res.Liquidations = append(res.Liquidations, other.Liquidations...)
+	for h := range other.FlashLoanTxs {
+		res.FlashLoanTxs[h] = true
+	}
+}
+
+// Scan runs every detector over chain blocks in [from, to] sequentially.
+func Scan(c *chain.Chain, weth types.Address, from, to uint64) *Result {
+	return ScanParallel(c, weth, from, to, 1)
+}
+
+// ScanParallel fans blocks in [from, to] across a worker pool. Each worker
+// sweeps a contiguous block range; partial results are merged in ascending
+// block order, so the output is identical to the sequential Scan for any
+// worker count. workers < 1 selects runtime.NumCPU().
+func ScanParallel(c *chain.Chain, weth types.Address, from, to uint64, workers int) *Result {
+	var blocks []*types.Block
+	c.Range(from, to, func(b *types.Block) bool {
+		blocks = append(blocks, b)
 		return true
 	})
+	parts := parallel.MapChunks(len(blocks), workers, func(lo, hi int) *Result {
+		part := &Result{FlashLoanTxs: make(map[types.Hash]bool)}
+		for _, b := range blocks[lo:hi] {
+			scanBlock(part, b, weth)
+		}
+		return part
+	})
+	res := &Result{FlashLoanTxs: make(map[types.Hash]bool)}
+	for _, part := range parts {
+		res.merge(part)
+	}
 	return res
 }
 
 // ScanAll sweeps the whole chain.
 func ScanAll(c *chain.Chain, weth types.Address) *Result {
 	return Scan(c, weth, c.Timeline.StartBlock, c.Timeline.EndBlock())
+}
+
+// ScanAllParallel sweeps the whole chain across a worker pool.
+func ScanAllParallel(c *chain.Chain, weth types.Address, workers int) *Result {
+	return ScanParallel(c, weth, c.Timeline.StartBlock, c.Timeline.EndBlock(), workers)
 }

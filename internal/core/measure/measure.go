@@ -14,6 +14,7 @@ import (
 	"mevscope/internal/core/privinfer"
 	"mevscope/internal/core/profit"
 	"mevscope/internal/flashbots"
+	"mevscope/internal/parallel"
 	"mevscope/internal/stats"
 	"mevscope/internal/types"
 )
@@ -29,6 +30,20 @@ type Inputs struct {
 	Profits  []profit.Record
 	Observer privinfer.Observer
 	WETH     types.Address
+
+	// Workers sizes the aggregation worker pool (0 or 1 = sequential,
+	// <0 = runtime.NumCPU()). Every builder reads the inputs immutably and
+	// merges per-month partials in month order, so the report is identical
+	// for any worker count.
+	Workers int
+}
+
+// workers resolves the pool size: the zero value stays sequential.
+func (in Inputs) workers() int {
+	if in.Workers == 0 {
+		return 1
+	}
+	return in.Workers
 }
 
 // MinerSetOnChain derives the set of coinbase addresses that ever produced
@@ -304,10 +319,14 @@ func BuildFigure6(in Inputs) Fig6 {
 	}
 	var f Fig6
 	var gasSeries, nonFBSeries, allSeries []float64
-	for m := types.Month(0); m < types.StudyMonths; m++ {
+	// Each month's gas sweep walks every receipt — the heaviest loop in the
+	// report — so months fan out across the worker pool and merge in month
+	// order.
+	monthRows := parallel.Map(types.StudyMonths, in.workers(), func(mi int) *Fig6Row {
+		m := types.Month(mi)
 		blocks := in.Chain.BlocksInMonth(m)
 		if len(blocks) == 0 {
-			continue
+			return nil
 		}
 		var sum float64
 		var all []float64
@@ -318,13 +337,19 @@ func BuildFigure6(in Inputs) Fig6 {
 				all = append(all, g)
 			}
 		}
-		row := Fig6Row{Month: m, FlashbotsSand: fbSand[m], NonFlashbotsSand: nonFBSand[m]}
+		row := &Fig6Row{Month: m, FlashbotsSand: fbSand[m], NonFlashbotsSand: nonFBSand[m]}
 		if len(all) > 0 {
 			sort.Float64s(all)
 			row.AvgGasPriceGwei = sum / float64(len(all))
 			row.MedianGasPriceGwei = stats.Quantile(all, 0.5)
 		}
-		f.Rows = append(f.Rows, row)
+		return row
+	})
+	for _, row := range monthRows {
+		if row == nil {
+			continue
+		}
+		f.Rows = append(f.Rows, *row)
 		gasSeries = append(gasSeries, row.AvgGasPriceGwei)
 		nonFBSeries = append(nonFBSeries, float64(row.NonFlashbotsSand))
 		allSeries = append(allSeries, float64(row.FlashbotsSand+row.NonFlashbotsSand))
@@ -582,28 +607,41 @@ type Report struct {
 }
 
 // Build assembles the full report. inf may be nil when no observation
-// window exists.
+// window exists. Artifact builders are independent read-only passes over
+// the inputs, so they fan out across the worker pool; each writes a
+// distinct Report field, which keeps the assembly deterministic.
 func Build(in Inputs, inf *privinfer.Inferrer) *Report {
-	r := &Report{
-		Table1:    BuildTable1(in),
-		Fig3:      BuildFigure3(in),
-		Fig4:      BuildFigure4(in),
-		Fig5:      BuildFigure5(in),
-		Fig6:      BuildFigure6(in),
-		Fig7:      BuildFigure7(in),
-		Fig8:      BuildFigure8(in),
-		Bundles:   BuildBundleStats(in),
-		Negatives: BuildNegativeProfits(in),
-		Damage:    BuildVictimDamage(in),
+	r := &Report{}
+	builders := []func(){
+		func() { r.Table1 = BuildTable1(in) },
+		func() { r.Fig3 = BuildFigure3(in) },
+		func() { r.Fig4 = BuildFigure4(in) },
+		func() { r.Fig5 = BuildFigure5(in) },
+		func() { r.Fig6 = BuildFigure6(in) },
+		func() { r.Fig7 = BuildFigure7(in) },
+		func() { r.Fig8 = BuildFigure8(in) },
+		func() { r.Bundles = BuildBundleStats(in) },
+		func() { r.Negatives = BuildNegativeProfits(in) },
+		func() { r.Damage = BuildVictimDamage(in) },
+		func() { r.Concentration = BuildConcentration(in) },
 	}
-	r.Concentration = BuildConcentration(in)
 	if inf != nil {
-		f9 := BuildFigure9(in, inf)
-		r.Fig9 = &f9
-		split := inf.SplitAll(in.Detect)
-		r.MEVSplit = &split
-		r.PrivateLinks = inf.LinkPrivateSandwiches(in.Detect.Sandwiches)
+		builders = append(builders,
+			func() {
+				f9 := BuildFigure9(in, inf)
+				r.Fig9 = &f9
+			},
+			func() {
+				split := inf.SplitAll(in.Detect)
+				r.MEVSplit = &split
+			},
+			func() { r.PrivateLinks = inf.LinkPrivateSandwiches(in.Detect.Sandwiches) },
+		)
 	}
+	parallel.Map(len(builders), in.workers(), func(i int) struct{} {
+		builders[i]()
+		return struct{}{}
+	})
 	return r
 }
 

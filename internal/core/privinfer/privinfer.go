@@ -8,10 +8,12 @@ package privinfer
 
 import (
 	"sort"
+	"sync"
 
 	"mevscope/internal/chain"
 	"mevscope/internal/core/detect"
 	"mevscope/internal/flashbots"
+	"mevscope/internal/parallel"
 	"mevscope/internal/types"
 )
 
@@ -59,6 +61,21 @@ type Inferrer struct {
 	// WindowStart and WindowEnd bound the analysis to blocks where the
 	// observer was live (the paper's Nov 23rd 2021 – Mar 23rd 2022 range).
 	WindowStart, WindowEnd uint64
+
+	// Workers sizes the classification worker pool (0 or 1 = sequential,
+	// <0 = runtime.NumCPU()). Classification is read-only over the chain,
+	// observer and Flashbots set, and per-extraction verdicts are reduced
+	// in input order, so results are identical for any worker count.
+	Workers int
+
+	// Sandwich verdicts memoized per input slice: Figure 9, the MEV split
+	// and the §6.3 attribution all classify the same detector sweep, so
+	// the verdicts compute once and are shared (guarded for the
+	// concurrent report builders).
+	mu        sync.Mutex
+	cacheKey  *detect.Sandwich
+	cacheLen  int
+	cacheVerd []verdict
 }
 
 // New creates an Inferrer over the observation window. If start/stop are
@@ -161,25 +178,69 @@ func (s SandwichSplit) PublicShare() float64 {
 	return float64(s.Public) / float64(s.Total)
 }
 
+// workers resolves the pool size: the zero value stays sequential.
+func (in *Inferrer) workers() int {
+	if in.Workers == 0 {
+		return 1
+	}
+	return in.Workers
+}
+
+// verdict is one classification outcome, produced by a worker and reduced
+// sequentially in input order.
+type verdict struct {
+	ch Channel
+	ok bool
+}
+
+// classifySandwiches fans the §6.1 sandwich rule across the worker pool,
+// memoizing the verdicts per input slice. A cache miss under concurrent
+// first calls may classify twice; the results are identical either way.
+func (in *Inferrer) classifySandwiches(sandwiches []detect.Sandwich) []verdict {
+	var key *detect.Sandwich
+	if len(sandwiches) > 0 {
+		key = &sandwiches[0]
+	}
+	in.mu.Lock()
+	if in.cacheVerd != nil && in.cacheKey == key && in.cacheLen == len(sandwiches) {
+		v := in.cacheVerd
+		in.mu.Unlock()
+		return v
+	}
+	in.mu.Unlock()
+	v := parallel.Map(len(sandwiches), in.workers(), func(i int) verdict {
+		ch, ok := in.ClassifySandwich(sandwiches[i])
+		return verdict{ch: ch, ok: ok}
+	})
+	in.mu.Lock()
+	in.cacheKey, in.cacheLen, in.cacheVerd = key, len(sandwiches), v
+	in.mu.Unlock()
+	return v
+}
+
 // SplitSandwiches classifies every detected sandwich inside the window.
 func (in *Inferrer) SplitSandwiches(sandwiches []detect.Sandwich) SandwichSplit {
 	var out SandwichSplit
-	for _, s := range sandwiches {
-		ch, ok := in.ClassifySandwich(s)
-		if !ok {
+	for _, v := range in.classifySandwiches(sandwiches) {
+		if !v.ok {
 			continue
 		}
-		out.Total++
-		switch ch {
-		case ChannelFlashbots:
-			out.Flashbots++
-		case ChannelPrivate:
-			out.Private++
-		default:
-			out.Public++
-		}
+		out.add(v.ch)
 	}
 	return out
+}
+
+// add counts one classified extraction.
+func (s *SandwichSplit) add(ch Channel) {
+	s.Total++
+	switch ch {
+	case ChannelFlashbots:
+		s.Flashbots++
+	case ChannelPrivate:
+		s.Private++
+	default:
+		s.Public++
+	}
 }
 
 // MinerLink aggregates, per extractor account, which miners mined its
@@ -208,9 +269,9 @@ func (l MinerLink) SingleMiner() (types.Address, bool) {
 // non-Flashbots sandwiches in the window.
 func (in *Inferrer) LinkPrivateSandwiches(sandwiches []detect.Sandwich) []MinerLink {
 	byAccount := map[types.Address]*MinerLink{}
-	for _, s := range sandwiches {
-		ch, ok := in.ClassifySandwich(s)
-		if !ok || ch != ChannelPrivate {
+	verdicts := in.classifySandwiches(sandwiches)
+	for i, s := range sandwiches {
+		if !verdicts[i].ok || verdicts[i].ch != ChannelPrivate {
 			continue
 		}
 		blk, err := in.Chain.ByNumber(s.Block)
@@ -229,7 +290,20 @@ func (in *Inferrer) LinkPrivateSandwiches(sandwiches []detect.Sandwich) []MinerL
 	for _, l := range byAccount {
 		out = append(out, *l)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	// Order by volume, tie-broken by account bytes so the ranking does not
+	// depend on map iteration order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		a, b := out[i].Account, out[j].Account
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
 	return out
 }
 
@@ -263,30 +337,33 @@ func (in *Inferrer) SplitAll(res *detect.Result) MEVSplit {
 		"arbitrage":   {},
 		"liquidation": {},
 	}}
-	add := func(s *SandwichSplit, ch Channel) {
-		s.Total++
-		switch ch {
-		case ChannelFlashbots:
-			s.Flashbots++
-		case ChannelPrivate:
-			s.Private++
-		default:
-			s.Public++
+	for _, v := range in.classifySandwiches(res.Sandwiches) {
+		if v.ok {
+			out.ByKind["sandwich"].add(v.ch)
 		}
 	}
-	for _, s := range res.Sandwiches {
-		if ch, ok := in.ClassifySandwich(s); ok {
-			add(out.ByKind["sandwich"], ch)
+	arbs := parallel.Map(len(res.Arbitrages), in.workers(), func(i int) verdict {
+		a := res.Arbitrages[i]
+		if !in.InWindow(a.Block) {
+			return verdict{}
+		}
+		return verdict{ch: in.ClassifyTxs(a.Tx), ok: true}
+	})
+	for _, v := range arbs {
+		if v.ok {
+			out.ByKind["arbitrage"].add(v.ch)
 		}
 	}
-	for _, a := range res.Arbitrages {
-		if in.InWindow(a.Block) {
-			add(out.ByKind["arbitrage"], in.ClassifyTxs(a.Tx))
+	liqs := parallel.Map(len(res.Liquidations), in.workers(), func(i int) verdict {
+		l := res.Liquidations[i]
+		if !in.InWindow(l.Block) {
+			return verdict{}
 		}
-	}
-	for _, l := range res.Liquidations {
-		if in.InWindow(l.Block) {
-			add(out.ByKind["liquidation"], in.ClassifyTxs(l.Tx))
+		return verdict{ch: in.ClassifyTxs(l.Tx), ok: true}
+	})
+	for _, v := range liqs {
+		if v.ok {
+			out.ByKind["liquidation"].add(v.ch)
 		}
 	}
 	return out

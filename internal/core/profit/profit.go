@@ -11,6 +11,7 @@ import (
 	"mevscope/internal/chain"
 	"mevscope/internal/core/detect"
 	"mevscope/internal/flashbots"
+	"mevscope/internal/parallel"
 	"mevscope/internal/prices"
 	"mevscope/internal/types"
 )
@@ -208,20 +209,39 @@ func (c *Computer) Liquidation(l detect.Liquidation) (Record, error) {
 // ResolveAll converts a full detector sweep into profit records, skipping
 // records whose economics cannot be resolved (e.g. missing price history).
 func (c *Computer) ResolveAll(res *detect.Result) []Record {
-	out := make([]Record, 0, len(res.Sandwiches)+len(res.Arbitrages)+len(res.Liquidations))
-	for _, s := range res.Sandwiches {
-		if r, err := c.Sandwich(s); err == nil {
-			out = append(out, r)
-		}
+	return c.ResolveAllParallel(res, 1)
+}
+
+// ResolveAllParallel resolves the sweep across a worker pool. Every
+// detection is independent, so records are computed into index-assigned
+// slots and compacted in detector order — the output matches ResolveAll
+// exactly for any worker count. workers < 1 selects runtime.NumCPU().
+func (c *Computer) ResolveAllParallel(res *detect.Result, workers int) []Record {
+	nS, nA := len(res.Sandwiches), len(res.Arbitrages)
+	total := nS + nA + len(res.Liquidations)
+	type slot struct {
+		rec Record
+		ok  bool
 	}
-	for _, a := range res.Arbitrages {
-		if r, err := c.Arbitrage(a); err == nil {
-			out = append(out, r)
+	slots := parallel.Map(total, workers, func(i int) slot {
+		var (
+			rec Record
+			err error
+		)
+		switch {
+		case i < nS:
+			rec, err = c.Sandwich(res.Sandwiches[i])
+		case i < nS+nA:
+			rec, err = c.Arbitrage(res.Arbitrages[i-nS])
+		default:
+			rec, err = c.Liquidation(res.Liquidations[i-nS-nA])
 		}
-	}
-	for _, l := range res.Liquidations {
-		if r, err := c.Liquidation(l); err == nil {
-			out = append(out, r)
+		return slot{rec: rec, ok: err == nil}
+	})
+	out := make([]Record, 0, total)
+	for _, s := range slots {
+		if s.ok {
+			out = append(out, s.rec)
 		}
 	}
 	return out

@@ -128,6 +128,18 @@ var MainnetLikeNames = []string{
 // with the paper's §4.4 finding that >90% of Flashbots blocks come from a
 // handful of miners).
 func NewMainnetLikeSet(n int, seed int64) *Set {
+	return NewSkewedSet(n, seed, 1.0)
+}
+
+// NewSkewedSet generates a miner set whose hashpower concentration is
+// scaled relative to the mainnet-like baseline: skew 1.0 reproduces
+// NewMainnetLikeSet, skew > 1 concentrates hashpower into the head of the
+// distribution (the scenario-ensemble centralization counterfactual) and
+// skew in (0, 1) flattens it. Non-positive skew falls back to 1.0.
+func NewSkewedSet(n int, seed int64, skew float64) *Set {
+	if skew <= 0 {
+		skew = 1.0
+	}
 	rng := rand.New(rand.NewSource(seed))
 	miners := make([]*Miner, n)
 	for i := 0; i < n; i++ {
@@ -137,8 +149,8 @@ func NewMainnetLikeSet(n int, seed int64) *Set {
 		} else {
 			name = fmt.Sprintf("miner-%d", i)
 		}
-		// Zipf-ish decay with mild noise: share_i ∝ 1/(i+1)^1.1.
-		w := 1.0 / math.Pow(float64(i+1), 1.1)
+		// Zipf-ish decay with mild noise: share_i ∝ 1/(i+1)^(1.1*skew).
+		w := 1.0 / math.Pow(float64(i+1), 1.1*skew)
 		w *= 0.9 + 0.2*rng.Float64()
 		miners[i] = &Miner{
 			Name:            name,

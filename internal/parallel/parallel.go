@@ -1,0 +1,107 @@
+// Package parallel is the worker-pool plumbing behind the measurement
+// pipeline: it fans independent units of work (blocks, profit records,
+// inference classifications, whole simulations) across a bounded set of
+// goroutines and hands results back in input order, so parallel runs are
+// byte-identical to sequential ones.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker count: values below 1 select
+// runtime.NumCPU(), everything else passes through.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Map computes fn(i) for every i in [0, n) across the given number of
+// workers and returns the results indexed by i. Results are written into
+// pre-assigned slots, so the output is identical to a sequential loop
+// regardless of scheduling. fn must be safe to call concurrently.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = Workers(workers)
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// MapChunks splits [0, n) into contiguous chunks of roughly equal size —
+// one per worker — and calls fn(lo, hi) for each, returning the per-chunk
+// results in ascending chunk order. Chunked fan-out amortizes scheduling
+// overhead when per-item work is small (e.g. per-block detector sweeps);
+// merging the returned slice in order reproduces the sequential result.
+func MapChunks[T any](n, workers int, fn func(lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	bounds := chunkBounds(n, workers)
+	if workers == 1 {
+		return []T{fn(0, n)}
+	}
+	out := make([]T, len(bounds))
+	var wg sync.WaitGroup
+	wg.Add(len(bounds))
+	for c, b := range bounds {
+		go func(c int, lo, hi int) {
+			defer wg.Done()
+			out[c] = fn(lo, hi)
+		}(c, b[0], b[1])
+	}
+	wg.Wait()
+	return out
+}
+
+// chunkBounds returns the [lo, hi) bounds of k near-equal chunks of [0, n).
+func chunkBounds(n, k int) [][2]int {
+	out := make([][2]int, 0, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for c := 0; c < k; c++ {
+		size := base
+		if c < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}

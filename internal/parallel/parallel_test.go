@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		out := Map(100, workers, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len=%d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(0, 4, func(i int) int { return i }); out != nil {
+		t.Errorf("empty map = %v", out)
+	}
+}
+
+func TestMapRunsEachOnce(t *testing.T) {
+	var calls atomic.Int64
+	Map(57, 5, func(i int) struct{} {
+		calls.Add(1)
+		return struct{}{}
+	})
+	if calls.Load() != 57 {
+		t.Errorf("calls = %d, want 57", calls.Load())
+	}
+}
+
+func TestMapChunksCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{10, 3}, {10, 1}, {3, 10}, {1, 1}, {100, 16}, {7, 7},
+	} {
+		parts := MapChunks(tc.n, tc.workers, func(lo, hi int) [2]int { return [2]int{lo, hi} })
+		prev := 0
+		for _, p := range parts {
+			if p[0] != prev {
+				t.Fatalf("n=%d workers=%d: chunk starts at %d, want %d", tc.n, tc.workers, p[0], prev)
+			}
+			if p[1] <= p[0] {
+				t.Fatalf("n=%d workers=%d: empty chunk %v", tc.n, tc.workers, p)
+			}
+			prev = p[1]
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d workers=%d: chunks end at %d", tc.n, tc.workers, prev)
+		}
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit count should pass through")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Error("non-positive should select at least one worker")
+	}
+}

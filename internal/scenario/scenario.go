@@ -1,0 +1,148 @@
+// Package scenario names the counterfactual worlds the ensemble runner
+// sweeps. A scenario is a reproducible transformation of the baseline
+// sim.Config — the paper replays one 23-month history; scenarios plus
+// multi-seed ensembles put error bars on its headline numbers and probe
+// the §8 "what if" discussion (no Flashbots, more mining centralization,
+// broader private-pool adoption, the post-London fee regime).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mevscope/internal/sim"
+	"mevscope/internal/types"
+)
+
+// Params are the scale knobs shared by every scenario; zero values select
+// the sim defaults.
+type Params struct {
+	Seed           int64
+	BlocksPerMonth uint64
+	Months         int
+	NumMiners      int
+	NumTraders     int
+}
+
+// apply copies the non-zero knobs onto a config.
+func (p Params) apply(cfg *sim.Config) {
+	if p.BlocksPerMonth > 0 {
+		cfg.BlocksPerMonth = p.BlocksPerMonth
+	}
+	if p.Months > 0 {
+		cfg.Months = p.Months
+	}
+	if p.NumMiners > 0 {
+		cfg.NumMiners = p.NumMiners
+	}
+	if p.NumTraders > 0 {
+		cfg.NumTraders = p.NumTraders
+	}
+}
+
+// Scenario is one named counterfactual.
+type Scenario struct {
+	Name string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// mutate rewrites the baseline config into the counterfactual.
+	mutate func(*sim.Config)
+}
+
+// Config materializes the scenario at the given scale. The result is a
+// valid sim.Config: it passes sim.New for any positive BlocksPerMonth.
+func (sc Scenario) Config(p Params) sim.Config {
+	cfg := sim.DefaultConfig(p.Seed)
+	p.apply(&cfg)
+	if sc.mutate != nil {
+		sc.mutate(&cfg)
+	}
+	return cfg
+}
+
+// The scenario registry. Names are what `mevscope -scenario` accepts.
+const (
+	// Baseline replays the paper's world unmodified.
+	Baseline = "baseline"
+	// NoFlashbots is the §8.2 ablation: Flashbots never launches and
+	// priority gas auctions persist at pre-2021 intensity.
+	NoFlashbots = "no-flashbots"
+	// HashpowerSkew doubles the Zipf exponent of the miner set: the two
+	// top pools control an even larger hashpower share (§4.4 stress test).
+	HashpowerSkew = "hashpower-skew"
+	// HighPrivate scales non-Flashbots private-pool adoption 2.5× and
+	// starts it at the Flashbots launch instead of late 2021 — the §6
+	// "dark pool" growth counterfactual.
+	HighPrivate = "high-private"
+	// PostLondon truncates the window to August 2021 onward, so every
+	// block prices gas under EIP-1559.
+	PostLondon = "post-london"
+)
+
+var registry = map[string]Scenario{
+	Baseline: {
+		Name:        Baseline,
+		Description: "the paper's world, unmodified",
+	},
+	NoFlashbots: {
+		Name:        NoFlashbots,
+		Description: "Flashbots never launches; PGAs persist (§8.2 ablation)",
+		mutate: func(cfg *sim.Config) {
+			cfg.DisableFlashbots = true
+		},
+	},
+	HashpowerSkew: {
+		Name:        HashpowerSkew,
+		Description: "mining hashpower concentrated 2x harder into the top pools",
+		mutate: func(cfg *sim.Config) {
+			cfg.HashpowerSkew = 2.0
+		},
+	},
+	HighPrivate: {
+		Name:        HighPrivate,
+		Description: "non-Flashbots private pools adopt early and capture 2.5x MEV",
+		mutate: func(cfg *sim.Config) {
+			cfg.PrivatePoolScale = 2.5
+		},
+	},
+	PostLondon: {
+		Name:        PostLondon,
+		Description: "window truncated to Aug 2021+; every block is EIP-1559",
+		mutate: func(cfg *sim.Config) {
+			cfg.StartMonth = types.LondonForkMonth
+			// A full-window month count would overflow the truncated
+			// window; let sim.New re-derive the maximum.
+			cfg.Months = 0
+		},
+	},
+}
+
+// Names lists every registered scenario, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a scenario by name (case-insensitive). The empty string
+// resolves to the baseline.
+func Lookup(name string) (Scenario, bool) {
+	if name == "" {
+		name = Baseline
+	}
+	sc, ok := registry[strings.ToLower(name)]
+	return sc, ok
+}
+
+// MustLookup is Lookup that errors with the valid names, for CLI surfaces.
+func MustLookup(name string) (Scenario, error) {
+	sc, ok := Lookup(name)
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+	return sc, nil
+}

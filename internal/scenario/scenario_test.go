@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"testing"
+
+	"mevscope/internal/sim"
+	"mevscope/internal/types"
+)
+
+// smallParams keeps per-scenario validation runs cheap.
+var smallParams = Params{Seed: 7, BlocksPerMonth: 20, Months: 2, NumMiners: 12, NumTraders: 25}
+
+func TestEveryScenarioYieldsValidConfig(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 scenarios, have %v", names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("Lookup(%q) failed", name)
+			}
+			if sc.Description == "" {
+				t.Error("missing description")
+			}
+			cfg := sc.Config(smallParams)
+			if cfg.Seed != smallParams.Seed {
+				t.Errorf("seed not propagated: %d", cfg.Seed)
+			}
+			s, err := sim.New(cfg)
+			if err != nil {
+				t.Fatalf("sim.New rejected %s config: %v", name, err)
+			}
+			if err := s.Run(); err != nil {
+				t.Fatalf("sim.Run failed for %s: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestAblationsDifferFromBaseline(t *testing.T) {
+	base, _ := Lookup(Baseline)
+	baseCfg := base.Config(smallParams)
+	if baseCfg.DisableFlashbots || baseCfg.StartMonth != 0 ||
+		baseCfg.HashpowerSkew != 0 || baseCfg.PrivatePoolScale != 0 {
+		t.Fatalf("baseline config carries ablation knobs: %+v", baseCfg)
+	}
+
+	nofb, _ := Lookup(NoFlashbots)
+	if !nofb.Config(smallParams).DisableFlashbots {
+		t.Error("no-flashbots should disable Flashbots")
+	}
+
+	skew, _ := Lookup(HashpowerSkew)
+	if got := skew.Config(smallParams).HashpowerSkew; got <= 1 {
+		t.Errorf("hashpower-skew should concentrate (>1), got %v", got)
+	}
+
+	priv, _ := Lookup(HighPrivate)
+	if got := priv.Config(smallParams).PrivatePoolScale; got <= 1 {
+		t.Errorf("high-private should scale adoption up (>1), got %v", got)
+	}
+
+	pl, _ := Lookup(PostLondon)
+	if got := pl.Config(smallParams).StartMonth; got != types.LondonForkMonth {
+		t.Errorf("post-london StartMonth = %v, want %v", got, types.LondonForkMonth)
+	}
+}
+
+// TestHashpowerSkewConcentrates verifies the skew knob changes the world,
+// not just the config: the top miner's hashpower share must grow.
+func TestHashpowerSkewConcentrates(t *testing.T) {
+	share := func(skew float64) float64 {
+		cfg := sim.DefaultConfig(3)
+		cfg.BlocksPerMonth = 20
+		cfg.Months = 1
+		cfg.HashpowerSkew = skew
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miners := s.Mset.Miners()
+		var top, total float64
+		for _, m := range miners {
+			total += m.Hashpower
+			if m.Hashpower > top {
+				top = m.Hashpower
+			}
+		}
+		return top / total
+	}
+	if base, skewed := share(0), share(2.0); skewed <= base {
+		t.Errorf("skew 2.0 top share %.3f not above baseline %.3f", skewed, base)
+	}
+}
+
+// TestPostLondonEveryBlockPricedUnder1559 runs the truncated window and
+// checks the chain starts at the London fork with a live base fee.
+func TestPostLondonEveryBlockPricedUnder1559(t *testing.T) {
+	pl, _ := Lookup(PostLondon)
+	cfg := pl.Config(Params{Seed: 11, BlocksPerMonth: 15, NumMiners: 10, NumTraders: 20})
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks := 15 * int(types.StudyMonths-types.LondonForkMonth)
+	if got := s.Chain.Len(); got != wantBlocks {
+		t.Errorf("chain length %d, want %d", got, wantBlocks)
+	}
+	for _, b := range s.Chain.Blocks() {
+		if b.Header.BaseFee == 0 {
+			t.Fatalf("block %d has no base fee in a post-London run", b.Header.Number)
+		}
+		if m := s.Chain.Timeline.MonthOfBlock(b.Header.Number); m < types.LondonForkMonth {
+			t.Fatalf("block %d maps to pre-London month %v", b.Header.Number, m)
+		}
+	}
+}
+
+// TestHighPrivateScalesCalibration checks the private-channel scaling is
+// visible in sim world behaviour knobs rather than silently dropped.
+func TestHighPrivateScalesCalibration(t *testing.T) {
+	mk := func(scale float64) *sim.Sim {
+		cfg := sim.DefaultConfig(5)
+		cfg.BlocksPerMonth = 15
+		cfg.Months = 1
+		cfg.PrivatePoolScale = scale
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base, high := mk(0), mk(2.5)
+	// Month 16 has nonzero baseline private adoption; month 10 only gains
+	// it in the high-adoption counterfactual.
+	if high.Cal[16].SandwichPriv <= base.Cal[16].SandwichPriv {
+		t.Errorf("month 16 SandwichPriv not scaled: %v vs %v", high.Cal[16].SandwichPriv, base.Cal[16].SandwichPriv)
+	}
+	if base.Cal[10].SandwichPriv != 0 {
+		t.Fatalf("baseline month 10 unexpectedly has private adoption")
+	}
+	if high.Cal[10].SandwichPriv == 0 {
+		t.Error("high-private should start private adoption at the Flashbots launch")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("not-a-scenario"); ok {
+		t.Error("unknown name resolved")
+	}
+	if _, err := MustLookup("not-a-scenario"); err == nil {
+		t.Error("MustLookup should error")
+	}
+	if sc, ok := Lookup(""); !ok || sc.Name != Baseline {
+		t.Error("empty name should resolve to baseline")
+	}
+	if sc, ok := Lookup("BASELINE"); !ok || sc.Name != Baseline {
+		t.Error("lookup should be case-insensitive")
+	}
+}

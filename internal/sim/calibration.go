@@ -198,6 +198,38 @@ func disableFlashbots(cal *[types.StudyMonths]MonthCal) {
 	}
 }
 
+// scalePrivateAdoption multiplies the non-Flashbots private-pool channel
+// probabilities by scale (0 and 1 keep the calibrated baseline). Scaled-up
+// adoption starts at the Flashbots launch — in the high-adoption
+// counterfactual private channels never wait for the §6 late-2021 rise —
+// seeded from the month-16 calibration. Each probability caps at 0.45 so
+// pickChannel's public remainder stays meaningful.
+func scalePrivateAdoption(cal *[types.StudyMonths]MonthCal, scale float64) {
+	if scale <= 0 || scale == 1 {
+		return
+	}
+	const maxPriv = 0.45
+	clamp := func(p float64) float64 {
+		if p > maxPriv {
+			return maxPriv
+		}
+		return p
+	}
+	// Baselines for months that have zero private adoption in the default
+	// calibration (16 is the first month with nonzero Priv values).
+	base := cal[16]
+	for i := range cal {
+		c := &cal[i]
+		m := types.Month(i)
+		if scale > 1 && m >= types.FlashbotsLaunchMonth && c.SandwichPriv == 0 && c.SandwichFB > 0 {
+			c.SandwichPriv, c.ArbPriv, c.LiqPriv = base.SandwichPriv, base.ArbPriv, base.LiqPriv
+		}
+		c.SandwichPriv = clamp(c.SandwichPriv * scale)
+		c.ArbPriv = clamp(c.ArbPriv * scale)
+		c.LiqPriv = clamp(c.LiqPriv * scale)
+	}
+}
+
 // AdoptionTargets is the cumulative Flashbots hashpower share the miner
 // set should reach by each month (§4.3: 61.7 % by March 2021, 97.6 % by
 // May, ~99.9 % from autumn on).

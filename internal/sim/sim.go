@@ -31,8 +31,8 @@ import (
 type Config struct {
 	Seed           int64
 	BlocksPerMonth uint64
-	// Months limits the run (≤ types.StudyMonths); zero runs the full
-	// window.
+	// Months limits the run (≤ the months remaining after StartMonth);
+	// zero runs the full window.
 	Months    int
 	NumMiners int
 	// NumTraders is the ordinary-user population.
@@ -41,6 +41,18 @@ type Config struct {
 	// launches: no relay, no bundles, priority gas auctions persist at
 	// pre-2021 intensity. Used by the §8.2 gas-price ablation.
 	DisableFlashbots bool
+	// StartMonth truncates the front of the study window: the chain's
+	// first block falls in this calendar month (e.g. LondonForkMonth for a
+	// post-London-only run). Zero starts at May 2020 like the paper.
+	StartMonth types.Month
+	// HashpowerSkew scales mining concentration: 0 or 1 is the
+	// mainnet-like baseline, >1 concentrates hashpower into the top pools,
+	// (0,1) flattens the distribution (see miner.NewSkewedSet).
+	HashpowerSkew float64
+	// PrivatePoolScale multiplies the calibrated non-Flashbots private-
+	// pool adoption (the §6 channel probabilities). 0 or 1 keeps the
+	// baseline; >1 models a world where private pools capture more MEV.
+	PrivatePoolScale float64
 	Genesis          genesis.Config
 	Net              p2p.Config
 }
@@ -116,8 +128,12 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.BlocksPerMonth == 0 {
 		return nil, fmt.Errorf("sim: BlocksPerMonth must be positive")
 	}
-	if cfg.Months <= 0 || cfg.Months > types.StudyMonths {
-		cfg.Months = types.StudyMonths
+	if cfg.StartMonth < 0 || cfg.StartMonth >= types.StudyMonths {
+		return nil, fmt.Errorf("sim: StartMonth %d outside the study window", cfg.StartMonth)
+	}
+	maxMonths := int(types.StudyMonths - cfg.StartMonth)
+	if cfg.Months <= 0 || cfg.Months > maxMonths {
+		cfg.Months = maxMonths
 	}
 	if cfg.NumMiners < 10 {
 		cfg.NumMiners = 10
@@ -137,11 +153,11 @@ func New(cfg Config) (*Sim, error) {
 		Cfg:               cfg,
 		Cal:               DefaultCalibration(),
 		World:             w,
-		Chain:             chain.New(types.DefaultTimeline(cfg.BlocksPerMonth)),
+		Chain:             chain.New(types.TimelineFrom(cfg.BlocksPerMonth, cfg.StartMonth)),
 		Net:               net,
 		Relay:             flashbots.NewRelay(),
 		Priv:              privpool.NewRegistry(),
-		Mset:              miner.NewMainnetLikeSet(cfg.NumMiners, cfg.Seed+3),
+		Mset:              miner.NewSkewedSet(cfg.NumMiners, cfg.Seed+3, cfg.HashpowerSkew),
 		Truth:             &TruthLog{},
 		Prices:            prices.NewSeries(),
 		rng:               rand.New(rand.NewSource(cfg.Seed)),
@@ -157,6 +173,7 @@ func New(cfg Config) (*Sim, error) {
 	} else {
 		s.assignAdoption()
 	}
+	scalePrivateAdoption(&s.Cal, cfg.PrivatePoolScale)
 	s.setupAgents()
 	s.setupPrivatePools()
 	s.World.St.Mint(s.oracleAdmin.Addr, 10_000*types.Ether)

@@ -66,6 +66,11 @@ type Timeline struct {
 	BlocksPerMonth uint64
 	// StartBlock is the number of the first block in the study window.
 	StartBlock uint64
+	// FirstMonth is the calendar month StartBlock falls in. The default 0
+	// starts at May 2020 like the paper; a later month truncates the front
+	// of the window (e.g. a post-London-only run) while keeping block→month
+	// mapping aligned with the calendar.
+	FirstMonth Month
 }
 
 // DefaultTimeline compresses each month to the given block count, starting
@@ -74,8 +79,27 @@ func DefaultTimeline(blocksPerMonth uint64) Timeline {
 	return Timeline{BlocksPerMonth: blocksPerMonth, StartBlock: 10_000_000}
 }
 
-// TotalBlocks is the number of blocks across the full study window.
-func (tl Timeline) TotalBlocks() uint64 { return tl.BlocksPerMonth * StudyMonths }
+// TimelineFrom starts the window at a later calendar month. The start
+// block shifts forward by the skipped months so block numbers line up with
+// the full-window timeline at the same compression.
+func TimelineFrom(blocksPerMonth uint64, first Month) Timeline {
+	if first < 0 {
+		first = 0
+	}
+	if first >= StudyMonths {
+		first = StudyMonths - 1
+	}
+	tl := DefaultTimeline(blocksPerMonth)
+	tl.StartBlock += uint64(first) * blocksPerMonth
+	tl.FirstMonth = first
+	return tl
+}
+
+// Months is the number of calendar months the timeline spans.
+func (tl Timeline) Months() int { return int(StudyMonths - tl.FirstMonth) }
+
+// TotalBlocks is the number of blocks across the timeline's window.
+func (tl Timeline) TotalBlocks() uint64 { return tl.BlocksPerMonth * uint64(tl.Months()) }
 
 // EndBlock is the last block number in the window (inclusive).
 func (tl Timeline) EndBlock() uint64 { return tl.StartBlock + tl.TotalBlocks() - 1 }
@@ -83,9 +107,9 @@ func (tl Timeline) EndBlock() uint64 { return tl.StartBlock + tl.TotalBlocks() -
 // MonthOfBlock returns the study Month a block number falls into.
 func (tl Timeline) MonthOfBlock(number uint64) Month {
 	if number < tl.StartBlock {
-		return 0
+		return tl.FirstMonth
 	}
-	m := Month((number - tl.StartBlock) / tl.BlocksPerMonth)
+	m := tl.FirstMonth + Month((number-tl.StartBlock)/tl.BlocksPerMonth)
 	if m >= StudyMonths {
 		return StudyMonths - 1
 	}
@@ -107,8 +131,13 @@ func (tl Timeline) TimeOfBlock(number uint64) time.Time {
 }
 
 // FirstBlockOfMonth returns the number of the first block in month m.
+// Months before the timeline's first month return 0, which is below any
+// real block number, so ranges over them are empty.
 func (tl Timeline) FirstBlockOfMonth(m Month) uint64 {
-	return tl.StartBlock + uint64(m)*tl.BlocksPerMonth
+	if m < tl.FirstMonth {
+		return 0
+	}
+	return tl.StartBlock + uint64(m-tl.FirstMonth)*tl.BlocksPerMonth
 }
 
 // LondonForkBlock returns the first block with EIP-1559 pricing active.

@@ -169,6 +169,15 @@ func mulDiv128(a, b, den int64) int64 {
 		return math.MaxInt64
 	}
 	q, _ := bits.Div64(hi, lo, uint64(den))
+	if q > math.MaxInt64 {
+		// The 64-bit quotient fits a uint64 but not an int64 (the
+		// hi >= den guard only catches quotients ≥ 2^64); saturate here
+		// too instead of wrapping negative.
+		if neg {
+			return math.MinInt64
+		}
+		return math.MaxInt64
+	}
 	if neg {
 		return -int64(q)
 	}

@@ -2,6 +2,7 @@ package types
 
 import (
 	"math"
+	"math/big"
 	"testing"
 	"testing/quick"
 )
@@ -96,24 +97,39 @@ func TestMulDivSaturates(t *testing.T) {
 	}
 }
 
-func TestMulDivMatchesFloatProperty(t *testing.T) {
-	// Property: for moderate magnitudes MulDiv agrees with float math to
-	// within rounding.
+func TestMulDivMatchesBigIntProperty(t *testing.T) {
+	// Property: MulDiv equals exact big-integer truncated division. A
+	// float64 oracle is not enough here: when a*num approaches 2^64 the
+	// float product loses more than 2 ulps (e.g. a=0xc95e2613,
+	// num=0xce06f005, den=0x93), so the exact oracle is the only one that
+	// holds over the full uint32 × uint32 input space.
 	f := func(a, num uint32, den uint16) bool {
 		if den == 0 {
 			return true
 		}
-		x, n, d := Amount(a), Amount(num), Amount(den)
-		got := x.MulDiv(n, d)
-		want := int64(float64(a) * float64(num) / float64(den))
-		diff := int64(got) - want
-		if diff < 0 {
-			diff = -diff
+		got := Amount(a).MulDiv(Amount(num), Amount(den))
+		want := new(big.Int).Mul(big.NewInt(int64(a)), big.NewInt(int64(num)))
+		want.Quo(want, big.NewInt(int64(den)))
+		if !want.IsInt64() {
+			// Exact quotient exceeds int64 (e.g. den=1 with a huge
+			// product): MulDiv saturates.
+			return got == Amount(math.MaxInt64)
 		}
-		return diff <= 2
+		return int64(got) == want.Int64()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+	// The regression inputs that break the old float64 oracle.
+	if got, want := Amount(0xc95e2613).MulDiv(0xce06f005, 0x93), Amount(0x11a39d910554bda); got != want {
+		t.Errorf("regression inputs: got %d, want %d", int64(got), int64(want))
+	}
+	// Quotient in (2^63, 2^64): must saturate, not wrap negative.
+	if got := Amount(0xFFFFFFFF).MulDiv(0xFFFFFFFF, 1); got != math.MaxInt64 {
+		t.Errorf("uint64-range quotient should saturate, got %d", int64(got))
+	}
+	if got := Amount(-0xFFFFFFFF).MulDiv(0xFFFFFFFF, 1); got != math.MinInt64 {
+		t.Errorf("negative uint64-range quotient should saturate low, got %d", int64(got))
 	}
 }
 

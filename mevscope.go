@@ -13,11 +13,25 @@
 //     transaction inference and the monthly aggregations behind every
 //     table and figure (internal/core).
 //
+// The measurement stage runs through a worker pool: blocks fan out across
+// runtime.NumCPU() workers (or Options.Parallelism) and partial results
+// merge deterministically by block number, so any worker count produces a
+// byte-identical report.
+//
 // Quick start:
 //
 //	study, err := mevscope.Run(mevscope.Options{Seed: 1, BlocksPerMonth: 300})
 //	if err != nil { ... }
 //	study.Report.Table1.Format() // Table 1, the MEV dataset overview
+//
+// Beyond the single replay, named scenarios (internal/scenario) rewrite
+// the world — no-flashbots, hashpower-skew, high-private, post-london —
+// and RunEnsemble sweeps many seeds per scenario, merging the reports
+// with mean/stddev per table cell:
+//
+//	ens, err := mevscope.RunEnsemble([]int64{1, 2, 3, 4, 5}, "no-flashbots", 4)
+//	if err != nil { ... }
+//	fmt.Print(ens.Format())
 package mevscope
 
 import (
@@ -28,6 +42,8 @@ import (
 	"mevscope/internal/core/measure"
 	"mevscope/internal/core/privinfer"
 	"mevscope/internal/core/profit"
+	"mevscope/internal/parallel"
+	"mevscope/internal/scenario"
 	"mevscope/internal/sim"
 	"mevscope/internal/types"
 )
@@ -45,6 +61,34 @@ type Options struct {
 	NumMiners int
 	// NumTraders sizes the ordinary-user population.
 	NumTraders int
+	// Scenario names the counterfactual world to simulate (see
+	// internal/scenario: baseline, no-flashbots, hashpower-skew,
+	// high-private, post-london). Empty selects the baseline.
+	Scenario string
+	// Parallelism sizes the measurement worker pool; zero or negative
+	// selects runtime.NumCPU(), 1 forces the sequential path.
+	Parallelism int
+}
+
+// Params converts the options into scenario scale parameters.
+func (o Options) Params() scenario.Params {
+	return scenario.Params{
+		Seed:           o.Seed,
+		BlocksPerMonth: o.BlocksPerMonth,
+		Months:         o.Months,
+		NumMiners:      o.NumMiners,
+		NumTraders:     o.NumTraders,
+	}
+}
+
+// Config resolves the options into the simulation config of the named
+// scenario.
+func (o Options) Config() (sim.Config, error) {
+	sc, err := scenario.MustLookup(o.Scenario)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sc.Config(o.Params()), nil
 }
 
 // Study is the outcome of a run: the simulated world plus every
@@ -62,21 +106,12 @@ type Study struct {
 	Report *measure.Report
 }
 
-// Run simulates the study window and executes the full measurement
-// pipeline over the result.
+// Run simulates the study window under the configured scenario and
+// executes the full measurement pipeline over the result.
 func Run(opts Options) (*Study, error) {
-	cfg := sim.DefaultConfig(opts.Seed)
-	if opts.BlocksPerMonth > 0 {
-		cfg.BlocksPerMonth = opts.BlocksPerMonth
-	}
-	if opts.Months > 0 {
-		cfg.Months = opts.Months
-	}
-	if opts.NumMiners > 0 {
-		cfg.NumMiners = opts.NumMiners
-	}
-	if opts.NumTraders > 0 {
-		cfg.NumTraders = opts.NumTraders
+	cfg, err := opts.Config()
+	if err != nil {
+		return nil, err
 	}
 	s, err := sim.New(cfg)
 	if err != nil {
@@ -85,18 +120,31 @@ func Run(opts Options) (*Study, error) {
 	if err := s.Run(); err != nil {
 		return nil, err
 	}
-	return Analyze(s)
+	return AnalyzeWith(s, opts.Parallelism)
 }
 
-// Analyze runs the measurement pipeline over a completed simulation.
+// Analyze runs the measurement pipeline over a completed simulation,
+// fanning per-block work across runtime.NumCPU() workers.
 func Analyze(s *sim.Sim) (*Study, error) {
+	return AnalyzeWith(s, -1)
+}
+
+// AnalyzeWith runs the measurement pipeline with an explicit worker-pool
+// size: detection fans blocks across workers, profit resolution fans
+// extractions, inference fans classifications and the report builders run
+// concurrently. Partial results merge deterministically (by block number,
+// then detector order), so every worker count — including 1, the fully
+// sequential path — produces a byte-identical report for the same
+// simulation. workers < 1 selects runtime.NumCPU().
+func AnalyzeWith(s *sim.Sim, workers int) (*Study, error) {
+	workers = parallel.Workers(workers)
 	c := s.Chain
 	weth := s.World.WETH
 	fbset := s.Relay.FlashbotsTxSet()
 
-	res := detect.Scan(c, weth, c.Timeline.StartBlock, c.Head().Header.Number)
+	res := detect.ScanParallel(c, weth, c.Timeline.StartBlock, c.Head().Header.Number, workers)
 	comp := profit.New(c, s.Prices, weth, fbset)
-	profits := comp.ResolveAll(res)
+	profits := comp.ResolveAllParallel(res, workers)
 
 	in := measure.Inputs{
 		Chain:    c,
@@ -105,6 +153,7 @@ func Analyze(s *sim.Sim) (*Study, error) {
 		Detect:   res,
 		Profits:  profits,
 		WETH:     weth,
+		Workers:  workers,
 	}
 	var inf *privinfer.Inferrer
 	obs := s.Net.Observer()
@@ -112,6 +161,7 @@ func Analyze(s *sim.Sim) (*Study, error) {
 		in.Observer = obs
 		winStart := c.Timeline.FirstBlockOfMonth(types.PrivateWindowStartMonth)
 		inf = privinfer.New(c, obs, fbset, winStart, c.Head().Header.Number)
+		inf.Workers = workers
 	}
 	report := measure.Build(in, inf)
 	return &Study{Sim: s, Detected: res, Profits: profits, Inferrer: inf, Report: report}, nil
