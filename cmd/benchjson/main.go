@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// artifact, deriving per-block costs from the pipeline benchmarks'
+// "blocks/op" metric. CI runs it after the streaming benchmark pair and
+// uploads the result (BENCH_stream.json) so batch-vs-streaming ns/block
+// and allocs/block are tracked across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkPipeline' -benchmem . | \
+//	    go run ./cmd/benchjson -out BENCH_stream.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics holds every "value unit" pair of the line, e.g. "ns/op",
+	// "B/op", "allocs/op", "blocks/op".
+	Metrics map[string]float64 `json:"metrics"`
+	// Derived per-block costs, present when the benchmark reported a
+	// blocks/op metric.
+	NsPerBlock     *float64 `json:"ns_per_block,omitempty"`
+	AllocsPerBlock *float64 `json:"allocs_per_block,omitempty"`
+	BytesPerBlock  *float64 `json:"bytes_per_block,omitempty"`
+}
+
+// Output is the artifact shape.
+type Output struct {
+	Package string   `json:"package,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "", "JSON artifact to write (default: stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	output, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(output.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	raw, err := json.MarshalIndent(output, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output line by line.
+func parse(r io.Reader) (*Output, error) {
+	out := &Output{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			out.Package = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q", line)
+		}
+		res := Result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value %q in %q", fields[i], line)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if blocks, ok := res.Metrics["blocks/op"]; ok && blocks > 0 {
+			res.NsPerBlock = derive(res.Metrics, "ns/op", blocks)
+			res.AllocsPerBlock = derive(res.Metrics, "allocs/op", blocks)
+			res.BytesPerBlock = derive(res.Metrics, "B/op", blocks)
+		}
+		out.Results = append(out.Results, res)
+	}
+	return out, sc.Err()
+}
+
+// derive divides a per-op metric by the per-op block count.
+func derive(metrics map[string]float64, key string, blocks float64) *float64 {
+	v, ok := metrics[key]
+	if !ok {
+		return nil
+	}
+	d := v / blocks
+	return &d
+}

@@ -6,13 +6,24 @@
 //
 //	mevscope [-seed N] [-bpm BLOCKS] [-months M] [-section NAME]
 //	         [-scenario NAME] [-seeds N,N,...] [-parallel W]
+//	mevscope archive -out DIR [-seed N] [-bpm BLOCKS] [-months M]
+//	         [-scenario NAME]
+//	mevscope analyze -from DIR [-section NAME] [-parallel W] [-csv DIR]
+//
+// The archive subcommand simulates a world once and persists the
+// collected dataset as a segmented on-disk archive (one directory per
+// study month: blocks, observed pending transactions, Flashbots API
+// records, with a checksummed manifest). The analyze subcommand restores
+// such an archive and reruns the measurement pipeline over it without
+// re-simulating — the report is byte-identical to the original run's.
 //
 // Sections: all (default), table1, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, bundles, negatives, private.
 //
 // Scenarios: baseline, no-flashbots, hashpower-skew, high-private,
 // post-london. With -seeds, one study runs per seed under the scenario and
-// the merged report carries mean ± stddev per table cell.
+// the merged report carries mean ± stddev per table cell. An unknown
+// scenario name is rejected up front with the valid names listed.
 package main
 
 import (
@@ -24,24 +35,73 @@ import (
 	"time"
 
 	"mevscope"
+	"mevscope/internal/archive"
+	"mevscope/internal/dataset"
 	"mevscope/internal/scenario"
+	"mevscope/internal/sim"
 	"mevscope/internal/types"
 )
 
 func main() {
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "archive":
+			runArchive(os.Args[2:])
+		case "analyze":
+			runAnalyze(os.Args[2:])
+		default:
+			// A mistyped subcommand must not silently fall through to the
+			// default study (flag parsing would also drop every argument
+			// after the first positional one).
+			fail(2, fmt.Errorf("unknown subcommand %q (valid: archive, analyze, or flags for a study run)", os.Args[1]))
+		}
+		return
+	}
+	runStudy(os.Args[1:])
+}
+
+// noPositional rejects leftover positional arguments after flag parsing:
+// flag.Parse stops at the first non-flag token, so anything left over
+// means part of the command line was silently ignored.
+func noPositional(fs *flag.FlagSet) {
+	if fs.NArg() > 0 {
+		fail(2, fmt.Errorf("unexpected argument %q", fs.Arg(0)))
+	}
+}
+
+// fail prints an error and exits with the given code.
+func fail(code int, err error) {
+	fmt.Fprintln(os.Stderr, "mevscope:", err)
+	os.Exit(code)
+}
+
+// checkScenario validates a -scenario value before any work runs: an
+// unknown name (e.g. a typo) must not fall back to a default world.
+func checkScenario(name string) error {
+	_, err := scenario.MustLookup(name)
+	return err
+}
+
+// runStudy is the classic single-run / ensemble path.
+func runStudy(args []string) {
+	fs := flag.NewFlagSet("mevscope", flag.ExitOnError)
 	var (
-		seed        = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
-		seeds       = flag.String("seeds", "", "comma-separated seed list; enables the multi-seed ensemble")
-		scen        = flag.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
-		parallelism = flag.Int("parallel", 0, "worker-pool size for analysis and ensemble fan-out (0 = all cores)")
-		bpm         = flag.Uint64("bpm", 600, "blocks per simulated month (mainnet ≈ 190k)")
-		months      = flag.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
-		miners      = flag.Int("miners", 0, "miner-set size (0 = default 55)")
-		section     = flag.String("section", "all", "which artifact to print")
-		csvDir      = flag.String("csv", "", "also write every artifact as CSV into this directory")
-		quiet       = flag.Bool("q", false, "suppress progress output")
+		seed        = fs.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+		seeds       = fs.String("seeds", "", "comma-separated seed list; enables the multi-seed ensemble")
+		scen        = fs.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
+		parallelism = fs.Int("parallel", 0, "worker-pool size for analysis and ensemble fan-out (0 = all cores)")
+		bpm         = fs.Uint64("bpm", 600, "blocks per simulated month (mainnet ≈ 190k)")
+		months      = fs.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
+		miners      = fs.Int("miners", 0, "miner-set size (0 = default 55)")
+		section     = fs.String("section", "all", "which artifact to print")
+		csvDir      = fs.String("csv", "", "also write every artifact as CSV into this directory")
+		quiet       = fs.Bool("q", false, "suppress progress output")
 	)
-	flag.Parse()
+	fs.Parse(args)
+	noPositional(fs)
+	if err := checkScenario(*scen); err != nil {
+		fail(2, err)
+	}
 
 	opts := mevscope.Options{
 		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners,
@@ -60,25 +120,124 @@ func main() {
 	t0 := time.Now()
 	study, err := mevscope.Run(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mevscope:", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "mevscope: %d blocks, %d MEV extractions measured in %v\n",
 			study.Sim.Chain.Len(), len(study.Profits), time.Since(t0).Round(time.Millisecond))
 	}
+	writeCSV(study, *csvDir, *quiet)
+	printSection(study, *section)
+}
 
-	if *csvDir != "" {
-		if err := study.Report.WriteCSVDir(*csvDir); err != nil {
-			fmt.Fprintln(os.Stderr, "mevscope: csv:", err)
-			os.Exit(1)
-		}
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "mevscope: CSV artifacts written to %s/\n", *csvDir)
-		}
+// runArchive simulates a world and persists the collected dataset as a
+// segmented archive.
+func runArchive(args []string) {
+	fs := flag.NewFlagSet("mevscope archive", flag.ExitOnError)
+	var (
+		out    = fs.String("out", "", "archive directory to create (required)")
+		seed   = fs.Int64("seed", 42, "simulation seed")
+		scen   = fs.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
+		bpm    = fs.Uint64("bpm", 600, "blocks per simulated month")
+		months = fs.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
+		miners = fs.Int("miners", 0, "miner-set size (0 = default 55)")
+		quiet  = fs.Bool("q", false, "suppress progress output")
+	)
+	fs.Parse(args)
+	noPositional(fs)
+	if err := checkScenario(*scen); err != nil {
+		fail(2, err)
 	}
+	if *out == "" {
+		fail(2, fmt.Errorf("archive: -out DIR is required"))
+	}
+	opts := mevscope.Options{
+		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners, Scenario: *scen,
+	}
+	cfg, err := opts.Config()
+	if err != nil {
+		fail(2, err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: simulating %d months at %d blocks/month (seed %d, scenario %s)...\n",
+			pick(*months, types.StudyMonths), *bpm, *seed, *scen)
+	}
+	t0 := time.Now()
+	s, err := sim.New(cfg)
+	if err != nil {
+		fail(1, err)
+	}
+	if err := s.Run(); err != nil {
+		fail(1, err)
+	}
+	man, err := archive.Write(*out, dataset.FromSim(s), map[string]string{
+		"seed":     strconv.FormatInt(*seed, 10),
+		"scenario": *scen,
+		"bpm":      strconv.FormatUint(*bpm, 10),
+		"months":   strconv.Itoa(pick(*months, types.StudyMonths)),
+	})
+	if err != nil {
+		fail(1, err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: archived %d blocks into %d segments under %s in %v\n",
+			man.TotalBlocks, len(man.Segments), *out, time.Since(t0).Round(time.Millisecond))
+	}
+}
 
-	switch strings.ToLower(*section) {
+// runAnalyze restores an archived dataset and reruns the measurement
+// pipeline over it.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("mevscope analyze", flag.ExitOnError)
+	var (
+		from        = fs.String("from", "", "archive directory to analyze (required)")
+		section     = fs.String("section", "all", "which artifact to print")
+		parallelism = fs.Int("parallel", 0, "analysis worker-pool size (0 = all cores)")
+		csvDir      = fs.String("csv", "", "also write every artifact as CSV into this directory")
+		quiet       = fs.Bool("q", false, "suppress progress output")
+	)
+	fs.Parse(args)
+	noPositional(fs)
+	if *from == "" {
+		fail(2, fmt.Errorf("analyze: -from DIR is required"))
+	}
+	t0 := time.Now()
+	ds, man, err := archive.Read(*from)
+	if err != nil {
+		fail(1, err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: restored %d blocks (%d segments, head %d) from %s\n",
+			man.TotalBlocks, len(man.Segments), man.Head, *from)
+	}
+	study, err := mevscope.AnalyzeDataset(ds, *parallelism)
+	if err != nil {
+		fail(1, err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: %d MEV extractions measured in %v\n",
+			len(study.Profits), time.Since(t0).Round(time.Millisecond))
+	}
+	writeCSV(study, *csvDir, *quiet)
+	printSection(study, *section)
+}
+
+// writeCSV optionally writes the CSV artifact directory.
+func writeCSV(study *mevscope.Study, dir string, quiet bool) {
+	if dir == "" {
+		return
+	}
+	if err := study.Report.WriteCSVDir(dir); err != nil {
+		fail(1, fmt.Errorf("csv: %w", err))
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: CSV artifacts written to %s/\n", dir)
+	}
+}
+
+// printSection renders one artifact (or the whole report) to stdout.
+func printSection(study *mevscope.Study, section string) {
+	switch strings.ToLower(section) {
 	case "all":
 		study.WriteReport(os.Stdout)
 	case "table1":
@@ -137,7 +296,7 @@ func main() {
 			fmt.Printf("%s %4d private sandwiches (%s)\n", l.Account, l.Total, tag)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "mevscope: unknown section %q\n", *section)
+		fmt.Fprintf(os.Stderr, "mevscope: unknown section %q\n", section)
 		os.Exit(2)
 	}
 }
@@ -154,8 +313,7 @@ func pick(v, def int) int {
 func runEnsemble(base mevscope.Options, seedList string, parallelism int, quiet bool) {
 	seeds, err := parseSeeds(seedList)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mevscope:", err)
-		os.Exit(2)
+		fail(2, err)
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "mevscope: ensemble of %d seeds under scenario %s at %d blocks/month...\n",
@@ -164,8 +322,7 @@ func runEnsemble(base mevscope.Options, seedList string, parallelism int, quiet 
 	t0 := time.Now()
 	ens, err := mevscope.RunEnsembleWith(base, seeds, parallelism)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mevscope:", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "mevscope: %d runs merged in %v\n", len(ens.Seeds), time.Since(t0).Round(time.Millisecond))

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mevscope/internal/scenario"
+)
+
+// TestCheckScenarioRejectsTypos: a mistyped -scenario must error before
+// any simulation work, and the error must list every valid name so the
+// user can fix the typo without reading source.
+func TestCheckScenarioRejectsTypos(t *testing.T) {
+	for _, bad := range []string{"no-flashbot", "baselin", "hashpower", "POST_LONDON"} {
+		err := checkScenario(bad)
+		if err == nil {
+			t.Errorf("scenario %q accepted; want rejection", bad)
+			continue
+		}
+		for _, name := range scenario.Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error for %q does not list valid scenario %q: %v", bad, name, err)
+			}
+		}
+	}
+}
+
+// TestCheckScenarioAcceptsValidNames: every registered name (any case)
+// and the empty default pass.
+func TestCheckScenarioAcceptsValidNames(t *testing.T) {
+	for _, good := range append(scenario.Names(), "", "BASELINE", "No-Flashbots") {
+		if err := checkScenario(good); err != nil {
+			t.Errorf("scenario %q rejected: %v", good, err)
+		}
+	}
+}

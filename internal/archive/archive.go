@@ -1,0 +1,333 @@
+// Package archive is the segmented on-disk store for collected
+// measurement datasets, shaped after flashbots/mempool-dumpster: one
+// directory per study month holding that month's blocks, observed
+// pending transactions and Flashbots API records as JSON-lines files,
+// plus a top-level manifest with per-file SHA-256 checksums and the
+// run's price history.
+//
+//	<dir>/
+//	  manifest.json          version, timeline, WETH, checksums, metadata
+//	  prices.jsonl           token → price history
+//	  2020-05/               one segment per calendar month
+//	    blocks.jsonl         blocks with transactions and receipts
+//	    flashbots.jsonl      public blocks-API records
+//	    observed.jsonl       observer pending-transaction captures
+//	  2020-06/ ...
+//
+// A world is simulated once, archived, and re-analyzed many times:
+// Write persists a dataset.Dataset, Read restores one bit-compatibly
+// (verified by checksum), and `mevscope analyze -from <dir>` reproduces
+// the original run's report without re-simulating.
+package archive
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mevscope/internal/chain"
+	"mevscope/internal/dataset"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/p2p"
+	"mevscope/internal/prices"
+	"mevscope/internal/store"
+	"mevscope/internal/types"
+)
+
+// Version is the on-disk format version.
+const Version = 1
+
+// ManifestName is the manifest file name inside an archive directory.
+const ManifestName = "manifest.json"
+
+// FileInfo describes one data file of the archive: its path relative to
+// the archive root, document count and SHA-256 checksum.
+type FileInfo struct {
+	Name   string `json:"name"`
+	Count  int    `json:"count"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// SegmentInfo describes one per-month segment.
+type SegmentInfo struct {
+	Month      types.Month `json:"month"`
+	Label      string      `json:"label"`
+	FirstBlock uint64      `json:"first_block"`
+	LastBlock  uint64      `json:"last_block"`
+	Blocks     FileInfo    `json:"blocks"`
+	Flashbots  FileInfo    `json:"flashbots"`
+	Observed   FileInfo    `json:"observed"`
+}
+
+// ObserverInfo records the observation window bounds.
+type ObserverInfo struct {
+	Start uint64 `json:"start"`
+	Stop  uint64 `json:"stop"`
+}
+
+// Manifest is the archive's index and integrity record.
+type Manifest struct {
+	Version     int               `json:"version"`
+	Timeline    types.Timeline    `json:"timeline"`
+	WETH        types.Address     `json:"weth"`
+	Head        uint64            `json:"head"`
+	TotalBlocks int               `json:"total_blocks"`
+	Observer    *ObserverInfo     `json:"observer,omitempty"`
+	Prices      FileInfo          `json:"prices"`
+	Segments    []SegmentInfo     `json:"segments"`
+	Meta        map[string]string `json:"meta,omitempty"`
+}
+
+// SegmentLabel names a month's segment directory, e.g. "2020-05".
+func SegmentLabel(m types.Month) string {
+	d := m.Date()
+	return fmt.Sprintf("%04d-%02d", d.Year(), int(d.Month()))
+}
+
+// priceDoc is the prices.jsonl line shape: one token's full history.
+type priceDoc struct {
+	Token  types.Address  `json:"token"`
+	Points []prices.Point `json:"points"`
+}
+
+// Write persists a dataset into dir as a segmented archive, returning the
+// manifest. meta carries free-form provenance (seed, scenario, scale) for
+// the manifest; it does not affect restoration.
+func Write(dir string, ds *dataset.Dataset, meta map[string]string) (*Manifest, error) {
+	if ds.Chain == nil || ds.Chain.Head() == nil {
+		return nil, fmt.Errorf("archive: dataset has no blocks")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	tl := ds.Chain.Timeline
+	man := &Manifest{
+		Version:     Version,
+		Timeline:    tl,
+		WETH:        ds.WETH,
+		Head:        ds.Chain.Head().Header.Number,
+		TotalBlocks: ds.Chain.Len(),
+		Meta:        meta,
+	}
+
+	// Partition the collected artifacts by study month.
+	fbByMonth := map[types.Month][]flashbots.BlockRecord{}
+	for _, rec := range ds.FBBlocks {
+		m := tl.MonthOfBlock(rec.BlockNumber)
+		fbByMonth[m] = append(fbByMonth[m], rec)
+	}
+	obsByMonth := map[types.Month][]p2p.ObservedTx{}
+	if ds.Observer != nil {
+		for _, rec := range ds.Observer.Records() {
+			m := tl.MonthOfBlock(rec.FirstSeenBlock)
+			obsByMonth[m] = append(obsByMonth[m], rec)
+		}
+		start, stop := ds.Observer.Window()
+		man.Observer = &ObserverInfo{Start: start, Stop: stop}
+	}
+
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		blocks := ds.Chain.BlocksInMonth(m)
+		if len(blocks) == 0 {
+			continue
+		}
+		label := SegmentLabel(m)
+		segDir := filepath.Join(dir, label)
+		seg := SegmentInfo{
+			Month:      m,
+			Label:      label,
+			FirstBlock: blocks[0].Header.Number,
+			LastBlock:  blocks[len(blocks)-1].Header.Number,
+		}
+		var err error
+		if seg.Blocks, err = writeJSONL(dir, segDir, "blocks", blocks); err != nil {
+			return nil, err
+		}
+		if seg.Flashbots, err = writeJSONL(dir, segDir, "flashbots", fbByMonth[m]); err != nil {
+			return nil, err
+		}
+		if seg.Observed, err = writeJSONL(dir, segDir, "observed", obsByMonth[m]); err != nil {
+			return nil, err
+		}
+		man.Segments = append(man.Segments, seg)
+	}
+
+	var pdocs []priceDoc
+	if ds.Prices != nil {
+		for _, tok := range ds.Prices.Tokens() {
+			pdocs = append(pdocs, priceDoc{Token: tok, Points: ds.Prices.History(tok)})
+		}
+	}
+	var err error
+	if man.Prices, err = writeJSONL(dir, dir, "prices", pdocs); err != nil {
+		return nil, err
+	}
+
+	// The manifest is written last: a crashed Write leaves no manifest and
+	// Read refuses the directory.
+	mf, err := os.Create(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(man); err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("archive: manifest: %w", err)
+	}
+	return man, mf.Close()
+}
+
+// writeJSONL persists docs as <segDir>/<name>.jsonl through the document
+// store and returns its integrity record with a path relative to root.
+func writeJSONL[T any](root, segDir, name string, docs []T) (FileInfo, error) {
+	col := store.NewCollection[T](name)
+	col.InsertAll(docs...)
+	if err := col.SaveFile(segDir); err != nil {
+		return FileInfo{}, fmt.Errorf("archive: write %s: %w", name, err)
+	}
+	path := filepath.Join(segDir, name+".jsonl")
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	sum, size, err := checksum(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Name: filepath.ToSlash(rel), Count: len(docs), Bytes: size, SHA256: sum}, nil
+}
+
+// checksum computes the SHA-256 and size of a file.
+func checksum(path string) (string, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
+}
+
+// ReadManifest loads and sanity-checks an archive's manifest without
+// touching the data files.
+func ReadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("archive: manifest: %w", err)
+	}
+	if man.Version != Version {
+		return nil, fmt.Errorf("archive: unsupported version %d (want %d)", man.Version, Version)
+	}
+	if man.Timeline.BlocksPerMonth == 0 {
+		return nil, fmt.Errorf("archive: manifest has no timeline")
+	}
+	return &man, nil
+}
+
+// Read restores the dataset from a segmented archive, verifying every
+// file against its manifest checksum. The result is bit-compatible with
+// the written dataset: analyzing it reproduces the original report.
+func Read(dir string) (*dataset.Dataset, *Manifest, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := &dataset.Dataset{
+		Chain:  chain.New(man.Timeline),
+		Prices: prices.NewSeries(),
+		WETH:   man.WETH,
+	}
+	var observed []p2p.ObservedTx
+	for _, seg := range man.Segments {
+		blocks, err := readJSONL[*types.Block](dir, seg.Blocks)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, b := range blocks {
+			b.Seal()
+			// Transaction identity is the content-derived hash; the stored
+			// receipts reference the identities the original run used. A
+			// mismatch means some transaction was mutated after hashing
+			// during the run — refuse rather than mis-link every record.
+			for i, rcpt := range b.Receipts {
+				if i < len(b.Txs) && rcpt.TxHash != b.Txs[i].Hash() {
+					return nil, nil, fmt.Errorf("archive: segment %s block %d tx %d: identity drift (receipt %v vs recomputed %v)",
+						seg.Label, b.Header.Number, i, rcpt.TxHash.Short(), b.Txs[i].Hash().Short())
+				}
+			}
+			if err := ds.Chain.Append(b); err != nil {
+				return nil, nil, fmt.Errorf("archive: segment %s: %w", seg.Label, err)
+			}
+		}
+		fb, err := readJSONL[flashbots.BlockRecord](dir, seg.Flashbots)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds.FBBlocks = append(ds.FBBlocks, fb...)
+		obs, err := readJSONL[p2p.ObservedTx](dir, seg.Observed)
+		if err != nil {
+			return nil, nil, err
+		}
+		observed = append(observed, obs...)
+	}
+	if ds.Chain.Len() != man.TotalBlocks {
+		return nil, nil, fmt.Errorf("archive: restored %d blocks, manifest says %d", ds.Chain.Len(), man.TotalBlocks)
+	}
+	if head := ds.Chain.Head(); head == nil || head.Header.Number != man.Head {
+		return nil, nil, fmt.Errorf("archive: restored head does not match manifest head %d", man.Head)
+	}
+	ds.FBSet = dataset.FBSetOf(ds.FBBlocks)
+	if man.Observer != nil {
+		ds.Observer = p2p.RestoreObserver(observed, man.Observer.Start, man.Observer.Stop)
+	}
+	pdocs, err := readJSONL[priceDoc](dir, man.Prices)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pd := range pdocs {
+		if err := ds.Prices.Restore(pd.Token, pd.Points); err != nil {
+			return nil, nil, fmt.Errorf("archive: %w", err)
+		}
+	}
+	return ds, man, nil
+}
+
+// readJSONL loads one data file through the document store after
+// verifying its checksum and document count against the manifest.
+func readJSONL[T any](root string, fi FileInfo) ([]T, error) {
+	path := filepath.Join(root, filepath.FromSlash(fi.Name))
+	sum, size, err := checksum(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if sum != fi.SHA256 || size != fi.Bytes {
+		return nil, fmt.Errorf("archive: %s is corrupt (checksum mismatch)", fi.Name)
+	}
+	col := store.NewCollection[T](filepath.Base(fi.Name))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := col.ReadJSON(f); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", fi.Name, err)
+	}
+	if col.Count() != fi.Count {
+		return nil, fmt.Errorf("archive: %s has %d documents, manifest says %d", fi.Name, col.Count(), fi.Count)
+	}
+	return col.All(), nil
+}

@@ -332,14 +332,48 @@ func (res *Result) merge(other *Result) {
 	}
 }
 
+// Scanner is the incremental detector front-end: it consumes blocks one
+// at a time in ascending order and accumulates the same Result a batch
+// sweep over the fed range produces. Both the streaming block-follower
+// (internal/stream) and the batch Scan/ScanParallel paths are built on
+// it, so there is exactly one detector seam.
+type Scanner struct {
+	weth types.Address
+	res  *Result
+}
+
+// NewScanner creates a Scanner anchored on the WETH address.
+func NewScanner(weth types.Address) *Scanner {
+	return &Scanner{weth: weth, res: &Result{FlashLoanTxs: make(map[types.Hash]bool)}}
+}
+
+// Feed runs every detector over one block, appending the findings. Blocks
+// must be fed in ascending height order for the Result to match a batch
+// sweep byte for byte.
+func (s *Scanner) Feed(b *types.Block) {
+	scanBlock(s.res, b, s.weth)
+}
+
+// Result returns the live accumulated sweep. The pointer stays valid (and
+// keeps growing) across subsequent Feed calls.
+func (s *Scanner) Result() *Result { return s.res }
+
+// Counts returns the current number of detections per kind — the cursor
+// incremental consumers (profit.Tracker, privinfer.Inferrer.Feed) use to
+// pick up where they left off.
+func (s *Scanner) Counts() (sandwiches, arbitrages, liquidations int) {
+	return len(s.res.Sandwiches), len(s.res.Arbitrages), len(s.res.Liquidations)
+}
+
 // Scan runs every detector over chain blocks in [from, to] sequentially.
 func Scan(c *chain.Chain, weth types.Address, from, to uint64) *Result {
 	return ScanParallel(c, weth, from, to, 1)
 }
 
 // ScanParallel fans blocks in [from, to] across a worker pool. Each worker
-// sweeps a contiguous block range; partial results are merged in ascending
-// block order, so the output is identical to the sequential Scan for any
+// feeds a contiguous block range through its own Scanner; partial results
+// are merged in ascending block order, so the output is identical to the
+// sequential Scan — and to a single Scanner fed every block — for any
 // worker count. workers < 1 selects runtime.NumCPU().
 func ScanParallel(c *chain.Chain, weth types.Address, from, to uint64, workers int) *Result {
 	var blocks []*types.Block
@@ -348,11 +382,11 @@ func ScanParallel(c *chain.Chain, weth types.Address, from, to uint64, workers i
 		return true
 	})
 	parts := parallel.MapChunks(len(blocks), workers, func(lo, hi int) *Result {
-		part := &Result{FlashLoanTxs: make(map[types.Hash]bool)}
+		sc := NewScanner(weth)
 		for _, b := range blocks[lo:hi] {
-			scanBlock(part, b, weth)
+			sc.Feed(b)
 		}
-		return part
+		return sc.Result()
 	})
 	res := &Result{FlashLoanTxs: make(map[types.Hash]bool)}
 	for _, part := range parts {

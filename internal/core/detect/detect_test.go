@@ -308,3 +308,56 @@ func newTestChain(t *testing.T) *chain.Chain {
 	t.Helper()
 	return chain.New(types.DefaultTimeline(100))
 }
+
+// TestScannerMatchesScan: feeding blocks one at a time through a Scanner
+// must accumulate exactly what a batch Scan over the same range produces
+// — the streaming/batch seam contract.
+func TestScannerMatchesScan(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 2)
+	victim := types.DeriveAddress("victim", 2)
+	c := newTestChain(t)
+	sc := NewScanner(weth)
+	for i := 0; i < 6; i++ {
+		f, fr := swapTx(uint64(10+i), attacker, pool, weth, dai, 10_000, 20_000, 100*types.Gwei)
+		v, vr := swapTx(uint64(10+i), victim, pool, weth, dai, 50_000, 99_000, 80*types.Gwei)
+		bk, br := swapTx(uint64(20+i), attacker, pool, dai, weth, 20_000, 10_400, 60*types.Gwei)
+		arbTx, arbR := multiSwapTx(uint64(30+i), attacker,
+			[][2]types.Address{{weth, dai}, {dai, weth}},
+			[]types.Address{pool, pool2},
+			[]types.Amount{10_000, 20_000, 10_300}, i%2 == 0)
+		b := &types.Block{Header: types.Header{Number: c.NextNumber(), Time: types.Month(10).Date()},
+			Txs:      []*types.Transaction{f, v, bk, arbTx},
+			Receipts: []*types.Receipt{fr, vr, br, arbR}}
+		b.Seal()
+		if err := c.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		sc.Feed(b)
+		nS, nA, _ := sc.Counts()
+		if nS != i+1 || nA != i+1 {
+			t.Fatalf("after block %d: counts = (%d, %d)", i, nS, nA)
+		}
+	}
+	batch := ScanAll(c, weth)
+	inc := sc.Result()
+	if len(inc.Sandwiches) != len(batch.Sandwiches) ||
+		len(inc.Arbitrages) != len(batch.Arbitrages) ||
+		len(inc.Liquidations) != len(batch.Liquidations) {
+		t.Fatalf("incremental sweep differs from batch: %d/%d/%d vs %d/%d/%d",
+			len(inc.Sandwiches), len(inc.Arbitrages), len(inc.Liquidations),
+			len(batch.Sandwiches), len(batch.Arbitrages), len(batch.Liquidations))
+	}
+	for i := range batch.Sandwiches {
+		if inc.Sandwiches[i] != batch.Sandwiches[i] {
+			t.Fatalf("sandwich %d differs", i)
+		}
+	}
+	if len(inc.FlashLoanTxs) != len(batch.FlashLoanTxs) {
+		t.Error("flash-loan tx sets differ")
+	}
+	for h := range batch.FlashLoanTxs {
+		if !inc.FlashLoanTxs[h] {
+			t.Error("flash-loan tx missing from incremental sweep")
+		}
+	}
+}

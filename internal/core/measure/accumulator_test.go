@@ -1,0 +1,74 @@
+package measure
+
+import (
+	"reflect"
+	"testing"
+
+	"mevscope/internal/core/detect"
+	"mevscope/internal/core/profit"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/types"
+)
+
+// TestAccumulatorMatchesBatchAggregates: feeding blocks one at a time
+// must produce the same report as the batch aggregate pass over the
+// finished chain — the streaming/batch seam contract at the measure
+// layer.
+func TestAccumulatorMatchesBatchAggregates(t *testing.T) {
+	c := buildChain(t, 10, 35) // 3.5 months on two miners
+	var fbs []flashbots.BlockRecord
+	for _, b := range c.Blocks() {
+		// Every 4th block is a Flashbots block carrying its first tx.
+		if b.Header.Number%4 == 0 && len(b.Txs) > 0 {
+			fbs = append(fbs, fbRecord(c, b.Header.Number, b.Header.Miner, []types.Hash{b.Txs[0].Hash()}))
+		}
+	}
+	in := Inputs{
+		Chain:    c,
+		FBBlocks: fbs,
+		FBSet:    map[types.Hash]flashbots.BundleType{},
+		Detect:   &detect.Result{FlashLoanTxs: map[types.Hash]bool{}},
+		Profits: []profit.Record{
+			{Kind: profit.KindSandwich, Month: 0, ViaFlashbots: true, GainETH: types.Ether, NetETH: types.Milliether},
+			{Kind: profit.KindSandwich, Month: 1, GainETH: types.Ether, NetETH: -types.Milliether},
+		},
+		WETH:    weth,
+		Workers: 2,
+	}
+
+	// Streaming: one FeedBlock per block, in height order.
+	acc := NewAccumulator(c.Timeline, weth)
+	fi := 0
+	for _, b := range c.Blocks() {
+		var rec *flashbots.BlockRecord
+		if fi < len(fbs) && fbs[fi].BlockNumber == b.Header.Number {
+			rec = &fbs[fi]
+			fi++
+		}
+		acc.FeedBlock(b, rec)
+	}
+	if got := len(acc.FBBlocks()); got != len(fbs) {
+		t.Fatalf("accumulator holds %d FB records, want %d", got, len(fbs))
+	}
+
+	streamed := acc.Report(in, nil)
+	batch := Build(in, nil)
+	if !reflect.DeepEqual(streamed.Fig3, batch.Fig3) {
+		t.Errorf("Fig3 differs:\n stream %+v\n batch  %+v", streamed.Fig3, batch.Fig3)
+	}
+	if !reflect.DeepEqual(streamed.Fig4, batch.Fig4) {
+		t.Errorf("Fig4 differs:\n stream %+v\n batch  %+v", streamed.Fig4, batch.Fig4)
+	}
+	if !reflect.DeepEqual(streamed.Fig6, batch.Fig6) {
+		t.Errorf("Fig6 differs:\n stream %+v\n batch  %+v", streamed.Fig6, batch.Fig6)
+	}
+	if !reflect.DeepEqual(streamed.Fig8, batch.Fig8) {
+		t.Errorf("Fig8 differs:\n stream %+v\n batch  %+v", streamed.Fig8, batch.Fig8)
+	}
+	if !reflect.DeepEqual(streamed.Table1, batch.Table1) {
+		t.Errorf("Table1 differs")
+	}
+	if !reflect.DeepEqual(streamed.Concentration, batch.Concentration) {
+		t.Errorf("Concentration differs")
+	}
+}

@@ -161,19 +161,7 @@ func (r Fig3Row) Ratio() float64 {
 // BuildFigure3 computes the monthly Flashbots vs non-Flashbots block
 // proportion.
 func BuildFigure3(in Inputs) []Fig3Row {
-	fbByMonth := map[types.Month]int{}
-	for _, rec := range in.FBBlocks {
-		fbByMonth[in.Chain.Timeline.MonthOfBlock(rec.BlockNumber)]++
-	}
-	out := make([]Fig3Row, 0, types.StudyMonths)
-	for m := types.Month(0); m < types.StudyMonths; m++ {
-		total := len(in.Chain.BlocksInMonth(m))
-		if total == 0 {
-			continue
-		}
-		out = append(out, Fig3Row{Month: m, FlashbotsBlocks: fbByMonth[m], TotalBlocks: total})
-	}
-	return out
+	return figure3(in, accumulate(in, false))
 }
 
 // ---------------------------------------------------------------------------
@@ -183,29 +171,7 @@ func BuildFigure3(in Inputs) []Fig3Row {
 // block share of miners who mined at least one Flashbots block in that
 // month (§4.3's estimator).
 func BuildFigure4(in Inputs) []MonthValue {
-	fbMiners := map[types.Month]map[types.Address]bool{}
-	for _, rec := range in.FBBlocks {
-		m := in.Chain.Timeline.MonthOfBlock(rec.BlockNumber)
-		if fbMiners[m] == nil {
-			fbMiners[m] = map[types.Address]bool{}
-		}
-		fbMiners[m][rec.Miner] = true
-	}
-	var out []MonthValue
-	for m := types.Month(0); m < types.StudyMonths; m++ {
-		blocks := in.Chain.BlocksInMonth(m)
-		if len(blocks) == 0 {
-			continue
-		}
-		fb := 0
-		for _, b := range blocks {
-			if fbMiners[m][b.Header.Miner] {
-				fb++
-			}
-		}
-		out = append(out, MonthValue{Month: m, Value: float64(fb) / float64(len(blocks))})
-	}
-	return out
+	return figure4(in, accumulate(in, false))
 }
 
 // ---------------------------------------------------------------------------
@@ -303,60 +269,12 @@ type Fig6 struct {
 	CorrAll float64
 }
 
-// BuildFigure6 computes the sandwich/gas-price series.
+// BuildFigure6 computes the sandwich/gas-price series. The per-month gas
+// sweep walks every receipt — the heaviest loop in the report — so the
+// aggregate pass fans months across the worker pool and merges in month
+// order.
 func BuildFigure6(in Inputs) Fig6 {
-	fbSand := map[types.Month]int{}
-	nonFBSand := map[types.Month]int{}
-	for _, r := range in.Profits {
-		if r.Kind != profit.KindSandwich {
-			continue
-		}
-		if r.ViaFlashbots {
-			fbSand[r.Month]++
-		} else {
-			nonFBSand[r.Month]++
-		}
-	}
-	var f Fig6
-	var gasSeries, nonFBSeries, allSeries []float64
-	// Each month's gas sweep walks every receipt — the heaviest loop in the
-	// report — so months fan out across the worker pool and merge in month
-	// order.
-	monthRows := parallel.Map(types.StudyMonths, in.workers(), func(mi int) *Fig6Row {
-		m := types.Month(mi)
-		blocks := in.Chain.BlocksInMonth(m)
-		if len(blocks) == 0 {
-			return nil
-		}
-		var sum float64
-		var all []float64
-		for _, b := range blocks {
-			for _, rcpt := range b.Receipts {
-				g := float64(rcpt.EffectiveGasPrice) / float64(types.Gwei)
-				sum += g
-				all = append(all, g)
-			}
-		}
-		row := &Fig6Row{Month: m, FlashbotsSand: fbSand[m], NonFlashbotsSand: nonFBSand[m]}
-		if len(all) > 0 {
-			sort.Float64s(all)
-			row.AvgGasPriceGwei = sum / float64(len(all))
-			row.MedianGasPriceGwei = stats.Quantile(all, 0.5)
-		}
-		return row
-	})
-	for _, row := range monthRows {
-		if row == nil {
-			continue
-		}
-		f.Rows = append(f.Rows, *row)
-		gasSeries = append(gasSeries, row.AvgGasPriceGwei)
-		nonFBSeries = append(nonFBSeries, float64(row.NonFlashbotsSand))
-		allSeries = append(allSeries, float64(row.FlashbotsSand+row.NonFlashbotsSand))
-	}
-	f.CorrNonFB = stats.Pearson(nonFBSeries, gasSeries)
-	f.CorrAll = stats.Pearson(allSeries, gasSeries)
-	return f
+	return figure6(in, accumulate(in, true))
 }
 
 // ---------------------------------------------------------------------------
@@ -448,7 +366,11 @@ type Fig8 struct {
 // BuildFigure8 splits sandwich profits by extractor class (miner vs
 // searcher, from on-chain coinbase evidence) and channel.
 func BuildFigure8(in Inputs) Fig8 {
-	miners := MinerSetOnChain(in.Chain)
+	return figure8(in, MinerSetOnChain(in.Chain))
+}
+
+// figure8 is BuildFigure8 against a precomputed miner set.
+func figure8(in Inputs, miners map[types.Address]bool) Fig8 {
 	var mFB, mNon, sFB, sNon []float64
 	for _, r := range in.Profits {
 		if r.Kind != profit.KindSandwich {
@@ -607,19 +529,28 @@ type Report struct {
 }
 
 // Build assembles the full report. inf may be nil when no observation
-// window exists. Artifact builders are independent read-only passes over
-// the inputs, so they fan out across the worker pool; each writes a
-// distinct Report field, which keeps the assembly deterministic.
+// window exists. It is the batch path of the incremental Accumulator
+// seam: one parallel aggregate pass over the finished chain, then the
+// shared builder fan-out — exactly what a streamed accumulator snapshots
+// at the same height.
 func Build(in Inputs, inf *privinfer.Inferrer) *Report {
+	return accumulate(in, true).Report(in, inf)
+}
+
+// buildWith assembles the report from precomputed chain aggregates.
+// Artifact builders are independent read-only passes over the inputs, so
+// they fan out across the worker pool; each writes a distinct Report
+// field, which keeps the assembly deterministic.
+func buildWith(in Inputs, acc *Accumulator, inf *privinfer.Inferrer) *Report {
 	r := &Report{}
 	builders := []func(){
 		func() { r.Table1 = BuildTable1(in) },
-		func() { r.Fig3 = BuildFigure3(in) },
-		func() { r.Fig4 = BuildFigure4(in) },
+		func() { r.Fig3 = figure3(in, acc) },
+		func() { r.Fig4 = figure4(in, acc) },
 		func() { r.Fig5 = BuildFigure5(in) },
-		func() { r.Fig6 = BuildFigure6(in) },
+		func() { r.Fig6 = figure6(in, acc) },
 		func() { r.Fig7 = BuildFigure7(in) },
-		func() { r.Fig8 = BuildFigure8(in) },
+		func() { r.Fig8 = figure8(in, acc.minerSet) },
 		func() { r.Bundles = BuildBundleStats(in) },
 		func() { r.Negatives = BuildNegativeProfits(in) },
 		func() { r.Damage = BuildVictimDamage(in) },

@@ -76,6 +76,19 @@ type Inferrer struct {
 	cacheKey  *detect.Sandwich
 	cacheLen  int
 	cacheVerd []verdict
+
+	// Incremental verdict logs, maintained by Feed: verdicts for the first
+	// fedSand/fedArb/fedLiq detections of the streaming sweep. Verdicts
+	// are stable as the world grows (observer records are append-only, a
+	// transaction's Flashbots membership is fixed at inclusion and the
+	// window start is fixed), so a logged verdict never needs revisiting.
+	// The fed*Key pointers pin the identity of the fed slices so the logs
+	// are never returned for an unrelated slice of equal length.
+	fedSand, fedArb, fedLiq int
+	sandLog, arbLog, liqLog []verdict
+	fedSandKey              *detect.Sandwich
+	fedArbKey               *detect.Arbitrage
+	fedLiqKey               *detect.Liquidation
 }
 
 // New creates an Inferrer over the observation window. If start/stop are
@@ -193,15 +206,77 @@ type verdict struct {
 	ok bool
 }
 
+// sandwichVerdict applies the §6.1 sandwich rule to one detection.
+func (in *Inferrer) sandwichVerdict(s detect.Sandwich) verdict {
+	ch, ok := in.ClassifySandwich(s)
+	return verdict{ch: ch, ok: ok}
+}
+
+// arbVerdict applies the plain transaction rule to one arbitrage.
+func (in *Inferrer) arbVerdict(a detect.Arbitrage) verdict {
+	if !in.InWindow(a.Block) {
+		return verdict{}
+	}
+	return verdict{ch: in.ClassifyTxs(a.Tx), ok: true}
+}
+
+// liqVerdict applies the plain transaction rule to one liquidation.
+func (in *Inferrer) liqVerdict(l detect.Liquidation) verdict {
+	if !in.InWindow(l.Block) {
+		return verdict{}
+	}
+	return verdict{ch: in.ClassifyTxs(l.Tx), ok: true}
+}
+
+// Feed classifies every detection appended to res since the previous Feed
+// call, extending the incremental verdict logs. The streaming
+// block-follower calls it after each fed block; a subsequent SplitAll /
+// SplitSandwiches / LinkPrivateSandwiches over the same sweep then reuses
+// the logged verdicts instead of reclassifying the whole history. res
+// must be the same logically-growing sweep between calls (append-only,
+// as detect.Scanner produces).
+func (in *Inferrer) Feed(res *detect.Result) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for ; in.fedSand < len(res.Sandwiches); in.fedSand++ {
+		in.sandLog = append(in.sandLog, in.sandwichVerdict(res.Sandwiches[in.fedSand]))
+	}
+	for ; in.fedArb < len(res.Arbitrages); in.fedArb++ {
+		in.arbLog = append(in.arbLog, in.arbVerdict(res.Arbitrages[in.fedArb]))
+	}
+	for ; in.fedLiq < len(res.Liquidations); in.fedLiq++ {
+		in.liqLog = append(in.liqLog, in.liqVerdict(res.Liquidations[in.fedLiq]))
+	}
+	// Record the fed slices' identities (appends may have reallocated the
+	// backing arrays since the previous Feed).
+	if len(res.Sandwiches) > 0 {
+		in.fedSandKey = &res.Sandwiches[0]
+	}
+	if len(res.Arbitrages) > 0 {
+		in.fedArbKey = &res.Arbitrages[0]
+	}
+	if len(res.Liquidations) > 0 {
+		in.fedLiqKey = &res.Liquidations[0]
+	}
+}
+
 // classifySandwiches fans the §6.1 sandwich rule across the worker pool,
-// memoizing the verdicts per input slice. A cache miss under concurrent
-// first calls may classify twice; the results are identical either way.
+// memoizing the verdicts per input slice. When the incremental Feed log
+// already covers the whole slice the logged verdicts are returned
+// directly — verdicts are stable, so both paths agree bit for bit. A
+// cache miss under concurrent first calls may classify twice; the results
+// are identical either way.
 func (in *Inferrer) classifySandwiches(sandwiches []detect.Sandwich) []verdict {
 	var key *detect.Sandwich
 	if len(sandwiches) > 0 {
 		key = &sandwiches[0]
 	}
 	in.mu.Lock()
+	if in.fedSand > 0 && in.fedSand == len(sandwiches) && in.fedSandKey == key {
+		v := in.sandLog
+		in.mu.Unlock()
+		return v
+	}
 	if in.cacheVerd != nil && in.cacheKey == key && in.cacheLen == len(sandwiches) {
 		v := in.cacheVerd
 		in.mu.Unlock()
@@ -209,13 +284,42 @@ func (in *Inferrer) classifySandwiches(sandwiches []detect.Sandwich) []verdict {
 	}
 	in.mu.Unlock()
 	v := parallel.Map(len(sandwiches), in.workers(), func(i int) verdict {
-		ch, ok := in.ClassifySandwich(sandwiches[i])
-		return verdict{ch: ch, ok: ok}
+		return in.sandwichVerdict(sandwiches[i])
 	})
 	in.mu.Lock()
 	in.cacheKey, in.cacheLen, in.cacheVerd = key, len(sandwiches), v
 	in.mu.Unlock()
 	return v
+}
+
+// classifyArbs classifies arbitrages, reusing the Feed log when it covers
+// the whole slice.
+func (in *Inferrer) classifyArbs(arbs []detect.Arbitrage) []verdict {
+	in.mu.Lock()
+	if in.fedArb > 0 && in.fedArb == len(arbs) && in.fedArbKey == &arbs[0] {
+		v := in.arbLog
+		in.mu.Unlock()
+		return v
+	}
+	in.mu.Unlock()
+	return parallel.Map(len(arbs), in.workers(), func(i int) verdict {
+		return in.arbVerdict(arbs[i])
+	})
+}
+
+// classifyLiqs classifies liquidations, reusing the Feed log when it
+// covers the whole slice.
+func (in *Inferrer) classifyLiqs(liqs []detect.Liquidation) []verdict {
+	in.mu.Lock()
+	if in.fedLiq > 0 && in.fedLiq == len(liqs) && in.fedLiqKey == &liqs[0] {
+		v := in.liqLog
+		in.mu.Unlock()
+		return v
+	}
+	in.mu.Unlock()
+	return parallel.Map(len(liqs), in.workers(), func(i int) verdict {
+		return in.liqVerdict(liqs[i])
+	})
 }
 
 // SplitSandwiches classifies every detected sandwich inside the window.
@@ -342,26 +446,12 @@ func (in *Inferrer) SplitAll(res *detect.Result) MEVSplit {
 			out.ByKind["sandwich"].add(v.ch)
 		}
 	}
-	arbs := parallel.Map(len(res.Arbitrages), in.workers(), func(i int) verdict {
-		a := res.Arbitrages[i]
-		if !in.InWindow(a.Block) {
-			return verdict{}
-		}
-		return verdict{ch: in.ClassifyTxs(a.Tx), ok: true}
-	})
-	for _, v := range arbs {
+	for _, v := range in.classifyArbs(res.Arbitrages) {
 		if v.ok {
 			out.ByKind["arbitrage"].add(v.ch)
 		}
 	}
-	liqs := parallel.Map(len(res.Liquidations), in.workers(), func(i int) verdict {
-		l := res.Liquidations[i]
-		if !in.InWindow(l.Block) {
-			return verdict{}
-		}
-		return verdict{ch: in.ClassifyTxs(l.Tx), ok: true}
-	})
-	for _, v := range liqs {
+	for _, v := range in.classifyLiqs(res.Liquidations) {
 		if v.ok {
 			out.ByKind["liquidation"].add(v.ch)
 		}

@@ -119,6 +119,57 @@ func TestSplitSandwiches(t *testing.T) {
 	}
 }
 
+// TestFeedMatchesBatchClassification: verdicts accumulated incrementally
+// via Feed must make SplitSandwiches / SplitAll agree exactly with a
+// fresh inferrer classifying the complete sweep in one pass.
+func TestFeedMatchesBatchClassification(t *testing.T) {
+	miner := types.DeriveAddress("m", 1)
+	c := newChainWithMiner(t, miner, 10)
+	start := c.Timeline.StartBlock
+	obs := &fakeObs{seen: map[types.Hash]bool{h(2): true, h(10): true, h(11): true}, start: start}
+	fbset := map[types.Hash]flashbots.BundleType{h(20): flashbots.TypeFlashbots}
+
+	res := &detect.Result{}
+	streaming := New(c, obs, fbset, start, ^uint64(0))
+
+	// Detections arrive over three "blocks"; Feed after each.
+	res.Sandwiches = append(res.Sandwiches,
+		detect.Sandwich{Block: start + 1, FrontTx: h(1), VictimTx: h(2), BackTx: h(3)})
+	streaming.Feed(res)
+	res.Sandwiches = append(res.Sandwiches,
+		detect.Sandwich{Block: start + 2, FrontTx: h(10), VictimTx: h(2), BackTx: h(11)},
+		detect.Sandwich{Block: start + 3, FrontTx: h(20), VictimTx: h(2), BackTx: h(21)})
+	res.Arbitrages = append(res.Arbitrages,
+		detect.Arbitrage{Block: start + 2, Tx: h(10)},
+		detect.Arbitrage{Block: start + 3, Tx: h(30)})
+	streaming.Feed(res)
+	res.Liquidations = append(res.Liquidations,
+		detect.Liquidation{Block: start + 4, Tx: h(20)})
+	streaming.Feed(res)
+
+	batch := New(c, obs, fbset, start, 0)
+	wantSplit := batch.SplitSandwiches(res.Sandwiches)
+	gotSplit := streaming.SplitSandwiches(res.Sandwiches)
+	if gotSplit != wantSplit {
+		t.Errorf("sandwich split: fed %+v, batch %+v", gotSplit, wantSplit)
+	}
+	wantAll := batch.SplitAll(res)
+	gotAll := streaming.SplitAll(res)
+	for _, kind := range []string{"sandwich", "arbitrage", "liquidation"} {
+		if *gotAll.ByKind[kind] != *wantAll.ByKind[kind] {
+			t.Errorf("%s split: fed %+v, batch %+v", kind, *gotAll.ByKind[kind], *wantAll.ByKind[kind])
+		}
+	}
+	if gotAll.Totals() != wantAll.Totals() {
+		t.Errorf("totals: fed %+v, batch %+v", gotAll.Totals(), wantAll.Totals())
+	}
+	// Redundant feed over an unchanged sweep is a no-op.
+	streaming.Feed(res)
+	if got := streaming.SplitSandwiches(res.Sandwiches); got != wantSplit {
+		t.Error("redundant feed changed the verdicts")
+	}
+}
+
 func TestLinkPrivateSandwiches(t *testing.T) {
 	minerA := types.DeriveAddress("m", 1)
 	c := newChainWithMiner(t, minerA, 10)

@@ -206,10 +206,68 @@ func (c *Computer) Liquidation(l detect.Liquidation) (Record, error) {
 	return rec, nil
 }
 
+// Tracker resolves detections incrementally as a detector sweep grows: a
+// streaming consumer calls Sync after each fed block and the tracker
+// resolves only the detections appended since the previous call. Records
+// are kept per kind and concatenated sandwiches-then-arbitrages-then-
+// liquidations, so Records returns exactly the slice a batch ResolveAll
+// over the same sweep produces — whatever block order the detections
+// arrived in.
+type Tracker struct {
+	comp       *Computer
+	nS, nA, nL int // consumed detection counts
+	sand       []Record
+	arb        []Record
+	liq        []Record
+}
+
+// NewTracker creates an empty tracker over the computer.
+func NewTracker(c *Computer) *Tracker { return &Tracker{comp: c} }
+
+// Sync resolves every detection appended to res since the last call,
+// skipping records whose economics cannot be resolved. res must be the
+// same logically-growing sweep between calls (detections are never
+// removed or reordered; detect.Scanner guarantees this).
+func (t *Tracker) Sync(res *detect.Result) {
+	for ; t.nS < len(res.Sandwiches); t.nS++ {
+		if rec, err := t.comp.Sandwich(res.Sandwiches[t.nS]); err == nil {
+			t.sand = append(t.sand, rec)
+		}
+	}
+	for ; t.nA < len(res.Arbitrages); t.nA++ {
+		if rec, err := t.comp.Arbitrage(res.Arbitrages[t.nA]); err == nil {
+			t.arb = append(t.arb, rec)
+		}
+	}
+	for ; t.nL < len(res.Liquidations); t.nL++ {
+		if rec, err := t.comp.Liquidation(res.Liquidations[t.nL]); err == nil {
+			t.liq = append(t.liq, rec)
+		}
+	}
+}
+
+// Resolved returns the number of resolved records so far.
+func (t *Tracker) Resolved() int { return len(t.sand) + len(t.arb) + len(t.liq) }
+
+// Records returns the resolved records in batch order: sandwiches, then
+// arbitrages, then liquidations, each in detection order. The slice is a
+// fresh copy safe to hold across further Sync calls.
+func (t *Tracker) Records() []Record {
+	out := make([]Record, 0, t.Resolved())
+	out = append(out, t.sand...)
+	out = append(out, t.arb...)
+	out = append(out, t.liq...)
+	return out
+}
+
 // ResolveAll converts a full detector sweep into profit records, skipping
 // records whose economics cannot be resolved (e.g. missing price history).
+// It is the sequential batch path, implemented on the incremental Tracker
+// seam: one Sync over the complete sweep.
 func (c *Computer) ResolveAll(res *detect.Result) []Record {
-	return c.ResolveAllParallel(res, 1)
+	t := NewTracker(c)
+	t.Sync(res)
+	return t.Records()
 }
 
 // ResolveAllParallel resolves the sweep across a worker pool. Every
@@ -217,6 +275,9 @@ func (c *Computer) ResolveAll(res *detect.Result) []Record {
 // slots and compacted in detector order — the output matches ResolveAll
 // exactly for any worker count. workers < 1 selects runtime.NumCPU().
 func (c *Computer) ResolveAllParallel(res *detect.Result, workers int) []Record {
+	if workers == 1 {
+		return c.ResolveAll(res)
+	}
 	nS, nA := len(res.Sandwiches), len(res.Arbitrages)
 	total := nS + nA + len(res.Liquidations)
 	type slot struct {

@@ -81,6 +81,71 @@ func TestSandwichProfit(t *testing.T) {
 	}
 }
 
+// TestTrackerMatchesResolveAll: resolving a sweep incrementally — as
+// detections trickle in block by block — must yield exactly the records
+// (and order) of a one-shot batch ResolveAll, including skipping
+// unresolvable detections.
+func TestTrackerMatchesResolveAll(t *testing.T) {
+	attacker := types.DeriveAddress("attacker", 1)
+	front := &types.Transaction{Nonce: 1, From: attacker}
+	back := &types.Transaction{Nonce: 2, From: attacker}
+	victim := &types.Transaction{Nonce: 1, From: types.DeriveAddress("v", 1)}
+	arbTx := &types.Transaction{Nonce: 3, From: attacker}
+	rf := &types.Receipt{TxHash: front.Hash(), Status: types.StatusSuccess, GasUsed: 100_000, EffectiveGasPrice: 10 * types.Gwei}
+	rb := &types.Receipt{TxHash: back.Hash(), Status: types.StatusSuccess, GasUsed: 100_000, EffectiveGasPrice: 10 * types.Gwei}
+	rv := &types.Receipt{TxHash: victim.Hash(), Status: types.StatusSuccess}
+	ra := &types.Receipt{TxHash: arbTx.Hash(), Status: types.StatusSuccess, GasUsed: 300_000, EffectiveGasPrice: types.Gwei}
+	c := world(t, []*types.Transaction{front, victim, back, arbTx}, []*types.Receipt{rf, rv, rb, ra})
+	comp := New(c, priceSeries(), weth, map[types.Hash]flashbots.BundleType{back.Hash(): flashbots.TypeFlashbots})
+
+	n := c.Head().Header.Number
+	sweep := &detect.Result{}
+	tracker := NewTracker(comp)
+
+	// Block 1 worth of detections: a sandwich.
+	sweep.Sandwiches = append(sweep.Sandwiches, detect.Sandwich{
+		Block: n, Month: 12, Attacker: attacker,
+		FrontTx: front.Hash(), VictimTx: victim.Hash(), BackTx: back.Hash(),
+		FrontIn: 10 * types.Ether, BackOut: 10*types.Ether + 10*types.Milliether,
+	})
+	tracker.Sync(sweep)
+	if tracker.Resolved() != 1 {
+		t.Fatalf("resolved = %d after first sync", tracker.Resolved())
+	}
+
+	// Block 2 worth: a DAI arbitrage, plus one with an unpriced token that
+	// batch resolution also skips.
+	sweep.Arbitrages = append(sweep.Arbitrages,
+		detect.Arbitrage{Block: n, Month: 12, Extractor: attacker, Tx: arbTx.Hash(),
+			Token: dai, AmountIn: 100_000 * types.Ether, AmountOut: 104_000 * types.Ether},
+		detect.Arbitrage{Block: n, Month: 12, Extractor: attacker, Tx: arbTx.Hash(),
+			Token: types.DeriveAddress("tok", 9), AmountIn: 1, AmountOut: 2},
+	)
+	tracker.Sync(sweep)
+
+	inc := tracker.Records()
+	batch := comp.ResolveAll(sweep)
+	if len(inc) != len(batch) {
+		t.Fatalf("incremental %d records, batch %d", len(inc), len(batch))
+	}
+	for i := range batch {
+		if inc[i].Kind != batch[i].Kind || inc[i].NetETH != batch[i].NetETH ||
+			inc[i].GainETH != batch[i].GainETH || inc[i].ViaFlashbots != batch[i].ViaFlashbots {
+			t.Fatalf("record %d differs: %+v vs %+v", i, inc[i], batch[i])
+		}
+	}
+	// Parallel resolution over the same sweep agrees too.
+	par := comp.ResolveAllParallel(sweep, 4)
+	if len(par) != len(inc) {
+		t.Fatalf("parallel %d records, incremental %d", len(par), len(inc))
+	}
+	// A redundant sync is a no-op.
+	tracker.Sync(sweep)
+	if tracker.Resolved() != len(inc) {
+		t.Error("redundant sync changed the record set")
+	}
+}
+
 func TestArbitrageProfitTokenConversion(t *testing.T) {
 	arber := types.DeriveAddress("arber", 1)
 	tx := &types.Transaction{Nonce: 1, From: arber}

@@ -1,0 +1,71 @@
+// Package dataset defines the collected-measurement view of one simulated
+// world: the artifacts a real study would have on disk — the archive
+// node's chain, the observer's pending-transaction capture, the Flashbots
+// public blocks API and the historical price series — without the
+// simulator that produced them.
+//
+// The measurement pipeline (mevscope.AnalyzeDataset, internal/stream)
+// consumes only this view, which is what makes a world simulate-once,
+// analyze-many: internal/archive persists a Dataset to disk and restores
+// it bit-compatibly, so `mevscope analyze -from <dir>` reproduces the
+// original run's report without re-simulating.
+package dataset
+
+import (
+	"mevscope/internal/chain"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/p2p"
+	"mevscope/internal/prices"
+	"mevscope/internal/sim"
+	"mevscope/internal/types"
+)
+
+// Dataset is everything the measurement stage reads.
+type Dataset struct {
+	// Chain is the full block/receipt history (the archive-node view).
+	Chain *chain.Chain
+	// FBBlocks is the public Flashbots blocks API, ascending by height.
+	FBBlocks []flashbots.BlockRecord
+	// FBSet maps every transaction mined inside a bundle to its bundle
+	// type — derived from FBBlocks, carried precomputed because every
+	// pipeline stage needs it.
+	FBSet map[types.Hash]flashbots.BundleType
+	// Observer is the pending-transaction capture; nil when the run ended
+	// before the observation window opened.
+	Observer *p2p.Observer
+	// Prices is the CoinGecko-substitute token→ETH series.
+	Prices *prices.Series
+	// WETH anchors the detectors' buy/sell direction.
+	WETH types.Address
+}
+
+// FromSim extracts the measurement dataset from a completed (or still
+// running) simulation. The returned dataset shares the simulation's live
+// structures; it is a view, not a copy.
+func FromSim(s *sim.Sim) *Dataset {
+	ds := &Dataset{
+		Chain:    s.Chain,
+		FBBlocks: s.Relay.Blocks(),
+		FBSet:    s.Relay.FlashbotsTxSet(),
+		Prices:   s.Prices,
+		WETH:     s.World.WETH,
+	}
+	obs := s.Net.Observer()
+	if start, _ := obs.Window(); start > 0 || obs.Count() > 0 {
+		ds.Observer = obs
+	}
+	return ds
+}
+
+// FBSetOf rebuilds the transaction→bundle-type set from block records —
+// what Relay.FlashbotsTxSet computes relay-side, reproduced here for
+// datasets restored from disk.
+func FBSetOf(records []flashbots.BlockRecord) map[types.Hash]flashbots.BundleType {
+	out := make(map[types.Hash]flashbots.BundleType)
+	for _, rec := range records {
+		for _, tx := range rec.Txs {
+			out[tx.Hash] = tx.BundleType
+		}
+	}
+	return out
+}

@@ -93,6 +93,27 @@ func (o *Observer) Records() []ObservedTx {
 // Count is the number of recorded pending transactions.
 func (o *Observer) Count() int { return len(o.records) }
 
+// RestoreObserver rebuilds an observer from persisted records and window
+// bounds — how internal/archive resurrects the pending-transaction
+// capture so a re-analysis classifies private transactions exactly like
+// the original run.
+func RestoreObserver(records []ObservedTx, start, stop uint64) *Observer {
+	o := &Observer{
+		startedAt: start,
+		stoppedAt: stop,
+		records:   make(map[types.Hash]ObservedTx, len(records)),
+		order:     make([]types.Hash, 0, len(records)),
+	}
+	for _, r := range records {
+		if _, dup := o.records[r.Hash]; dup {
+			continue
+		}
+		o.records[r.Hash] = r
+		o.order = append(o.order, r.Hash)
+	}
+	return o
+}
+
 // Window returns the observation start and stop heights (stop is zero
 // while still active).
 func (o *Observer) Window() (start, stop uint64) { return o.startedAt, o.stoppedAt }

@@ -8,6 +8,7 @@
 package prices
 
 import (
+	"fmt"
 	"sort"
 
 	"mevscope/internal/types"
@@ -98,4 +99,20 @@ func (s *Series) History(token types.Address) []Point {
 	out := make([]Point, len(h))
 	copy(out, h)
 	return out
+}
+
+// Restore installs a token's full history in one call — how
+// internal/archive rebuilds the series from disk. Points must be in
+// ascending block order; out-of-order input is rejected so a corrupted
+// archive cannot silently skew lookups.
+func (s *Series) Restore(token types.Address, points []Point) error {
+	for i := 1; i < len(points); i++ {
+		if points[i].Block <= points[i-1].Block {
+			return fmt.Errorf("prices: history for %v not ascending at index %d", token.Short(), i)
+		}
+	}
+	h := make([]Point, len(points))
+	copy(h, points)
+	s.hist[token] = h
+	return nil
 }

@@ -525,19 +525,25 @@ func (s *Sim) submitProtectedTrade(n uint64, month types.Month, cal *MonthCal, l
 		count = 2 + s.rng.Intn(3)
 	}
 	var txs []*types.Transaction
-	var hashes []types.Hash
 	for i := 0; i < count; i++ {
 		tx := user.SwapTx(&s.World.World, s.rng, size, 300, bundleGas(london, baseFee))
 		if tx == nil {
 			continue
 		}
 		txs = append(txs, tx)
-		hashes = append(hashes, tx.Hash())
 	}
 	if len(txs) == 0 {
 		return
 	}
+	// Set the tip before any hash is computed: the cached hash is the
+	// transaction's identity everywhere (chain index, relay records,
+	// observer captures), so it must be derivable from the final fields —
+	// persisted archives recompute it on restore.
 	txs[len(txs)-1].CoinbaseTip = types.Amount(2+s.rng.Intn(9)) * types.Milliether
+	hashes := make([]types.Hash, len(txs))
+	for i, tx := range txs {
+		hashes[i] = tx.Hash()
+	}
 	bundle := &flashbots.Bundle{
 		Searcher: user.Addr, Type: flashbots.TypeFlashbots,
 		Txs: txs, TargetBlock: n,

@@ -2,9 +2,13 @@ package store
 
 import (
 	"bytes"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"mevscope/internal/types"
 )
 
 type doc struct {
@@ -153,6 +157,93 @@ func TestSaveLoadFile(t *testing.T) {
 	missing := NewCollection[doc]("absent")
 	if err := missing.LoadFile(dir); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// richDoc exercises every field shape the measurement pipeline persists:
+// ledger types (Address, Hash, Amount), timestamps, nested structs,
+// slices, maps and raw bytes.
+type richDoc struct {
+	ID     int               `json:"id"`
+	Addr   types.Address     `json:"addr"`
+	TxHash types.Hash        `json:"tx_hash"`
+	Amt    types.Amount      `json:"amt"`
+	When   time.Time         `json:"when"`
+	Tags   []string          `json:"tags,omitempty"`
+	Counts map[string]int    `json:"counts,omitempty"`
+	Data   []byte            `json:"data,omitempty"`
+	Inner  *richDoc          `json:"inner,omitempty"`
+	Month  types.Month       `json:"month"`
+	Meta   map[string]string `json:"meta,omitempty"`
+}
+
+// TestSaveLoadFullFidelity is the persistence contract behind
+// internal/archive: Save → Load must reproduce identical documents and
+// equivalent rebuilt indexes, across every field shape the pipeline
+// stores — including extreme Amounts near the int64 edge, zero values
+// and nested documents.
+func TestSaveLoadFullFidelity(t *testing.T) {
+	when := time.Date(2021, time.August, 5, 12, 30, 45, 123456789, time.UTC)
+	docs := []richDoc{
+		{
+			ID: 1, Addr: types.DeriveAddress("acct", 1), TxHash: types.HashData([]byte("a")),
+			Amt: 910_000_000_000_000_000, When: when,
+			Tags: []string{"sandwich", "flashbots"}, Counts: map[string]int{"hops": 3},
+			Data: []byte{0x00, 0xff, 0x10}, Month: 9,
+			Inner: &richDoc{ID: 10, Amt: -5, When: when.Add(time.Hour)},
+		},
+		{ID: 2, Amt: -910_000_000_000_000_000, When: when.Add(48 * time.Hour), Month: 22,
+			Meta: map[string]string{"note": "uniçode ✓ and \"quotes\""}},
+		{ID: 3, When: time.Time{}.UTC(), Month: 0}, // all-zero document
+	}
+	byMonth := func(d richDoc) string { return d.Month.String() }
+
+	c := NewCollection[richDoc]("rich")
+	if err := c.AddIndex("month", byMonth); err != nil {
+		t.Fatal(err)
+	}
+	c.InsertAll(docs...)
+
+	dir := t.TempDir()
+	if err := c.SaveFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCollection[richDoc]("rich")
+	if err := c2.AddIndex("month", byMonth); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.LoadFile(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(c.All(), c2.All()) {
+		t.Fatalf("documents diverged across save/load:\n orig: %+v\n load: %+v", c.All(), c2.All())
+	}
+	keys, err := c.Keys("month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys2, err := c2.Keys("month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, keys2) {
+		t.Fatalf("index keys diverged: %v vs %v", keys, keys2)
+	}
+	for _, k := range keys {
+		a, _ := c.Find("month", k)
+		b, err := c2.Find("month", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("index %q lookup diverged after reload", k)
+		}
+	}
+	counts, _ := c.CountBy("month")
+	counts2, _ := c2.CountBy("month")
+	if !reflect.DeepEqual(counts, counts2) {
+		t.Errorf("CountBy diverged: %v vs %v", counts, counts2)
 	}
 }
 

@@ -1,0 +1,134 @@
+package stream_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mevscope"
+	"mevscope/internal/core/measure"
+	"mevscope/internal/sim"
+	"mevscope/internal/stream"
+	"mevscope/internal/types"
+)
+
+// render formats a report with the shared renderer, so streaming
+// snapshots compare byte for byte with batch output.
+func render(r *measure.Report) []byte {
+	var buf bytes.Buffer
+	mevscope.WriteReportTo(&buf, r)
+	return buf.Bytes()
+}
+
+// streamWorld simulates cfg to completion, feeding every block through a
+// follower as it is produced.
+func streamWorld(t *testing.T, cfg sim.Config, workers int, onMonth func(types.Month, *stream.Follower)) (*sim.Sim, *stream.Follower) {
+	t.Helper()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := stream.ForSim(s, workers)
+	f.OnMonthEnd = onMonth
+	end := s.EndBlock()
+	for s.Chain.NextNumber() <= end {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, f
+}
+
+// TestFollowerMatchesBatchFinal is the tentpole guarantee: streaming a
+// full world block by block yields a final report byte-identical to the
+// batch pipeline over the finished simulation.
+func TestFollowerMatchesBatchFinal(t *testing.T) {
+	cfg := sim.DefaultConfig(11)
+	cfg.BlocksPerMonth = 40
+	s, f := streamWorld(t, cfg, 3, nil)
+
+	if got, want := f.Blocks(), uint64(s.Chain.Len()); got != want {
+		t.Fatalf("follower consumed %d blocks, chain has %d", got, want)
+	}
+	batch, err := mevscope.AnalyzeWith(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(f.Report()), render(batch.Report)) {
+		t.Error("streamed report differs from batch report")
+	}
+	if f.Inferrer() == nil {
+		t.Error("observer window opened but follower has no inferrer")
+	}
+}
+
+// TestFollowerMonthBoundarySnapshots checks the live report at month
+// boundaries: the follower's snapshot after month m must equal the batch
+// pipeline run over the same world truncated at m (a fresh sim with the
+// same seed and Months = m+1 — block production is prefix-deterministic).
+func TestFollowerMonthBoundarySnapshots(t *testing.T) {
+	check := map[types.Month][]byte{}
+	want := map[types.Month]bool{5: true, 15: true, 18: true, 22: true}
+	cfg := sim.DefaultConfig(7)
+	cfg.BlocksPerMonth = 30
+	streamWorld(t, cfg, 2, func(m types.Month, f *stream.Follower) {
+		if want[m] {
+			check[m] = render(f.Report())
+		}
+	})
+	if len(check) != len(want) {
+		t.Fatalf("captured %d snapshots, want %d", len(check), len(want))
+	}
+	for m, snap := range check {
+		tcfg := sim.DefaultConfig(7)
+		tcfg.BlocksPerMonth = 30
+		tcfg.Months = int(m) + 1
+		s, err := sim.New(tcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := mevscope.AnalyzeWith(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(snap, render(batch.Report)) {
+			t.Errorf("month %s: streamed snapshot differs from batch over the truncated world", m)
+		}
+	}
+}
+
+// TestFollowerFeedValidation: blocks must arrive in order and on the
+// follower's chain.
+func TestFollowerFeedValidation(t *testing.T) {
+	cfg := sim.DefaultConfig(3)
+	cfg.BlocksPerMonth = 20
+	cfg.Months = 2
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f := stream.ForSim(s, 1)
+	head := s.Chain.Head()
+	if err := f.Feed(head, nil); err == nil {
+		t.Error("feeding the head out of order should error")
+	}
+	n, err := f.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != s.Chain.Len() {
+		t.Fatalf("sync consumed %d blocks, want %d", n, s.Chain.Len())
+	}
+	// A second sync is a no-op.
+	if n, err := f.Sync(); err != nil || n != 0 {
+		t.Fatalf("idle sync = (%d, %v), want (0, nil)", n, err)
+	}
+}

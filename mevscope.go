@@ -32,6 +32,13 @@
 //	ens, err := mevscope.RunEnsemble([]int64{1, 2, 3, 4, 5}, "no-flashbots", 4)
 //	if err != nil { ... }
 //	fmt.Print(ens.Format())
+//
+// The batch pipeline is one of two consumers of the measurement core:
+// internal/stream follows a world block by block and keeps a live report
+// incrementally (byte-identical to the batch one at every month
+// boundary), and internal/archive persists the collected dataset as a
+// segmented on-disk store so a world is simulated once and re-analyzed
+// many times (AnalyzeDataset; `mevscope archive` / `mevscope analyze`).
 package mevscope
 
 import (
@@ -42,6 +49,7 @@ import (
 	"mevscope/internal/core/measure"
 	"mevscope/internal/core/privinfer"
 	"mevscope/internal/core/profit"
+	"mevscope/internal/dataset"
 	"mevscope/internal/parallel"
 	"mevscope/internal/scenario"
 	"mevscope/internal/sim"
@@ -137,39 +145,59 @@ func Analyze(s *sim.Sim) (*Study, error) {
 // sequential path — produces a byte-identical report for the same
 // simulation. workers < 1 selects runtime.NumCPU().
 func AnalyzeWith(s *sim.Sim, workers int) (*Study, error) {
-	workers = parallel.Workers(workers)
-	c := s.Chain
-	weth := s.World.WETH
-	fbset := s.Relay.FlashbotsTxSet()
+	st, err := AnalyzeDataset(dataset.FromSim(s), workers)
+	if err != nil {
+		return nil, err
+	}
+	st.Sim = s
+	return st, nil
+}
 
-	res := detect.ScanParallel(c, weth, c.Timeline.StartBlock, c.Head().Header.Number, workers)
-	comp := profit.New(c, s.Prices, weth, fbset)
+// AnalyzeDataset runs the measurement pipeline over a collected dataset —
+// the sim-independent entry point behind AnalyzeWith, the streaming
+// follower's snapshots and `mevscope analyze -from <dir>` (a dataset
+// restored by internal/archive). Study.Sim is nil in the result.
+func AnalyzeDataset(ds *dataset.Dataset, workers int) (*Study, error) {
+	if ds.Chain == nil || ds.Chain.Head() == nil {
+		return nil, fmt.Errorf("mevscope: dataset has no blocks")
+	}
+	workers = parallel.Workers(workers)
+	c := ds.Chain
+
+	res := detect.ScanParallel(c, ds.WETH, c.Timeline.StartBlock, c.Head().Header.Number, workers)
+	comp := profit.New(c, ds.Prices, ds.WETH, ds.FBSet)
 	profits := comp.ResolveAllParallel(res, workers)
 
 	in := measure.Inputs{
 		Chain:    c,
-		FBBlocks: s.Relay.Blocks(),
-		FBSet:    fbset,
+		FBBlocks: ds.FBBlocks,
+		FBSet:    ds.FBSet,
 		Detect:   res,
 		Profits:  profits,
-		WETH:     weth,
+		WETH:     ds.WETH,
 		Workers:  workers,
 	}
 	var inf *privinfer.Inferrer
-	obs := s.Net.Observer()
-	if start, _ := obs.Window(); start > 0 || obs.Count() > 0 {
-		in.Observer = obs
+	if ds.Observer != nil {
+		in.Observer = ds.Observer
 		winStart := c.Timeline.FirstBlockOfMonth(types.PrivateWindowStartMonth)
-		inf = privinfer.New(c, obs, fbset, winStart, c.Head().Header.Number)
+		inf = privinfer.New(c, ds.Observer, ds.FBSet, winStart, c.Head().Header.Number)
 		inf.Workers = workers
 	}
 	report := measure.Build(in, inf)
-	return &Study{Sim: s, Detected: res, Profits: profits, Inferrer: inf, Report: report}, nil
+	return &Study{Detected: res, Profits: profits, Inferrer: inf, Report: report}, nil
 }
 
 // WriteReport renders every reproduced artifact as text, in paper order.
 func (st *Study) WriteReport(w io.Writer) {
-	r := st.Report
+	WriteReportTo(w, st.Report)
+}
+
+// WriteReportTo renders a report as text, in paper order. It is the
+// shared renderer behind Study.WriteReport and the streaming follower's
+// live snapshots, so batch and streaming output are comparable byte for
+// byte.
+func WriteReportTo(w io.Writer, r *measure.Report) {
 	fmt.Fprintf(w, "=== Table 1: MEV dataset overview ===\n%s\n", r.Table1.Format())
 
 	fmt.Fprintf(w, "=== Figure 3: Flashbots block ratio per month ===\n")

@@ -1,0 +1,60 @@
+package mevscope
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mevscope/internal/sim"
+	"mevscope/internal/stream"
+)
+
+// TestStreamMatchesRun is the tentpole acceptance test: streaming a world
+// block by block through the follower yields a final formatted report
+// byte-identical to mevscope.Run — across multiple scenarios and seeds.
+func TestStreamMatchesRun(t *testing.T) {
+	scenarios := []string{"baseline", "post-london"}
+	seeds := []int64{6, 31}
+	for _, scen := range scenarios {
+		for _, seed := range seeds {
+			scen, seed := scen, seed
+			t.Run(fmt.Sprintf("%s/seed%d", scen, seed), func(t *testing.T) {
+				opts := Options{Seed: seed, BlocksPerMonth: 35, Scenario: scen, Parallelism: 2}
+
+				// Batch: the paper's collect-then-measure pipeline.
+				batch, err := Run(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want bytes.Buffer
+				batch.WriteReport(&want)
+
+				// Streaming: an identical world consumed one block at a time.
+				cfg, err := opts.Config()
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := sim.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f := stream.ForSim(s, 2)
+				end := s.EndBlock()
+				for s.Chain.NextNumber() <= end {
+					if err := s.Step(); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := f.Sync(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var got bytes.Buffer
+				WriteReportTo(&got, f.Report())
+
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Errorf("scenario %s seed %d: streamed report differs from mevscope.Run", scen, seed)
+				}
+			})
+		}
+	}
+}
