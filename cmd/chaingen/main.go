@@ -7,11 +7,16 @@
 // Usage:
 //
 //	chaingen [-seed N] [-bpm BLOCKS] [-out DIR]
+//
+// Stray positional arguments, a zero -bpm and an empty -out are rejected
+// up front with exit status 2.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -49,17 +54,56 @@ type fbBlockDoc struct {
 	Txs         int     `json:"txs"`
 }
 
+// options is the validated flag set of one invocation.
+type options struct {
+	seed int64
+	bpm  uint64
+	out  string
+}
+
+// parseArgs parses and validates the command line; mistakes come back as
+// errors so main can exit 2 before any simulation work.
+func parseArgs(args []string) (options, error) {
+	fs := flag.NewFlagSet("chaingen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // main reports the returned error once
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: chaingen [flags]")
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+	}
+	var o options
+	fs.Int64Var(&o.seed, "seed", 42, "simulation seed")
+	fs.Uint64Var(&o.bpm, "bpm", 400, "blocks per simulated month")
+	fs.StringVar(&o.out, "out", "dataset", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if o.bpm == 0 {
+		return o, fmt.Errorf("-bpm must be positive")
+	}
+	if o.out == "" {
+		return o, fmt.Errorf("-out DIR must not be empty")
+	}
+	return o, nil
+}
+
 func main() {
-	var (
-		seed = flag.Int64("seed", 42, "simulation seed")
-		bpm  = flag.Uint64("bpm", 400, "blocks per simulated month")
-		out  = flag.String("out", "dataset", "output directory")
-	)
-	flag.Parse()
+	o, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "chaingen:", err)
+		os.Exit(2)
+	}
 
 	t0 := time.Now()
-	fmt.Fprintf(os.Stderr, "chaingen: simulating (seed %d, %d blocks/month)...\n", *seed, *bpm)
-	study, err := mevscope.Run(mevscope.Options{Seed: *seed, BlocksPerMonth: *bpm})
+	fmt.Fprintf(os.Stderr, "chaingen: simulating (seed %d, %d blocks/month)...\n", o.seed, o.bpm)
+	study, err := mevscope.Run(mevscope.Options{Seed: o.seed, BlocksPerMonth: o.bpm})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaingen:", err)
 		os.Exit(1)
@@ -103,11 +147,11 @@ func main() {
 		"pending_transactions": pending.SaveFile,
 		"flashbots_blocks":     fbBlocks.SaveFile,
 	} {
-		if err := save(*out); err != nil {
+		if err := save(o.out); err != nil {
 			fmt.Fprintf(os.Stderr, "chaingen: save %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "chaingen: wrote %d MEV records, %d pending observations, %d Flashbots blocks to %s/ in %v\n",
-		mev.Count(), pending.Count(), fbBlocks.Count(), *out, time.Since(t0).Round(time.Millisecond))
+		mev.Count(), pending.Count(), fbBlocks.Count(), o.out, time.Since(t0).Round(time.Millisecond))
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseArgsRejectsBadInput: stray positionals and invalid flags must
+// error (main exits 2) before any simulation work.
+func TestParseArgsRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"extra"}, "unexpected argument"},
+		{[]string{"-out", "d", "extra"}, "unexpected argument"},
+		{[]string{"-bpm", "0"}, "-bpm must be positive"},
+		{[]string{"-out", ""}, "-out DIR must not be empty"},
+		{[]string{"-nope"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		_, err := parseArgs(c.args)
+		if err == nil {
+			t.Errorf("args %v accepted; want error containing %q", c.args, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not contain %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestParseArgsAcceptsValidInput: defaults and explicit flags parse.
+func TestParseArgsAcceptsValidInput(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 42 || o.bpm != 400 || o.out != "dataset" {
+		t.Errorf("defaults = %+v", o)
+	}
+	o, err = parseArgs([]string{"-seed", "9", "-bpm", "50", "-out", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 9 || o.bpm != 50 || o.out != "x" {
+		t.Errorf("options = %+v", o)
+	}
+}

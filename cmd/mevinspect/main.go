@@ -9,12 +9,16 @@
 //	mevinspect [-seed N] [-bpm BLOCKS] [-from B] [-to B] [-kind sandwich|arbitrage|liquidation]
 //
 // Block numbers are absolute heights (the chain starts at 10,000,000,
-// like the paper's study window).
+// like the paper's study window). Stray positional arguments and invalid
+// flag combinations (an inverted -from/-to range, an unknown -kind, a
+// negative -top, a zero -bpm) are rejected up front with exit status 2.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mevscope"
@@ -22,24 +26,73 @@ import (
 	"mevscope/internal/core/profit"
 )
 
-func main() {
-	var (
-		seed = flag.Int64("seed", 42, "simulation seed")
-		bpm  = flag.Uint64("bpm", 200, "blocks per simulated month")
-		from = flag.Uint64("from", 0, "first block to inspect (0 = start of chain)")
-		to   = flag.Uint64("to", 0, "last block to inspect (0 = chain head)")
-		kind = flag.String("kind", "", "restrict to one MEV kind")
-		topN = flag.Int("top", 0, "only print the N most profitable extractions (0 = all)")
-	)
-	flag.Parse()
+// options is the validated flag set of one invocation.
+type options struct {
+	seed     int64
+	bpm      uint64
+	from, to uint64
+	kind     string
+	topN     int
+}
 
-	study, err := mevscope.Run(mevscope.Options{Seed: *seed, BlocksPerMonth: *bpm})
+// parseArgs parses and validates the command line; every reportable
+// mistake comes back as an error so main can exit 2 before any work.
+func parseArgs(args []string) (options, error) {
+	fs := flag.NewFlagSet("mevinspect", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // main reports the returned error once
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mevinspect [flags]")
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+	}
+	var o options
+	fs.Int64Var(&o.seed, "seed", 42, "simulation seed")
+	fs.Uint64Var(&o.bpm, "bpm", 200, "blocks per simulated month")
+	fs.Uint64Var(&o.from, "from", 0, "first block to inspect (0 = start of chain)")
+	fs.Uint64Var(&o.to, "to", 0, "last block to inspect (0 = chain head)")
+	fs.StringVar(&o.kind, "kind", "", "restrict to one MEV kind (sandwich, arbitrage, liquidation)")
+	fs.IntVar(&o.topN, "top", 0, "only print the N most profitable extractions (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if o.bpm == 0 {
+		return o, fmt.Errorf("-bpm must be positive")
+	}
+	switch o.kind {
+	case "", "sandwich", "arbitrage", "liquidation":
+	default:
+		return o, fmt.Errorf("unknown -kind %q (valid: sandwich, arbitrage, liquidation)", o.kind)
+	}
+	if o.topN < 0 {
+		return o, fmt.Errorf("-top must be ≥ 0 (got %d)", o.topN)
+	}
+	if o.from != 0 && o.to != 0 && o.to < o.from {
+		return o, fmt.Errorf("-to %d is below -from %d", o.to, o.from)
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "mevinspect:", err)
+		os.Exit(2)
+	}
+
+	study, err := mevscope.Run(mevscope.Options{Seed: o.seed, BlocksPerMonth: o.bpm})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mevinspect:", err)
 		os.Exit(1)
 	}
 	c := study.Sim.Chain
-	lo, hi := *from, *to
+	lo, hi := o.from, o.to
 	if lo == 0 {
 		lo = c.Timeline.StartBlock
 	}
@@ -59,10 +112,10 @@ func main() {
 	}
 	printed := 0
 	for _, r := range records {
-		if *kind != "" && r.Kind.String() != *kind {
+		if o.kind != "" && r.Kind.String() != o.kind {
 			continue
 		}
-		if *topN > 0 && printed >= *topN {
+		if o.topN > 0 && printed >= o.topN {
 			break
 		}
 		printed++

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseArgsRejectsBadInput: stray positionals and invalid flag
+// combinations must error (main exits 2) before any simulation work.
+func TestParseArgsRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"extra"}, "unexpected argument"},
+		{[]string{"-seed", "1", "extra"}, "unexpected argument"},
+		{[]string{"-bpm", "0"}, "-bpm must be positive"},
+		{[]string{"-kind", "sandwhich"}, "unknown -kind"},
+		{[]string{"-top", "-3"}, "-top must be"},
+		{[]string{"-from", "10000100", "-to", "10000050"}, "below -from"},
+		{[]string{"-nope"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		_, err := parseArgs(c.args)
+		if err == nil {
+			t.Errorf("args %v accepted; want error containing %q", c.args, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not contain %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestParseArgsAcceptsValidInput: the documented invocations parse and
+// land in the options struct.
+func TestParseArgsAcceptsValidInput(t *testing.T) {
+	o, err := parseArgs([]string{"-seed", "7", "-bpm", "100", "-from", "10000010", "-to", "10000020", "-kind", "arbitrage", "-top", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 7 || o.bpm != 100 || o.from != 10000010 || o.to != 10000020 || o.kind != "arbitrage" || o.topN != 5 {
+		t.Errorf("options = %+v", o)
+	}
+	if _, err := parseArgs(nil); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	// -to below -from is fine when either is 0 (auto start/head).
+	if _, err := parseArgs([]string{"-from", "10000100"}); err != nil {
+		t.Errorf("-from alone rejected: %v", err)
+	}
+}

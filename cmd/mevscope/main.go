@@ -9,6 +9,8 @@
 //	mevscope archive -out DIR [-seed N] [-bpm BLOCKS] [-months M]
 //	         [-scenario NAME]
 //	mevscope analyze -from DIR [-section NAME] [-parallel W] [-csv DIR]
+//	mevscope serve -from DIR [-addr HOST:PORT] [-cache N] [-parallel W]
+//	         [-live [-seed N] [-scenario NAME] [-bpm BLOCKS]]
 //
 // The archive subcommand simulates a world once and persists the
 // collected dataset as a segmented on-disk archive (one directory per
@@ -16,6 +18,11 @@
 // records, with a checksummed manifest). The analyze subcommand restores
 // such an archive and reruns the measurement pipeline over it without
 // re-simulating — the report is byte-identical to the original run's.
+// The serve subcommand exposes an archive over HTTP (internal/query):
+// per-artifact queries in JSON/CSV/text with month-range slicing, backed
+// by an LRU of analyzed reports so repeated queries skip the pipeline;
+// with -live it also simulates a world in the background and serves the
+// streaming follower's snapshot from the same endpoints (?source=live).
 //
 // Sections: all (default), table1, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, bundles, negatives, private.
@@ -29,16 +36,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mevscope"
 	"mevscope/internal/archive"
+	"mevscope/internal/core/measure"
 	"mevscope/internal/dataset"
+	"mevscope/internal/query"
 	"mevscope/internal/scenario"
 	"mevscope/internal/sim"
+	"mevscope/internal/stream"
 	"mevscope/internal/types"
 )
 
@@ -49,11 +61,13 @@ func main() {
 			runArchive(os.Args[2:])
 		case "analyze":
 			runAnalyze(os.Args[2:])
+		case "serve":
+			runServe(os.Args[2:])
 		default:
 			// A mistyped subcommand must not silently fall through to the
 			// default study (flag parsing would also drop every argument
 			// after the first positional one).
-			fail(2, fmt.Errorf("unknown subcommand %q (valid: archive, analyze, or flags for a study run)", os.Args[1]))
+			fail(2, fmt.Errorf("unknown subcommand %q (valid: archive, analyze, serve, or flags for a study run)", os.Args[1]))
 		}
 		return
 	}
@@ -220,6 +234,150 @@ func runAnalyze(args []string) {
 	}
 	writeCSV(study, *csvDir, *quiet)
 	printSection(study, *section)
+}
+
+// checkServe validates the serve flag combination up front: the server
+// needs at least one source, and a cache that cannot hold a report is a
+// misconfiguration, not a degraded mode.
+func checkServe(from string, live bool, cacheSize int) error {
+	if from == "" && !live {
+		return fmt.Errorf("serve: need -from DIR, -live, or both")
+	}
+	if cacheSize < 1 {
+		return fmt.Errorf("serve: -cache must be ≥ 1 (got %d)", cacheSize)
+	}
+	return nil
+}
+
+// checkServeLiveFlags rejects simulation flags that were explicitly set
+// without -live: they would be silently ignored, and a user asking for
+// `-scenario no-flashbots` must not be served baseline archive data.
+func checkServeLiveFlags(live bool, set []string) error {
+	if live || len(set) == 0 {
+		return nil
+	}
+	return fmt.Errorf("serve: %s only apply to the -live simulation", strings.Join(set, ", "))
+}
+
+// liveOnlyFlagNames are the serve flags that configure the -live world.
+var liveOnlyFlagNames = map[string]bool{"seed": true, "scenario": true, "bpm": true, "months": true}
+
+// runServe serves artifact queries over an archived dataset — and, with
+// -live, over a world simulated in the background whose streaming
+// snapshot is queryable while it grows.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("mevscope serve", flag.ExitOnError)
+	var (
+		from        = fs.String("from", "", "archive directory to serve")
+		addr        = fs.String("addr", "127.0.0.1:8571", "listen address")
+		cacheSize   = fs.Int("cache", 16, "analyzed-report LRU capacity")
+		parallelism = fs.Int("parallel", 0, "analysis worker-pool size (0 = all cores)")
+		live        = fs.Bool("live", false, "simulate a world in the background and serve its streaming snapshot (?source=live)")
+		seed        = fs.Int64("seed", 42, "live simulation seed")
+		scen        = fs.String("scenario", "baseline", "live scenario: "+strings.Join(scenario.Names(), ", "))
+		bpm         = fs.Uint64("bpm", 600, "live blocks per simulated month")
+		months      = fs.Int("months", 0, "limit the live window to the first N months (0 = all)")
+		quiet       = fs.Bool("q", false, "suppress progress output")
+	)
+	fs.Parse(args)
+	noPositional(fs)
+	if err := checkServe(*from, *live, *cacheSize); err != nil {
+		fail(2, err)
+	}
+	var liveOnly []string
+	fs.Visit(func(f *flag.Flag) {
+		if liveOnlyFlagNames[f.Name] {
+			liveOnly = append(liveOnly, "-"+f.Name)
+		}
+	})
+	if err := checkServeLiveFlags(*live, liveOnly); err != nil {
+		fail(2, err)
+	}
+	if err := checkScenario(*scen); err != nil {
+		fail(2, err)
+	}
+	srv, err := query.New(query.Config{
+		Archive: *from,
+		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+			st, err := mevscope.AnalyzeDataset(ds, workers)
+			if err != nil {
+				return nil, err
+			}
+			return st.Report, nil
+		},
+		Workers:   *parallelism,
+		CacheSize: *cacheSize,
+	})
+	if err != nil {
+		fail(1, err)
+	}
+	if *live {
+		if err := startLive(srv, mevscope.Options{
+			Seed: *seed, BlocksPerMonth: *bpm, Months: *months,
+			Scenario: *scen, Parallelism: *parallelism,
+		}, *quiet); err != nil {
+			fail(1, err)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: serving on http://%s/v1/ (archive %q, cache %d)\n", *addr, *from, *cacheSize)
+	}
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fail(1, err)
+	}
+}
+
+// startLive wires a background simulation's streaming follower into the
+// server: the follower advances block by block under a mutex and every
+// ?source=live query snapshots the current report at the current height.
+func startLive(srv *query.Server, opts mevscope.Options, quiet bool) error {
+	cfg, err := opts.Config()
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	f := stream.ForSim(s, opts.Parallelism)
+	srv.SetLive(query.Live{
+		// Height keys the cache and runs per request; only a cache miss
+		// at a new height pays a snapshot (and briefly pauses stepping).
+		Height: func() uint64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f.Blocks()
+		},
+		Snapshot: func() (*measure.Report, uint64) {
+			mu.Lock()
+			defer mu.Unlock()
+			return f.Report(), f.Blocks()
+		},
+	})
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "mevscope: live world growing to block %d (seed %d, scenario %s)\n",
+			s.EndBlock(), opts.Seed, opts.Scenario)
+	}
+	go func() {
+		end := s.EndBlock()
+		for s.Chain.NextNumber() <= end {
+			mu.Lock()
+			err := s.Step()
+			if err == nil {
+				_, err = f.Sync()
+			}
+			mu.Unlock()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mevscope: live simulation stopped:", err)
+				return
+			}
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "mevscope: live world complete at block %d\n", s.Chain.Head().Header.Number)
+		}
+	}()
+	return nil
 }
 
 // writeCSV optionally writes the CSV artifact directory.

@@ -34,3 +34,63 @@ func TestCheckScenarioAcceptsValidNames(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckServe: the serve subcommand must reject invalid flag
+// combinations (exit 2) before binding a socket — no source at all, or a
+// cache that cannot hold a single report.
+func TestCheckServe(t *testing.T) {
+	bad := []struct {
+		from  string
+		live  bool
+		cache int
+		want  string
+	}{
+		{"", false, 16, "-from DIR, -live"},
+		{"dir", false, 0, "-cache must be"},
+		{"", true, -1, "-cache must be"},
+	}
+	for _, c := range bad {
+		err := checkServe(c.from, c.live, c.cache)
+		if err == nil {
+			t.Errorf("checkServe(%q, %v, %d) accepted; want error containing %q", c.from, c.live, c.cache, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("checkServe(%q, %v, %d) = %v; want mention of %q", c.from, c.live, c.cache, err, c.want)
+		}
+	}
+	for _, c := range []struct {
+		from string
+		live bool
+	}{{"dir", false}, {"", true}, {"dir", true}} {
+		if err := checkServe(c.from, c.live, 16); err != nil {
+			t.Errorf("checkServe(%q, %v, 16) rejected: %v", c.from, c.live, err)
+		}
+	}
+}
+
+// TestCheckServeLiveFlags: simulation flags set without -live must be
+// rejected (exit 2), not silently ignored — `serve -from DIR -scenario
+// no-flashbots` would otherwise serve baseline archive data.
+func TestCheckServeLiveFlags(t *testing.T) {
+	err := checkServeLiveFlags(false, []string{"-scenario", "-seed"})
+	if err == nil {
+		t.Fatal("live-only flags without -live accepted")
+	}
+	for _, name := range []string{"-scenario", "-seed"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not name %s: %v", name, err)
+		}
+	}
+	if err := checkServeLiveFlags(true, []string{"-scenario"}); err != nil {
+		t.Errorf("live-only flags with -live rejected: %v", err)
+	}
+	if err := checkServeLiveFlags(false, nil); err != nil {
+		t.Errorf("no live-only flags rejected: %v", err)
+	}
+	for _, name := range []string{"seed", "scenario", "bpm", "months"} {
+		if !liveOnlyFlagNames[name] {
+			t.Errorf("flag %q missing from liveOnlyFlagNames", name)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"mevscope/internal/core/measure"
 	"mevscope/internal/parallel"
 	"mevscope/internal/stats"
 	"mevscope/internal/types"
@@ -243,6 +244,74 @@ func mergeMonthly(studies []*Study, series func(*Study) []MonthValuePair) []Mont
 	return out
 }
 
+// annotated converts the cell into an ensemble-annotated artifact value:
+// the mean with the cross-seed standard deviation attached.
+func (c CellStat) annotated() measure.Value { return measure.MeanStd(c.Mean, c.Std) }
+
+// Artifacts exposes the merged ensemble through the same structured
+// artifact model single-run reports use: every mean±stddev cell becomes
+// an annotated value ({"mean": …, "std": …} in JSON), so downstream
+// consumers read ensembles and point estimates through one schema.
+func (e *Ensemble) Artifacts() []measure.Artifact {
+	table1 := measure.Artifact{
+		Name:  "ensemble_table1",
+		Title: "Table 1 (mean ± stddev per cell)",
+		Columns: []measure.Column{
+			{Name: "strategy", Kind: measure.KindString},
+			{Name: "extractions", Kind: measure.KindFloat},
+			{Name: "via_flashbots", Kind: measure.KindFloat},
+			{Name: "via_flash_loans", Kind: measure.KindFloat},
+			{Name: "via_both", Kind: measure.KindFloat},
+		},
+	}
+	for _, r := range e.Table1 {
+		table1.Rows = append(table1.Rows, []measure.Value{
+			measure.Str(r.Strategy), r.Extractions.annotated(), r.ViaFlashbots.annotated(),
+			r.ViaFlashLoans.annotated(), r.ViaBoth.annotated(),
+		})
+	}
+	monthly := func(name, title, col string, series []MonthStat) measure.Artifact {
+		a := measure.Artifact{
+			Name:  name,
+			Title: title,
+			Columns: []measure.Column{
+				{Name: "month", Kind: measure.KindMonth}, {Name: col, Kind: measure.KindFloat},
+			},
+		}
+		for _, ms := range series {
+			a.Rows = append(a.Rows, []measure.Value{measure.MonthCell(ms.Month), ms.Value.annotated()})
+		}
+		return a
+	}
+	fig9 := measure.Artifact{
+		Name:  "ensemble_fig9",
+		Title: "Figure 9: window sandwich channels",
+		Scalars: []measure.Scalar{
+			{Name: "runs", Value: measure.Int(e.Fig9Runs)},
+			{Name: "seeds", Value: measure.Int(len(e.Seeds))},
+			{Name: "flashbots_share", Value: e.FlashbotsShare.annotated()},
+			{Name: "private_share", Value: e.PrivateShare.annotated()},
+			{Name: "public_share", Value: e.PublicShare.annotated()},
+		},
+	}
+	scalars := measure.Artifact{
+		Name:  "ensemble_scalars",
+		Title: "headline scalars",
+		Scalars: []measure.Scalar{
+			{Name: "bundles_per_block", Value: e.BundlesPerBlock.annotated()},
+			{Name: "negative_share", Value: e.NegativeShare.annotated()},
+			{Name: "top2_share", Value: e.Top2Share.annotated()},
+		},
+	}
+	return []measure.Artifact{
+		table1,
+		monthly("ensemble_fig3", "Figure 3: Flashbots block ratio per month", "ratio", e.Fig3Ratio),
+		monthly("ensemble_fig4", "Figure 4: estimated Flashbots hashrate per month", "hashrate", e.Fig4Hashrate),
+		fig9,
+		scalars,
+	}
+}
+
 // Format renders the ensemble summary as text, in paper order.
 func (e *Ensemble) Format() string {
 	var b strings.Builder
@@ -250,40 +319,48 @@ func (e *Ensemble) Format() string {
 	return b.String()
 }
 
-// WriteSummary writes the ensemble report to w.
+// WriteSummary writes the ensemble report to w — a walk over the
+// ensemble's artifact model, like the single-run text renderer.
 func (e *Ensemble) WriteSummary(w io.Writer) {
+	arts := map[string]measure.Artifact{}
+	for _, a := range e.Artifacts() {
+		arts[a.Name] = a
+	}
+	cell := func(v measure.Value) string { return fmt.Sprintf("%.2f ± %.2f", v.Float, v.Std) }
+
 	fmt.Fprintf(w, "=== Ensemble: scenario %q over %d seeds %v ===\n\n", e.Scenario, len(e.Seeds), e.Seeds)
 
-	fmt.Fprintf(w, "--- Table 1 (mean ± stddev per cell) ---\n")
+	t1 := arts["ensemble_table1"]
+	fmt.Fprintf(w, "--- %s ---\n", t1.Title)
 	fmt.Fprintf(w, "%-12s %18s %18s %18s %14s\n", "MEV Strategy", "Extractions", "Via Flashbots", "Via Flash Loans", "Via Both")
-	for _, r := range e.Table1 {
+	for _, row := range t1.Rows {
 		fmt.Fprintf(w, "%-12s %18s %18s %18s %14s\n",
-			r.Strategy, r.Extractions, r.ViaFlashbots, r.ViaFlashLoans, r.ViaBoth)
+			row[0].Str, cell(row[1]), cell(row[2]), cell(row[3]), cell(row[4]))
 	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "--- Figure 3: Flashbots block ratio per month ---\n")
-	for _, ms := range e.Fig3Ratio {
-		fmt.Fprintf(w, "%8s  %6.1f%% ± %4.1f%%\n", ms.Month, 100*ms.Value.Mean, 100*ms.Value.Std)
+	for _, name := range []string{"ensemble_fig3", "ensemble_fig4"} {
+		a := arts[name]
+		fmt.Fprintf(w, "--- %s ---\n", a.Title)
+		for _, row := range a.Rows {
+			fmt.Fprintf(w, "%8s  %6.1f%% ± %4.1f%%\n", row[0].Month, 100*row[1].Float, 100*row[1].Std)
+		}
+		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "--- Figure 4: estimated Flashbots hashrate per month ---\n")
-	for _, ms := range e.Fig4Hashrate {
-		fmt.Fprintf(w, "%8s  %6.1f%% ± %4.1f%%\n", ms.Month, 100*ms.Value.Mean, 100*ms.Value.Std)
-	}
-	fmt.Fprintln(w)
-
-	if e.Fig9Runs > 0 {
-		fmt.Fprintf(w, "--- Figure 9: window sandwich channels (%d/%d runs) ---\n", e.Fig9Runs, len(e.Seeds))
+	if f9 := arts["ensemble_fig9"]; f9.Scalar("runs").Int > 0 {
+		fb, priv, pub := f9.Scalar("flashbots_share"), f9.Scalar("private_share"), f9.Scalar("public_share")
+		fmt.Fprintf(w, "--- Figure 9: window sandwich channels (%d/%d runs) ---\n",
+			f9.Scalar("runs").Int, f9.Scalar("seeds").Int)
 		fmt.Fprintf(w, "via Flashbots %5.1f%% ± %4.1f%% | private %5.1f%% ± %4.1f%% | public %5.1f%% ± %4.1f%%\n\n",
-			100*e.FlashbotsShare.Mean, 100*e.FlashbotsShare.Std,
-			100*e.PrivateShare.Mean, 100*e.PrivateShare.Std,
-			100*e.PublicShare.Mean, 100*e.PublicShare.Std)
+			100*fb.Float, 100*fb.Std, 100*priv.Float, 100*priv.Std, 100*pub.Float, 100*pub.Std)
 	}
 
-	fmt.Fprintf(w, "--- headline scalars ---\n")
-	fmt.Fprintf(w, "bundles/block:            %s\n", e.BundlesPerBlock)
-	fmt.Fprintf(w, "unprofitable FB share:    %.2f%% ± %.2f%%\n", 100*e.NegativeShare.Mean, 100*e.NegativeShare.Std)
-	fmt.Fprintf(w, "top-2 miner share:        %.1f%% ± %.1f%%\n", 100*e.Top2Share.Mean, 100*e.Top2Share.Std)
+	sc := arts["ensemble_scalars"]
+	fmt.Fprintf(w, "--- %s ---\n", sc.Title)
+	fmt.Fprintf(w, "bundles/block:            %s\n", cell(sc.Scalar("bundles_per_block")))
+	fmt.Fprintf(w, "unprofitable FB share:    %.2f%% ± %.2f%%\n",
+		100*sc.Scalar("negative_share").Float, 100*sc.Scalar("negative_share").Std)
+	fmt.Fprintf(w, "top-2 miner share:        %.1f%% ± %.1f%%\n",
+		100*sc.Scalar("top2_share").Float, 100*sc.Scalar("top2_share").Std)
 }

@@ -84,10 +84,7 @@ type Manifest struct {
 }
 
 // SegmentLabel names a month's segment directory, e.g. "2020-05".
-func SegmentLabel(m types.Month) string {
-	d := m.Date()
-	return fmt.Sprintf("%04d-%02d", d.Year(), int(d.Month()))
-}
+func SegmentLabel(m types.Month) string { return m.Label() }
 
 // priceDoc is the prices.jsonl line shape: one token's full history.
 type priceDoc struct {
@@ -238,21 +235,63 @@ func ReadManifest(dir string) (*Manifest, error) {
 	return &man, nil
 }
 
-// Read restores the dataset from a segmented archive, verifying every
-// file against its manifest checksum. The result is bit-compatible with
-// the written dataset: analyzing it reproduces the original report.
+// Read restores the full dataset from a segmented archive, verifying
+// every file against its manifest checksum. The result is bit-compatible
+// with the written dataset: analyzing it reproduces the original report.
 func Read(dir string) (*dataset.Dataset, *Manifest, error) {
+	return ReadRange(dir, 0, types.StudyMonths-1)
+}
+
+// ReadRange restores only the segments whose month falls in [from, to]
+// (inclusive) — the random-access path behind `mevscope serve`'s month
+// slicing: a query for four months reads four segment directories, not
+// the whole archive. The restored chain's timeline starts at the first
+// selected month, so block→month mapping stays aligned with the full
+// archive, and every selected file is still checksum-verified. The
+// observer is restored only when the selected range reaches into the
+// observation window; its observation log is read from every segment up
+// to the slice end — not just the sliced months — because a transaction
+// first seen near a month boundary can be mined in the next month, and
+// dropping its record would silently flip it from public to private in
+// the §6 inference (the logs are tiny next to the block files, so the
+// random-access win is preserved).
+func ReadRange(dir string, from, to types.Month) (*dataset.Dataset, *Manifest, error) {
 	man, err := ReadManifest(dir)
 	if err != nil {
 		return nil, nil, err
 	}
+	var segs []SegmentInfo
+	for _, seg := range man.Segments {
+		if seg.Month >= from && seg.Month <= to {
+			segs = append(segs, seg)
+		}
+	}
+	if len(segs) == 0 {
+		return nil, nil, fmt.Errorf("archive: no segments in months %s..%s (archive has %d segments)",
+			from.Label(), to.Label(), len(man.Segments))
+	}
+	full := len(segs) == len(man.Segments)
+
+	tl := man.Timeline
+	tl.StartBlock = man.Timeline.FirstBlockOfMonth(segs[0].Month)
+	tl.FirstMonth = segs[0].Month
 	ds := &dataset.Dataset{
-		Chain:  chain.New(man.Timeline),
+		Chain:  chain.New(tl),
 		Prices: prices.NewSeries(),
 		WETH:   man.WETH,
 	}
 	var observed []p2p.ObservedTx
 	for _, seg := range man.Segments {
+		if seg.Month >= from {
+			break // in-slice logs are read with their segment below
+		}
+		obs, err := readJSONL[p2p.ObservedTx](dir, seg.Observed)
+		if err != nil {
+			return nil, nil, err
+		}
+		observed = append(observed, obs...)
+	}
+	for _, seg := range segs {
 		blocks, err := readJSONL[*types.Block](dir, seg.Blocks)
 		if err != nil {
 			return nil, nil, err
@@ -284,14 +323,23 @@ func Read(dir string) (*dataset.Dataset, *Manifest, error) {
 		}
 		observed = append(observed, obs...)
 	}
-	if ds.Chain.Len() != man.TotalBlocks {
-		return nil, nil, fmt.Errorf("archive: restored %d blocks, manifest says %d", ds.Chain.Len(), man.TotalBlocks)
+	wantBlocks, wantHead := man.TotalBlocks, man.Head
+	if !full {
+		wantBlocks = 0
+		for _, seg := range segs {
+			wantBlocks += seg.Blocks.Count
+		}
+		wantHead = segs[len(segs)-1].LastBlock
 	}
-	if head := ds.Chain.Head(); head == nil || head.Header.Number != man.Head {
-		return nil, nil, fmt.Errorf("archive: restored head does not match manifest head %d", man.Head)
+	if ds.Chain.Len() != wantBlocks {
+		return nil, nil, fmt.Errorf("archive: restored %d blocks, manifest says %d", ds.Chain.Len(), wantBlocks)
+	}
+	head := ds.Chain.Head()
+	if head == nil || head.Header.Number != wantHead {
+		return nil, nil, fmt.Errorf("archive: restored head does not match manifest head %d", wantHead)
 	}
 	ds.FBSet = dataset.FBSetOf(ds.FBBlocks)
-	if man.Observer != nil {
+	if man.Observer != nil && man.Observer.Start <= head.Header.Number {
 		ds.Observer = p2p.RestoreObserver(observed, man.Observer.Start, man.Observer.Stop)
 	}
 	pdocs, err := readJSONL[priceDoc](dir, man.Prices)

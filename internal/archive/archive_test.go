@@ -10,6 +10,7 @@ import (
 	"mevscope/internal/archive"
 	"mevscope/internal/dataset"
 	"mevscope/internal/sim"
+	"mevscope/internal/types"
 )
 
 // world simulates a small full-window world (the observer window opens,
@@ -116,5 +117,153 @@ func TestArchiveDetectsCorruption(t *testing.T) {
 func TestArchiveRejectsMissingManifest(t *testing.T) {
 	if _, _, err := archive.Read(t.TempDir()); err == nil {
 		t.Fatal("empty directory should fail to read")
+	}
+}
+
+// TestReadRange: a month slice restores only those segments, keeps
+// block→month alignment with the full archive, and its analysis matches
+// the full analysis month for month.
+func TestReadRange(t *testing.T) {
+	s := world(t)
+	full := dataset.FromSim(s)
+	dir := t.TempDir()
+	if _, err := archive.Write(dir, full, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	from, to := types.Month(10), types.Month(13)
+	sliced, man, err := archive.ReadRange(dir, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.TotalBlocks != s.Chain.Len() {
+		t.Errorf("manifest is the archive's, not the slice's: %d blocks", man.TotalBlocks)
+	}
+	wantBlocks := 0
+	for m := from; m <= to; m++ {
+		wantBlocks += len(s.Chain.BlocksInMonth(m))
+	}
+	if sliced.Chain.Len() != wantBlocks {
+		t.Fatalf("slice restored %d blocks, want %d", sliced.Chain.Len(), wantBlocks)
+	}
+	if got := sliced.Chain.Timeline.FirstMonth; got != from {
+		t.Errorf("slice timeline starts at month %d, want %d", got, from)
+	}
+	// Block→month alignment: the slice's timeline maps every restored
+	// block to the same month the full timeline does.
+	for _, b := range sliced.Chain.Blocks() {
+		if got, want := sliced.Chain.Timeline.MonthOfBlock(b.Header.Number), s.Chain.Timeline.MonthOfBlock(b.Header.Number); got != want {
+			t.Fatalf("block %d maps to month %d in the slice, %d in the full timeline", b.Header.Number, got, want)
+		}
+	}
+	// The slice ends before the observation window: no observer.
+	if sliced.Observer != nil {
+		t.Error("slice below the observation window restored an observer")
+	}
+
+	fullStudy, err := mevscope.AnalyzeDataset(full, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliceStudy, err := mevscope.AnalyzeDataset(sliced, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullByMonth := map[types.Month]int{}
+	for _, row := range fullStudy.Report.Fig3 {
+		fullByMonth[row.Month] = row.FlashbotsBlocks
+	}
+	if got := len(sliceStudy.Report.Fig3); got != int(to-from)+1 {
+		t.Fatalf("slice fig3 covers %d months, want %d", got, int(to-from)+1)
+	}
+	for _, row := range sliceStudy.Report.Fig3 {
+		if row.Month < from || row.Month > to {
+			t.Errorf("slice fig3 contains out-of-range month %s", row.Month)
+		}
+		if row.FlashbotsBlocks != fullByMonth[row.Month] {
+			t.Errorf("month %s: slice counts %d Flashbots blocks, full %d",
+				row.Month, row.FlashbotsBlocks, fullByMonth[row.Month])
+		}
+	}
+}
+
+// TestReadRangeObserverWindow: a slice reaching into the observation
+// window restores the observer with only that slice's records.
+func TestReadRangeObserverWindow(t *testing.T) {
+	s := world(t)
+	full := dataset.FromSim(s)
+	if full.Observer == nil {
+		t.Fatal("expected an observation window at this scale")
+	}
+	dir := t.TempDir()
+	if _, err := archive.Write(dir, full, nil); err != nil {
+		t.Fatal(err)
+	}
+	sliced, _, err := archive.ReadRange(dir, types.ObservationStartMonth, types.StudyMonths-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced.Observer == nil {
+		t.Fatal("slice through the observation window lost the observer")
+	}
+	if sliced.Observer.Count() == 0 || sliced.Observer.Count() > full.Observer.Count() {
+		t.Errorf("slice observer has %d records, full has %d", sliced.Observer.Count(), full.Observer.Count())
+	}
+	st, err := mevscope.AnalyzeDataset(sliced, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Report.Fig9 == nil {
+		t.Error("window slice analysis produced no Figure 9")
+	}
+
+	// A slice starting inside the observation window must still carry the
+	// records first seen in the earlier window months: a transaction
+	// observed near a month boundary can be mined in the next month, and
+	// losing its record would flip it from public to private in the §6
+	// inference.
+	late, _, err := archive.ReadRange(dir, types.ObservationStartMonth+1, types.StudyMonths-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Observer == nil {
+		t.Fatal("late window slice lost the observer")
+	}
+	if late.Observer.Count() != full.Observer.Count() {
+		t.Errorf("slice from month %d carries %d observations, full archive has %d (pre-slice months dropped)",
+			types.ObservationStartMonth+1, late.Observer.Count(), full.Observer.Count())
+	}
+}
+
+// TestReadRangeEmpty: a range with no segments errors instead of
+// returning an empty dataset.
+func TestReadRangeEmpty(t *testing.T) {
+	s := world(t)
+	dir := t.TempDir()
+	if _, err := archive.Write(dir, dataset.FromSim(s), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := archive.ReadRange(dir, 5, 3); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+// TestReadEqualsFullRange: Read is ReadRange over the whole window.
+func TestReadEqualsFullRange(t *testing.T) {
+	s := world(t)
+	dir := t.TempDir()
+	if _, err := archive.Write(dir, dataset.FromSim(s), nil); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := archive.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := archive.ReadRange(dir, 0, types.StudyMonths-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chain.Len() != b.Chain.Len() || a.Chain.Timeline != b.Chain.Timeline {
+		t.Errorf("Read and full ReadRange differ: %d/%d blocks", a.Chain.Len(), b.Chain.Len())
 	}
 }

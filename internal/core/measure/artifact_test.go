@@ -1,0 +1,155 @@
+package measure
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestArtifactsOrderAndNames: the model exposes every table and figure,
+// in paper order, under stable names.
+func TestArtifactsOrderAndNames(t *testing.T) {
+	r := sampleReport()
+	arts := r.Artifacts()
+	want := ArtifactNames()
+	if len(arts) != len(want) {
+		t.Fatalf("artifacts = %d, want %d", len(arts), len(want))
+	}
+	for i, a := range arts {
+		if a.Name != want[i] {
+			t.Errorf("artifact %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Title == "" {
+			t.Errorf("artifact %q has no title", a.Name)
+		}
+		for _, row := range a.Rows {
+			if len(row) != len(a.Columns) {
+				t.Errorf("artifact %q row width %d, schema %d", a.Name, len(row), len(a.Columns))
+			}
+		}
+	}
+	if _, ok := r.Artifact("fig3"); !ok {
+		t.Error("lookup by name failed")
+	}
+	if _, ok := r.Artifact("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+// TestWindowArtifactsEmptyWithoutObserver: fig9/mevsplit/private_links
+// stay in the listing with zero rows when the run had no observation
+// window, so the artifact set — and the CSV file set — is stable.
+func TestWindowArtifactsEmptyWithoutObserver(t *testing.T) {
+	r := sampleReport()
+	r.Fig9 = nil
+	for _, name := range []string{"fig9", "mevsplit", "private_links"} {
+		a, ok := r.Artifact(name)
+		if !ok {
+			t.Fatalf("artifact %q missing without observer", name)
+		}
+		if len(a.Rows) != 0 {
+			t.Errorf("artifact %q has %d rows without observer", name, len(a.Rows))
+		}
+	}
+	if got := r.Artifacts(); len(got) != len(ArtifactNames()) {
+		t.Errorf("artifact count changed without observer: %d", len(got))
+	}
+}
+
+// TestArtifactJSONEncoding: schema kinds encode by name, cells as native
+// JSON types, months as axis labels, scalars as an object.
+func TestArtifactJSONEncoding(t *testing.T) {
+	r := sampleReport()
+	a, _ := r.Artifact("fig6")
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Name    string `json:"name"`
+		Columns []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"columns"`
+		Rows    [][]any        `json:"rows"`
+		Scalars map[string]any `json:"scalars"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "fig6" {
+		t.Errorf("name = %q", out.Name)
+	}
+	if out.Columns[0].Kind != "month" || out.Columns[1].Kind != "int" || out.Columns[3].Kind != "float" {
+		t.Errorf("column kinds = %+v", out.Columns)
+	}
+	if got := out.Rows[0][0]; got != "2/2021" {
+		t.Errorf("month cell = %v", got)
+	}
+	if got := out.Rows[0][1]; got != float64(1) {
+		t.Errorf("int cell = %v", got)
+	}
+	if _, ok := out.Scalars["corr_non_fb"]; !ok {
+		t.Errorf("scalars = %v", out.Scalars)
+	}
+}
+
+// TestAnnotatedValueJSON: ensemble-annotated cells encode as mean/std
+// objects.
+func TestAnnotatedValueJSON(t *testing.T) {
+	raw, err := json.Marshal(MeanStd(1.5, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(raw); got != `{"mean":1.5,"std":0.25}` {
+		t.Errorf("annotated cell = %s", got)
+	}
+}
+
+// TestScalarOnlyCSV: artifacts without a row schema encode their scalars
+// as metric,value pairs.
+func TestScalarOnlyCSV(t *testing.T) {
+	r := sampleReport()
+	a, _ := r.Artifact("concentration")
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "metric,value\n") || !strings.Contains(out, "miners,") {
+		t.Errorf("scalar CSV = %q", out)
+	}
+}
+
+// TestWriteTextSingleArtifact: every artifact renders standalone, with
+// its section heading.
+func TestWriteTextSingleArtifact(t *testing.T) {
+	r := sampleReport()
+	for _, a := range r.Artifacts() {
+		var buf bytes.Buffer
+		WriteText(&buf, a)
+		if !strings.HasPrefix(buf.String(), "=== ") {
+			t.Errorf("artifact %q text has no heading: %q", a.Name, buf.String())
+		}
+	}
+}
+
+// TestColumnAndScalarLookup: the accessors resolve by name.
+func TestColumnAndScalarLookup(t *testing.T) {
+	r := sampleReport()
+	a, _ := r.Artifact("fig3")
+	if i := a.Column("total_blocks"); i != 2 {
+		t.Errorf("Column(total_blocks) = %d", i)
+	}
+	if i := a.Column("nope"); i != -1 {
+		t.Errorf("Column(nope) = %d", i)
+	}
+	b, _ := r.Artifact("bundles")
+	if got := b.Scalar("flashbots_blocks"); got.Kind != KindInt {
+		t.Errorf("Scalar(flashbots_blocks) = %+v", got)
+	}
+	if got := b.Scalar("nope"); got != (Value{}) {
+		t.Errorf("Scalar(nope) = %+v", got)
+	}
+}

@@ -1,181 +1,71 @@
 package measure
 
+// CSV exporters: every figure's underlying series in a plottable form, so
+// downstream users can regenerate the paper's plots with any tool. The
+// per-figure methods and WriteCSVDir are thin lookups into the structured
+// artifact model — one generic encoder (Artifact.WriteCSV) replaces the
+// hand-maintained per-figure writers, so the CSV output cannot drift from
+// the JSON and text encodings of the same artifact.
+
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
-	"strconv"
 )
 
-// CSV exporters: every figure's underlying series in a plottable form, so
-// downstream users can regenerate the paper's plots with any tool. One
-// file per artifact, written by WriteCSVDir.
-
-func writeCSV(w io.Writer, header []string, rows [][]string) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(header); err != nil {
-		return err
+// artifactCSV encodes one named artifact as CSV.
+func (r *Report) artifactCSV(w io.Writer, name string) error {
+	a, ok := r.Artifact(name)
+	if !ok {
+		return fmt.Errorf("measure: no artifact %q", name)
 	}
-	for _, r := range rows {
-		if err := cw.Write(r); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return a.WriteCSV(w)
 }
-
-func f(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
-func d(x int) string     { return strconv.Itoa(x) }
 
 // Fig3CSV writes the monthly block-ratio series.
-func (r *Report) Fig3CSV(w io.Writer) error {
-	rows := make([][]string, 0, len(r.Fig3))
-	for _, row := range r.Fig3 {
-		rows = append(rows, []string{row.Month.String(), d(row.FlashbotsBlocks), d(row.TotalBlocks), f(row.Ratio())})
-	}
-	return writeCSV(w, []string{"month", "flashbots_blocks", "total_blocks", "ratio"}, rows)
-}
+func (r *Report) Fig3CSV(w io.Writer) error { return r.artifactCSV(w, "fig3") }
 
 // Fig4CSV writes the monthly hashrate estimate.
-func (r *Report) Fig4CSV(w io.Writer) error {
-	rows := make([][]string, 0, len(r.Fig4))
-	for _, mv := range r.Fig4 {
-		rows = append(rows, []string{mv.Month.String(), f(mv.Value)})
-	}
-	return writeCSV(w, []string{"month", "flashbots_hashrate"}, rows)
-}
+func (r *Report) Fig4CSV(w io.Writer) error { return r.artifactCSV(w, "fig4") }
 
 // Fig5CSV writes the miners-with-n-blocks distribution.
-func (r *Report) Fig5CSV(w io.Writer) error {
-	header := []string{"month"}
-	for _, th := range r.Fig5.Thresholds {
-		header = append(header, fmt.Sprintf("ge_%d", th))
-	}
-	rows := make([][]string, 0, len(r.Fig5.Months))
-	for i, m := range r.Fig5.Months {
-		row := []string{m.String()}
-		for _, c := range r.Fig5.Counts[i] {
-			row = append(row, d(c))
-		}
-		rows = append(rows, row)
-	}
-	return writeCSV(w, header, rows)
-}
+func (r *Report) Fig5CSV(w io.Writer) error { return r.artifactCSV(w, "fig5") }
 
 // Fig6CSV writes the sandwich/gas-price series.
-func (r *Report) Fig6CSV(w io.Writer) error {
-	rows := make([][]string, 0, len(r.Fig6.Rows))
-	for _, row := range r.Fig6.Rows {
-		rows = append(rows, []string{
-			row.Month.String(), d(row.FlashbotsSand), d(row.NonFlashbotsSand),
-			f(row.AvgGasPriceGwei), f(row.MedianGasPriceGwei),
-		})
-	}
-	return writeCSV(w, []string{"month", "flashbots_sandwiches", "non_flashbots_sandwiches", "avg_gas_gwei", "median_gas_gwei"}, rows)
-}
+func (r *Report) Fig6CSV(w io.Writer) error { return r.artifactCSV(w, "fig6") }
 
 // Fig7CSV writes the per-type searcher and transaction series.
-func (r *Report) Fig7CSV(w io.Writer) error {
-	keys := []string{"sandwiches", "arbitrages", "liquidations", "other"}
-	header := []string{"month"}
-	for _, k := range keys {
-		header = append(header, k+"_searchers", k+"_txs")
-	}
-	rows := make([][]string, 0, len(r.Fig7.Rows))
-	for _, row := range r.Fig7.Rows {
-		out := []string{row.Month.String()}
-		for _, k := range keys {
-			out = append(out, d(row.Searchers[k]), d(row.Txs[k]))
-		}
-		rows = append(rows, out)
-	}
-	return writeCSV(w, header, rows)
-}
+func (r *Report) Fig7CSV(w io.Writer) error { return r.artifactCSV(w, "fig7") }
 
 // Fig8CSV writes the four profit-distribution summaries.
-func (r *Report) Fig8CSV(w io.Writer) error {
-	rows := [][]string{
-		{"miner_non_flashbots", d(r.Fig8.MinerNonFB.N), f(r.Fig8.MinerNonFB.Mean), f(r.Fig8.MinerNonFB.Median), f(r.Fig8.MinerNonFB.Std), f(r.Fig8.MinerNonFB.Min), f(r.Fig8.MinerNonFB.Max)},
-		{"miner_flashbots", d(r.Fig8.MinerFB.N), f(r.Fig8.MinerFB.Mean), f(r.Fig8.MinerFB.Median), f(r.Fig8.MinerFB.Std), f(r.Fig8.MinerFB.Min), f(r.Fig8.MinerFB.Max)},
-		{"searcher_non_flashbots", d(r.Fig8.SearcherNonFB.N), f(r.Fig8.SearcherNonFB.Mean), f(r.Fig8.SearcherNonFB.Median), f(r.Fig8.SearcherNonFB.Std), f(r.Fig8.SearcherNonFB.Min), f(r.Fig8.SearcherNonFB.Max)},
-		{"searcher_flashbots", d(r.Fig8.SearcherFB.N), f(r.Fig8.SearcherFB.Mean), f(r.Fig8.SearcherFB.Median), f(r.Fig8.SearcherFB.Std), f(r.Fig8.SearcherFB.Min), f(r.Fig8.SearcherFB.Max)},
-	}
-	return writeCSV(w, []string{"subpopulation", "n", "mean_eth", "median_eth", "std_eth", "min_eth", "max_eth"}, rows)
-}
+func (r *Report) Fig8CSV(w io.Writer) error { return r.artifactCSV(w, "fig8") }
 
-// Fig9CSV writes the private/public split; a no-op row set when no
+// Fig9CSV writes the private/public split; a header-only file when no
 // observation window existed.
-func (r *Report) Fig9CSV(w io.Writer) error {
-	var rows [][]string
-	if r.Fig9 != nil {
-		sp := r.Fig9.Split
-		rows = append(rows,
-			[]string{"flashbots", d(sp.Flashbots), f(sp.FlashbotsShare())},
-			[]string{"private_non_flashbots", d(sp.Private), f(sp.PrivateShare())},
-			[]string{"public", d(sp.Public), f(sp.PublicShare())},
-		)
-	}
-	return writeCSV(w, []string{"channel", "sandwiches", "share"}, rows)
-}
+func (r *Report) Fig9CSV(w io.Writer) error { return r.artifactCSV(w, "fig9") }
 
 // Table1CSV writes the MEV dataset overview.
-func (r *Report) Table1CSV(w io.Writer) error {
-	rows := make([][]string, 0, len(r.Table1.Rows)+1)
-	emit := func(row Table1Row) {
-		rows = append(rows, []string{
-			row.Strategy, d(row.Extractions), d(row.ViaFlashbots),
-			d(row.ViaFlashLoans), d(row.ViaBoth),
-		})
-	}
-	for _, row := range r.Table1.Rows {
-		emit(row)
-	}
-	emit(r.Table1.Total)
-	return writeCSV(w, []string{"strategy", "extractions", "via_flashbots", "via_flash_loans", "via_both"}, rows)
-}
+func (r *Report) Table1CSV(w io.Writer) error { return r.artifactCSV(w, "table1") }
 
 // BundlesCSV writes the §4.1 bundle-type counts.
-func (r *Report) BundlesCSV(w io.Writer) error {
-	types := make([]string, 0, len(r.Bundles.ByType))
-	for t := range r.Bundles.ByType {
-		types = append(types, t)
-	}
-	sort.Strings(types)
-	rows := make([][]string, 0, len(types))
-	for _, t := range types {
-		rows = append(rows, []string{t, d(r.Bundles.ByType[t])})
-	}
-	return writeCSV(w, []string{"bundle_type", "count"}, rows)
-}
+func (r *Report) BundlesCSV(w io.Writer) error { return r.artifactCSV(w, "bundles") }
 
-// WriteCSVDir writes every artifact as <dir>/<name>.csv.
+// WriteCSVDir writes every artifact of the model as <dir>/<name>.csv —
+// tabular artifacts with their column schema as header, scalar-only
+// artifacts as metric,value pairs.
 func (r *Report) WriteCSVDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	files := map[string]func(io.Writer) error{
-		"table1.csv":  r.Table1CSV,
-		"fig3.csv":    r.Fig3CSV,
-		"fig4.csv":    r.Fig4CSV,
-		"fig5.csv":    r.Fig5CSV,
-		"fig6.csv":    r.Fig6CSV,
-		"fig7.csv":    r.Fig7CSV,
-		"fig8.csv":    r.Fig8CSV,
-		"fig9.csv":    r.Fig9CSV,
-		"bundles.csv": r.BundlesCSV,
-	}
-	for name, fn := range files {
-		f, err := os.Create(filepath.Join(dir, name))
+	for _, name := range ArtifactNames() {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
 		if err != nil {
 			return err
 		}
-		if err := fn(f); err != nil {
+		if err := r.artifactCSV(f, name); err != nil {
 			f.Close()
-			return fmt.Errorf("measure: write %s: %w", name, err)
+			return fmt.Errorf("measure: write %s.csv: %w", name, err)
 		}
 		if err := f.Close(); err != nil {
 			return err

@@ -2,6 +2,7 @@ package measure
 
 import (
 	"bytes"
+	"encoding/csv"
 	"io"
 	"os"
 	"path/filepath"
@@ -90,6 +91,72 @@ func TestFig9CSVWithoutWindow(t *testing.T) {
 	}
 }
 
+// TestWriteCSVDirRoundTrip parses every emitted CSV back and asserts the
+// rows match the structured artifact model cell for cell — the guard
+// around the generic encoder: a column added to (or dropped from) an
+// artifact without its schema shows up here, as does any formatting
+// drift.
+func TestWriteCSVDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleReport()
+	if err := r.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ArtifactNames() {
+		a, ok := r.Artifact(name)
+		if !ok {
+			t.Fatalf("no artifact %q behind %s.csv", name, name)
+		}
+		f, err := os.Open(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		records, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s.csv: %v", name, err)
+		}
+		if len(records) == 0 {
+			t.Fatalf("%s.csv is empty", name)
+		}
+		header, rows := records[0], records[1:]
+		if len(a.Columns) == 0 {
+			// Scalar-only artifacts encode as metric,value pairs.
+			if header[0] != "metric" || header[1] != "value" {
+				t.Fatalf("%s.csv header = %v", name, header)
+			}
+			if len(rows) != len(a.Scalars) {
+				t.Fatalf("%s.csv has %d rows, model has %d scalars", name, len(rows), len(a.Scalars))
+			}
+			for ri, rec := range rows {
+				if rec[0] != a.Scalars[ri].Name || rec[1] != a.Scalars[ri].Value.Text() {
+					t.Errorf("%s.csv row %d = %v, model scalar %s=%s",
+						name, ri, rec, a.Scalars[ri].Name, a.Scalars[ri].Value.Text())
+				}
+			}
+			continue
+		}
+		if len(header) != len(a.Columns) {
+			t.Fatalf("%s.csv has %d columns, model %d", name, len(header), len(a.Columns))
+		}
+		for i, col := range a.Columns {
+			if header[i] != col.Name {
+				t.Errorf("%s.csv column %d = %q, model %q", name, i, header[i], col.Name)
+			}
+		}
+		if len(rows) != len(a.Rows) {
+			t.Fatalf("%s.csv has %d rows, model %d", name, len(rows), len(a.Rows))
+		}
+		for ri, rec := range rows {
+			for ci, cell := range rec {
+				if want := a.Rows[ri][ci].Text(); cell != want {
+					t.Errorf("%s.csv row %d col %s = %q, model %q", name, ri, a.Columns[ci].Name, cell, want)
+				}
+			}
+		}
+	}
+}
+
 func TestWriteCSVDir(t *testing.T) {
 	dir := t.TempDir()
 	r := sampleReport()
@@ -100,8 +167,8 @@ func TestWriteCSVDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 9 {
-		t.Errorf("files = %d", len(entries))
+	if len(entries) != len(ArtifactNames()) {
+		t.Errorf("files = %d, want one per artifact (%d)", len(entries), len(ArtifactNames()))
 	}
 	b, err := os.ReadFile(filepath.Join(dir, "csv", "table1.csv"))
 	if err != nil {

@@ -5,9 +5,7 @@
 package measure
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
 	"mevscope/internal/chain"
 	"mevscope/internal/core/detect"
@@ -116,22 +114,10 @@ func BuildTable1(in Inputs) Table1 {
 	return t
 }
 
-// Format renders the table in the paper's layout.
+// Format renders the table in the paper's layout — a thin walk over the
+// table's structured artifact.
 func (t Table1) Format() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %12s %22s %18s %14s\n", "MEV Strategy", "Extractions", "Via Flashbots", "Via Flash Loans", "Via Both")
-	line := func(r Table1Row) {
-		fmt.Fprintf(&b, "%-12s %12d %12d (%5.2f%%) %10d (%4.2f%%) %7d (%4.2f%%)\n",
-			r.Strategy, r.Extractions,
-			r.ViaFlashbots, r.Pct(r.ViaFlashbots),
-			r.ViaFlashLoans, r.Pct(r.ViaFlashLoans),
-			r.ViaBoth, r.Pct(r.ViaBoth))
-	}
-	for _, r := range t.Rows {
-		line(r)
-	}
-	line(t.Total)
-	return b.String()
+	return formatTable1((&Report{Table1: t}).table1Artifact())
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,318 @@
+package measure
+
+// Text rendering of the structured artifact model. WriteReportText walks
+// the report's artifacts in paper order and renders each section; its
+// output is byte-identical to the pre-model monolithic renderer (golden
+// tested at the repository root). WriteText renders one artifact
+// standalone — the text format of the HTTP query layer.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mevscope/internal/types"
+)
+
+// Bar renders frac as a width-character #/. gauge.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * float64(width))
+	out := make([]byte, width)
+	for i := range out {
+		if i < n {
+			out[i] = '#'
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}
+
+// shortAddr compresses a 0x-hex address to its 4-byte prefix, matching
+// types.Address.Short.
+func shortAddr(s string) string {
+	if len(s) > 10 {
+		return s[:10]
+	}
+	return s
+}
+
+// WriteReportText renders the full report as text, in paper order, from
+// its artifact model. Sections that need an observation window render
+// only when their artifacts carry rows.
+func WriteReportText(w io.Writer, r *Report) {
+	byName := map[string]Artifact{}
+	for _, a := range r.Artifacts() {
+		byName[a.Name] = a
+	}
+
+	fmt.Fprintf(w, "=== %s ===\n%s\n", byName["table1"].Title, formatTable1(byName["table1"]))
+	textFig3(w, byName["fig3"])
+	textFig4(w, byName["fig4"])
+	textFig5(w, byName["fig5"])
+	textFig6(w, byName["fig6"])
+	textFig7(w, byName["fig7"])
+	textFig8(w, byName["fig8"])
+	if fig9 := byName["fig9"]; len(fig9.Rows) > 0 {
+		textFig9(w, fig9, byName["mevsplit"])
+		fmt.Fprintln(w)
+	}
+	textBundles(w, byName["bundles"])
+	fmt.Fprintln(w)
+	textNegatives(w, byName["negatives"])
+	fmt.Fprintln(w)
+	textDamage(w, byName["damage"])
+	fmt.Fprintln(w)
+	textConcentration(w, byName["concentration"])
+	fmt.Fprintln(w)
+	if links := byName["private_links"]; len(links.Rows) > 0 {
+		textPrivateLinks(w, links)
+	}
+}
+
+// WriteText renders one artifact as a standalone text section.
+func WriteText(w io.Writer, a Artifact) {
+	switch a.Name {
+	case "table1":
+		fmt.Fprintf(w, "=== %s ===\n%s", a.Title, formatTable1(a))
+	case "fig3":
+		textFig3(w, a)
+	case "fig4":
+		textFig4(w, a)
+	case "fig5":
+		textFig5(w, a)
+	case "fig6":
+		textFig6(w, a)
+	case "fig7":
+		textFig7(w, a)
+	case "fig8":
+		textFig8(w, a)
+	case "fig9":
+		textFig9(w, a, Artifact{})
+	case "bundles":
+		textBundles(w, a)
+	case "negatives":
+		textNegatives(w, a)
+	case "damage":
+		textDamage(w, a)
+	case "concentration":
+		textConcentration(w, a)
+	case "private_links":
+		textPrivateLinks(w, a)
+	default:
+		textGeneric(w, a)
+	}
+}
+
+// textGeneric renders an artifact with no bespoke layout: title, rows as
+// tab-separated cells, scalars as name=value lines.
+func textGeneric(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	for _, row := range a.Rows {
+		for i, v := range row {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, v.Text())
+		}
+		fmt.Fprintln(w)
+	}
+	for _, s := range a.Scalars {
+		fmt.Fprintf(w, "%s=%s\n", s.Name, s.Value.Text())
+	}
+}
+
+// formatTable1 renders Table 1 in the paper's layout.
+func formatTable1(a Artifact) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %22s %18s %14s\n", "MEV Strategy", "Extractions", "Via Flashbots", "Via Flash Loans", "Via Both")
+	pct := func(n, total int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	for _, row := range a.Rows {
+		ex := row[1].Int
+		fmt.Fprintf(&b, "%-12s %12d %12d (%5.2f%%) %10d (%4.2f%%) %7d (%4.2f%%)\n",
+			row[0].Str, ex,
+			row[2].Int, pct(row[2].Int, ex),
+			row[3].Int, pct(row[3].Int, ex),
+			row[4].Int, pct(row[4].Int, ex))
+	}
+	return b.String()
+}
+
+func textFig3(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	for _, row := range a.Rows {
+		fmt.Fprintf(w, "%8s  %5d / %5d  %6.1f%%  %s\n",
+			row[0].Month, row[1].Int, row[2].Int, 100*row[3].Float, Bar(row[3].Float, 40))
+	}
+	fmt.Fprintln(w)
+}
+
+func textFig4(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	for _, row := range a.Rows {
+		fmt.Fprintf(w, "%8s  %6.1f%%  %s\n", row[0].Month, 100*row[1].Float, Bar(row[1].Float, 40))
+	}
+	fmt.Fprintln(w)
+}
+
+func textFig5(w io.Writer, a Artifact) {
+	thresholds := fig5Thresholds(a)
+	fmt.Fprintf(w, "=== Figure 5: miners with ≥ n Flashbots blocks (scaled thresholds %v) ===\n", thresholds)
+	fmt.Fprintf(w, "%8s", "month")
+	for _, th := range thresholds {
+		fmt.Fprintf(w, " %6s", fmt.Sprintf("≥%d", th))
+	}
+	fmt.Fprintln(w)
+	for _, row := range a.Rows {
+		fmt.Fprintf(w, "%8s", row[0].Month)
+		for _, c := range row[1:] {
+			fmt.Fprintf(w, " %6d", c.Int)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "peak distinct Flashbots miners in a month: %d\n\n", a.Scalar("max_miners_in_any_month").Int)
+}
+
+func textFig6(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	fmt.Fprintf(w, "%8s %10s %10s %12s\n", "month", "FB sand", "nonFB sand", "avg gas(gwei)")
+	for _, row := range a.Rows {
+		marks := ""
+		if row[0].Month == types.BerlinForkMonth {
+			marks = "  <- Berlin fork"
+		}
+		if row[0].Month == types.LondonForkMonth {
+			marks = "  <- London fork"
+		}
+		fmt.Fprintf(w, "%8s %10d %10d %12.1f%s\n", row[0].Month, row[1].Int, row[2].Int, row[3].Float, marks)
+	}
+	fmt.Fprintf(w, "correlation(non-FB sandwiches, gas): %.3f; correlation(all sandwiches, gas): %.3f\n\n",
+		a.Scalar("corr_non_fb").Float, a.Scalar("corr_all").Float)
+}
+
+func textFig7(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	fmt.Fprintf(w, "%8s |", "month")
+	for _, k := range fig7Keys {
+		fmt.Fprintf(w, " %11s |", k+" S/T")
+	}
+	fmt.Fprintln(w)
+	for _, row := range a.Rows {
+		fmt.Fprintf(w, "%8s |", row[0].Month)
+		for i := range fig7Keys {
+			fmt.Fprintf(w, " %5d/%-5d |", row[1+2*i].Int, row[2+2*i].Int)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// fig8Labels maps subpopulation names to the text report's row labels.
+var fig8Labels = map[string]string{
+	"miner_non_flashbots":    "miners, non-Flashbots:",
+	"miner_flashbots":        "miners, Flashbots:",
+	"searcher_non_flashbots": "searchers, non-FB:",
+	"searcher_flashbots":     "searchers, Flashbots:",
+}
+
+func textFig8(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	for i, row := range a.Rows {
+		summary := fmt.Sprintf("n=%d mean=%.4f med=%.4f std=%.4f min=%.4f max=%.4f",
+			row[1].Int, row[2].Float, row[3].Float, row[4].Float, row[5].Float, row[6].Float)
+		sep := "\n"
+		if i == len(a.Rows)-1 {
+			sep = "\n\n"
+		}
+		fmt.Fprintf(w, "%-22s %s%s", fig8Labels[row[0].Str], summary, sep)
+	}
+}
+
+// textFig9 renders the private/public split; when the mevsplit artifact
+// carries rows they extend the section to the other MEV kinds.
+func textFig9(w io.Writer, a, split Artifact) {
+	share := func(channel string) float64 {
+		for _, row := range a.Rows {
+			if row[0].Str == channel {
+				return row[2].Float
+			}
+		}
+		return 0
+	}
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	fmt.Fprintf(w, "total %d | via Flashbots %.1f%% | private non-Flashbots %.1f%% | public %.1f%%\n",
+		a.Scalar("total").Int, 100*share("flashbots"), 100*share("private_non_flashbots"), 100*share("public"))
+	for _, row := range split.Rows {
+		fmt.Fprintf(w, "%-12s total %d | FB %.1f%% | private %.1f%% | public %.1f%%\n",
+			row[0].Str+":", row[1].Int, 100*row[2].Float, 100*row[3].Float, 100*row[4].Float)
+	}
+}
+
+func textBundles(w io.Writer, a Artifact) {
+	byType := map[string]int64{}
+	for _, row := range a.Rows {
+		byType[row[0].Str] = row[1].Int
+	}
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	fmt.Fprintf(w, "bundles=%d in %d Flashbots blocks; bundles/block mean=%.2f median=%.0f max=%.0f\n",
+		a.Scalar("bundles").Int, a.Scalar("flashbots_blocks").Int,
+		a.Scalar("bundles_per_block_mean").Float, a.Scalar("bundles_per_block_median").Float,
+		a.Scalar("bundles_per_block_max").Float)
+	fmt.Fprintf(w, "txs/bundle mean=%.2f median=%.0f max=%d; single-tx bundles %.1f%%\n",
+		a.Scalar("txs_per_bundle_mean").Float, a.Scalar("txs_per_bundle_median").Float,
+		a.Scalar("max_bundle_txs").Int, 100*a.Scalar("single_tx_share").Float)
+	fmt.Fprintf(w, "by type: flashbots=%d rogue=%d miner-payout=%d\n",
+		byType["flashbots"], byType["rogue"], byType["miner-payout"])
+}
+
+func textNegatives(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	fmt.Fprintf(w, "unprofitable Flashbots sandwiches: %d of %d (%.2f%%), total loss %.2f ETH\n",
+		a.Scalar("unprofitable").Int, a.Scalar("flashbots_sandwiches").Int,
+		100*a.Scalar("share").Float, a.Scalar("total_loss_eth").Float)
+}
+
+func textDamage(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	fmt.Fprintf(w, "victims=%d total=%.2f ETH mean=%.4f median=%.4f\n",
+		a.Scalar("victims").Int, a.Scalar("total_eth").Float,
+		a.Scalar("mean_eth").Float, a.Scalar("median_eth").Float)
+}
+
+func textConcentration(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	fmt.Fprintf(w, "distinct Flashbots miners: %d; top-2 share of Flashbots blocks: %.1f%%\n",
+		a.Scalar("miners").Int, 100*a.Scalar("top2_share").Float)
+}
+
+func textPrivateLinks(w io.Writer, a Artifact) {
+	single := 0
+	for _, row := range a.Rows {
+		if row[3].Str != "" {
+			single++
+		}
+	}
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	fmt.Fprintf(w, "accounts: %d; single-miner accounts: %d\n", len(a.Rows), single)
+	for i, row := range a.Rows {
+		if i >= 8 {
+			break
+		}
+		tag := fmt.Sprintf("%d miners", row[2].Int)
+		if row[3].Str != "" {
+			tag = "single miner " + shortAddr(row[3].Str)
+		}
+		fmt.Fprintf(w, "  %s  %4d private sandwiches  (%s)\n", shortAddr(row[0].Str), row[1].Int, tag)
+	}
+}

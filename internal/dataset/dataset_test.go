@@ -1,0 +1,130 @@
+package dataset_test
+
+import (
+	"testing"
+
+	"mevscope"
+	"mevscope/internal/dataset"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/scenario"
+	"mevscope/internal/sim"
+	"mevscope/internal/types"
+)
+
+// runSim simulates a baseline world at the given scale.
+func runSim(t *testing.T, seed int64, bpm uint64, months int) *sim.Sim {
+	t.Helper()
+	sc, err := scenario.MustLookup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config(scenario.Params{Seed: seed, BlocksPerMonth: bpm, Months: months})
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFromSimFields: the dataset is a view over the simulation's live
+// structures — same chain, same price series, same WETH anchor — and the
+// precomputed FBSet matches both the relay's and a rebuild from the
+// block records.
+func TestFromSimFields(t *testing.T) {
+	s := runSim(t, 11, 40, 0)
+	ds := dataset.FromSim(s)
+
+	if ds.Chain != s.Chain {
+		t.Error("Chain is not the simulation's chain (want a view, not a copy)")
+	}
+	if ds.Prices != s.Prices {
+		t.Error("Prices is not the simulation's series")
+	}
+	if ds.WETH != s.World.WETH {
+		t.Errorf("WETH = %v, want %v", ds.WETH, s.World.WETH)
+	}
+	if got, want := len(ds.FBBlocks), len(s.Relay.Blocks()); got != want {
+		t.Errorf("FBBlocks = %d records, relay has %d", got, want)
+	}
+	if len(ds.FBBlocks) == 0 {
+		t.Fatal("full-window baseline run produced no Flashbots blocks")
+	}
+	relaySet := s.Relay.FlashbotsTxSet()
+	if len(ds.FBSet) != len(relaySet) {
+		t.Fatalf("FBSet has %d entries, relay set %d", len(ds.FBSet), len(relaySet))
+	}
+	for h, bt := range relaySet {
+		if ds.FBSet[h] != bt {
+			t.Fatalf("FBSet[%v] = %v, relay says %v", h.Short(), ds.FBSet[h], bt)
+		}
+	}
+	rebuilt := dataset.FBSetOf(ds.FBBlocks)
+	if len(rebuilt) != len(ds.FBSet) {
+		t.Fatalf("FBSetOf rebuilds %d entries, dataset carries %d", len(rebuilt), len(ds.FBSet))
+	}
+	for h, bt := range ds.FBSet {
+		if rebuilt[h] != bt {
+			t.Fatalf("FBSetOf[%v] = %v, dataset says %v", h.Short(), rebuilt[h], bt)
+		}
+	}
+}
+
+// TestFromSimObserverWindow: the observer is nil when the run ends
+// before the observation window opens, and live once it has — the
+// condition Figure 9 and the §6 inference key off.
+func TestFromSimObserverWindow(t *testing.T) {
+	early := dataset.FromSim(runSim(t, 11, 20, int(types.ObservationStartMonth)))
+	if early.Observer != nil {
+		t.Errorf("run of %d months has an observer; the window opens at month %d",
+			types.ObservationStartMonth, types.ObservationStartMonth)
+	}
+	full := dataset.FromSim(runSim(t, 11, 20, 0))
+	if full.Observer == nil {
+		t.Fatal("full-window run has no observer")
+	}
+	if full.Observer.Count() == 0 {
+		t.Error("observer recorded no pending transactions")
+	}
+}
+
+// TestAnalyzeDatasetNilObserver: a dataset without an observer analyzes
+// cleanly and simply skips the observation-window artifacts.
+func TestAnalyzeDatasetNilObserver(t *testing.T) {
+	ds := dataset.FromSim(runSim(t, 11, 20, 6))
+	if ds.Observer != nil {
+		t.Fatal("expected nil observer at 6 months")
+	}
+	st, err := mevscope.AnalyzeDataset(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Report.Fig9 != nil || st.Report.MEVSplit != nil || st.Inferrer != nil {
+		t.Error("observation-window artifacts present without an observer")
+	}
+	if st.Report.Table1.Total.Extractions == 0 {
+		t.Error("no extractions measured")
+	}
+}
+
+// TestAnalyzeDatasetRejectsEmpty: a dataset with no blocks (nil or
+// empty chain) is refused up front.
+func TestAnalyzeDatasetRejectsEmpty(t *testing.T) {
+	if _, err := mevscope.AnalyzeDataset(&dataset.Dataset{}, 1); err == nil {
+		t.Error("nil chain accepted")
+	}
+}
+
+// TestFBSetOfEmpty: no records yield an empty, non-nil set.
+func TestFBSetOfEmpty(t *testing.T) {
+	set := dataset.FBSetOf(nil)
+	if set == nil || len(set) != 0 {
+		t.Errorf("FBSetOf(nil) = %v", set)
+	}
+	set = dataset.FBSetOf([]flashbots.BlockRecord{})
+	if set == nil || len(set) != 0 {
+		t.Errorf("FBSetOf(empty) = %v", set)
+	}
+}

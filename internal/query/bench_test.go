@@ -1,0 +1,81 @@
+package query_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"mevscope/internal/query"
+)
+
+// The serve benchmarks behind CI's BENCH_serve.json artifact: cold
+// (restore + analyze per request) vs cached (LRU hit per request)
+// latency and allocations for a full-report query, plus a parallel
+// client benchmark over the cached path. The acceptance bar is cached ≥
+// 10× faster than cold for the repeated full-report request.
+
+// benchGet drives one request through the handler, failing on non-200.
+func benchGet(b *testing.B, srv *query.Server, url string) {
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s → %d: %s", url, rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServeColdReport measures the cold query path: every request
+// misses the cache (fresh server), so it pays the archive month-range
+// restore plus the full measurement pipeline.
+func BenchmarkServeColdReport(b *testing.B) {
+	dir := testArchive(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, err := query.New(query.Config{Archive: dir, Analyze: analyzeReal, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		benchGet(b, srv, "/v1/report?format=text")
+	}
+}
+
+// BenchmarkServeCachedReport measures the repeated full-report request:
+// after one warming query, every request is an LRU hit that re-encodes
+// the cached report.
+func BenchmarkServeCachedReport(b *testing.B) {
+	srv := newServer(b, 4, nil)
+	benchGet(b, srv, "/v1/report?format=text")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, srv, "/v1/report?format=text")
+	}
+	if st := srv.CacheStats(); st.Misses != 1 {
+		b.Fatalf("cached benchmark missed the cache: %+v", st)
+	}
+}
+
+// BenchmarkServeCachedParallel hammers the warm cache from parallel
+// clients — the serving subsystem's steady state under heavy traffic.
+func BenchmarkServeCachedParallel(b *testing.B) {
+	srv := newServer(b, 4, nil)
+	benchGet(b, srv, "/v1/artifact/fig3?format=json")
+	var failures atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/artifact/fig3?format=json", nil))
+			if rec.Code != http.StatusOK {
+				failures.Add(1)
+			}
+		}
+	})
+	if failures.Load() > 0 {
+		b.Fatalf("%d parallel requests failed", failures.Load())
+	}
+}

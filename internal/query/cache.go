@@ -1,0 +1,116 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+
+	"mevscope/internal/core/measure"
+	"mevscope/internal/types"
+)
+
+// Key identifies one analyzed report in the cache: which archive, which
+// month slice of it, which scenario produced it — or, for live follower
+// snapshots (Live true, Archive empty), the height the snapshot covers,
+// so a repeated live query at the same height is a hit and any new block
+// is a natural invalidation.
+type Key struct {
+	Archive  string
+	From, To types.Month
+	Scenario string
+	Live     bool
+	Height   uint64
+}
+
+// CacheStats is a point-in-time view of the cache's effectiveness.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// reportCache is a concurrency-safe LRU of analyzed reports. Reports are
+// immutable once built, so a cached *measure.Report is served to any
+// number of concurrent readers without copying.
+type reportCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List
+	items     map[Key]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is one LRU element.
+type cacheEntry struct {
+	key Key
+	rep *measure.Report
+}
+
+// newReportCache creates an LRU holding up to capacity reports
+// (minimum 1).
+func newReportCache(capacity int) *reportCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &reportCache{cap: capacity, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// get returns the cached report and promotes it to most-recently-used.
+func (c *reportCache) get(k Key) (*measure.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// peek is get without the hit/miss accounting — the in-flight dedup's
+// re-check under the server lock, which should not skew the stats a
+// client reads off /v1/cache.
+func (c *reportCache) peek(k Key) (*measure.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// add inserts (or refreshes) a report, evicting the least-recently-used
+// entry beyond capacity.
+func (c *reportCache) add(k Key, rep *measure.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, rep: rep})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *reportCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

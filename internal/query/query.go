@@ -1,0 +1,438 @@
+// Package query is the archive-backed report-serving subsystem behind
+// `mevscope serve`: an HTTP API that answers per-artifact requests from a
+// segmented archive (internal/archive) without re-simulating — and
+// without re-analyzing, once a (archive, month range, scenario) slice is
+// warm in the cache.
+//
+// Request flow: the month range of the URL selects archive segments
+// (archive.ReadRange — a four-month query reads four segment
+// directories, not the whole dataset), the measurement pipeline analyzes
+// the restored slice once, and the resulting report is cached in a
+// concurrency-safe LRU keyed by (archive, month range, scenario).
+// Repeated queries for any artifact of the same slice — any format —
+// skip the pipeline entirely and re-encode the cached report's
+// structured artifact model (measure.Artifact).
+//
+// Endpoints:
+//
+//	GET /v1/artifacts?months=2021-03..2021-06
+//	GET /v1/artifact/{name}?format=json|csv|text&months=2021-03..2021-06
+//	GET /v1/report?format=text|json&months=…
+//	GET /v1/manifest
+//	GET /v1/cache
+//
+// A live source (a streaming follower's snapshot function, see
+// Server.SetLive) is served from the same endpoints with ?source=live;
+// its cache key carries the snapshot height, so a growing world
+// invalidates naturally while repeated queries at one height stay
+// cached.
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"mevscope/internal/archive"
+	"mevscope/internal/core/measure"
+	"mevscope/internal/dataset"
+	"mevscope/internal/types"
+)
+
+// AnalyzeFunc runs the measurement pipeline over a restored dataset with
+// the given worker-pool size. `mevscope serve` wires it to
+// mevscope.AnalyzeDataset; tests substitute counters and stubs.
+type AnalyzeFunc func(ds *dataset.Dataset, workers int) (*measure.Report, error)
+
+// Live describes a live source (a streaming follower). Height keys the
+// cache and runs on every live request, so it must be cheap; Snapshot
+// builds the full report and runs only on a cache miss, returning the
+// report together with the height it actually covers (read under the
+// same lock, so the pair cannot disagree even while the source grows).
+// Both must be safe to call from concurrent requests.
+type Live struct {
+	Height   func() uint64
+	Snapshot func() (*measure.Report, uint64)
+}
+
+// Config configures a Server.
+type Config struct {
+	// Archive is the segmented archive directory to serve; empty when the
+	// server only fronts a live source.
+	Archive string
+	// Analyze runs the measurement pipeline over a restored dataset.
+	Analyze AnalyzeFunc
+	// Workers sizes the analysis worker pool (passed through to Analyze).
+	Workers int
+	// CacheSize bounds the report LRU; 0 selects 16 entries.
+	CacheSize int
+}
+
+// Server answers artifact queries over one archive (and optionally one
+// live source). It is an http.Handler; all state is concurrency-safe.
+type Server struct {
+	cfg   Config
+	cache *reportCache
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	man      *archive.Manifest // lazily loaded
+	live     *Live
+	inflight map[Key]*call
+}
+
+// call deduplicates concurrent cache misses for one key: the first
+// request analyzes, the rest wait for its result.
+type call struct {
+	done chan struct{}
+	rep  *measure.Report
+	err  error
+}
+
+// New creates a server over the configured archive.
+func New(cfg Config) (*Server, error) {
+	if cfg.Analyze == nil {
+		return nil, fmt.Errorf("query: Config.Analyze is required")
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 16
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    newReportCache(cfg.CacheSize),
+		inflight: make(map[Key]*call),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/artifacts", s.handleArtifacts)
+	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/manifest", s.handleManifest)
+	mux.HandleFunc("/v1/cache", s.handleCache)
+	s.mux = mux
+	return s, nil
+}
+
+// SetLive registers a live snapshot source, served with ?source=live.
+func (s *Server) SetLive(src Live) {
+	s.mu.Lock()
+	s.live = &src
+	s.mu.Unlock()
+}
+
+// CacheStats reports the cache's hit/miss/eviction counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// ServeHTTP dispatches to the /v1 API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError is an error with a status code.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// fail writes an error response, mapping httpError codes.
+func fail(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		code = he.code
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// manifest lazily loads (and then reuses) the archive manifest.
+func (s *Server) manifest() (*archive.Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.man != nil {
+		return s.man, nil
+	}
+	if s.cfg.Archive == "" {
+		return nil, &httpError{http.StatusNotFound, "query: no archive configured (live source only)"}
+	}
+	man, err := archive.ReadManifest(s.cfg.Archive)
+	if err != nil {
+		return nil, err
+	}
+	s.man = man
+	return man, nil
+}
+
+// resolveKey turns request parameters into a cache key.
+func (s *Server) resolveKey(r *http.Request) (Key, error) {
+	from, to, err := types.ParseMonthRange(r.URL.Query().Get("months"))
+	if err != nil {
+		return Key{}, errBadRequest("%v", err)
+	}
+	if src := r.URL.Query().Get("source"); src == "live" {
+		if r.URL.Query().Get("months") != "" {
+			return Key{}, errBadRequest("query: months slicing is not supported for the live source")
+		}
+		s.mu.Lock()
+		live := s.live
+		s.mu.Unlock()
+		if live == nil {
+			return Key{}, &httpError{http.StatusNotFound, "query: no live source configured"}
+		}
+		return Key{Live: true, From: 0, To: types.StudyMonths - 1}, nil
+	} else if src != "" && src != "archive" {
+		return Key{}, errBadRequest("query: unknown source %q (want archive or live)", src)
+	}
+	man, err := s.manifest()
+	if err != nil {
+		return Key{}, err
+	}
+	// A range that misses the archive entirely is a client mistake, not a
+	// server failure: reject it here with the archive's actual window. A
+	// partial overlap is clamped to the window so every spelling of the
+	// same slice shares one cache key (and one cold analysis).
+	if len(man.Segments) > 0 {
+		first, last := man.Segments[0].Month, man.Segments[len(man.Segments)-1].Month
+		if to < first || from > last {
+			return Key{}, errBadRequest("query: months %s..%s outside the archive's window %s..%s",
+				from.Label(), to.Label(), first.Label(), last.Label())
+		}
+		if from < first {
+			from = first
+		}
+		if to > last {
+			to = last
+		}
+	}
+	return Key{
+		Archive:  s.cfg.Archive,
+		From:     from,
+		To:       to,
+		Scenario: man.Meta["scenario"],
+	}, nil
+}
+
+// report resolves a key to an analyzed report: cache hit, wait on an
+// in-flight build of the same key, or build (then cache). Live keys read
+// the source's height first — cheap by contract — and snapshot only on a
+// miss at that height; archive keys restore-and-analyze.
+func (s *Server) report(key Key) (rep *measure.Report, err error) {
+	build := s.analyze
+	if key.Live {
+		s.mu.Lock()
+		live := s.live
+		s.mu.Unlock()
+		if live == nil {
+			return nil, &httpError{http.StatusNotFound, "query: no live source configured"}
+		}
+		key.Height = live.Height()
+		// The snapshot is cached under the height it actually covers (the
+		// source may have grown past the probed height); the probed key is
+		// only used to collapse a concurrent burst into one snapshot.
+		build = func(Key) (*measure.Report, error) {
+			rep, height := live.Snapshot()
+			s.cache.add(Key{Live: true, From: key.From, To: key.To, Height: height}, rep)
+			return rep, nil
+		}
+	}
+
+	if rep, ok := s.cache.get(key); ok {
+		return rep, nil
+	}
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.rep, c.err
+	}
+	// Re-check the cache under the lock: a builder publishes (cache.add)
+	// and retires its in-flight entry between our miss above and here, and
+	// without this second look we would rebuild an already-cached report.
+	if rep, ok := s.cache.peek(key); ok {
+		s.mu.Unlock()
+		return rep, nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	// Publish and retire in a defer so a panicking build (net/http
+	// recovers handler panics) still releases the waiters — otherwise
+	// every later request for this key would block forever. The cache add
+	// happens before the in-flight delete: a request arriving in between
+	// must find one or the other, never neither.
+	defer func() {
+		if r := recover(); r != nil {
+			c.rep, c.err = nil, fmt.Errorf("query: building report: panic: %v", r)
+			rep, err = c.rep, c.err
+		}
+		if c.err == nil && c.rep != nil && !key.Live {
+			s.cache.add(key, c.rep)
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	c.rep, c.err = build(key)
+	return c.rep, c.err
+}
+
+// analyze is the cold path: restore the month slice and run the
+// measurement pipeline over it.
+func (s *Server) analyze(key Key) (*measure.Report, error) {
+	ds, _, err := archive.ReadRange(key.Archive, key.From, key.To)
+	if err != nil {
+		return nil, err
+	}
+	return s.cfg.Analyze(ds, s.cfg.Workers)
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// artifactInfo describes one artifact in the /v1/artifacts listing.
+type artifactInfo struct {
+	Name    string           `json:"name"`
+	Title   string           `json:"title"`
+	Columns []measure.Column `json:"columns,omitempty"`
+	Rows    int              `json:"rows"`
+	Scalars []string         `json:"scalars,omitempty"`
+}
+
+// handleArtifacts lists the slice's artifacts: names, schemas, row
+// counts — the index a consumer walks before fetching bodies.
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	key, err := s.resolveKey(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	rep, err := s.report(key)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	out := struct {
+		Archive   string         `json:"archive"`
+		Scenario  string         `json:"scenario,omitempty"`
+		Months    string         `json:"months"`
+		Artifacts []artifactInfo `json:"artifacts"`
+	}{
+		Archive:  key.Archive,
+		Scenario: key.Scenario,
+		Months:   key.From.Label() + ".." + key.To.Label(),
+	}
+	for _, a := range rep.Artifacts() {
+		info := artifactInfo{Name: a.Name, Title: a.Title, Columns: a.Columns, Rows: len(a.Rows)}
+		for _, sc := range a.Scalars {
+			info.Scalars = append(info.Scalars, sc.Name)
+		}
+		out.Artifacts = append(out.Artifacts, info)
+	}
+	writeJSON(w, out)
+}
+
+// handleArtifact serves one artifact in the requested format.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
+	if name == "" || strings.Contains(name, "/") {
+		fail(w, errBadRequest("query: bad artifact path %q", r.URL.Path))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	switch format {
+	case "json", "csv", "text":
+	default:
+		fail(w, errBadRequest("query: unknown format %q (want json, csv or text)", format))
+		return
+	}
+	key, err := s.resolveKey(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	rep, err := s.report(key)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	a, ok := rep.Artifact(name)
+	if !ok {
+		fail(w, &httpError{http.StatusNotFound,
+			fmt.Sprintf("query: no artifact %q (valid: %s)", name, strings.Join(measure.ArtifactNames(), ", "))})
+		return
+	}
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		a.WriteCSV(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		measure.WriteText(w, a)
+	default:
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		a.WriteJSON(w)
+	}
+}
+
+// handleReport serves the full report: the text rendering (the classic
+// study output) or every artifact as one JSON document.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	if format != "text" && format != "json" {
+		fail(w, errBadRequest("query: unknown format %q (want text or json)", format))
+		return
+	}
+	key, err := s.resolveKey(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	rep, err := s.report(key)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if format == "json" {
+		writeJSON(w, rep.Artifacts())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	measure.WriteReportText(w, rep)
+}
+
+// handleManifest serves the archive manifest (no data files touched).
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	man, err := s.manifest()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, man)
+}
+
+// handleCache serves the LRU's hit/miss counters.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.cache.stats())
+}

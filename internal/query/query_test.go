@@ -1,0 +1,437 @@
+package query_test
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mevscope"
+	"mevscope/internal/archive"
+	"mevscope/internal/core/measure"
+	"mevscope/internal/dataset"
+	"mevscope/internal/query"
+	"mevscope/internal/sim"
+)
+
+// Shared test archive: one world simulated once per test process.
+var (
+	archOnce sync.Once
+	archDir  string
+	archErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if archDir != "" {
+		os.RemoveAll(archDir)
+	}
+	os.Exit(code)
+}
+
+// testArchive simulates a small full-window world (the observation
+// window opens, so every artifact has rows) and archives it.
+func testArchive(tb testing.TB) string {
+	tb.Helper()
+	archOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "mevscope-query-*")
+		if err != nil {
+			archErr = err
+			return
+		}
+		cfg, err := mevscope.Options{Seed: 7, BlocksPerMonth: 50}.Config()
+		if err != nil {
+			archErr = err
+			return
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			archErr = err
+			return
+		}
+		if err := s.Run(); err != nil {
+			archErr = err
+			return
+		}
+		meta := map[string]string{"scenario": "baseline", "seed": "7"}
+		if _, err := archive.Write(dir, dataset.FromSim(s), meta); err != nil {
+			archErr = err
+			return
+		}
+		archDir = dir
+	})
+	if archErr != nil {
+		tb.Fatal(archErr)
+	}
+	return archDir
+}
+
+// analyzeReal adapts the full measurement pipeline to query.AnalyzeFunc.
+func analyzeReal(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+	st, err := mevscope.AnalyzeDataset(ds, workers)
+	if err != nil {
+		return nil, err
+	}
+	return st.Report, nil
+}
+
+// newServer builds a server over the shared archive with a call-counting
+// analyze wrapper.
+func newServer(tb testing.TB, cacheSize int, calls *atomic.Int64) *query.Server {
+	tb.Helper()
+	srv, err := query.New(query.Config{
+		Archive: testArchive(tb),
+		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+			if calls != nil {
+				calls.Add(1)
+			}
+			return analyzeReal(ds, workers)
+		},
+		Workers:   1,
+		CacheSize: cacheSize,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return srv
+}
+
+// get performs a GET and returns status and body.
+func get(tb testing.TB, h http.Handler, url string) (int, string) {
+	tb.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestArtifactFormatsConsistent: the same artifact fetched as JSON, CSV
+// and text carries the same values — the acceptance criterion of the
+// artifact model (one value, three encodings).
+func TestArtifactFormatsConsistent(t *testing.T) {
+	srv := newServer(t, 4, nil)
+
+	code, jsonBody := get(t, srv, "/v1/artifact/fig3?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("json status %d: %s", code, jsonBody)
+	}
+	var art struct {
+		Name    string `json:"name"`
+		Columns []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"columns"`
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(jsonBody), &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Name != "fig3" || len(art.Rows) == 0 {
+		t.Fatalf("bad artifact: name=%q rows=%d", art.Name, len(art.Rows))
+	}
+	if art.Columns[0].Kind != "month" || art.Columns[1].Kind != "int" {
+		t.Errorf("schema kinds = %v", art.Columns)
+	}
+
+	code, csvBody := get(t, srv, "/v1/artifact/fig3?format=csv")
+	if code != http.StatusOK {
+		t.Fatalf("csv status %d", code)
+	}
+	records, err := csv.NewReader(strings.NewReader(csvBody)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records)-1 != len(art.Rows) {
+		t.Fatalf("csv rows = %d, json rows = %d", len(records)-1, len(art.Rows))
+	}
+	for i, row := range art.Rows {
+		rec := records[i+1]
+		if rec[0] != row[0].(string) {
+			t.Errorf("row %d month: csv %q json %v", i, rec[0], row[0])
+		}
+		if want := fmt.Sprintf("%d", int64(row[1].(float64))); rec[1] != want {
+			t.Errorf("row %d flashbots_blocks: csv %q json %v", i, rec[1], want)
+		}
+	}
+
+	code, textBody := get(t, srv, "/v1/artifact/fig3?format=text")
+	if code != http.StatusOK {
+		t.Fatalf("text status %d", code)
+	}
+	for _, row := range art.Rows {
+		if !strings.Contains(textBody, row[0].(string)) {
+			t.Errorf("text missing month %v", row[0])
+		}
+	}
+}
+
+// TestMonthRangeSlicing: a months= query restores only those segments
+// and the per-month values match the full-archive analysis.
+func TestMonthRangeSlicing(t *testing.T) {
+	srv := newServer(t, 4, nil)
+	fetch := func(url string) [][]any {
+		code, body := get(t, srv, url)
+		if code != http.StatusOK {
+			t.Fatalf("%s → %d: %s", url, code, body)
+		}
+		var art struct {
+			Rows [][]any `json:"rows"`
+		}
+		if err := json.Unmarshal([]byte(body), &art); err != nil {
+			t.Fatal(err)
+		}
+		return art.Rows
+	}
+	full := fetch("/v1/artifact/fig3?format=json")
+	sliced := fetch("/v1/artifact/fig3?format=json&months=2021-03..2021-06")
+	if len(sliced) != 4 {
+		t.Fatalf("sliced rows = %d, want 4", len(sliced))
+	}
+	if sliced[0][0] != "3/2021" || sliced[3][0] != "6/2021" {
+		t.Fatalf("sliced months = %v..%v", sliced[0][0], sliced[3][0])
+	}
+	byMonth := map[string][]any{}
+	for _, row := range full {
+		byMonth[row[0].(string)] = row
+	}
+	for _, row := range sliced {
+		want := byMonth[row[0].(string)]
+		if want == nil {
+			t.Fatalf("month %v missing from full report", row[0])
+		}
+		if row[1] != want[1] || row[2] != want[2] {
+			t.Errorf("month %v: sliced %v/%v, full %v/%v", row[0], row[1], row[2], want[1], want[2])
+		}
+	}
+}
+
+// TestCacheHitsSkipAnalyze: repeated queries for one slice analyze once;
+// a different slice is a new key; the listing and report endpoints share
+// the same cached report.
+func TestCacheHitsSkipAnalyze(t *testing.T) {
+	var calls atomic.Int64
+	srv := newServer(t, 4, &calls)
+
+	for i := 0; i < 3; i++ {
+		if code, body := get(t, srv, "/v1/report?format=text"); code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("analyze calls after 3 identical queries = %d, want 1", got)
+	}
+	get(t, srv, "/v1/artifact/table1?format=json")
+	get(t, srv, "/v1/artifacts")
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("analyze calls after artifact+listing = %d, want 1 (shared cache)", got)
+	}
+	get(t, srv, "/v1/artifact/fig3?months=2021-03..2021-06")
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("analyze calls after new slice = %d, want 2", got)
+	}
+	st := srv.CacheStats()
+	if st.Hits < 4 || st.Misses != 2 {
+		t.Errorf("cache stats = %+v", st)
+	}
+}
+
+// TestLRUEviction: with capacity 1, alternating slices evict each other
+// and re-analyze.
+func TestLRUEviction(t *testing.T) {
+	var calls atomic.Int64
+	srv := newServer(t, 1, &calls)
+	a := "/v1/artifact/fig3?months=2021-03..2021-04"
+	b := "/v1/artifact/fig3?months=2021-05..2021-06"
+	get(t, srv, a)
+	get(t, srv, b)
+	get(t, srv, a)
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("analyze calls = %d, want 3 (capacity-1 LRU thrashes)", got)
+	}
+	if st := srv.CacheStats(); st.Evictions < 2 {
+		t.Errorf("evictions = %d, want ≥ 2", st.Evictions)
+	}
+}
+
+// TestConcurrentMissesAnalyzeOnce: a burst of concurrent requests for a
+// cold key runs one analysis; the rest wait for it (in-flight dedup).
+func TestConcurrentMissesAnalyzeOnce(t *testing.T) {
+	var calls atomic.Int64
+	srv := newServer(t, 4, &calls)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/artifact/table1", nil))
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("status %d", rec.Code)
+			}
+			if _, err := io.Copy(io.Discard, rec.Body); err != nil {
+				errs <- err.Error()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("analyze calls under concurrent burst = %d, want 1", got)
+	}
+}
+
+// TestLiveSource: a registered live snapshot serves through the same
+// endpoints; the cache key carries the height, so one height is cached
+// (Snapshot runs once per height) and a new height re-snapshots.
+func TestLiveSource(t *testing.T) {
+	srv := newServer(t, 4, nil)
+	var height atomic.Uint64
+	var snapshots atomic.Int64
+	height.Store(10)
+	srv.SetLive(query.Live{
+		Height: func() uint64 { return height.Load() },
+		Snapshot: func() (*measure.Report, uint64) {
+			snapshots.Add(1)
+			r := &measure.Report{}
+			r.Table1.Total.Strategy = "Total"
+			return r, height.Load()
+		},
+	})
+	code, body := get(t, srv, "/v1/artifact/table1?source=live&format=json")
+	if code != http.StatusOK {
+		t.Fatalf("live status %d: %s", code, body)
+	}
+	if !strings.Contains(body, "Total") {
+		t.Errorf("live artifact body: %s", body)
+	}
+	get(t, srv, "/v1/artifact/table1?source=live&format=json")
+	st := srv.CacheStats()
+	if st.Hits < 1 {
+		t.Errorf("repeated live query at one height should hit the cache: %+v", st)
+	}
+	if got := snapshots.Load(); got != 1 {
+		t.Errorf("snapshots at one height = %d, want 1 (cache must absorb repeats)", got)
+	}
+	height.Store(11)
+	if code, _ := get(t, srv, "/v1/artifact/table1?source=live&format=json"); code != http.StatusOK {
+		t.Fatal("live query after height change failed")
+	}
+	if got := snapshots.Load(); got != 2 {
+		t.Errorf("new height should re-snapshot: snapshots = %d", got)
+	}
+	if code, _ := get(t, srv, "/v1/artifact/table1?source=live&months=2021-03"); code != http.StatusBadRequest {
+		t.Error("months + live should be rejected")
+	}
+}
+
+// TestErrors: the API's failure modes map to the right status codes.
+func TestErrors(t *testing.T) {
+	srv := newServer(t, 4, nil)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v1/artifact/nope", http.StatusNotFound},
+		{"/v1/artifact/fig3?format=yaml", http.StatusBadRequest},
+		{"/v1/artifact/fig3?months=2019-01..2021-06", http.StatusBadRequest},
+		{"/v1/artifact/fig3?months=2021-06..2021-03", http.StatusBadRequest},
+		{"/v1/artifact/fig3?source=ftp", http.StatusBadRequest},
+		{"/v1/artifact/table1?source=live", http.StatusNotFound}, // no live source set
+		{"/v1/report?format=pdf", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, body := get(t, srv, c.url); code != c.code {
+			t.Errorf("%s → %d (want %d): %s", c.url, code, c.code, strings.TrimSpace(body))
+		}
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/report", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST → %d, want 405", rec.Code)
+	}
+	if code, _ := get(t, srv, "/v1/manifest"); code != http.StatusOK {
+		t.Error("manifest endpoint failed")
+	}
+	if code, _ := get(t, srv, "/v1/cache"); code != http.StatusOK {
+		t.Error("cache endpoint failed")
+	}
+}
+
+// TestNoArchiveLiveOnly: a server with no archive still serves its live
+// source, and archive queries 404.
+func TestNoArchiveLiveOnly(t *testing.T) {
+	srv, err := query.New(query.Config{Analyze: analyzeReal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, srv, "/v1/artifact/table1"); code != http.StatusNotFound {
+		t.Error("archive query without archive should 404")
+	}
+	srv.SetLive(query.Live{
+		Height:   func() uint64 { return 1 },
+		Snapshot: func() (*measure.Report, uint64) { return &measure.Report{}, 1 },
+	})
+	if code, _ := get(t, srv, "/v1/artifact/table1?source=live"); code != http.StatusOK {
+		t.Error("live query without archive should work")
+	}
+}
+
+// TestMonthsOutsideArchive: a range that is valid for the study window
+// but entirely absent from a truncated archive is a 400, not a 500.
+func TestMonthsOutsideArchive(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := mevscope.Options{Seed: 3, BlocksPerMonth: 20, Months: 6}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := archive.Write(dir, dataset.FromSim(s), nil); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	srv, err := query.New(query.Config{
+		Archive: dir,
+		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+			calls.Add(1)
+			return analyzeReal(ds, workers)
+		},
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, srv, "/v1/artifact/fig3?months=2021-08..2021-10")
+	if code != http.StatusBadRequest {
+		t.Errorf("out-of-archive months → %d, want 400: %s", code, strings.TrimSpace(body))
+	}
+	if !strings.Contains(body, "archive's window") {
+		t.Errorf("error does not name the archive window: %s", body)
+	}
+	// A partially overlapping range restores the intersection, and every
+	// spelling of the same slice shares one cache key (clamping).
+	if code, _ := get(t, srv, "/v1/artifact/fig3?months=2020-09..2021-08"); code != http.StatusOK {
+		t.Error("overlapping range should serve the intersection")
+	}
+	if code, _ := get(t, srv, "/v1/artifact/fig3?months=2020-09..2020-10"); code != http.StatusOK {
+		t.Error("clamped spelling failed")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("analyze calls = %d, want 1 (clamped ranges should share one key)", got)
+	}
+}

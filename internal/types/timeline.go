@@ -2,6 +2,7 @@ package types
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -42,6 +43,54 @@ func (m Month) Date() time.Time { return studyStart.AddDate(0, int(m), 0) }
 func (m Month) String() string {
 	t := m.Date()
 	return fmt.Sprintf("%d/%d", int(t.Month()), t.Year())
+}
+
+// Label renders the month as an ISO-style label, e.g. "2021-03" — the
+// form archive segment directories and query parameters use.
+func (m Month) Label() string {
+	t := m.Date()
+	return fmt.Sprintf("%04d-%02d", t.Year(), int(t.Month()))
+}
+
+// ParseMonth parses a study month from its Label form ("2021-03") or its
+// String form ("3/2021"). Months outside the study window are rejected
+// rather than clamped, so callers can surface typos.
+func ParseMonth(s string) (Month, error) {
+	t, err := time.Parse("2006-01", s)
+	if err != nil {
+		if t, err = time.Parse("1/2006", s); err != nil {
+			return 0, fmt.Errorf("types: bad month %q (want YYYY-MM, e.g. %q)", s, Month(0).Label())
+		}
+	}
+	m := Month((t.Year()-studyStart.Year())*12 + int(t.Month()) - int(studyStart.Month()))
+	if m < 0 || m >= StudyMonths {
+		return 0, fmt.Errorf("types: month %q outside the study window %s..%s",
+			s, Month(0).Label(), Month(StudyMonths-1).Label())
+	}
+	return m, nil
+}
+
+// ParseMonthRange parses an inclusive month range "2021-03..2021-06". A
+// single month selects just that month; the empty string selects the full
+// study window.
+func ParseMonthRange(s string) (from, to Month, err error) {
+	if s == "" {
+		return 0, StudyMonths - 1, nil
+	}
+	lo, hi, found := strings.Cut(s, "..")
+	if !found {
+		hi = lo
+	}
+	if from, err = ParseMonth(lo); err != nil {
+		return 0, 0, err
+	}
+	if to, err = ParseMonth(hi); err != nil {
+		return 0, 0, err
+	}
+	if to < from {
+		return 0, 0, fmt.Errorf("types: month range %q runs backwards", s)
+	}
+	return from, to, nil
 }
 
 // MonthOf maps a timestamp to its study Month. Times before the window

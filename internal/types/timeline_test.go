@@ -87,3 +87,56 @@ func TestForkBlocks(t *testing.T) {
 		t.Error("flashbots launch block in wrong month")
 	}
 }
+
+// TestMonthLabelRoundTrip: every study month's Label parses back to
+// itself, and the String form parses too.
+func TestMonthLabelRoundTrip(t *testing.T) {
+	for m := Month(0); m < StudyMonths; m++ {
+		got, err := ParseMonth(m.Label())
+		if err != nil {
+			t.Fatalf("ParseMonth(%q): %v", m.Label(), err)
+		}
+		if got != m {
+			t.Fatalf("ParseMonth(%q) = %d, want %d", m.Label(), got, m)
+		}
+		got, err = ParseMonth(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMonth(%q) = %d, %v; want %d", m.String(), got, err, m)
+		}
+	}
+	if Month(0).Label() != "2020-05" || Month(StudyMonths-1).Label() != "2022-03" {
+		t.Errorf("window labels = %s..%s", Month(0).Label(), Month(StudyMonths-1).Label())
+	}
+}
+
+// TestParseMonthRejectsBadInput: garbage and out-of-window months error.
+func TestParseMonthRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{"", "2021", "2021-13", "March 2021", "2020-04", "2022-04", "1998-01"} {
+		if _, err := ParseMonth(bad); err == nil {
+			t.Errorf("ParseMonth(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseMonthRange: ranges, single months, the empty full window, and
+// inverted ranges.
+func TestParseMonthRange(t *testing.T) {
+	from, to, err := ParseMonthRange("2021-03..2021-06")
+	if err != nil || from != 10 || to != 13 {
+		t.Errorf("range = %d..%d, %v", from, to, err)
+	}
+	from, to, err = ParseMonthRange("2021-03")
+	if err != nil || from != 10 || to != 10 {
+		t.Errorf("single month = %d..%d, %v", from, to, err)
+	}
+	from, to, err = ParseMonthRange("")
+	if err != nil || from != 0 || to != StudyMonths-1 {
+		t.Errorf("empty = %d..%d, %v", from, to, err)
+	}
+	if _, _, err := ParseMonthRange("2021-06..2021-03"); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, _, err := ParseMonthRange("2021-03..nope"); err == nil {
+		t.Error("bad end month accepted")
+	}
+}

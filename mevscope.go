@@ -39,6 +39,14 @@
 // boundary), and internal/archive persists the collected dataset as a
 // segmented on-disk store so a world is simulated once and re-analyzed
 // many times (AnalyzeDataset; `mevscope archive` / `mevscope analyze`).
+//
+// Every table and figure of a report is also exposed as a structured
+// artifact (measure.Artifact: name, typed column schema, typed rows,
+// scalar summary stats). The text renderer behind WriteReportTo, the CSV
+// and JSON encoders, and the `mevscope serve` HTTP API (internal/query)
+// all walk that one model, so every output format is an encoding of the
+// same value; ensemble reports expose the same model with mean±stddev
+// annotations per cell (Ensemble.Artifacts).
 package mevscope
 
 import (
@@ -193,157 +201,16 @@ func (st *Study) WriteReport(w io.Writer) {
 	WriteReportTo(w, st.Report)
 }
 
-// WriteReportTo renders a report as text, in paper order. It is the
+// WriteReportTo renders a report as text, in paper order. It is a thin
+// walk over the report's structured artifact model (measure.Artifacts):
+// the same artifacts back the CSV and JSON encoders and the `mevscope
+// serve` HTTP API, so every format is an encoding of one value. It is the
 // shared renderer behind Study.WriteReport and the streaming follower's
 // live snapshots, so batch and streaming output are comparable byte for
 // byte.
 func WriteReportTo(w io.Writer, r *measure.Report) {
-	fmt.Fprintf(w, "=== Table 1: MEV dataset overview ===\n%s\n", r.Table1.Format())
-
-	fmt.Fprintf(w, "=== Figure 3: Flashbots block ratio per month ===\n")
-	for _, row := range r.Fig3 {
-		fmt.Fprintf(w, "%8s  %5d / %5d  %6.1f%%  %s\n",
-			row.Month, row.FlashbotsBlocks, row.TotalBlocks, 100*row.Ratio(), bar(row.Ratio(), 40))
-	}
-	fmt.Fprintln(w)
-
-	fmt.Fprintf(w, "=== Figure 4: estimated Flashbots hashrate per month ===\n")
-	for _, mv := range r.Fig4 {
-		fmt.Fprintf(w, "%8s  %6.1f%%  %s\n", mv.Month, 100*mv.Value, bar(mv.Value, 40))
-	}
-	fmt.Fprintln(w)
-
-	fmt.Fprintf(w, "=== Figure 5: miners with ≥ n Flashbots blocks (scaled thresholds %v) ===\n", r.Fig5.Thresholds)
-	fmt.Fprintf(w, "%8s", "month")
-	for _, th := range r.Fig5.Thresholds {
-		fmt.Fprintf(w, " %6s", fmt.Sprintf("≥%d", th))
-	}
-	fmt.Fprintln(w)
-	for i, m := range r.Fig5.Months {
-		fmt.Fprintf(w, "%8s", m)
-		for _, c := range r.Fig5.Counts[i] {
-			fmt.Fprintf(w, " %6d", c)
-		}
-		fmt.Fprintln(w)
-	}
-	fmt.Fprintf(w, "peak distinct Flashbots miners in a month: %d\n\n", r.Fig5.MaxMinersInAnyMonth())
-
-	fmt.Fprintf(w, "=== Figure 6: sandwiches per month vs gas price ===\n")
-	fmt.Fprintf(w, "%8s %10s %10s %12s\n", "month", "FB sand", "nonFB sand", "avg gas(gwei)")
-	for _, row := range r.Fig6.Rows {
-		marks := ""
-		if row.Month == types.BerlinForkMonth {
-			marks = "  <- Berlin fork"
-		}
-		if row.Month == types.LondonForkMonth {
-			marks = "  <- London fork"
-		}
-		fmt.Fprintf(w, "%8s %10d %10d %12.1f%s\n", row.Month, row.FlashbotsSand, row.NonFlashbotsSand, row.AvgGasPriceGwei, marks)
-	}
-	fmt.Fprintf(w, "correlation(non-FB sandwiches, gas): %.3f; correlation(all sandwiches, gas): %.3f\n\n",
-		r.Fig6.CorrNonFB, r.Fig6.CorrAll)
-
-	fmt.Fprintf(w, "=== Figure 7: Flashbots searchers / transactions by MEV type per month ===\n")
-	keys := []string{"sandwiches", "arbitrages", "liquidations", "other"}
-	fmt.Fprintf(w, "%8s |", "month")
-	for _, k := range keys {
-		fmt.Fprintf(w, " %11s |", k+" S/T")
-	}
-	fmt.Fprintln(w)
-	for _, row := range r.Fig7.Rows {
-		fmt.Fprintf(w, "%8s |", row.Month)
-		for _, k := range keys {
-			fmt.Fprintf(w, " %5d/%-5d |", row.Searchers[k], row.Txs[k])
-		}
-		fmt.Fprintln(w)
-	}
-	fmt.Fprintln(w)
-
-	fmt.Fprintf(w, "=== Figure 8: sandwich profit (net ETH) by subpopulation ===\n")
-	fmt.Fprintf(w, "%-22s %s\n", "miners, non-Flashbots:", r.Fig8.MinerNonFB)
-	fmt.Fprintf(w, "%-22s %s\n", "miners, Flashbots:", r.Fig8.MinerFB)
-	fmt.Fprintf(w, "%-22s %s\n", "searchers, non-FB:", r.Fig8.SearcherNonFB)
-	fmt.Fprintf(w, "%-22s %s\n\n", "searchers, Flashbots:", r.Fig8.SearcherFB)
-
-	if r.Fig9 != nil {
-		sp := r.Fig9.Split
-		fmt.Fprintf(w, "=== Figure 9: private vs public MEV extraction (window sandwiches) ===\n")
-		fmt.Fprintf(w, "total %d | via Flashbots %.1f%% | private non-Flashbots %.1f%% | public %.1f%%\n",
-			sp.Total, 100*sp.FlashbotsShare(), 100*sp.PrivateShare(), 100*sp.PublicShare())
-		if r.MEVSplit != nil {
-			for _, kind := range []string{"arbitrage", "liquidation"} {
-				ks := r.MEVSplit.ByKind[kind]
-				if ks == nil || ks.Total == 0 {
-					continue
-				}
-				fmt.Fprintf(w, "%-12s total %d | FB %.1f%% | private %.1f%% | public %.1f%%\n",
-					kind+":", ks.Total, 100*ks.FlashbotsShare(), 100*ks.PrivateShare(), 100*ks.PublicShare())
-			}
-		}
-		fmt.Fprintln(w)
-	}
-
-	b := r.Bundles
-	fmt.Fprintf(w, "=== §4.1 bundle statistics ===\n")
-	fmt.Fprintf(w, "bundles=%d in %d Flashbots blocks; bundles/block mean=%.2f median=%.0f max=%.0f\n",
-		b.Bundles, b.FlashbotsBlocks, b.BundlesPerBlock.Mean, b.BundlesPerBlock.Median, b.BundlesPerBlock.Max)
-	fmt.Fprintf(w, "txs/bundle mean=%.2f median=%.0f max=%d; single-tx bundles %.1f%%\n",
-		b.TxsPerBundle.Mean, b.TxsPerBundle.Median, b.MaxBundleTxs, 100*b.SingleTxShare())
-	fmt.Fprintf(w, "by type: flashbots=%d rogue=%d miner-payout=%d\n\n",
-		b.ByType["flashbots"], b.ByType["rogue"], b.ByType["miner-payout"])
-
-	n := r.Negatives
-	fmt.Fprintf(w, "=== §5.2 negative profits ===\n")
-	fmt.Fprintf(w, "unprofitable Flashbots sandwiches: %d of %d (%.2f%%), total loss %.2f ETH\n\n",
-		n.Unprofitable, n.FlashbotsSandwiches, 100*n.Share(), n.TotalLossETH)
-
-	dm := r.Damage
-	fmt.Fprintf(w, "=== extension: victim damage (sandwich slippage extracted) ===\n")
-	fmt.Fprintf(w, "victims=%d total=%.2f ETH mean=%.4f median=%.4f\n\n",
-		dm.Victims, dm.TotalETH, dm.Summary.Mean, dm.Summary.Median)
-
-	fmt.Fprintf(w, "=== §4.4 mining concentration ===\n")
-	fmt.Fprintf(w, "distinct Flashbots miners: %d; top-2 share of Flashbots blocks: %.1f%%\n\n",
-		r.Concentration.Miners, 100*r.Concentration.Top2Share)
-
-	if len(r.PrivateLinks) > 0 {
-		fmt.Fprintf(w, "=== §6.3 private non-Flashbots sandwich accounts ===\n")
-		single := 0
-		for _, l := range r.PrivateLinks {
-			if _, ok := l.SingleMiner(); ok {
-				single++
-			}
-		}
-		fmt.Fprintf(w, "accounts: %d; single-miner accounts: %d\n", len(r.PrivateLinks), single)
-		for i, l := range r.PrivateLinks {
-			if i >= 8 {
-				break
-			}
-			m, ok := l.SingleMiner()
-			tag := fmt.Sprintf("%d miners", len(l.Miners))
-			if ok {
-				tag = "single miner " + m.Short()
-			}
-			fmt.Fprintf(w, "  %s  %4d private sandwiches  (%s)\n", l.Account.Short(), l.Total, tag)
-		}
-	}
+	measure.WriteReportText(w, r)
 }
 
-func bar(frac float64, width int) string {
-	if frac < 0 {
-		frac = 0
-	}
-	if frac > 1 {
-		frac = 1
-	}
-	n := int(frac * float64(width))
-	out := make([]byte, width)
-	for i := range out {
-		if i < n {
-			out[i] = '#'
-		} else {
-			out[i] = '.'
-		}
-	}
-	return string(out)
-}
+// bar renders a #/. gauge; kept as an alias of the model renderer's.
+func bar(frac float64, width int) string { return measure.Bar(frac, width) }
