@@ -6,18 +6,24 @@
 //
 //	mevscope [-seed N] [-bpm BLOCKS] [-months M] [-section NAME]
 //	         [-scenario NAME] [-seeds N,N,...] [-parallel W]
-//	mevscope archive -out DIR [-seed N] [-bpm BLOCKS] [-months M]
-//	         [-scenario NAME]
-//	mevscope analyze -from DIR [-section NAME] [-parallel W] [-csv DIR]
+//	mevscope archive -out DIR [-format v1|v2] [-live] [-seed N]
+//	         [-bpm BLOCKS] [-months M] [-scenario NAME]
+//	mevscope analyze -from DIR [-range 2021-03..2021-06] [-section NAME]
+//	         [-parallel W] [-csv DIR]
 //	mevscope serve -from DIR [-addr HOST:PORT] [-cache N] [-parallel W]
 //	         [-live [-seed N] [-scenario NAME] [-bpm BLOCKS]]
 //
 // The archive subcommand simulates a world once and persists the
 // collected dataset as a segmented on-disk archive (one directory per
 // study month: blocks, observed pending transactions, Flashbots API
-// records, with a checksummed manifest). The analyze subcommand restores
-// such an archive and reruns the measurement pipeline over it without
-// re-simulating — the report is byte-identical to the original run's.
+// records, with a checksummed manifest). -format picks the encoding
+// (default v2: gzip-compressed, block-indexed frames; v1 is the legacy
+// JSON-lines layout) and -live streams each month to disk as it
+// completes instead of serializing everything at the end. The analyze
+// subcommand restores such an archive — either format, auto-detected —
+// and reruns the measurement pipeline over it without re-simulating;
+// the report is byte-identical to the original run's. -range restores
+// only a month slice, reading just those segments.
 // The serve subcommand exposes an archive over HTTP (internal/query):
 // per-artifact queries in JSON/CSV/text with month-range slicing, backed
 // by an LRU of analyzed reports so repeated queries skip the pipeline;
@@ -145,11 +151,14 @@ func runStudy(args []string) {
 }
 
 // runArchive simulates a world and persists the collected dataset as a
-// segmented archive.
+// segmented archive — all at once after the run, or month by month while
+// the world grows with -live.
 func runArchive(args []string) {
 	fs := flag.NewFlagSet("mevscope archive", flag.ExitOnError)
 	var (
 		out    = fs.String("out", "", "archive directory to create (required)")
+		format = fs.String("format", "v2", "archive format: v2 (compressed frames) or v1 (JSON lines)")
+		live   = fs.Bool("live", false, "stream: rotate each month to disk as it completes instead of serializing at the end")
 		seed   = fs.Int64("seed", 42, "simulation seed")
 		scen   = fs.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
 		bpm    = fs.Uint64("bpm", 600, "blocks per simulated month")
@@ -165,6 +174,10 @@ func runArchive(args []string) {
 	if *out == "" {
 		fail(2, fmt.Errorf("archive: -out DIR is required"))
 	}
+	af, err := archive.ParseFormat(*format)
+	if err != nil {
+		fail(2, err)
+	}
 	opts := mevscope.Options{
 		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners, Scenario: *scen,
 	}
@@ -172,24 +185,29 @@ func runArchive(args []string) {
 	if err != nil {
 		fail(2, err)
 	}
+	meta := map[string]string{
+		"seed":     strconv.FormatInt(*seed, 10),
+		"scenario": *scen,
+		"bpm":      strconv.FormatUint(*bpm, 10),
+		"months":   strconv.Itoa(pick(*months, types.StudyMonths)),
+	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "mevscope: simulating %d months at %d blocks/month (seed %d, scenario %s)...\n",
-			pick(*months, types.StudyMonths), *bpm, *seed, *scen)
+		fmt.Fprintf(os.Stderr, "mevscope: simulating %d months at %d blocks/month (seed %d, scenario %s, format %s)...\n",
+			pick(*months, types.StudyMonths), *bpm, *seed, *scen, af)
 	}
 	t0 := time.Now()
 	s, err := sim.New(cfg)
 	if err != nil {
 		fail(1, err)
 	}
-	if err := s.Run(); err != nil {
-		fail(1, err)
+	var man *archive.Manifest
+	if *live {
+		man, err = archiveLive(s, *out, af, meta, *quiet)
+	} else {
+		if err = s.Run(); err == nil {
+			man, err = archive.WriteFormat(*out, dataset.FromSim(s), meta, af)
+		}
 	}
-	man, err := archive.Write(*out, dataset.FromSim(s), map[string]string{
-		"seed":     strconv.FormatInt(*seed, 10),
-		"scenario": *scen,
-		"bpm":      strconv.FormatUint(*bpm, 10),
-		"months":   strconv.Itoa(pick(*months, types.StudyMonths)),
-	})
 	if err != nil {
 		fail(1, err)
 	}
@@ -199,12 +217,46 @@ func runArchive(args []string) {
 	}
 }
 
-// runAnalyze restores an archived dataset and reruns the measurement
-// pipeline over it.
+// archiveLive grows the world through a streaming follower and rotates
+// every finished month to disk the moment it completes; the final
+// archive is file-identical to the batch path's.
+func archiveLive(s *sim.Sim, out string, format archive.Format, meta map[string]string, quiet bool) (*archive.Manifest, error) {
+	sw, err := archive.NewStreamWriter(out, s.Chain.Timeline, s.World.WETH, format, meta)
+	if err != nil {
+		return nil, err
+	}
+	f := stream.ForSim(s, 0)
+	var rotErr error
+	f.OnMonthEnd = func(m types.Month, f *stream.Follower) {
+		if rotErr != nil {
+			return
+		}
+		if rotErr = sw.WriteSegment(f.MonthSegment(m)); rotErr == nil && !quiet {
+			fmt.Fprintf(os.Stderr, "mevscope: month %s rotated to disk (%d segments)\n", m.Label(), sw.Segments())
+		}
+	}
+	end := s.EndBlock()
+	for s.Chain.NextNumber() <= end {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+		if _, err := f.Sync(); err != nil {
+			return nil, err
+		}
+		if rotErr != nil {
+			return nil, rotErr
+		}
+	}
+	return sw.Finalize(f.Dataset())
+}
+
+// runAnalyze restores an archived dataset — optionally just a month
+// slice of it — and reruns the measurement pipeline over it.
 func runAnalyze(args []string) {
 	fs := flag.NewFlagSet("mevscope analyze", flag.ExitOnError)
 	var (
 		from        = fs.String("from", "", "archive directory to analyze (required)")
+		months      = fs.String("range", "", "month range to restore, e.g. 2021-03..2021-06 (default: the whole archive)")
 		section     = fs.String("section", "all", "which artifact to print")
 		parallelism = fs.Int("parallel", 0, "analysis worker-pool size (0 = all cores)")
 		csvDir      = fs.String("csv", "", "also write every artifact as CSV into this directory")
@@ -215,14 +267,23 @@ func runAnalyze(args []string) {
 	if *from == "" {
 		fail(2, fmt.Errorf("analyze: -from DIR is required"))
 	}
+	lo, hi, err := resolveRange(*from, *months)
+	if err != nil {
+		fail(2, err)
+	}
 	t0 := time.Now()
-	ds, man, err := archive.Read(*from)
+	ds, man, err := archive.ReadRangeWith(*from, lo, hi, archive.ReadOptions{Workers: *parallelism})
 	if err != nil {
 		fail(1, err)
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "mevscope: restored %d blocks (%d segments, head %d) from %s\n",
-			man.TotalBlocks, len(man.Segments), man.Head, *from)
+		// Report the months actually restored, not the requested range: an
+		// empty -range means the whole archive, and partially-out-of-window
+		// ranges are clamped to what exists on disk.
+		first := ds.Chain.Timeline.FirstMonth
+		last := ds.Chain.Timeline.MonthOfBlock(ds.Chain.Head().Header.Number)
+		fmt.Fprintf(os.Stderr, "mevscope: restored %d blocks (months %s..%s of %d segments, head %d) from %s\n",
+			ds.Chain.Len(), first.Label(), last.Label(), len(man.Segments), man.Head, *from)
 	}
 	study, err := mevscope.AnalyzeDataset(ds, *parallelism)
 	if err != nil {
@@ -234,6 +295,30 @@ func runAnalyze(args []string) {
 	}
 	writeCSV(study, *csvDir, *quiet)
 	printSection(study, *section)
+}
+
+// resolveRange parses analyze's -range and validates it against the
+// archive's segment window before any data file is read, so a bad range
+// is a usage error (exit 2) that names the window actually on disk. An
+// empty spec selects the whole archive.
+func resolveRange(dir, spec string) (types.Month, types.Month, error) {
+	lo, hi, err := types.ParseMonthRange(spec)
+	if err != nil {
+		return 0, 0, fmt.Errorf("analyze: %w", err)
+	}
+	if spec == "" {
+		return lo, hi, nil
+	}
+	man, err := archive.ReadManifest(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	first, last := man.Window()
+	if hi < first || lo > last {
+		return 0, 0, fmt.Errorf("analyze: -range %s selects no archived months (the archive covers %s..%s)",
+			spec, first.Label(), last.Label())
+	}
+	return lo, hi, nil
 }
 
 // checkServe validates the serve flag combination up front: the server

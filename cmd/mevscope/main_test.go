@@ -4,7 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"mevscope"
+	"mevscope/internal/archive"
+	"mevscope/internal/dataset"
 	"mevscope/internal/scenario"
+	"mevscope/internal/sim"
 )
 
 // TestCheckScenarioRejectsTypos: a mistyped -scenario must error before
@@ -92,5 +96,109 @@ func TestCheckServeLiveFlags(t *testing.T) {
 		if !liveOnlyFlagNames[name] {
 			t.Errorf("flag %q missing from liveOnlyFlagNames", name)
 		}
+	}
+}
+
+// testArchiveDir simulates a tiny 6-month world and archives it, so the
+// -range validation sees a truncated window (2020-05..2020-10).
+func testArchiveDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg, err := mevscope.Options{Seed: 5, BlocksPerMonth: 20, Months: 6}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := archive.Write(dir, dataset.FromSim(s), nil); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestResolveRange: `analyze -range` must reject malformed and
+// out-of-archive ranges as usage errors that name the valid window, and
+// must pass through slices the archive can actually serve.
+func TestResolveRange(t *testing.T) {
+	dir := testArchiveDir(t)
+	if _, _, err := resolveRange(dir, ""); err != nil {
+		t.Errorf("empty range rejected: %v", err)
+	}
+	lo, hi, err := resolveRange(dir, "2020-06..2020-08")
+	if err != nil {
+		t.Fatalf("in-window range rejected: %v", err)
+	}
+	if lo.Label() != "2020-06" || hi.Label() != "2020-08" {
+		t.Errorf("range resolved to %s..%s", lo.Label(), hi.Label())
+	}
+	// Malformed: the month parser's error lists the study window.
+	if _, _, err := resolveRange(dir, "bogus"); err == nil || !strings.Contains(err.Error(), "2020-05") {
+		t.Errorf("malformed range error does not list the valid window: %v", err)
+	}
+	if _, _, err := resolveRange(dir, "2020-08..2020-06"); err == nil {
+		t.Error("inverted range accepted")
+	}
+	// Valid months that the truncated archive does not hold: the error
+	// must list the archive's actual window.
+	_, _, err = resolveRange(dir, "2021-03..2021-06")
+	if err == nil {
+		t.Fatal("out-of-archive range accepted")
+	}
+	for _, want := range []string{"2020-05", "2020-10"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("out-of-archive error does not name the archive window bound %s: %v", want, err)
+		}
+	}
+	if _, _, err := resolveRange(t.TempDir(), "2020-06"); err == nil {
+		t.Error("range against a non-archive directory accepted")
+	}
+}
+
+// TestParseFormatFlag: the archive subcommand's -format values.
+func TestParseFormatFlag(t *testing.T) {
+	for spec, want := range map[string]archive.Format{"v1": archive.FormatV1, "v2": archive.FormatV2} {
+		got, err := archive.ParseFormat(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = (%v, %v), want %v", spec, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "v3", "jsonl", "V2"} {
+		if _, err := archive.ParseFormat(bad); err == nil {
+			t.Errorf("ParseFormat(%q) accepted", bad)
+		}
+	}
+}
+
+// TestArchiveLive drives the `archive -live` path directly: a small
+// world streamed month by month must produce a complete, readable
+// archive with one segment per month.
+func TestArchiveLive(t *testing.T) {
+	cfg, err := mevscope.Options{Seed: 9, BlocksPerMonth: 20, Months: 3}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man, err := archiveLive(s, dir, archive.FormatV2, map[string]string{"seed": "9"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) != 3 {
+		t.Fatalf("live archive has %d segments, want 3", len(man.Segments))
+	}
+	ds, _, err := archive.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Chain.Len() != s.Chain.Len() {
+		t.Errorf("restored %d blocks, world has %d", ds.Chain.Len(), s.Chain.Len())
 	}
 }

@@ -1,23 +1,39 @@
 // Package archive is the segmented on-disk store for collected
 // measurement datasets, shaped after flashbots/mempool-dumpster: one
 // directory per study month holding that month's blocks, observed
-// pending transactions and Flashbots API records as JSON-lines files,
-// plus a top-level manifest with per-file SHA-256 checksums and the
-// run's price history.
+// pending transactions and Flashbots API records, plus a top-level
+// manifest with per-file SHA-256 checksums and the run's price history.
+//
+// Two on-disk formats coexist, auto-detected through the manifest's
+// version field:
+//
+//	v1  JSON-lines data files (one JSON document per line)
+//	v2  gzip-compressed binary segment files: a 5-byte plain header
+//	    (magic "MSEG" + format byte) followed by a gzip stream of
+//	    length-prefixed JSON document frames, with a sparse per-segment
+//	    block index in the manifest for sub-segment random access
+//
+// The directory layout is the same for both (v2 shown):
 //
 //	<dir>/
-//	  manifest.json          version, timeline, WETH, checksums, metadata
-//	  prices.jsonl           token → price history
+//	  manifest.json          version, timeline, WETH, checksums, block index
+//	  prices.seg             token → price history
 //	  2020-05/               one segment per calendar month
-//	    blocks.jsonl         blocks with transactions and receipts
-//	    flashbots.jsonl      public blocks-API records
-//	    observed.jsonl       observer pending-transaction captures
+//	    blocks.seg           blocks with transactions and receipts
+//	    flashbots.seg        public blocks-API records
+//	    observed.seg         observer pending-transaction captures
 //	  2020-06/ ...
 //
-// A world is simulated once, archived, and re-analyzed many times:
-// Write persists a dataset.Dataset, Read restores one bit-compatibly
-// (verified by checksum), and `mevscope analyze -from <dir>` reproduces
-// the original run's report without re-simulating.
+// A world is simulated once, archived, and re-analyzed many times: Write
+// persists a dataset.Dataset (v2 by default, months encoded in
+// parallel), Read/ReadRange restore one bit-compatibly (segments decoded
+// in parallel, every file checksum-verified), and `mevscope analyze
+// -from <dir>` reproduces the original run's report without
+// re-simulating. v1 archives written by earlier releases keep reading
+// transparently. StreamWriter is the live-rotation path: a streaming
+// follower hands it each study month as it completes, so `mevscope
+// archive -live` writes segments while the world grows instead of
+// serializing everything at the end.
 package archive
 
 import (
@@ -29,28 +45,67 @@ import (
 	"os"
 	"path/filepath"
 
-	"mevscope/internal/chain"
 	"mevscope/internal/dataset"
 	"mevscope/internal/flashbots"
 	"mevscope/internal/p2p"
+	"mevscope/internal/parallel"
 	"mevscope/internal/prices"
-	"mevscope/internal/store"
 	"mevscope/internal/types"
 )
 
-// Version is the on-disk format version.
-const Version = 1
+// Format selects the on-disk encoding of an archive.
+type Format int
+
+// Supported archive formats. The Format value doubles as the manifest's
+// version field.
+const (
+	// FormatV1 is the original JSON-lines encoding.
+	FormatV1 Format = 1
+	// FormatV2 is the compressed frame encoding with a block index.
+	FormatV2 Format = 2
+)
+
+// DefaultFormat is what Write uses: the current format.
+const DefaultFormat = FormatV2
+
+// ParseFormat parses a CLI-style format name ("v1", "v2").
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "v1":
+		return FormatV1, nil
+	case "v2":
+		return FormatV2, nil
+	}
+	return 0, fmt.Errorf("archive: unknown format %q (want v1 or v2)", s)
+}
+
+// String names the format like the CLI flag spells it.
+func (f Format) String() string { return fmt.Sprintf("v%d", int(f)) }
+
+func (f Format) valid() bool { return f == FormatV1 || f == FormatV2 }
 
 // ManifestName is the manifest file name inside an archive directory.
 const ManifestName = "manifest.json"
 
 // FileInfo describes one data file of the archive: its path relative to
-// the archive root, document count and SHA-256 checksum.
+// the archive root, document count, on-disk size and SHA-256 checksum
+// (both over the stored bytes — the compressed stream for v2).
 type FileInfo struct {
 	Name   string `json:"name"`
 	Count  int    `json:"count"`
 	Bytes  int64  `json:"bytes"`
 	SHA256 string `json:"sha256"`
+}
+
+// BlockIndexEntry is one sparse block-index point of a v2 blocks file:
+// frame ordinal, the block number that frame carries, and the frame's
+// byte offset in the uncompressed stream. A reader seeking block n
+// decompresses up to the last entry at or below n and skips those bytes
+// without JSON-decoding a single frame.
+type BlockIndexEntry struct {
+	Frame  int    `json:"frame"`
+	Block  uint64 `json:"block"`
+	Offset int64  `json:"offset"`
 }
 
 // SegmentInfo describes one per-month segment.
@@ -62,6 +117,8 @@ type SegmentInfo struct {
 	Blocks     FileInfo    `json:"blocks"`
 	Flashbots  FileInfo    `json:"flashbots"`
 	Observed   FileInfo    `json:"observed"`
+	// Index is the sparse block index of the blocks file (v2 only).
+	Index []BlockIndexEntry `json:"index,omitempty"`
 }
 
 // ObserverInfo records the observation window bounds.
@@ -83,121 +140,95 @@ type Manifest struct {
 	Meta        map[string]string `json:"meta,omitempty"`
 }
 
+// Format returns the archive's on-disk format.
+func (m *Manifest) Format() Format { return Format(m.Version) }
+
+// Window returns the first and last month the archive has segments for.
+func (m *Manifest) Window() (first, last types.Month) {
+	if len(m.Segments) == 0 {
+		return 0, 0
+	}
+	return m.Segments[0].Month, m.Segments[len(m.Segments)-1].Month
+}
+
 // SegmentLabel names a month's segment directory, e.g. "2020-05".
 func SegmentLabel(m types.Month) string { return m.Label() }
 
-// priceDoc is the prices.jsonl line shape: one token's full history.
+// priceDoc is the prices file's document shape: one token's full history.
 type priceDoc struct {
 	Token  types.Address  `json:"token"`
 	Points []prices.Point `json:"points"`
 }
 
-// Write persists a dataset into dir as a segmented archive, returning the
-// manifest. meta carries free-form provenance (seed, scenario, scale) for
-// the manifest; it does not affect restoration.
+// Write persists a dataset into dir in the current default format (v2),
+// returning the manifest. meta carries free-form provenance (seed,
+// scenario, scale) for the manifest; it does not affect restoration.
 func Write(dir string, ds *dataset.Dataset, meta map[string]string) (*Manifest, error) {
+	return WriteFormat(dir, ds, meta, DefaultFormat)
+}
+
+// WriteFormat persists a dataset into dir in the given format. Months
+// are encoded in parallel — each segment's files are independent — and
+// the manifest is written last, so a crashed Write leaves no manifest
+// and Read refuses the directory.
+func WriteFormat(dir string, ds *dataset.Dataset, meta map[string]string, format Format) (*Manifest, error) {
 	if ds.Chain == nil || ds.Chain.Head() == nil {
 		return nil, fmt.Errorf("archive: dataset has no blocks")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	tl := ds.Chain.Timeline
-	man := &Manifest{
-		Version:     Version,
-		Timeline:    tl,
-		WETH:        ds.WETH,
-		Head:        ds.Chain.Head().Header.Number,
-		TotalBlocks: ds.Chain.Len(),
-		Meta:        meta,
-	}
-
-	// Partition the collected artifacts by study month.
-	fbByMonth := map[types.Month][]flashbots.BlockRecord{}
-	for _, rec := range ds.FBBlocks {
-		m := tl.MonthOfBlock(rec.BlockNumber)
-		fbByMonth[m] = append(fbByMonth[m], rec)
-	}
-	obsByMonth := map[types.Month][]p2p.ObservedTx{}
-	if ds.Observer != nil {
-		for _, rec := range ds.Observer.Records() {
-			m := tl.MonthOfBlock(rec.FirstSeenBlock)
-			obsByMonth[m] = append(obsByMonth[m], rec)
-		}
-		start, stop := ds.Observer.Window()
-		man.Observer = &ObserverInfo{Start: start, Stop: stop}
-	}
-
-	for m := types.Month(0); m < types.StudyMonths; m++ {
-		blocks := ds.Chain.BlocksInMonth(m)
-		if len(blocks) == 0 {
-			continue
-		}
-		label := SegmentLabel(m)
-		segDir := filepath.Join(dir, label)
-		seg := SegmentInfo{
-			Month:      m,
-			Label:      label,
-			FirstBlock: blocks[0].Header.Number,
-			LastBlock:  blocks[len(blocks)-1].Header.Number,
-		}
-		var err error
-		if seg.Blocks, err = writeJSONL(dir, segDir, "blocks", blocks); err != nil {
-			return nil, err
-		}
-		if seg.Flashbots, err = writeJSONL(dir, segDir, "flashbots", fbByMonth[m]); err != nil {
-			return nil, err
-		}
-		if seg.Observed, err = writeJSONL(dir, segDir, "observed", obsByMonth[m]); err != nil {
-			return nil, err
-		}
-		man.Segments = append(man.Segments, seg)
-	}
-
-	var pdocs []priceDoc
-	if ds.Prices != nil {
-		for _, tok := range ds.Prices.Tokens() {
-			pdocs = append(pdocs, priceDoc{Token: tok, Points: ds.Prices.History(tok)})
-		}
-	}
-	var err error
-	if man.Prices, err = writeJSONL(dir, dir, "prices", pdocs); err != nil {
-		return nil, err
-	}
-
-	// The manifest is written last: a crashed Write leaves no manifest and
-	// Read refuses the directory.
-	mf, err := os.Create(filepath.Join(dir, ManifestName))
+	sw, err := NewStreamWriter(dir, ds.Chain.Timeline, ds.WETH, format, meta)
 	if err != nil {
 		return nil, err
 	}
-	enc := json.NewEncoder(mf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(man); err != nil {
-		mf.Close()
-		return nil, fmt.Errorf("archive: manifest: %w", err)
-	}
-	return man, mf.Close()
+	return sw.Finalize(ds)
 }
 
-// writeJSONL persists docs as <segDir>/<name>.jsonl through the document
-// store and returns its integrity record with a path relative to root.
-func writeJSONL[T any](root, segDir, name string, docs []T) (FileInfo, error) {
-	col := store.NewCollection[T](name)
-	col.InsertAll(docs...)
-	if err := col.SaveFile(segDir); err != nil {
-		return FileInfo{}, fmt.Errorf("archive: write %s: %w", name, err)
+// writeSegment persists one month's files in the given format and
+// returns its manifest entry.
+func writeSegment(dir string, format Format, seg *dataset.Segment) (SegmentInfo, error) {
+	label := SegmentLabel(seg.Month)
+	segDir := filepath.Join(dir, label)
+	info := SegmentInfo{
+		Month:      seg.Month,
+		Label:      label,
+		FirstBlock: seg.Blocks[0].Header.Number,
+		LastBlock:  seg.Blocks[len(seg.Blocks)-1].Header.Number,
 	}
-	path := filepath.Join(segDir, name+".jsonl")
-	rel, err := filepath.Rel(root, path)
-	if err != nil {
-		return FileInfo{}, err
+	var err error
+	if format == FormatV1 {
+		if info.Blocks, err = writeJSONL(dir, segDir, "blocks", seg.Blocks); err != nil {
+			return info, err
+		}
+		if info.Flashbots, err = writeJSONL(dir, segDir, "flashbots", seg.FBBlocks); err != nil {
+			return info, err
+		}
+		info.Observed, err = writeJSONL(dir, segDir, "observed", seg.Observed)
+		return info, err
 	}
-	sum, size, err := checksum(path)
-	if err != nil {
-		return FileInfo{}, err
+	var offsets []int64
+	if info.Blocks, offsets, err = writeSeg(dir, segDir, "blocks", seg.Blocks); err != nil {
+		return info, err
 	}
-	return FileInfo{Name: filepath.ToSlash(rel), Count: len(docs), Bytes: size, SHA256: sum}, nil
+	info.Index = blockIndex(seg.Blocks, offsets)
+	if info.Flashbots, _, err = writeSeg(dir, segDir, "flashbots", seg.FBBlocks); err != nil {
+		return info, err
+	}
+	info.Observed, _, err = writeSeg(dir, segDir, "observed", seg.Observed)
+	return info, err
+}
+
+// writePrices persists the price series as the archive's prices file.
+func writePrices(dir string, format Format, pr *prices.Series) (FileInfo, error) {
+	var pdocs []priceDoc
+	if pr != nil {
+		for _, tok := range pr.Tokens() {
+			pdocs = append(pdocs, priceDoc{Token: tok, Points: pr.History(tok)})
+		}
+	}
+	if format == FormatV1 {
+		return writeJSONL(dir, dir, "prices", pdocs)
+	}
+	fi, _, err := writeSeg(dir, dir, "prices", pdocs)
+	return fi, err
 }
 
 // checksum computes the SHA-256 and size of a file.
@@ -215,8 +246,37 @@ func checksum(path string) (string, int64, error) {
 	return hex.EncodeToString(h.Sum(nil)), n, nil
 }
 
+// fileInfoFor builds a data file's integrity record with a path relative
+// to the archive root.
+func fileInfoFor(root, path string, count int) (FileInfo, error) {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	sum, size, err := checksum(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Name: filepath.ToSlash(rel), Count: count, Bytes: size, SHA256: sum}, nil
+}
+
+// verifyFile checks a data file against its manifest record before any
+// decode touches it.
+func verifyFile(root string, fi FileInfo) (string, error) {
+	path := filepath.Join(root, filepath.FromSlash(fi.Name))
+	sum, size, err := checksum(path)
+	if err != nil {
+		return "", fmt.Errorf("archive: %w", err)
+	}
+	if sum != fi.SHA256 || size != fi.Bytes {
+		return "", fmt.Errorf("archive: %s is corrupt (checksum mismatch)", fi.Name)
+	}
+	return path, nil
+}
+
 // ReadManifest loads and sanity-checks an archive's manifest without
-// touching the data files.
+// touching the data files. Both format versions are accepted; the
+// version field routes every later read to the right decoder.
 func ReadManifest(dir string) (*Manifest, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -226,13 +286,36 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(raw, &man); err != nil {
 		return nil, fmt.Errorf("archive: manifest: %w", err)
 	}
-	if man.Version != Version {
-		return nil, fmt.Errorf("archive: unsupported version %d (want %d)", man.Version, Version)
+	if !Format(man.Version).valid() {
+		return nil, fmt.Errorf("archive: unsupported version %d (want %d or %d)",
+			man.Version, FormatV1, FormatV2)
 	}
 	if man.Timeline.BlocksPerMonth == 0 {
 		return nil, fmt.Errorf("archive: manifest has no timeline")
 	}
 	return &man, nil
+}
+
+// SegmentCache caches decoded month segments across reads. internal/query
+// plugs its segment-granular LRU in here so overlapping month ranges
+// share decoded segments instead of re-reading the disk; a nil cache
+// reads every segment fresh. Implementations must be safe for concurrent
+// use — ReadRange decodes segments in parallel.
+type SegmentCache interface {
+	// Get returns the cached segment for (dir, month), if present.
+	Get(dir string, m types.Month) (*dataset.Segment, bool)
+	// Add caches a freshly decoded segment; bytes is its on-disk size,
+	// for size-aware eviction policies.
+	Add(dir string, m types.Month, seg *dataset.Segment, bytes int64)
+}
+
+// ReadOptions tune a ReadRangeWith call.
+type ReadOptions struct {
+	// Workers sizes the parallel segment-decode pool (< 1 = all cores).
+	Workers int
+	// Cache, when non-nil, is consulted before and filled after each
+	// segment decode.
+	Cache SegmentCache
 }
 
 // Read restores the full dataset from a segmented archive, verifying
@@ -244,85 +327,99 @@ func Read(dir string) (*dataset.Dataset, *Manifest, error) {
 
 // ReadRange restores only the segments whose month falls in [from, to]
 // (inclusive) — the random-access path behind `mevscope serve`'s month
-// slicing: a query for four months reads four segment directories, not
-// the whole archive. The restored chain's timeline starts at the first
-// selected month, so block→month mapping stays aligned with the full
-// archive, and every selected file is still checksum-verified. The
-// observer is restored only when the selected range reaches into the
+// slicing and `mevscope analyze -range`: a query for four months reads
+// four segment directories, not the whole archive.
+func ReadRange(dir string, from, to types.Month) (*dataset.Dataset, *Manifest, error) {
+	return ReadRangeWith(dir, from, to, ReadOptions{})
+}
+
+// ReadRangeWith is ReadRange with a tunable decode pool and an optional
+// segment cache. Segments decode in parallel (each month's files are
+// independent) and are assembled in month order, so the result is
+// identical to a sequential read. The restored chain's timeline starts
+// at the first selected month, so block→month mapping stays aligned with
+// the full archive, and every freshly read file is checksum-verified.
+// The observer is restored only when the selected range reaches into the
 // observation window; its observation log is read from every segment up
 // to the slice end — not just the sliced months — because a transaction
 // first seen near a month boundary can be mined in the next month, and
 // dropping its record would silently flip it from public to private in
 // the §6 inference (the logs are tiny next to the block files, so the
 // random-access win is preserved).
-func ReadRange(dir string, from, to types.Month) (*dataset.Dataset, *Manifest, error) {
+func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.Dataset, *Manifest, error) {
 	man, err := ReadManifest(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	var segs []SegmentInfo
+	var segs, preSegs []SegmentInfo
 	for _, seg := range man.Segments {
-		if seg.Month >= from && seg.Month <= to {
+		switch {
+		case seg.Month >= from && seg.Month <= to:
 			segs = append(segs, seg)
+		case seg.Month < from:
+			preSegs = append(preSegs, seg)
 		}
 	}
 	if len(segs) == 0 {
-		return nil, nil, fmt.Errorf("archive: no segments in months %s..%s (archive has %d segments)",
-			from.Label(), to.Label(), len(man.Segments))
+		first, last := man.Window()
+		return nil, nil, fmt.Errorf("archive: no segments in months %s..%s (archive covers %s..%s)",
+			from.Label(), to.Label(), first.Label(), last.Label())
 	}
 	full := len(segs) == len(man.Segments)
+
+	// Decode the selected segments in parallel, reusing cached decodes.
+	decoded := parallel.Map(len(segs), opt.Workers, func(i int) decodeResult {
+		si := segs[i]
+		if opt.Cache != nil {
+			if seg, ok := opt.Cache.Get(dir, si.Month); ok {
+				return decodeResult{seg: seg}
+			}
+		}
+		seg, err := readSegment(dir, man, si)
+		if err != nil {
+			return decodeResult{err: err}
+		}
+		if opt.Cache != nil {
+			opt.Cache.Add(dir, si.Month, seg, si.Blocks.Bytes+si.Flashbots.Bytes+si.Observed.Bytes)
+		}
+		return decodeResult{seg: seg}
+	})
+	parts := make([]*dataset.Segment, len(decoded))
+	for i, r := range decoded {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		parts[i] = r.seg
+	}
+
+	// Pre-slice observation logs: reuse a cached segment's, else read just
+	// the (tiny) observed file.
+	var observed []p2p.ObservedTx
+	for _, si := range preSegs {
+		if opt.Cache != nil {
+			if seg, ok := opt.Cache.Get(dir, si.Month); ok {
+				observed = append(observed, seg.Observed...)
+				continue
+			}
+		}
+		obs, err := readDocs[p2p.ObservedTx](dir, man.Format(), si.Observed)
+		if err != nil {
+			return nil, nil, err
+		}
+		observed = append(observed, obs...)
+	}
 
 	tl := man.Timeline
 	tl.StartBlock = man.Timeline.FirstBlockOfMonth(segs[0].Month)
 	tl.FirstMonth = segs[0].Month
-	ds := &dataset.Dataset{
-		Chain:  chain.New(tl),
-		Prices: prices.NewSeries(),
-		WETH:   man.WETH,
+	ds, err := dataset.Assemble(tl, man.WETH, parts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("archive: %w", err)
 	}
-	var observed []p2p.ObservedTx
-	for _, seg := range man.Segments {
-		if seg.Month >= from {
-			break // in-slice logs are read with their segment below
-		}
-		obs, err := readJSONL[p2p.ObservedTx](dir, seg.Observed)
-		if err != nil {
-			return nil, nil, err
-		}
-		observed = append(observed, obs...)
+	for _, seg := range parts {
+		observed = append(observed, seg.Observed...)
 	}
-	for _, seg := range segs {
-		blocks, err := readJSONL[*types.Block](dir, seg.Blocks)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, b := range blocks {
-			b.Seal()
-			// Transaction identity is the content-derived hash; the stored
-			// receipts reference the identities the original run used. A
-			// mismatch means some transaction was mutated after hashing
-			// during the run — refuse rather than mis-link every record.
-			for i, rcpt := range b.Receipts {
-				if i < len(b.Txs) && rcpt.TxHash != b.Txs[i].Hash() {
-					return nil, nil, fmt.Errorf("archive: segment %s block %d tx %d: identity drift (receipt %v vs recomputed %v)",
-						seg.Label, b.Header.Number, i, rcpt.TxHash.Short(), b.Txs[i].Hash().Short())
-				}
-			}
-			if err := ds.Chain.Append(b); err != nil {
-				return nil, nil, fmt.Errorf("archive: segment %s: %w", seg.Label, err)
-			}
-		}
-		fb, err := readJSONL[flashbots.BlockRecord](dir, seg.Flashbots)
-		if err != nil {
-			return nil, nil, err
-		}
-		ds.FBBlocks = append(ds.FBBlocks, fb...)
-		obs, err := readJSONL[p2p.ObservedTx](dir, seg.Observed)
-		if err != nil {
-			return nil, nil, err
-		}
-		observed = append(observed, obs...)
-	}
+
 	wantBlocks, wantHead := man.TotalBlocks, man.Head
 	if !full {
 		wantBlocks = 0
@@ -338,11 +435,11 @@ func ReadRange(dir string, from, to types.Month) (*dataset.Dataset, *Manifest, e
 	if head == nil || head.Header.Number != wantHead {
 		return nil, nil, fmt.Errorf("archive: restored head does not match manifest head %d", wantHead)
 	}
-	ds.FBSet = dataset.FBSetOf(ds.FBBlocks)
 	if man.Observer != nil && man.Observer.Start <= head.Header.Number {
 		ds.Observer = p2p.RestoreObserver(observed, man.Observer.Start, man.Observer.Stop)
 	}
-	pdocs, err := readJSONL[priceDoc](dir, man.Prices)
+	ds.Prices = prices.NewSeries()
+	pdocs, err := readDocs[priceDoc](dir, man.Format(), man.Prices)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -354,28 +451,59 @@ func ReadRange(dir string, from, to types.Month) (*dataset.Dataset, *Manifest, e
 	return ds, man, nil
 }
 
-// readJSONL loads one data file through the document store after
-// verifying its checksum and document count against the manifest.
-func readJSONL[T any](root string, fi FileInfo) ([]T, error) {
-	path := filepath.Join(root, filepath.FromSlash(fi.Name))
-	sum, size, err := checksum(path)
-	if err != nil {
-		return nil, fmt.Errorf("archive: %w", err)
-	}
-	if sum != fi.SHA256 || size != fi.Bytes {
-		return nil, fmt.Errorf("archive: %s is corrupt (checksum mismatch)", fi.Name)
-	}
-	col := store.NewCollection[T](filepath.Base(fi.Name))
-	f, err := os.Open(path)
+// decodeResult carries one segment decode across the parallel fan-out.
+type decodeResult struct {
+	seg *dataset.Segment
+	err error
+}
+
+// readSegment decodes one month's files into a dataset segment, sealing
+// every block and verifying transaction identity.
+func readSegment(dir string, man *Manifest, si SegmentInfo) (*dataset.Segment, error) {
+	format := man.Format()
+	blocks, err := readDocs[*types.Block](dir, format, si.Blocks)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	if err := col.ReadJSON(f); err != nil {
-		return nil, fmt.Errorf("archive: %s: %w", fi.Name, err)
+	if err := sealAndVerify(si.Label, blocks); err != nil {
+		return nil, err
 	}
-	if col.Count() != fi.Count {
-		return nil, fmt.Errorf("archive: %s has %d documents, manifest says %d", fi.Name, col.Count(), fi.Count)
+	fb, err := readDocs[flashbots.BlockRecord](dir, format, si.Flashbots)
+	if err != nil {
+		return nil, err
 	}
-	return col.All(), nil
+	obs, err := readDocs[p2p.ObservedTx](dir, format, si.Observed)
+	if err != nil {
+		return nil, err
+	}
+	return &dataset.Segment{Month: si.Month, Blocks: blocks, FBBlocks: fb, Observed: obs}, nil
+}
+
+// sealAndVerify seals restored blocks and checks receipt-vs-recomputed
+// transaction identity. Transaction identity is the content-derived
+// hash; the stored receipts reference the identities the original run
+// used. A mismatch means some transaction was mutated after hashing
+// during the run — refuse rather than mis-link every record. Sealing
+// also caches every transaction hash, so the segment is safe to share
+// across goroutines afterwards.
+func sealAndVerify(label string, blocks []*types.Block) error {
+	for _, b := range blocks {
+		b.Seal()
+		for i, rcpt := range b.Receipts {
+			if i < len(b.Txs) && rcpt.TxHash != b.Txs[i].Hash() {
+				return fmt.Errorf("archive: segment %s block %d tx %d: identity drift (receipt %v vs recomputed %v)",
+					label, b.Header.Number, i, rcpt.TxHash.Short(), b.Txs[i].Hash().Short())
+			}
+		}
+	}
+	return nil
+}
+
+// readDocs decodes one data file in the archive's format after verifying
+// its checksum and document count against the manifest.
+func readDocs[T any](root string, format Format, fi FileInfo) ([]T, error) {
+	if format == FormatV1 {
+		return readJSONL[T](root, fi)
+	}
+	return readSeg[T](root, fi)
 }

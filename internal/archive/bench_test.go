@@ -1,0 +1,131 @@
+package archive_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"mevscope"
+	"mevscope/internal/archive"
+	"mevscope/internal/dataset"
+	"mevscope/internal/sim"
+)
+
+// The archive benchmarks behind CI's BENCH_archive.json artifact:
+// encode and decode throughput plus on-disk size for v1 (JSON lines)
+// vs v2 (compressed frames), and the block index's random-access
+// latency. The acceptance bar is v2 smaller on disk and at least as
+// fast to restore as v1; the cold `mevscope serve` query benchmark
+// (internal/query, which serves a v2 archive) rides in the same
+// artifact so restore cost regressions show up where users feel them.
+
+var (
+	benchOnce sync.Once
+	benchDS   *dataset.Dataset
+	benchSim  *sim.Sim
+	benchErr  error
+)
+
+// benchDataset simulates one shared small full-window world.
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg, err := mevscope.Options{Seed: 7, BlocksPerMonth: 50}.Config()
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchSim, benchErr = sim.New(cfg)
+		if benchErr != nil {
+			return
+		}
+		if benchErr = benchSim.Run(); benchErr == nil {
+			benchDS = dataset.FromSim(benchSim)
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDS
+}
+
+// diskBytes sums a manifest's data-file sizes.
+func diskBytes(man *archive.Manifest) int64 {
+	total := man.Prices.Bytes
+	for _, seg := range man.Segments {
+		total += seg.Blocks.Bytes + seg.Flashbots.Bytes + seg.Observed.Bytes
+	}
+	return total
+}
+
+// benchEncode measures one format's write path, reporting the on-disk
+// footprint alongside the timing.
+func benchEncode(b *testing.B, format archive.Format) {
+	ds := benchDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var man *archive.Manifest
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "mevscope-bench-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		man, err = archive.WriteFormat(dir, ds, nil, format)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(diskBytes(man)), "disk-bytes")
+	b.ReportMetric(float64(ds.Chain.Len()), "blocks/op")
+}
+
+// benchDecode measures one format's full restore path.
+func benchDecode(b *testing.B, format archive.Format) {
+	ds := benchDataset(b)
+	dir := b.TempDir()
+	man, err := archive.WriteFormat(dir, ds, nil, format)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := archive.Read(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(diskBytes(man)), "disk-bytes")
+	b.ReportMetric(float64(ds.Chain.Len()), "blocks/op")
+}
+
+func BenchmarkArchiveEncodeV1(b *testing.B) { benchEncode(b, archive.FormatV1) }
+func BenchmarkArchiveEncodeV2(b *testing.B) { benchEncode(b, archive.FormatV2) }
+func BenchmarkArchiveDecodeV1(b *testing.B) { benchDecode(b, archive.FormatV1) }
+func BenchmarkArchiveDecodeV2(b *testing.B) { benchDecode(b, archive.FormatV2) }
+
+// BenchmarkArchiveReadBlockV2 measures single-block random access
+// through the sparse block index — decompress-and-skip to the nearest
+// index point instead of decoding the whole segment.
+func BenchmarkArchiveReadBlockV2(b *testing.B) {
+	ds := benchDataset(b)
+	dir := b.TempDir()
+	man, err := archive.WriteFormat(dir, ds, nil, archive.FormatV2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := ds.Chain.Timeline.StartBlock
+	head := ds.Chain.Head().Header.Number
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := start + uint64(i)%(head-start+1)
+		if _, err := archive.ReadBlockFrom(dir, man, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mevscope/internal/dataset"
+	"mevscope/internal/parallel"
+	"mevscope/internal/types"
+)
+
+// StreamWriter builds an archive incrementally, one month segment at a
+// time — the disk side of a streaming follower's OnMonthEnd hook.
+// `mevscope archive -live` rotates each study month to disk the moment
+// it completes, so a long collection run's memory-to-disk handoff is
+// spread over the run instead of paid all at once at the end; Finalize
+// writes whatever months remain, the price history and the manifest.
+// The batch Write/WriteFormat path runs on the same writer (everything
+// is "remaining" at Finalize, encoded in parallel), so a rotated archive
+// is file-for-file identical to a batch one.
+//
+// A StreamWriter is not safe for concurrent use; the follower's
+// OnMonthEnd hook already serializes months in ascending order.
+type StreamWriter struct {
+	dir    string
+	format Format
+	man    *Manifest
+	done   bool
+}
+
+// NewStreamWriter creates the archive directory and an empty manifest in
+// the given format. The manifest is only written by Finalize: a run that
+// dies mid-stream leaves no manifest, and Read refuses the directory.
+func NewStreamWriter(dir string, tl types.Timeline, weth types.Address, format Format, meta map[string]string) (*StreamWriter, error) {
+	if !format.valid() {
+		return nil, fmt.Errorf("archive: unknown format %d", format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &StreamWriter{
+		dir:    dir,
+		format: format,
+		man:    &Manifest{Version: int(format), Timeline: tl, WETH: weth, Meta: meta},
+	}, nil
+}
+
+// Segments returns how many month segments have been written so far.
+func (w *StreamWriter) Segments() int { return len(w.man.Segments) }
+
+// WriteSegment persists one completed month. Months must arrive in
+// ascending order with at least one block each.
+func (w *StreamWriter) WriteSegment(seg *dataset.Segment) error {
+	if w.done {
+		return fmt.Errorf("archive: stream writer already finalized")
+	}
+	if len(seg.Blocks) == 0 {
+		return fmt.Errorf("archive: segment %s has no blocks", seg.Month.Label())
+	}
+	if n := len(w.man.Segments); n > 0 && seg.Month <= w.man.Segments[n-1].Month {
+		return fmt.Errorf("archive: segment %s arrived after %s (months must ascend)",
+			seg.Month.Label(), w.man.Segments[n-1].Label)
+	}
+	info, err := writeSegment(w.dir, w.format, seg)
+	if err != nil {
+		return err
+	}
+	w.man.Segments = append(w.man.Segments, info)
+	return nil
+}
+
+// Finalize writes every month not yet rotated (encoded in parallel),
+// the price history, the observer window and the manifest, completing
+// the archive. ds is the full collected dataset; months already written
+// by WriteSegment are skipped, so the streaming and batch paths produce
+// identical archives.
+func (w *StreamWriter) Finalize(ds *dataset.Dataset) (*Manifest, error) {
+	if w.done {
+		return nil, fmt.Errorf("archive: stream writer already finalized")
+	}
+	head := ds.Chain.Head()
+	if head == nil {
+		return nil, fmt.Errorf("archive: dataset has no blocks")
+	}
+	last := types.Month(-1)
+	if n := len(w.man.Segments); n > 0 {
+		last = w.man.Segments[n-1].Month
+	}
+	var pending []*dataset.Segment
+	for _, seg := range dataset.Partition(ds) {
+		if seg.Month > last {
+			pending = append(pending, seg)
+		}
+	}
+	type segResult struct {
+		info SegmentInfo
+		err  error
+	}
+	results := parallel.Map(len(pending), 0, func(i int) segResult {
+		info, err := writeSegment(w.dir, w.format, pending[i])
+		return segResult{info, err}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		w.man.Segments = append(w.man.Segments, r.info)
+	}
+
+	w.man.Head = head.Header.Number
+	w.man.TotalBlocks = ds.Chain.Len()
+	if ds.Observer != nil {
+		start, stop := ds.Observer.Window()
+		w.man.Observer = &ObserverInfo{Start: start, Stop: stop}
+	}
+	// Drift check: everything the dataset holds must be inside some
+	// segment. A record whose month was already rotated but which entered
+	// the dataset afterwards would be in neither the rotated file nor a
+	// pending segment — refuse rather than archive a silently thinner
+	// world.
+	var blocks, fb, obs int
+	for _, si := range w.man.Segments {
+		blocks += si.Blocks.Count
+		fb += si.Flashbots.Count
+		obs += si.Observed.Count
+	}
+	if blocks != w.man.TotalBlocks {
+		return nil, fmt.Errorf("archive: segments hold %d blocks, dataset has %d (rotated months drifted from the chain)",
+			blocks, w.man.TotalBlocks)
+	}
+	if fb != len(ds.FBBlocks) {
+		return nil, fmt.Errorf("archive: segments hold %d Flashbots records, dataset has %d (records arrived after their month rotated)",
+			fb, len(ds.FBBlocks))
+	}
+	wantObs := 0
+	if ds.Observer != nil {
+		wantObs = ds.Observer.Count()
+	}
+	if obs != wantObs {
+		return nil, fmt.Errorf("archive: segments hold %d observation records, dataset has %d (records arrived after their month rotated)",
+			obs, wantObs)
+	}
+	var err error
+	if w.man.Prices, err = writePrices(w.dir, w.format, ds.Prices); err != nil {
+		return nil, err
+	}
+
+	mf, err := os.Create(filepath.Join(w.dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(w.man); err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("archive: manifest: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return nil, err
+	}
+	w.done = true
+	return w.man, nil
+}

@@ -12,6 +12,8 @@
 package dataset
 
 import (
+	"fmt"
+
 	"mevscope/internal/chain"
 	"mevscope/internal/flashbots"
 	"mevscope/internal/p2p"
@@ -68,4 +70,79 @@ func FBSetOf(records []flashbots.BlockRecord) map[types.Hash]flashbots.BundleTyp
 		}
 	}
 	return out
+}
+
+// Segment is one study month's partition of a dataset: the blocks mined
+// in that month, the Flashbots API records for them, and the pending
+// transactions first observed during it. It is the unit the archive
+// persists, the streaming follower rotates to disk, and the query layer
+// caches — a month materializes at most once per process, however many
+// overlapping ranges ask for it.
+//
+// A Segment is immutable once built (blocks are sealed, hashes cached),
+// so one decoded segment is safely shared across concurrent readers and
+// assembled into any number of datasets.
+type Segment struct {
+	Month    types.Month
+	Blocks   []*types.Block
+	FBBlocks []flashbots.BlockRecord
+	Observed []p2p.ObservedTx
+}
+
+// Partition splits a dataset into per-month segments in ascending month
+// order, skipping months with no blocks. Ordering within a segment is the
+// dataset's own (blocks by height, records in capture order), so
+// concatenating the segments back reproduces the original sequences.
+func Partition(ds *Dataset) []*Segment {
+	tl := ds.Chain.Timeline
+	byMonth := map[types.Month]*Segment{}
+	get := func(m types.Month) *Segment {
+		seg := byMonth[m]
+		if seg == nil {
+			seg = &Segment{Month: m}
+			byMonth[m] = seg
+		}
+		return seg
+	}
+	for _, rec := range ds.FBBlocks {
+		seg := get(tl.MonthOfBlock(rec.BlockNumber))
+		seg.FBBlocks = append(seg.FBBlocks, rec)
+	}
+	if ds.Observer != nil {
+		for _, rec := range ds.Observer.Records() {
+			seg := get(tl.MonthOfBlock(rec.FirstSeenBlock))
+			seg.Observed = append(seg.Observed, rec)
+		}
+	}
+	var out []*Segment
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		blocks := ds.Chain.BlocksInMonth(m)
+		if len(blocks) == 0 {
+			continue
+		}
+		seg := get(m)
+		seg.Blocks = blocks
+		out = append(out, seg)
+	}
+	return out
+}
+
+// Assemble rebuilds a dataset from contiguous month segments. tl must be
+// the archive's timeline re-anchored at the first segment's month (so
+// block→month mapping stays aligned with the full archive); prices,
+// observer and WETH stay with the caller, which knows where they live.
+// The segments are only read, never retained mutable — assembling the
+// same cached segments into many datasets is safe.
+func Assemble(tl types.Timeline, weth types.Address, segs []*Segment) (*Dataset, error) {
+	ds := &Dataset{Chain: chain.New(tl), WETH: weth}
+	for _, seg := range segs {
+		for _, b := range seg.Blocks {
+			if err := ds.Chain.Append(b); err != nil {
+				return nil, fmt.Errorf("dataset: segment %s: %w", seg.Month.Label(), err)
+			}
+		}
+		ds.FBBlocks = append(ds.FBBlocks, seg.FBBlocks...)
+	}
+	ds.FBSet = FBSetOf(ds.FBBlocks)
+	return ds, nil
 }

@@ -24,11 +24,10 @@ func benchGet(b *testing.B, srv *query.Server, url string) {
 	}
 }
 
-// BenchmarkServeColdReport measures the cold query path: every request
-// misses the cache (fresh server), so it pays the archive month-range
-// restore plus the full measurement pipeline.
-func BenchmarkServeColdReport(b *testing.B) {
-	dir := testArchive(b)
+// benchColdReport measures the cold query path over one archive: every
+// request misses both cache levels (fresh server), so it pays the full
+// archive restore plus the measurement pipeline.
+func benchColdReport(b *testing.B, dir string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -40,6 +39,21 @@ func BenchmarkServeColdReport(b *testing.B) {
 		b.StartTimer()
 		benchGet(b, srv, "/v1/report?format=text")
 	}
+}
+
+// BenchmarkServeColdReport is the cold query benchmark against a v2
+// archive — the default a new `mevscope archive` produces.
+func BenchmarkServeColdReport(b *testing.B) {
+	dir, _ := testArchives(b)
+	benchColdReport(b, dir)
+}
+
+// BenchmarkServeColdReportV1 is the same cold query against the same
+// world in the legacy v1 encoding: the regression baseline for the v2
+// restore path.
+func BenchmarkServeColdReportV1(b *testing.B) {
+	_, dir := testArchives(b)
+	benchColdReport(b, dir)
 }
 
 // BenchmarkServeCachedReport measures the repeated full-report request:

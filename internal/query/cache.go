@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"mevscope/internal/core/measure"
+	"mevscope/internal/dataset"
 	"mevscope/internal/types"
 )
 
@@ -111,6 +112,109 @@ func (c *reportCache) stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Size: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}
+
+// segKey identifies one decoded month segment of one archive.
+type segKey struct {
+	archive string
+	month   types.Month
+}
+
+// SegmentCacheStats is a point-in-time view of the segment LRU: entry
+// counters plus the on-disk bytes the cached decodes stand in for.
+type SegmentCacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// segmentCache is the second cache level, under the report LRU: a
+// concurrency-safe LRU of decoded archive segments keyed by (archive,
+// month). A report-cache miss re-runs the measurement pipeline, but
+// overlapping month ranges of the same archive hit here for the months
+// they share, so the disk is read and the JSON decoded at most once per
+// month however the query ranges slice the window. Decoded segments are
+// immutable (blocks sealed, hashes cached), so one entry is assembled
+// into any number of concurrent datasets without copying.
+//
+// It implements archive.SegmentCache.
+type segmentCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List
+	items     map[segKey]*list.Element
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// segEntry is one LRU element.
+type segEntry struct {
+	key   segKey
+	seg   *dataset.Segment
+	bytes int64
+}
+
+// newSegmentCache creates an LRU holding up to capacity decoded segments
+// (minimum 1).
+func newSegmentCache(capacity int) *segmentCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &segmentCache{cap: capacity, ll: list.New(), items: make(map[segKey]*list.Element)}
+}
+
+// Get returns the cached segment and promotes it to most-recently-used.
+func (c *segmentCache) Get(dir string, m types.Month) (*dataset.Segment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[segKey{dir, m}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*segEntry).seg, true
+}
+
+// Add inserts (or refreshes) a decoded segment, evicting the
+// least-recently-used entries beyond capacity.
+func (c *segmentCache) Add(dir string, m types.Month, seg *dataset.Segment, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := segKey{dir, m}
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*segEntry)
+		c.bytes += bytes - e.bytes
+		e.seg, e.bytes = seg, bytes
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&segEntry{key: k, seg: seg, bytes: bytes})
+	c.bytes += bytes
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*segEntry)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *segmentCache) stats() SegmentCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SegmentCacheStats{
+		Size: c.ll.Len(), Capacity: c.cap, Bytes: c.bytes,
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 	}
 }

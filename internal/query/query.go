@@ -11,7 +11,11 @@
 // concurrency-safe LRU keyed by (archive, month range, scenario).
 // Repeated queries for any artifact of the same slice — any format —
 // skip the pipeline entirely and re-encode the cached report's
-// structured artifact model (measure.Artifact).
+// structured artifact model (measure.Artifact). Beneath the report LRU
+// sits a second, segment-granular LRU of decoded archive months: a
+// report miss re-runs the pipeline, but the months its range shares with
+// earlier queries come out of memory instead of the disk, so overlapping
+// ranges never re-read or re-decode a segment.
 //
 // Endpoints:
 //
@@ -64,10 +68,16 @@ type Config struct {
 	Archive string
 	// Analyze runs the measurement pipeline over a restored dataset.
 	Analyze AnalyzeFunc
-	// Workers sizes the analysis worker pool (passed through to Analyze).
+	// Workers sizes the analysis worker pool (passed through to Analyze
+	// and to the parallel segment decode).
 	Workers int
 	// CacheSize bounds the report LRU; 0 selects 16 entries.
 	CacheSize int
+	// SegmentCacheSize bounds the second-level LRU of decoded archive
+	// segments; 0 selects 64 entries. Overlapping month ranges share the
+	// segments they both touch through this cache, so a cold report build
+	// re-reads only the months no earlier query decoded.
+	SegmentCacheSize int
 }
 
 // Server answers artifact queries over one archive (and optionally one
@@ -75,6 +85,7 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	cache *reportCache
+	segs  *segmentCache
 	mux   *http.ServeMux
 
 	mu       sync.Mutex
@@ -99,9 +110,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 16
 	}
+	if cfg.SegmentCacheSize == 0 {
+		cfg.SegmentCacheSize = 64
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    newReportCache(cfg.CacheSize),
+		segs:     newSegmentCache(cfg.SegmentCacheSize),
 		inflight: make(map[Key]*call),
 	}
 	mux := http.NewServeMux()
@@ -121,8 +136,11 @@ func (s *Server) SetLive(src Live) {
 	s.mu.Unlock()
 }
 
-// CacheStats reports the cache's hit/miss/eviction counters.
+// CacheStats reports the report cache's hit/miss/eviction counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// SegmentCacheStats reports the second-level segment cache's counters.
+func (s *Server) SegmentCacheStats() SegmentCacheStats { return s.segs.stats() }
 
 // ServeHTTP dispatches to the /v1 API.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -287,10 +305,12 @@ func (s *Server) report(key Key) (rep *measure.Report, err error) {
 	return c.rep, c.err
 }
 
-// analyze is the cold path: restore the month slice and run the
-// measurement pipeline over it.
+// analyze is the cold path: restore the month slice — months another
+// range already decoded come from the segment cache, the rest from disk
+// in parallel — and run the measurement pipeline over it.
 func (s *Server) analyze(key Key) (*measure.Report, error) {
-	ds, _, err := archive.ReadRange(key.Archive, key.From, key.To)
+	ds, _, err := archive.ReadRangeWith(key.Archive, key.From, key.To,
+		archive.ReadOptions{Workers: s.cfg.Workers, Cache: s.segs})
 	if err != nil {
 		return nil, err
 	}
@@ -432,7 +452,11 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, man)
 }
 
-// handleCache serves the LRU's hit/miss counters.
+// handleCache serves both cache levels' hit/miss counters: the report
+// LRU and the decoded-segment LRU beneath it.
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.cache.stats())
+	writeJSON(w, struct {
+		Reports  CacheStats        `json:"reports"`
+		Segments SegmentCacheStats `json:"segments"`
+	}{s.cache.stats(), s.segs.stats()})
 }

@@ -37,8 +37,15 @@ func TestMain(m *testing.M) {
 }
 
 // testArchive simulates a small full-window world (the observation
-// window opens, so every artifact has rows) and archives it.
+// window opens, so every artifact has rows) and archives it in both
+// formats: v2 (what the server normally fronts) and v1 (the legacy
+// baseline the cold-query benchmark compares against).
 func testArchive(tb testing.TB) string {
+	dir, _ := testArchives(tb)
+	return dir
+}
+
+func testArchives(tb testing.TB) (v2, v1 string) {
 	tb.Helper()
 	archOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "mevscope-query-*")
@@ -61,7 +68,12 @@ func testArchive(tb testing.TB) string {
 			return
 		}
 		meta := map[string]string{"scenario": "baseline", "seed": "7"}
-		if _, err := archive.Write(dir, dataset.FromSim(s), meta); err != nil {
+		ds := dataset.FromSim(s)
+		if _, err := archive.WriteFormat(dir+"/v2", ds, meta, archive.FormatV2); err != nil {
+			archErr = err
+			return
+		}
+		if _, err := archive.WriteFormat(dir+"/v1", ds, meta, archive.FormatV1); err != nil {
 			archErr = err
 			return
 		}
@@ -70,7 +82,7 @@ func testArchive(tb testing.TB) string {
 	if archErr != nil {
 		tb.Fatal(archErr)
 	}
-	return archDir
+	return archDir + "/v2", archDir + "/v1"
 }
 
 // analyzeReal adapts the full measurement pipeline to query.AnalyzeFunc.
@@ -433,5 +445,99 @@ func TestMonthsOutsideArchive(t *testing.T) {
 	}
 	if got := calls.Load(); got != 1 {
 		t.Errorf("analyze calls = %d, want 1 (clamped ranges should share one key)", got)
+	}
+}
+
+// TestSegmentCacheSharesOverlap: overlapping month ranges are distinct
+// report-cache keys (both analyze), but the months they share decode
+// once — the second query's cold build reads only the months the first
+// one never touched, and /v1/cache exposes both levels.
+func TestSegmentCacheSharesOverlap(t *testing.T) {
+	var calls atomic.Int64
+	srv := newServer(t, 8, &calls)
+	if code, body := get(t, srv, "/v1/artifact/fig3?months=2021-01..2021-06"); code != http.StatusOK {
+		t.Fatalf("first range failed: %s", body)
+	}
+	first := srv.SegmentCacheStats()
+	if first.Size != 6 || first.Hits != 0 {
+		t.Fatalf("first cold range: segment cache %+v, want 6 decoded months, 0 hits", first)
+	}
+	if first.Bytes <= 0 {
+		t.Errorf("segment cache accounts %d bytes, want > 0", first.Bytes)
+	}
+	if code, body := get(t, srv, "/v1/artifact/fig3?months=2021-04..2021-09"); code != http.StatusOK {
+		t.Fatalf("overlapping range failed: %s", body)
+	}
+	second := srv.SegmentCacheStats()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("analyze calls = %d, want 2 (distinct ranges are distinct reports)", got)
+	}
+	if second.Size != 9 {
+		t.Errorf("after overlap: %d cached months, want 9 (2021-01..2021-09)", second.Size)
+	}
+	if second.Hits < 3 {
+		t.Errorf("overlap hit %d cached segments, want ≥ 3 (2021-04..2021-06 shared)", second.Hits)
+	}
+	// The exact same range again: pure report-cache hit, segment cache
+	// untouched.
+	if code, _ := get(t, srv, "/v1/artifact/fig3?months=2021-04..2021-09"); code != http.StatusOK {
+		t.Fatal("repeat range failed")
+	}
+	if after := srv.SegmentCacheStats(); after.Hits != second.Hits || after.Misses != second.Misses {
+		t.Errorf("report-cache hit touched the segment cache: %+v vs %+v", after, second)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("analyze calls after repeat = %d, want 2", got)
+	}
+	// Both cache levels are visible on the wire.
+	code, body := get(t, srv, "/v1/cache")
+	if code != http.StatusOK {
+		t.Fatal("cache endpoint failed")
+	}
+	var stats struct {
+		Reports  query.CacheStats        `json:"reports"`
+		Segments query.SegmentCacheStats `json:"segments"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("cache endpoint is not the two-level shape: %v\n%s", err, body)
+	}
+	if stats.Segments.Size == 0 || stats.Reports.Misses == 0 {
+		t.Errorf("cache endpoint stats look empty: %s", body)
+	}
+}
+
+// TestSegmentCacheEviction: a tiny segment cache keeps serving correct
+// reports while evicting, it just re-reads more.
+func TestSegmentCacheEviction(t *testing.T) {
+	srv, err := query.New(query.Config{
+		Archive:          testArchive(t),
+		Analyze:          analyzeReal,
+		Workers:          1,
+		SegmentCacheSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := get(t, srv, "/v1/artifact/fig3?months=2021-01..2021-06")
+	if code, _ := get(t, srv, "/v1/artifact/fig4?months=2021-07..2021-12"); code != http.StatusOK {
+		t.Fatal("second range failed")
+	}
+	st := srv.SegmentCacheStats()
+	if st.Size != 2 || st.Evictions == 0 {
+		t.Errorf("tiny cache stats %+v, want size 2 with evictions", st)
+	}
+	// Evicted months re-decode correctly: same body as the first query
+	// (report cache is large enough to hold both, so force a fresh server).
+	srv2, err := query.New(query.Config{
+		Archive:          testArchive(t),
+		Analyze:          analyzeReal,
+		Workers:          1,
+		SegmentCacheSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, got := get(t, srv2, "/v1/artifact/fig3?months=2021-01..2021-06"); got != want {
+		t.Error("report over a thrashing segment cache differs")
 	}
 }

@@ -22,6 +22,7 @@ package stream
 
 import (
 	"fmt"
+	"sort"
 
 	"mevscope/internal/chain"
 	"mevscope/internal/core/detect"
@@ -196,6 +197,35 @@ func (f *Follower) Profits() []profit.Record { return f.tracker.Records() }
 // Inferrer returns the live §6 inference, nil before the observation
 // window opens.
 func (f *Follower) Inferrer() *privinfer.Inferrer { return f.inf }
+
+// MonthSegment extracts one completed month's partition of the fed
+// world: its blocks, Flashbots API records and the pending transactions
+// first observed during it — exactly what dataset.Partition would
+// produce for that month over the final dataset. Called from OnMonthEnd
+// it is the live feed of archive.StreamWriter: every record of month m
+// exists by the time m's last block is fed (a transaction's first-seen
+// block cannot precede its broadcast), so `mevscope archive -live` can
+// rotate the month to disk immediately and the result is file-identical
+// to archiving everything at the end.
+func (f *Follower) MonthSegment(m types.Month) *dataset.Segment {
+	tl := f.chain.Timeline
+	seg := &dataset.Segment{Month: m, Blocks: f.chain.BlocksInMonth(m)}
+	// Both record logs are in ascending block order (records append as
+	// blocks are fed / transactions are first seen), so the month's span
+	// is a binary-searched slice, not a scan of the whole run — rotation
+	// cost stays proportional to the month, not to the history.
+	fb := f.acc.FBBlocks()
+	lo := sort.Search(len(fb), func(i int) bool { return tl.MonthOfBlock(fb[i].BlockNumber) >= m })
+	hi := sort.Search(len(fb), func(i int) bool { return tl.MonthOfBlock(fb[i].BlockNumber) > m })
+	seg.FBBlocks = append(seg.FBBlocks, fb[lo:hi]...)
+	if f.obs != nil {
+		recs := f.obs.Records()
+		lo := sort.Search(len(recs), func(i int) bool { return tl.MonthOfBlock(recs[i].FirstSeenBlock) >= m })
+		hi := sort.Search(len(recs), func(i int) bool { return tl.MonthOfBlock(recs[i].FirstSeenBlock) > m })
+		seg.Observed = append(seg.Observed, recs[lo:hi]...)
+	}
+	return seg
+}
 
 // Dataset returns the collected-measurement view of the fed world — the
 // input `mevscope archive` persists. It shares the follower's live

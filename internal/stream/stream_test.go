@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"mevscope"
+	"mevscope/internal/archive"
 	"mevscope/internal/core/measure"
+	"mevscope/internal/dataset"
 	"mevscope/internal/sim"
 	"mevscope/internal/stream"
 	"mevscope/internal/types"
@@ -130,5 +132,129 @@ func TestFollowerFeedValidation(t *testing.T) {
 	// A second sync is a no-op.
 	if n, err := f.Sync(); err != nil || n != 0 {
 		t.Fatalf("idle sync = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestStreamedArchiveMatchesBatch: rotating every month to disk through
+// OnMonthEnd (the `mevscope archive -live` path) must produce an archive
+// file-for-file identical to batch-archiving the finished dataset — same
+// checksums, same manifest shape — and restoring it must reproduce the
+// batch report byte for byte.
+func TestStreamedArchiveMatchesBatch(t *testing.T) {
+	cfg := sim.DefaultConfig(23)
+	cfg.BlocksPerMonth = 25
+	liveDir, batchDir := t.TempDir(), t.TempDir()
+
+	var sw *archive.StreamWriter
+	var rotErr error
+	var rotations int
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err = archive.NewStreamWriter(liveDir, s.Chain.Timeline, s.World.WETH, archive.FormatV2, map[string]string{"seed": "23"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := stream.ForSim(s, 2)
+	f.OnMonthEnd = func(m types.Month, f *stream.Follower) {
+		if rotErr == nil {
+			rotErr = sw.WriteSegment(f.MonthSegment(m))
+			rotations++
+		}
+	}
+	end := s.EndBlock()
+	for s.Chain.NextNumber() <= end {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rotErr != nil {
+		t.Fatal(rotErr)
+	}
+	if rotations != types.StudyMonths {
+		t.Fatalf("rotated %d months, want %d", rotations, types.StudyMonths)
+	}
+	liveMan, err := sw.Finalize(f.Dataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batchMan, err := archive.WriteFormat(batchDir, dataset.FromSim(s), map[string]string{"seed": "23"}, archive.FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveMan.Segments) != len(batchMan.Segments) {
+		t.Fatalf("streamed archive has %d segments, batch has %d", len(liveMan.Segments), len(batchMan.Segments))
+	}
+	for i, live := range liveMan.Segments {
+		batch := batchMan.Segments[i]
+		for _, pair := range [][2]archive.FileInfo{
+			{live.Blocks, batch.Blocks}, {live.Flashbots, batch.Flashbots}, {live.Observed, batch.Observed},
+		} {
+			if pair[0].SHA256 != pair[1].SHA256 || pair[0].Count != pair[1].Count {
+				t.Errorf("segment %s: streamed %s differs from batch (%d vs %d docs)",
+					live.Label, pair[0].Name, pair[0].Count, pair[1].Count)
+			}
+		}
+	}
+	if liveMan.Prices.SHA256 != batchMan.Prices.SHA256 {
+		t.Error("streamed prices file differs from batch")
+	}
+
+	restored, _, err := archive.Read(liveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mevscope.AnalyzeDataset(restored, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchStudy, err := mevscope.AnalyzeWith(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(st.Report), render(batchStudy.Report)) {
+		t.Error("report over the streamed archive differs from the batch pipeline's")
+	}
+}
+
+// TestStreamWriterValidation: months must ascend, a finalized writer is
+// closed, and Finalize refuses a dataset whose months were only partly
+// rotated under a stale manifest view.
+func TestStreamWriterValidation(t *testing.T) {
+	cfg := sim.DefaultConfig(5)
+	cfg.BlocksPerMonth = 20
+	cfg.Months = 3
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.FromSim(s)
+	segs := dataset.Partition(ds)
+	if len(segs) != 3 {
+		t.Fatalf("partitioned %d months, want 3", len(segs))
+	}
+	sw, err := archive.NewStreamWriter(t.TempDir(), s.Chain.Timeline, s.World.WETH, archive.FormatV2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteSegment(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteSegment(segs[0]); err == nil {
+		t.Error("out-of-order month accepted")
+	}
+	if err := sw.WriteSegment(segs[1]); err == nil {
+		t.Error("repeated month accepted")
+	}
+	if _, err := sw.Finalize(ds); err == nil {
+		t.Error("Finalize accepted a dataset with unrotated months below the last written segment")
 	}
 }

@@ -1,0 +1,71 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+// Month parsing sits on the CLI (`analyze -range`) and HTTP (`?months=`)
+// boundaries, so it sees attacker-shaped input. The fuzzers pin the
+// safety contract: never panic, never accept a month outside the study
+// window, and stay consistent with the Label/String renderings.
+
+func FuzzParseMonth(f *testing.F) {
+	for m := Month(0); m < StudyMonths; m++ {
+		f.Add(m.Label())
+		f.Add(m.String())
+	}
+	f.Add("")
+	f.Add("2021-3")
+	f.Add("2021-13")
+	f.Add("0000-00")
+	f.Add("-2021-03")
+	f.Add("2021-03-01")
+	f.Add("99999999999-01")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMonth(s)
+		if err != nil {
+			return
+		}
+		if m < 0 || m >= StudyMonths {
+			t.Fatalf("ParseMonth(%q) = %d, outside the study window", s, m)
+		}
+		// Accepted months round-trip through their canonical label.
+		back, err := ParseMonth(m.Label())
+		if err != nil || back != m {
+			t.Fatalf("ParseMonth(%q) = %d, but its label %q re-parses to (%d, %v)", s, m, m.Label(), back, err)
+		}
+	})
+}
+
+func FuzzParseMonthRange(f *testing.F) {
+	f.Add("")
+	f.Add("2021-03..2021-06")
+	f.Add("2021-06..2021-03")
+	f.Add("2021-03")
+	f.Add("..")
+	f.Add("2021-03..")
+	f.Add("..2021-06")
+	f.Add("2021-03..2021-06..2021-09")
+	f.Add("3/2021..6/2021")
+	f.Fuzz(func(t *testing.T, s string) {
+		from, to, err := ParseMonthRange(s)
+		if err != nil {
+			return
+		}
+		if from < 0 || to >= StudyMonths || to < from {
+			t.Fatalf("ParseMonthRange(%q) = [%d, %d], outside the study window or inverted", s, from, to)
+		}
+		// Accepted ranges round-trip through their canonical spelling.
+		spec := from.Label() + ".." + to.Label()
+		f2, t2, err := ParseMonthRange(spec)
+		if err != nil || f2 != from || t2 != to {
+			t.Fatalf("ParseMonthRange(%q) = [%d, %d], but %q re-parses to ([%d, %d], %v)",
+				s, from, to, spec, f2, t2, err)
+		}
+		// The canonical spelling must agree with what error messages print.
+		if strings.Contains(spec, " ") {
+			t.Fatalf("labels must not contain spaces: %q", spec)
+		}
+	})
+}

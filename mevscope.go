@@ -211,6 +211,3 @@ func (st *Study) WriteReport(w io.Writer) {
 func WriteReportTo(w io.Writer, r *measure.Report) {
 	measure.WriteReportText(w, r)
 }
-
-// bar renders a #/. gauge; kept as an alias of the model renderer's.
-func bar(frac float64, width int) string { return measure.Bar(frac, width) }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"mevscope/internal/core/measure"
 	"mevscope/internal/types"
 )
 
@@ -147,13 +148,13 @@ func TestOptionsPropagate(t *testing.T) {
 }
 
 func TestBar(t *testing.T) {
-	if got := bar(0.5, 10); got != "#####....." {
+	if got := measure.Bar(0.5, 10); got != "#####....." {
 		t.Errorf("bar = %q", got)
 	}
-	if got := bar(-1, 4); got != "...." {
+	if got := measure.Bar(-1, 4); got != "...." {
 		t.Errorf("bar clamp low = %q", got)
 	}
-	if got := bar(2, 4); got != "####" {
+	if got := measure.Bar(2, 4); got != "####" {
 		t.Errorf("bar clamp high = %q", got)
 	}
 }

@@ -7,6 +7,9 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"mevscope/internal/archive"
+	"mevscope/internal/dataset"
 )
 
 // TestWriteReportGolden pins the text report byte-for-byte against the
@@ -43,6 +46,43 @@ func TestWriteReportGolden(t *testing.T) {
 		}
 	}
 	t.Fatal("report differs from golden (whitespace only?)")
+}
+
+// TestArchiveRoundTripGolden pins the archive formats against the same
+// golden file the in-memory pipeline is pinned to: the golden world
+// archived as v1 and as v2 must each restore to a dataset whose report
+// is byte-for-byte the golden report. This is the acceptance gate for
+// the v2 encoding — compression, framing and the block index are
+// invisible to every measured value.
+func TestArchiveRoundTripGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/report_seed1234_bpm100.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(Options{Seed: 1234, BlocksPerMonth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.FromSim(st.Sim)
+	for _, format := range []archive.Format{archive.FormatV1, archive.FormatV2} {
+		dir := t.TempDir()
+		if _, err := archive.WriteFormat(dir, ds, nil, format); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		restored, _, err := archive.Read(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		rst, err := AnalyzeDataset(restored, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		var buf bytes.Buffer
+		rst.WriteReport(&buf)
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s archive round trip drifted from the golden report", format)
+		}
+	}
 }
 
 // TestArtifactFormatsConsistent cross-checks the three encodings of one
