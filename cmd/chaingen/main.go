@@ -6,10 +6,17 @@
 //
 // Usage:
 //
-//	chaingen [-seed N] [-bpm BLOCKS] [-out DIR]
+//	chaingen [-seed N] [-bpm BLOCKS] [-out DIR] [-vantages N] [-topology NAME]
 //
-// Stray positional arguments, a zero -bpm and an empty -out are rejected
-// up front with exit status 2.
+// With -vantages N the gossip network carries N observation vantages and
+// the pending-transactions collection gains a per-record vantage column
+// (the primary vantage is 0), mirroring mempool-dumpster's per-source
+// first-seen logs; -topology selects the gossip graph shape
+// (ring-chords, ring, small-world).
+//
+// Stray positional arguments, a zero -bpm, an empty -out, a negative
+// -vantages and an unknown -topology are rejected up front with exit
+// status 2.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"mevscope"
+	"mevscope/internal/p2p"
 	"mevscope/internal/store"
 	"mevscope/internal/types"
 )
@@ -43,6 +51,10 @@ type pendingDoc struct {
 	Hash           string `json:"hash"`
 	FirstSeenBlock uint64 `json:"first_seen_block"`
 	Hops           int    `json:"hops"`
+	// Vantage is the observation vantage that recorded the row (0 is the
+	// primary observer); Node its position in the gossip graph.
+	Vantage int `json:"vantage"`
+	Node    int `json:"node"`
 }
 
 // fbBlockDoc is one row of the Flashbots blocks API dump.
@@ -56,9 +68,11 @@ type fbBlockDoc struct {
 
 // options is the validated flag set of one invocation.
 type options struct {
-	seed int64
-	bpm  uint64
-	out  string
+	seed     int64
+	bpm      uint64
+	out      string
+	vantages int
+	topology string
 }
 
 // parseArgs parses and validates the command line; mistakes come back as
@@ -76,6 +90,8 @@ func parseArgs(args []string) (options, error) {
 	fs.Int64Var(&o.seed, "seed", 42, "simulation seed")
 	fs.Uint64Var(&o.bpm, "bpm", 400, "blocks per simulated month")
 	fs.StringVar(&o.out, "out", "dataset", "output directory")
+	fs.IntVar(&o.vantages, "vantages", 0, "observation vantages spread around the gossip network (0 = single observer)")
+	fs.StringVar(&o.topology, "topology", "", "gossip topology: ring-chords (default), ring, small-world")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -87,6 +103,12 @@ func parseArgs(args []string) (options, error) {
 	}
 	if o.out == "" {
 		return o, fmt.Errorf("-out DIR must not be empty")
+	}
+	if o.vantages < 0 {
+		return o, fmt.Errorf("-vantages must be ≥ 0 (got %d)", o.vantages)
+	}
+	if _, err := p2p.ParseTopology(o.topology); err != nil {
+		return o, err
 	}
 	return o, nil
 }
@@ -103,7 +125,10 @@ func main() {
 
 	t0 := time.Now()
 	fmt.Fprintf(os.Stderr, "chaingen: simulating (seed %d, %d blocks/month)...\n", o.seed, o.bpm)
-	study, err := mevscope.Run(mevscope.Options{Seed: o.seed, BlocksPerMonth: o.bpm})
+	study, err := mevscope.Run(mevscope.Options{
+		Seed: o.seed, BlocksPerMonth: o.bpm,
+		Vantages: o.vantages, Topology: o.topology,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaingen:", err)
 		os.Exit(1)
@@ -127,8 +152,13 @@ func main() {
 	}
 
 	pending := store.NewCollection[pendingDoc]("pending_transactions")
-	for _, rec := range study.Sim.Net.Observer().Records() {
-		pending.Insert(pendingDoc{Hash: rec.Hash.String(), FirstSeenBlock: rec.FirstSeenBlock, Hops: rec.Hops})
+	for vi, v := range study.Sim.Net.Vantages() {
+		for _, rec := range v.Records() {
+			pending.Insert(pendingDoc{
+				Hash: rec.Hash.String(), FirstSeenBlock: rec.FirstSeenBlock, Hops: rec.Hops,
+				Vantage: vi, Node: v.Node(),
+			})
+		}
 	}
 
 	fbBlocks := store.NewCollection[fbBlockDoc]("flashbots_blocks")

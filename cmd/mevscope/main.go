@@ -6,10 +6,12 @@
 //
 //	mevscope [-seed N] [-bpm BLOCKS] [-months M] [-section NAME]
 //	         [-scenario NAME] [-seeds N,N,...] [-parallel W]
+//	         [-vantages N] [-topology NAME] [-view union|quorum:K|vantage:N]
 //	mevscope archive -out DIR [-format v1|v2] [-live] [-seed N]
 //	         [-bpm BLOCKS] [-months M] [-scenario NAME]
+//	         [-vantages N] [-topology NAME]
 //	mevscope analyze -from DIR [-range 2021-03..2021-06] [-section NAME]
-//	         [-parallel W] [-csv DIR]
+//	         [-view union|quorum:K|vantage:N] [-parallel W] [-csv DIR]
 //	mevscope serve -from DIR [-addr HOST:PORT] [-cache N] [-parallel W]
 //	         [-live [-seed N] [-scenario NAME] [-bpm BLOCKS]]
 //
@@ -25,18 +27,26 @@
 // the report is byte-identical to the original run's. -range restores
 // only a month slice, reading just those segments.
 // The serve subcommand exposes an archive over HTTP (internal/query):
-// per-artifact queries in JSON/CSV/text with month-range slicing, backed
-// by an LRU of analyzed reports so repeated queries skip the pipeline;
-// with -live it also simulates a world in the background and serves the
-// streaming follower's snapshot from the same endpoints (?source=live).
+// per-artifact queries in JSON/CSV/text with month-range slicing and
+// observation-view selection (?view=union|quorum:K|vantage:N on
+// multi-vantage archives), backed by an LRU of analyzed reports so
+// repeated queries skip the pipeline; with -live it also simulates a
+// world in the background and serves the streaming follower's snapshot
+// from the same endpoints (?source=live).
+//
+// -vantages/-topology reshape the observation network (see internal/p2p):
+// N vantages spread around a ring, ring-chords or small-world gossip
+// graph, each with its own first-seen log; -view picks which combination
+// of them the §6 private-transaction inference classifies against.
 //
 // Sections: all (default), table1, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, bundles, negatives, private.
 //
 // Scenarios: baseline, no-flashbots, hashpower-skew, high-private,
-// post-london. With -seeds, one study runs per seed under the scenario and
-// the merged report carries mean ± stddev per table cell. An unknown
-// scenario name is rejected up front with the valid names listed.
+// post-london, single-vantage, multi-vantage-union, degraded-observer.
+// With -seeds, one study runs per seed under the scenario and the merged
+// report carries mean ± stddev per table cell. An unknown scenario name
+// is rejected up front with the valid names listed.
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 	"mevscope/internal/archive"
 	"mevscope/internal/core/measure"
 	"mevscope/internal/dataset"
+	"mevscope/internal/p2p"
 	"mevscope/internal/query"
 	"mevscope/internal/scenario"
 	"mevscope/internal/sim"
@@ -102,6 +113,18 @@ func checkScenario(name string) error {
 	return err
 }
 
+// checkObservation validates the observation-network flags up front so a
+// typo'd topology or view is a usage error, not a failed run.
+func checkObservation(vantages int, topology, view string) error {
+	if vantages < 0 {
+		return fmt.Errorf("-vantages must be ≥ 0 (got %d)", vantages)
+	}
+	if _, err := p2p.ParseTopology(topology); err != nil {
+		return err
+	}
+	return dataset.CheckView(view)
+}
+
 // runStudy is the classic single-run / ensemble path.
 func runStudy(args []string) {
 	fs := flag.NewFlagSet("mevscope", flag.ExitOnError)
@@ -113,6 +136,9 @@ func runStudy(args []string) {
 		bpm         = fs.Uint64("bpm", 600, "blocks per simulated month (mainnet ≈ 190k)")
 		months      = fs.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
 		miners      = fs.Int("miners", 0, "miner-set size (0 = default 55)")
+		vantages    = fs.Int("vantages", 0, "observation vantages spread around the gossip network (0 = scenario default)")
+		topology    = fs.String("topology", "", "gossip topology: ring-chords (default), ring, small-world")
+		view        = fs.String("view", "", "observation view for §6 classification: vantage:N, union, quorum:K (default: scenario's)")
 		section     = fs.String("section", "all", "which artifact to print")
 		csvDir      = fs.String("csv", "", "also write every artifact as CSV into this directory")
 		quiet       = fs.Bool("q", false, "suppress progress output")
@@ -122,10 +148,19 @@ func runStudy(args []string) {
 	if err := checkScenario(*scen); err != nil {
 		fail(2, err)
 	}
+	if err := checkObservation(*vantages, *topology, *view); err != nil {
+		fail(2, err)
+	}
 
 	opts := mevscope.Options{
 		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners,
 		Scenario: *scen, Parallelism: *parallelism,
+		Vantages: *vantages, Topology: *topology, View: *view,
+	}
+	// Resolve the full config once up front: cross-flag mistakes (a view
+	// the resolved vantage count cannot satisfy) are usage errors too.
+	if _, err := opts.Config(); err != nil {
+		fail(2, err)
 	}
 
 	if *seeds != "" {
@@ -156,19 +191,24 @@ func runStudy(args []string) {
 func runArchive(args []string) {
 	fs := flag.NewFlagSet("mevscope archive", flag.ExitOnError)
 	var (
-		out    = fs.String("out", "", "archive directory to create (required)")
-		format = fs.String("format", "v2", "archive format: v2 (compressed frames) or v1 (JSON lines)")
-		live   = fs.Bool("live", false, "stream: rotate each month to disk as it completes instead of serializing at the end")
-		seed   = fs.Int64("seed", 42, "simulation seed")
-		scen   = fs.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
-		bpm    = fs.Uint64("bpm", 600, "blocks per simulated month")
-		months = fs.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
-		miners = fs.Int("miners", 0, "miner-set size (0 = default 55)")
-		quiet  = fs.Bool("q", false, "suppress progress output")
+		out      = fs.String("out", "", "archive directory to create (required)")
+		format   = fs.String("format", "v2", "archive format: v2 (compressed frames) or v1 (JSON lines)")
+		live     = fs.Bool("live", false, "stream: rotate each month to disk as it completes instead of serializing at the end")
+		seed     = fs.Int64("seed", 42, "simulation seed")
+		scen     = fs.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
+		bpm      = fs.Uint64("bpm", 600, "blocks per simulated month")
+		months   = fs.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
+		miners   = fs.Int("miners", 0, "miner-set size (0 = default 55)")
+		vantages = fs.Int("vantages", 0, "observation vantages spread around the gossip network (0 = scenario default)")
+		topology = fs.String("topology", "", "gossip topology: ring-chords (default), ring, small-world")
+		quiet    = fs.Bool("q", false, "suppress progress output")
 	)
 	fs.Parse(args)
 	noPositional(fs)
 	if err := checkScenario(*scen); err != nil {
+		fail(2, err)
+	}
+	if err := checkObservation(*vantages, *topology, ""); err != nil {
 		fail(2, err)
 	}
 	if *out == "" {
@@ -180,6 +220,7 @@ func runArchive(args []string) {
 	}
 	opts := mevscope.Options{
 		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners, Scenario: *scen,
+		Vantages: *vantages, Topology: *topology,
 	}
 	cfg, err := opts.Config()
 	if err != nil {
@@ -190,6 +231,12 @@ func runArchive(args []string) {
 		"scenario": *scen,
 		"bpm":      strconv.FormatUint(*bpm, 10),
 		"months":   strconv.Itoa(pick(*months, types.StudyMonths)),
+	}
+	if *vantages > 0 {
+		meta["vantages"] = strconv.Itoa(*vantages)
+	}
+	if *topology != "" {
+		meta["topology"] = *topology
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "mevscope: simulating %d months at %d blocks/month (seed %d, scenario %s, format %s)...\n",
@@ -257,6 +304,7 @@ func runAnalyze(args []string) {
 	var (
 		from        = fs.String("from", "", "archive directory to analyze (required)")
 		months      = fs.String("range", "", "month range to restore, e.g. 2021-03..2021-06 (default: the whole archive)")
+		view        = fs.String("view", "", "observation view for §6 classification: vantage:N, union, quorum:K")
 		section     = fs.String("section", "all", "which artifact to print")
 		parallelism = fs.Int("parallel", 0, "analysis worker-pool size (0 = all cores)")
 		csvDir      = fs.String("csv", "", "also write every artifact as CSV into this directory")
@@ -267,6 +315,9 @@ func runAnalyze(args []string) {
 	if *from == "" {
 		fail(2, fmt.Errorf("analyze: -from DIR is required"))
 	}
+	if err := dataset.CheckView(*view); err != nil {
+		fail(2, err)
+	}
 	lo, hi, err := resolveRange(*from, *months)
 	if err != nil {
 		fail(2, err)
@@ -276,6 +327,17 @@ func runAnalyze(args []string) {
 	if err != nil {
 		fail(1, err)
 	}
+	vantages := len(man.Vantages)
+	if vantages == 0 {
+		vantages = 1
+	}
+	// Bounds-check against the archive's real vantage list now that the
+	// manifest is loaded: a view the archive cannot satisfy is a usage
+	// error naming the valid range, like a bad -range.
+	if err := dataset.CheckViewFor(*view, vantages); err != nil {
+		fail(2, err)
+	}
+	ds.View = *view
 	if !*quiet {
 		// Report the months actually restored, not the requested range: an
 		// empty -range means the whole archive, and partially-out-of-window

@@ -39,6 +39,42 @@ func TestCheckScenarioAcceptsValidNames(t *testing.T) {
 	}
 }
 
+// TestCheckObservation: the observation-network flags are validated up
+// front — a typo'd topology or view and a negative vantage count are
+// usage errors, not failed runs.
+func TestCheckObservation(t *testing.T) {
+	good := []struct {
+		vantages int
+		topology string
+		view     string
+	}{
+		{0, "", ""},
+		{4, "small-world", "union"},
+		{2, "ring", "quorum:2"},
+		{1, "ring-chords", "vantage:0"},
+	}
+	for _, g := range good {
+		if err := checkObservation(g.vantages, g.topology, g.view); err != nil {
+			t.Errorf("checkObservation(%d, %q, %q) = %v", g.vantages, g.topology, g.view, err)
+		}
+	}
+	bad := []struct {
+		vantages int
+		topology string
+		view     string
+	}{
+		{-1, "", ""},
+		{0, "torus", ""},
+		{0, "", "all"},
+		{0, "", "quorum:0"},
+	}
+	for _, b := range bad {
+		if err := checkObservation(b.vantages, b.topology, b.view); err == nil {
+			t.Errorf("checkObservation(%d, %q, %q) accepted", b.vantages, b.topology, b.view)
+		}
+	}
+}
+
 // TestCheckServe: the serve subcommand must reject invalid flag
 // combinations (exit 2) before binding a socket — no source at all, or a
 // cache that cannot hold a single report.

@@ -116,7 +116,12 @@ type SegmentInfo struct {
 	LastBlock  uint64      `json:"last_block"`
 	Blocks     FileInfo    `json:"blocks"`
 	Flashbots  FileInfo    `json:"flashbots"`
-	Observed   FileInfo    `json:"observed"`
+	// Observed is the primary vantage's capture file.
+	Observed FileInfo `json:"observed"`
+	// ObservedV are the additional vantages' capture files (ObservedV[i]
+	// is vantage i+1) — one frame stream per vantage. Absent for
+	// single-vantage archives, which read exactly as before.
+	ObservedV []FileInfo `json:"observed_v,omitempty"`
 	// Index is the sparse block index of the blocks file (v2 only).
 	Index []BlockIndexEntry `json:"index,omitempty"`
 }
@@ -127,17 +132,29 @@ type ObserverInfo struct {
 	Stop  uint64 `json:"stop"`
 }
 
+// VantageInfo records one observation vantage's placement — enough to
+// restore p2p observers that answer Seen/Record exactly like the
+// original run's.
+type VantageInfo struct {
+	Node     int     `json:"node"`
+	MissRate float64 `json:"miss_rate,omitempty"`
+}
+
 // Manifest is the archive's index and integrity record.
 type Manifest struct {
-	Version     int               `json:"version"`
-	Timeline    types.Timeline    `json:"timeline"`
-	WETH        types.Address     `json:"weth"`
-	Head        uint64            `json:"head"`
-	TotalBlocks int               `json:"total_blocks"`
-	Observer    *ObserverInfo     `json:"observer,omitempty"`
-	Prices      FileInfo          `json:"prices"`
-	Segments    []SegmentInfo     `json:"segments"`
-	Meta        map[string]string `json:"meta,omitempty"`
+	Version     int            `json:"version"`
+	Timeline    types.Timeline `json:"timeline"`
+	WETH        types.Address  `json:"weth"`
+	Head        uint64         `json:"head"`
+	TotalBlocks int            `json:"total_blocks"`
+	Observer    *ObserverInfo  `json:"observer,omitempty"`
+	// Vantages describes the observation network's vantage list, in
+	// configuration order. Absent on archives written before the
+	// multi-vantage format (implied: one vantage at node 0).
+	Vantages []VantageInfo     `json:"vantages,omitempty"`
+	Prices   FileInfo          `json:"prices"`
+	Segments []SegmentInfo     `json:"segments"`
+	Meta     map[string]string `json:"meta,omitempty"`
 }
 
 // Format returns the archive's on-disk format.
@@ -194,6 +211,15 @@ func writeSegment(dir string, format Format, seg *dataset.Segment) (SegmentInfo,
 		LastBlock:  seg.Blocks[len(seg.Blocks)-1].Header.Number,
 	}
 	var err error
+	// writeDocs dispatches on the format; extra vantage files use it too,
+	// so both encodings carry the full observation network.
+	writeDocs := func(name string, docs []p2p.ObservedTx) (FileInfo, error) {
+		if format == FormatV1 {
+			return writeJSONL(dir, segDir, name, docs)
+		}
+		fi, _, err := writeSeg(dir, segDir, name, docs)
+		return fi, err
+	}
 	if format == FormatV1 {
 		if info.Blocks, err = writeJSONL(dir, segDir, "blocks", seg.Blocks); err != nil {
 			return info, err
@@ -201,19 +227,27 @@ func writeSegment(dir string, format Format, seg *dataset.Segment) (SegmentInfo,
 		if info.Flashbots, err = writeJSONL(dir, segDir, "flashbots", seg.FBBlocks); err != nil {
 			return info, err
 		}
-		info.Observed, err = writeJSONL(dir, segDir, "observed", seg.Observed)
+	} else {
+		var offsets []int64
+		if info.Blocks, offsets, err = writeSeg(dir, segDir, "blocks", seg.Blocks); err != nil {
+			return info, err
+		}
+		info.Index = blockIndex(seg.Blocks, offsets)
+		if info.Flashbots, _, err = writeSeg(dir, segDir, "flashbots", seg.FBBlocks); err != nil {
+			return info, err
+		}
+	}
+	if info.Observed, err = writeDocs("observed", seg.Observed); err != nil {
 		return info, err
 	}
-	var offsets []int64
-	if info.Blocks, offsets, err = writeSeg(dir, segDir, "blocks", seg.Blocks); err != nil {
-		return info, err
+	for i, recs := range seg.ObservedV {
+		fi, err := writeDocs(fmt.Sprintf("observed_v%d", i+1), recs)
+		if err != nil {
+			return info, err
+		}
+		info.ObservedV = append(info.ObservedV, fi)
 	}
-	info.Index = blockIndex(seg.Blocks, offsets)
-	if info.Flashbots, _, err = writeSeg(dir, segDir, "flashbots", seg.FBBlocks); err != nil {
-		return info, err
-	}
-	info.Observed, _, err = writeSeg(dir, segDir, "observed", seg.Observed)
-	return info, err
+	return info, nil
 }
 
 // writePrices persists the price series as the archive's prices file.
@@ -380,7 +414,11 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 			return decodeResult{err: err}
 		}
 		if opt.Cache != nil {
-			opt.Cache.Add(dir, si.Month, seg, si.Blocks.Bytes+si.Flashbots.Bytes+si.Observed.Bytes)
+			bytes := si.Blocks.Bytes + si.Flashbots.Bytes + si.Observed.Bytes
+			for _, fi := range si.ObservedV {
+				bytes += fi.Bytes
+			}
+			opt.Cache.Add(dir, si.Month, seg, bytes)
 		}
 		return decodeResult{seg: seg}
 	})
@@ -393,12 +431,26 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 	}
 
 	// Pre-slice observation logs: reuse a cached segment's, else read just
-	// the (tiny) observed file.
-	var observed []p2p.ObservedTx
+	// the (tiny) observed files — every vantage's, so a restored slice
+	// classifies against the same observation network as the full
+	// archive.
+	vinfos := man.Vantages
+	if len(vinfos) == 0 {
+		vinfos = []VantageInfo{{Node: 0}}
+	}
+	observedV := make([][]p2p.ObservedTx, len(vinfos))
+	appendSeg := func(seg *dataset.Segment) {
+		observedV[0] = append(observedV[0], seg.Observed...)
+		for i, recs := range seg.ObservedV {
+			if i+1 < len(observedV) {
+				observedV[i+1] = append(observedV[i+1], recs...)
+			}
+		}
+	}
 	for _, si := range preSegs {
 		if opt.Cache != nil {
 			if seg, ok := opt.Cache.Get(dir, si.Month); ok {
-				observed = append(observed, seg.Observed...)
+				appendSeg(seg)
 				continue
 			}
 		}
@@ -406,7 +458,16 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 		if err != nil {
 			return nil, nil, err
 		}
-		observed = append(observed, obs...)
+		observedV[0] = append(observedV[0], obs...)
+		for i, fi := range si.ObservedV {
+			recs, err := readDocs[p2p.ObservedTx](dir, man.Format(), fi)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i+1 < len(observedV) {
+				observedV[i+1] = append(observedV[i+1], recs...)
+			}
+		}
 	}
 
 	tl := man.Timeline
@@ -417,7 +478,7 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 		return nil, nil, fmt.Errorf("archive: %w", err)
 	}
 	for _, seg := range parts {
-		observed = append(observed, seg.Observed...)
+		appendSeg(seg)
 	}
 
 	wantBlocks, wantHead := man.TotalBlocks, man.Head
@@ -436,7 +497,11 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 		return nil, nil, fmt.Errorf("archive: restored head does not match manifest head %d", wantHead)
 	}
 	if man.Observer != nil && man.Observer.Start <= head.Header.Number {
-		ds.Observer = p2p.RestoreObserver(observed, man.Observer.Start, man.Observer.Stop)
+		for i, vi := range vinfos {
+			ds.Vantages = append(ds.Vantages,
+				p2p.RestoreVantage(vi.Node, observedV[i], man.Observer.Start, man.Observer.Stop))
+		}
+		ds.Observer = ds.Vantages[0]
 	}
 	ds.Prices = prices.NewSeries()
 	pdocs, err := readDocs[priceDoc](dir, man.Format(), man.Prices)
@@ -476,7 +541,15 @@ func readSegment(dir string, man *Manifest, si SegmentInfo) (*dataset.Segment, e
 	if err != nil {
 		return nil, err
 	}
-	return &dataset.Segment{Month: si.Month, Blocks: blocks, FBBlocks: fb, Observed: obs}, nil
+	var extra [][]p2p.ObservedTx
+	for _, fi := range si.ObservedV {
+		recs, err := readDocs[p2p.ObservedTx](dir, format, fi)
+		if err != nil {
+			return nil, err
+		}
+		extra = append(extra, recs)
+	}
+	return &dataset.Segment{Month: si.Month, Blocks: blocks, FBBlocks: fb, Observed: obs, ObservedV: extra}, nil
 }
 
 // sealAndVerify seals restored blocks and checks receipt-vs-recomputed

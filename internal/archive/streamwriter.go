@@ -23,6 +23,12 @@ import (
 //
 // A StreamWriter is not safe for concurrent use; the follower's
 // OnMonthEnd hook already serializes months in ascending order.
+//
+// Lifecycle guards: WriteSegment refuses non-ascending months (an
+// out-of-order rotation would silently shadow an earlier month) and
+// anything after finalize; Finalize itself is idempotent — a second call
+// is a no-op returning the already-written manifest, so callers layering
+// defer-style cleanup over an explicit finalize never double-write.
 type StreamWriter struct {
 	dir    string
 	format Format
@@ -78,7 +84,10 @@ func (w *StreamWriter) WriteSegment(seg *dataset.Segment) error {
 // identical archives.
 func (w *StreamWriter) Finalize(ds *dataset.Dataset) (*Manifest, error) {
 	if w.done {
-		return nil, fmt.Errorf("archive: stream writer already finalized")
+		// Repeated finalize is a no-op: the archive on disk is complete and
+		// the manifest already written — hand it back instead of erroring,
+		// so an explicit Finalize plus a deferred one compose safely.
+		return w.man, nil
 	}
 	head := ds.Chain.Head()
 	if head == nil {
@@ -111,20 +120,36 @@ func (w *StreamWriter) Finalize(ds *dataset.Dataset) (*Manifest, error) {
 
 	w.man.Head = head.Header.Number
 	w.man.TotalBlocks = ds.Chain.Len()
+	vantages := ds.VantageList()
+	// Rebuilt from scratch (not appended) so a retry after a transient
+	// failure later in this call cannot leave duplicate entries behind.
+	w.man.Observer = nil
+	w.man.Vantages = nil
 	if ds.Observer != nil {
 		start, stop := ds.Observer.Window()
 		w.man.Observer = &ObserverInfo{Start: start, Stop: stop}
+		for _, v := range vantages {
+			w.man.Vantages = append(w.man.Vantages, VantageInfo{Node: v.Node(), MissRate: v.MissRate()})
+		}
 	}
 	// Drift check: everything the dataset holds must be inside some
 	// segment. A record whose month was already rotated but which entered
 	// the dataset afterwards would be in neither the rotated file nor a
 	// pending segment — refuse rather than archive a silently thinner
-	// world.
-	var blocks, fb, obs int
+	// world. Observation logs are checked per vantage.
+	var blocks, fb int
+	obsV := make([]int, len(vantages))
 	for _, si := range w.man.Segments {
 		blocks += si.Blocks.Count
 		fb += si.Flashbots.Count
-		obs += si.Observed.Count
+		if len(obsV) > 0 {
+			obsV[0] += si.Observed.Count
+		}
+		for i, fi := range si.ObservedV {
+			if i+1 < len(obsV) {
+				obsV[i+1] += fi.Count
+			}
+		}
 	}
 	if blocks != w.man.TotalBlocks {
 		return nil, fmt.Errorf("archive: segments hold %d blocks, dataset has %d (rotated months drifted from the chain)",
@@ -134,13 +159,11 @@ func (w *StreamWriter) Finalize(ds *dataset.Dataset) (*Manifest, error) {
 		return nil, fmt.Errorf("archive: segments hold %d Flashbots records, dataset has %d (records arrived after their month rotated)",
 			fb, len(ds.FBBlocks))
 	}
-	wantObs := 0
-	if ds.Observer != nil {
-		wantObs = ds.Observer.Count()
-	}
-	if obs != wantObs {
-		return nil, fmt.Errorf("archive: segments hold %d observation records, dataset has %d (records arrived after their month rotated)",
-			obs, wantObs)
+	for i, v := range vantages {
+		if obsV[i] != v.Count() {
+			return nil, fmt.Errorf("archive: segments hold %d observation records for vantage %d, dataset has %d (records arrived after their month rotated)",
+				obsV[i], i, v.Count())
+		}
 	}
 	var err error
 	if w.man.Prices, err = writePrices(w.dir, w.format, ds.Prices); err != nil {

@@ -248,7 +248,7 @@ func (a Artifact) WriteJSON(w io.Writer) error {
 var artifactNames = []string{
 	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"mevsplit", "bundles", "negatives", "damage", "concentration",
-	"private_links",
+	"private_links", "vantage_sensitivity",
 }
 
 // Artifacts returns every table and figure of the report as a structured
@@ -296,6 +296,8 @@ func (r *Report) Artifact(name string) (Artifact, bool) {
 		return r.concentrationArtifact(), true
 	case "private_links":
 		return r.privateLinksArtifact(), true
+	case "vantage_sensitivity":
+		return r.vantageSensitivityArtifact(), true
 	}
 	return Artifact{}, false
 }
@@ -567,6 +569,49 @@ func (r *Report) concentrationArtifact() Artifact {
 			{"top2_share", cfloat(r.Concentration.Top2Share)},
 		},
 	}
+}
+
+func (r *Report) vantageSensitivityArtifact() Artifact {
+	vs := r.VantageSensitivity
+	a := Artifact{
+		Name:  "vantage_sensitivity",
+		Title: "extension: vantage sensitivity (observation coverage and §6 private counts per vantage)",
+		Columns: []Column{
+			{"month", KindMonth}, {"vantage", KindInt}, {"node", KindInt},
+			{"observed", KindInt}, {"union_observed", KindInt}, {"coverage", KindFloat},
+		},
+	}
+	for _, m := range vs.Months() {
+		unionN := vs.Union.PerMonth[m]
+		for _, v := range vs.Vantages {
+			coverage := 0.0
+			if unionN > 0 {
+				coverage = float64(v.PerMonth[m]) / float64(unionN)
+			}
+			a.Rows = append(a.Rows, []Value{
+				cmonth(m), cint(v.Vantage), cint(v.Node),
+				cint(v.PerMonth[m]), cint(unionN), cfloat(coverage),
+			})
+		}
+	}
+	a.Scalars = []Scalar{
+		{"vantages", cint(len(vs.Vantages))},
+		{"view", str(vs.View)},
+		{"union_observed", cint(vs.Union.Observed)},
+		{"union_private_sandwiches", cint(vs.Union.PrivateSandwiches)},
+	}
+	for _, v := range vs.Vantages {
+		prefix := fmt.Sprintf("vantage%d", v.Vantage)
+		a.Scalars = append(a.Scalars,
+			Scalar{prefix + "_observed", cint(v.Observed)},
+			Scalar{prefix + "_private_sandwiches", cint(v.PrivateSandwiches)},
+			// A single vantage misses public traffic the union catches, and
+			// every miss inflates its private count: the delta is the §6
+			// overcount attributable to that vantage's blind spots.
+			Scalar{prefix + "_private_delta_vs_union", cint(v.PrivateSandwiches - vs.Union.PrivateSandwiches)},
+		)
+	}
+	return a
 }
 
 func (r *Report) privateLinksArtifact() Artifact {

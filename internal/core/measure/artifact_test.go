@@ -43,7 +43,7 @@ func TestArtifactsOrderAndNames(t *testing.T) {
 func TestWindowArtifactsEmptyWithoutObserver(t *testing.T) {
 	r := sampleReport()
 	r.Fig9 = nil
-	for _, name := range []string{"fig9", "mevsplit", "private_links"} {
+	for _, name := range []string{"fig9", "mevsplit", "private_links", "vantage_sensitivity"} {
 		a, ok := r.Artifact(name)
 		if !ok {
 			t.Fatalf("artifact %q missing without observer", name)

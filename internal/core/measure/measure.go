@@ -12,6 +12,7 @@ import (
 	"mevscope/internal/core/privinfer"
 	"mevscope/internal/core/profit"
 	"mevscope/internal/flashbots"
+	"mevscope/internal/p2p"
 	"mevscope/internal/parallel"
 	"mevscope/internal/stats"
 	"mevscope/internal/types"
@@ -27,7 +28,14 @@ type Inputs struct {
 	Detect   *detect.Result
 	Profits  []profit.Record
 	Observer privinfer.Observer
-	WETH     types.Address
+	// Vantages are the per-vantage observation logs of the whole
+	// observation network (Vantages[0] is the primary); empty when the
+	// run has no capture. The vantage-sensitivity artifact reads them.
+	Vantages []*p2p.Observer
+	// View names the observation view Observer was resolved from, for
+	// artifact labelling.
+	View string
+	WETH types.Address
 
 	// Workers sizes the aggregation worker pool (0 or 1 = sequential,
 	// <0 = runtime.NumCPU()). Every builder reads the inputs immutably and
@@ -512,6 +520,9 @@ type Report struct {
 	MEVSplit *privinfer.MEVSplit
 	// PrivateLinks is the §6.3 account→miner attribution.
 	PrivateLinks []privinfer.MinerLink
+	// VantageSensitivity is the observation-network robustness analysis:
+	// how the §6 private counts move with the vantage you listen from.
+	VantageSensitivity VantageSensitivity
 }
 
 // Build assembles the full report. inf may be nil when no observation
@@ -541,6 +552,7 @@ func buildWith(in Inputs, acc *Accumulator, inf *privinfer.Inferrer) *Report {
 		func() { r.Negatives = BuildNegativeProfits(in) },
 		func() { r.Damage = BuildVictimDamage(in) },
 		func() { r.Concentration = BuildConcentration(in) },
+		func() { r.VantageSensitivity = BuildVantageSensitivity(in) },
 	}
 	if inf != nil {
 		builders = append(builders,

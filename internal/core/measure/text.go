@@ -74,6 +74,13 @@ func WriteReportText(w io.Writer, r *Report) {
 	if links := byName["private_links"]; len(links.Rows) > 0 {
 		textPrivateLinks(w, links)
 	}
+	// The sensitivity section only appears for multi-vantage worlds: a
+	// single vantage has nothing to compare against (and the paper-
+	// baseline report stays byte-identical to the golden capture).
+	if vs := byName["vantage_sensitivity"]; vs.Scalar("vantages").Int > 1 {
+		fmt.Fprintln(w)
+		textVantageSensitivity(w, vs)
+	}
 }
 
 // WriteText renders one artifact as a standalone text section.
@@ -105,6 +112,8 @@ func WriteText(w io.Writer, a Artifact) {
 		textConcentration(w, a)
 	case "private_links":
 		textPrivateLinks(w, a)
+	case "vantage_sensitivity":
+		textVantageSensitivity(w, a)
 	default:
 		textGeneric(w, a)
 	}
@@ -294,6 +303,37 @@ func textConcentration(w io.Writer, a Artifact) {
 	fmt.Fprintf(w, "=== %s ===\n", a.Title)
 	fmt.Fprintf(w, "distinct Flashbots miners: %d; top-2 share of Flashbots blocks: %.1f%%\n",
 		a.Scalar("miners").Int, 100*a.Scalar("top2_share").Float)
+}
+
+func textVantageSensitivity(w io.Writer, a Artifact) {
+	fmt.Fprintf(w, "=== %s ===\n", a.Title)
+	nv := int(a.Scalar("vantages").Int)
+	view := a.Scalar("view").Str
+	if view == "" {
+		view = "vantage:0"
+	}
+	fmt.Fprintf(w, "vantages: %d; report classified against view %q; union observed %d pending txs, %d private sandwiches\n",
+		nv, view, a.Scalar("union_observed").Int, a.Scalar("union_private_sandwiches").Int)
+	for i := 0; i < nv; i++ {
+		prefix := fmt.Sprintf("vantage%d", i)
+		fmt.Fprintf(w, "  vantage %d: observed %6d  private sandwiches %4d  (+%d vs union)\n",
+			i, a.Scalar(prefix+"_observed").Int, a.Scalar(prefix+"_private_sandwiches").Int,
+			a.Scalar(prefix+"_private_delta_vs_union").Int)
+	}
+	fmt.Fprintf(w, "%8s", "month")
+	for i := 0; i < nv; i++ {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("v%d cov", i))
+	}
+	fmt.Fprintln(w)
+	// Rows come vantage-major inside each month; fold them back into one
+	// coverage line per month.
+	for ri := 0; ri < len(a.Rows); ri += nv {
+		fmt.Fprintf(w, "%8s", a.Rows[ri][0].Month)
+		for i := 0; i < nv && ri+i < len(a.Rows); i++ {
+			fmt.Fprintf(w, " %8.1f%%", 100*a.Rows[ri+i][5].Float)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func textPrivateLinks(w io.Writer, a Artifact) {

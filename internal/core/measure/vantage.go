@@ -1,0 +1,114 @@
+package measure
+
+// Vantage sensitivity: the observation-network robustness analysis. The
+// paper's §6 private/public split hinges on what a single mempool
+// vantage saw; with N vantages recording independently, the same world
+// can be classified from each vantage alone and from their union, which
+// bounds how much of the "private" mass is really just blind spots of
+// one collector. Rows cover observation coverage month by month and
+// vantage by vantage; scalars carry the per-vantage private counts and
+// the union-vs-single deltas.
+
+import (
+	"mevscope/internal/core/privinfer"
+	"mevscope/internal/p2p"
+	"mevscope/internal/types"
+)
+
+// VantageStat summarizes one observation view's take on the world.
+type VantageStat struct {
+	// Vantage is the index in the network's vantage list; -1 marks the
+	// union view.
+	Vantage int
+	// Node is the graph position the vantage listens at (0 for union).
+	Node int
+	// Observed is the number of distinct pending transactions recorded.
+	Observed int
+	// PrivateSandwiches counts window sandwiches the §6.1 rule classifies
+	// private (non-Flashbots) against this view alone.
+	PrivateSandwiches int
+	// PerMonth maps study months to the view's distinct observation
+	// counts.
+	PerMonth map[types.Month]int
+}
+
+// VantageSensitivity is the full analysis: one row per real vantage plus
+// the union view.
+type VantageSensitivity struct {
+	// View is the observation view the main report classified against.
+	View string
+	// Vantages holds per-vantage stats in configuration order.
+	Vantages []VantageStat
+	// Union is the k=1 composite over every vantage.
+	Union VantageStat
+}
+
+// Months returns the ascending study months covered by any view.
+func (v VantageSensitivity) Months() []types.Month {
+	var out []types.Month
+	for m := types.Month(0); m < types.StudyMonths; m++ {
+		if v.Union.PerMonth[m] > 0 {
+			out = append(out, m)
+			continue
+		}
+		for _, vs := range v.Vantages {
+			if vs.PerMonth[m] > 0 {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// BuildVantageSensitivity classifies the window sandwiches against every
+// vantage alone and against the union view. Zero-valued without
+// vantages (runs whose observation window never opened).
+func BuildVantageSensitivity(in Inputs) VantageSensitivity {
+	out := VantageSensitivity{View: in.View}
+	if len(in.Vantages) == 0 || in.Chain == nil || in.Chain.Head() == nil || in.Detect == nil {
+		return out
+	}
+	head := in.Chain.Head().Header.Number
+	winStart := in.Chain.Timeline.FirstBlockOfMonth(types.PrivateWindowStartMonth)
+	stat := func(index, node int, view privinfer.Observer, perMonth map[types.Month]int, observed int) VantageStat {
+		inf := privinfer.New(in.Chain, view, in.FBSet, winStart, head)
+		private := 0
+		for _, s := range in.Detect.Sandwiches {
+			if ch, ok := inf.ClassifySandwich(s); ok && ch == privinfer.ChannelPrivate {
+				private++
+			}
+		}
+		return VantageStat{
+			Vantage: index, Node: node,
+			Observed: observed, PrivateSandwiches: private, PerMonth: perMonth,
+		}
+	}
+	tl := in.Chain.Timeline
+	for i, v := range in.Vantages {
+		perMonth := map[types.Month]int{}
+		for _, rec := range v.Records() {
+			perMonth[tl.MonthOfBlock(rec.FirstSeenBlock)]++
+		}
+		out.Vantages = append(out.Vantages, stat(i, v.Node(), v, perMonth, v.Count()))
+	}
+	if len(in.Vantages) == 1 {
+		// A one-vantage union is the vantage itself: skip the merge and
+		// the third classification sweep on the default single-observer
+		// path.
+		out.Union = out.Vantages[0]
+		out.Union.Vantage, out.Union.Node = -1, 0
+		return out
+	}
+	union := p2p.Union(in.Vantages...)
+	// The union's monthly counts attribute each distinct transaction to
+	// its earliest first-seen block across vantages (Materialize's merge
+	// rule), so a tx two vantages saw in different months counts once.
+	merged := union.Materialize()
+	unionPerMonth := map[types.Month]int{}
+	for _, rec := range merged.Records() {
+		unionPerMonth[tl.MonthOfBlock(rec.FirstSeenBlock)]++
+	}
+	out.Union = stat(-1, 0, union, unionPerMonth, merged.Count())
+	return out
+}

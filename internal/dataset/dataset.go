@@ -32,9 +32,19 @@ type Dataset struct {
 	// type — derived from FBBlocks, carried precomputed because every
 	// pipeline stage needs it.
 	FBSet map[types.Hash]flashbots.BundleType
-	// Observer is the pending-transaction capture; nil when the run ended
-	// before the observation window opened.
+	// Observer is the primary pending-transaction capture (the paper's
+	// single vantage); nil when the run ended before the observation
+	// window opened.
 	Observer *p2p.Observer
+	// Vantages are the per-vantage observation logs of the whole
+	// observation network, in configuration order; Vantages[0] is
+	// Observer when both are set. Empty for single-vantage datasets
+	// restored from legacy archives (Observer then stands alone).
+	Vantages []*p2p.Observer
+	// View names the observation view the §6 inference classifies
+	// against: "" or "vantage:0" for the primary vantage, "vantage:N",
+	// "union", or "quorum:K". See ResolveView.
+	View string
 	// Prices is the CoinGecko-substitute token→ETH series.
 	Prices *prices.Series
 	// WETH anchors the detectors' buy/sell direction.
@@ -55,8 +65,21 @@ func FromSim(s *sim.Sim) *Dataset {
 	obs := s.Net.Observer()
 	if start, _ := obs.Window(); start > 0 || obs.Count() > 0 {
 		ds.Observer = obs
+		ds.Vantages = s.Net.Vantages()
 	}
 	return ds
+}
+
+// VantageList resolves the dataset's vantage set: the explicit Vantages
+// when present, else the lone Observer, else nil.
+func (ds *Dataset) VantageList() []*p2p.Observer {
+	if len(ds.Vantages) > 0 {
+		return ds.Vantages
+	}
+	if ds.Observer != nil {
+		return []*p2p.Observer{ds.Observer}
+	}
+	return nil
 }
 
 // FBSetOf rebuilds the transaction→bundle-type set from block records —
@@ -86,7 +109,13 @@ type Segment struct {
 	Month    types.Month
 	Blocks   []*types.Block
 	FBBlocks []flashbots.BlockRecord
+	// Observed is the primary vantage's capture for the month.
 	Observed []p2p.ObservedTx
+	// ObservedV holds the additional vantages' captures (ObservedV[i] is
+	// vantage i+1), one log per vantage like mempool-dumpster's
+	// per-source files. Every segment of one dataset has the same length
+	// here, so per-vantage logs re-concatenate consistently.
+	ObservedV [][]p2p.ObservedTx
 }
 
 // Partition splits a dataset into per-month segments in ascending month
@@ -95,11 +124,16 @@ type Segment struct {
 // concatenating the segments back reproduces the original sequences.
 func Partition(ds *Dataset) []*Segment {
 	tl := ds.Chain.Timeline
+	vs := ds.VantageList()
+	extra := 0
+	if len(vs) > 1 {
+		extra = len(vs) - 1
+	}
 	byMonth := map[types.Month]*Segment{}
 	get := func(m types.Month) *Segment {
 		seg := byMonth[m]
 		if seg == nil {
-			seg = &Segment{Month: m}
+			seg = &Segment{Month: m, ObservedV: make([][]p2p.ObservedTx, extra)}
 			byMonth[m] = seg
 		}
 		return seg
@@ -108,10 +142,14 @@ func Partition(ds *Dataset) []*Segment {
 		seg := get(tl.MonthOfBlock(rec.BlockNumber))
 		seg.FBBlocks = append(seg.FBBlocks, rec)
 	}
-	if ds.Observer != nil {
-		for _, rec := range ds.Observer.Records() {
+	for vi, v := range vs {
+		for _, rec := range v.Records() {
 			seg := get(tl.MonthOfBlock(rec.FirstSeenBlock))
-			seg.Observed = append(seg.Observed, rec)
+			if vi == 0 {
+				seg.Observed = append(seg.Observed, rec)
+			} else {
+				seg.ObservedV[vi-1] = append(seg.ObservedV[vi-1], rec)
+			}
 		}
 	}
 	var out []*Segment

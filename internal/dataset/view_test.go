@@ -1,0 +1,120 @@
+package dataset_test
+
+import (
+	"strings"
+	"testing"
+
+	"mevscope/internal/dataset"
+	"mevscope/internal/p2p"
+	"mevscope/internal/types"
+)
+
+func vantage(node int, hashes ...byte) *p2p.Observer {
+	recs := make([]p2p.ObservedTx, len(hashes))
+	for i, b := range hashes {
+		recs[i] = p2p.ObservedTx{Hash: types.Hash{b}, FirstSeenBlock: 100 + uint64(i)}
+	}
+	return p2p.RestoreVantage(node, recs, 100, 200)
+}
+
+func TestCheckView(t *testing.T) {
+	for _, ok := range []string{"", "union", "quorum:2", "vantage:0", "Vantage:3", " UNION "} {
+		if err := dataset.CheckView(ok); err != nil {
+			t.Errorf("CheckView(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"all", "quorum:0", "quorum:x", "vantage:-1", "vantage:", "union:2"} {
+		if err := dataset.CheckView(bad); err == nil {
+			t.Errorf("CheckView(%q) accepted", bad)
+		}
+	}
+	// Bounded check: indices and quorums beyond the vantage count fail.
+	if err := dataset.CheckViewFor("vantage:2", 2); err == nil {
+		t.Error("vantage:2 accepted for a 2-vantage dataset")
+	}
+	if err := dataset.CheckViewFor("quorum:3", 2); err == nil {
+		t.Error("quorum:3 accepted for a 2-vantage dataset")
+	}
+	if err := dataset.CheckViewFor("vantage:1", 2); err != nil {
+		t.Errorf("vantage:1 rejected for a 2-vantage dataset: %v", err)
+	}
+}
+
+func TestResolveView(t *testing.T) {
+	a, b := vantage(0, 1, 2), vantage(50, 2, 3)
+	ds := &dataset.Dataset{Observer: a, Vantages: []*p2p.Observer{a, b}}
+
+	h := func(i byte) types.Hash { return types.Hash{i} }
+	cases := []struct {
+		view      string
+		seen1     bool // h(1): only vantage 0
+		seen3     bool // h(3): only vantage 1
+		wantCount int
+	}{
+		{"", true, false, 2},
+		{"vantage:0", true, false, 2},
+		{"vantage:1", false, true, 2},
+		{"union", true, true, 3},
+		{"quorum:2", false, false, 1},
+	}
+	for _, tc := range cases {
+		ds.View = tc.view
+		v, err := ds.ResolveView()
+		if err != nil {
+			t.Fatalf("view %q: %v", tc.view, err)
+		}
+		if v.Seen(h(1)) != tc.seen1 || v.Seen(h(3)) != tc.seen3 || !v.Seen(h(2)) {
+			t.Errorf("view %q: seen(h1)=%v seen(h3)=%v", tc.view, v.Seen(h(1)), v.Seen(h(3)))
+		}
+		if v.Count() != tc.wantCount {
+			t.Errorf("view %q: count = %d, want %d", tc.view, v.Count(), tc.wantCount)
+		}
+	}
+
+	// Out-of-range selections error with the real vantage range.
+	ds.View = "vantage:2"
+	if _, err := ds.ResolveView(); err == nil || !strings.Contains(err.Error(), "0..1") {
+		t.Errorf("vantage:2 error = %v, want the 0..1 range named", err)
+	}
+
+	// No capture at all: nil view, no error — §6 sections skip.
+	empty := &dataset.Dataset{}
+	if v, err := empty.ResolveView(); v != nil || err != nil {
+		t.Errorf("empty dataset view = %v, %v", v, err)
+	}
+	// ... but a typo'd spec still surfaces.
+	empty.View = "bogus"
+	if _, err := empty.ResolveView(); err == nil {
+		t.Error("bogus view accepted on an observer-less dataset")
+	}
+}
+
+// TestPartitionCarriesVantageLogs: per-month segments split every
+// vantage's log, and every segment carries the same ObservedV arity.
+func TestPartitionCarriesVantageLogs(t *testing.T) {
+	s := runSim(t, 29, 30, 0)
+	ds := dataset.FromSim(s)
+	if len(ds.Vantages) != 1 {
+		t.Fatalf("baseline world has %d vantages, want 1", len(ds.Vantages))
+	}
+	// Synthesize a second vantage so the partition has something to split.
+	rec := p2p.ObservedTx{Hash: types.Hash{9}, FirstSeenBlock: s.Chain.Head().Header.Number}
+	extra := p2p.RestoreVantage(42, []p2p.ObservedTx{rec}, 100, 0)
+	ds.Vantages = append(ds.Vantages, extra)
+
+	segs := dataset.Partition(ds)
+	total, extraTotal := 0, 0
+	for _, seg := range segs {
+		if len(seg.ObservedV) != 1 {
+			t.Fatalf("segment %s has %d extra logs, want 1", seg.Month.Label(), len(seg.ObservedV))
+		}
+		total += len(seg.Observed)
+		extraTotal += len(seg.ObservedV[0])
+	}
+	if total != ds.Vantages[0].Count() {
+		t.Errorf("segments hold %d primary records, vantage has %d", total, ds.Vantages[0].Count())
+	}
+	if extraTotal != 1 {
+		t.Errorf("segments hold %d extra-vantage records, want 1", extraTotal)
+	}
+}

@@ -10,13 +10,17 @@ import (
 )
 
 // Key identifies one analyzed report in the cache: which archive, which
-// month slice of it, which scenario produced it — or, for live follower
-// snapshots (Live true, Archive empty), the height the snapshot covers,
-// so a repeated live query at the same height is a hit and any new block
-// is a natural invalidation.
+// month slice of it, which observation view it classified against,
+// which scenario produced it — or, for live follower snapshots (Live
+// true, Archive empty), the height the snapshot covers, so a repeated
+// live query at the same height is a hit and any new block is a natural
+// invalidation.
 type Key struct {
 	Archive  string
 	From, To types.Month
+	// View is the observation view ("", "union", "quorum:K",
+	// "vantage:N"); each view is its own analysis and cache entry.
+	View     string
 	Scenario string
 	Live     bool
 	Height   uint64

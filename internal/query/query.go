@@ -20,10 +20,14 @@
 // Endpoints:
 //
 //	GET /v1/artifacts?months=2021-03..2021-06
-//	GET /v1/artifact/{name}?format=json|csv|text&months=2021-03..2021-06
-//	GET /v1/report?format=text|json&months=…
+//	GET /v1/artifact/{name}?format=json|csv|text&months=2021-03..2021-06&view=union|quorum:K|vantage:N
+//	GET /v1/report?format=text|json&months=…&view=…
 //	GET /v1/manifest
 //	GET /v1/cache
+//
+// The view parameter selects which observation view of a multi-vantage
+// archive the §6 inference classifies against (default: the primary
+// vantage); each view is analyzed and cached independently.
 //
 // A live source (a streaming follower's snapshot function, see
 // Server.SetLive) is served from the same endpoints with ?source=live;
@@ -190,15 +194,20 @@ func (s *Server) manifest() (*archive.Manifest, error) {
 	return man, nil
 }
 
-// resolveKey turns request parameters into a cache key.
+// resolveKey turns request parameters into a cache key. Every
+// user-input parse failure — malformed or backwards months, an unknown
+// view, an out-of-range vantage — comes back as a 400 naming the
+// archive's real month window (mirroring the CLI's -range behaviour),
+// never as a raw 500 from deeper in the stack.
 func (s *Server) resolveKey(r *http.Request) (Key, error) {
-	from, to, err := types.ParseMonthRange(r.URL.Query().Get("months"))
-	if err != nil {
-		return Key{}, errBadRequest("%v", err)
-	}
-	if src := r.URL.Query().Get("source"); src == "live" {
-		if r.URL.Query().Get("months") != "" {
+	q := r.URL.Query()
+	view := strings.ToLower(strings.TrimSpace(q.Get("view")))
+	if src := q.Get("source"); src == "live" {
+		if q.Get("months") != "" {
 			return Key{}, errBadRequest("query: months slicing is not supported for the live source")
+		}
+		if view != "" {
+			return Key{}, errBadRequest("query: view selection is not supported for the live source")
 		}
 		s.mu.Lock()
 		live := s.live
@@ -214,12 +223,16 @@ func (s *Server) resolveKey(r *http.Request) (Key, error) {
 	if err != nil {
 		return Key{}, err
 	}
+	first, last := man.Window()
+	from, to, err := types.ParseMonthRange(q.Get("months"))
+	if err != nil {
+		return Key{}, errBadRequest("%v (the archive covers months %s..%s)", err, first.Label(), last.Label())
+	}
 	// A range that misses the archive entirely is a client mistake, not a
 	// server failure: reject it here with the archive's actual window. A
 	// partial overlap is clamped to the window so every spelling of the
 	// same slice shares one cache key (and one cold analysis).
 	if len(man.Segments) > 0 {
-		first, last := man.Segments[0].Month, man.Segments[len(man.Segments)-1].Month
 		if to < first || from > last {
 			return Key{}, errBadRequest("query: months %s..%s outside the archive's window %s..%s",
 				from.Label(), to.Label(), first.Label(), last.Label())
@@ -230,11 +243,33 @@ func (s *Server) resolveKey(r *http.Request) (Key, error) {
 		if to > last {
 			to = last
 		}
+		// An archive with month gaps (a limited -months run) can overlap
+		// the window yet select nothing; catch that here too, before the
+		// restore path turns it into a 500.
+		any := false
+		for _, seg := range man.Segments {
+			if seg.Month >= from && seg.Month <= to {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return Key{}, errBadRequest("query: months %s..%s select no archived segments (the archive covers %s..%s)",
+				from.Label(), to.Label(), first.Label(), last.Label())
+		}
+	}
+	vantages := len(man.Vantages)
+	if vantages == 0 {
+		vantages = 1
+	}
+	if err := dataset.CheckViewFor(view, vantages); err != nil {
+		return Key{}, errBadRequest("%v", err)
 	}
 	return Key{
 		Archive:  s.cfg.Archive,
 		From:     from,
 		To:       to,
+		View:     view,
 		Scenario: man.Meta["scenario"],
 	}, nil
 }
@@ -307,13 +342,15 @@ func (s *Server) report(key Key) (rep *measure.Report, err error) {
 
 // analyze is the cold path: restore the month slice — months another
 // range already decoded come from the segment cache, the rest from disk
-// in parallel — and run the measurement pipeline over it.
+// in parallel — select the requested observation view, and run the
+// measurement pipeline over it.
 func (s *Server) analyze(key Key) (*measure.Report, error) {
 	ds, _, err := archive.ReadRangeWith(key.Archive, key.From, key.To,
 		archive.ReadOptions{Workers: s.cfg.Workers, Cache: s.segs})
 	if err != nil {
 		return nil, err
 	}
+	ds.View = key.View
 	return s.cfg.Analyze(ds, s.cfg.Workers)
 }
 
@@ -351,11 +388,13 @@ func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 		Archive   string         `json:"archive"`
 		Scenario  string         `json:"scenario,omitempty"`
 		Months    string         `json:"months"`
+		View      string         `json:"view,omitempty"`
 		Artifacts []artifactInfo `json:"artifacts"`
 	}{
 		Archive:  key.Archive,
 		Scenario: key.Scenario,
 		Months:   key.From.Label() + ".." + key.To.Label(),
+		View:     key.View,
 	}
 	for _, a := range rep.Artifacts() {
 		info := artifactInfo{Name: a.Name, Title: a.Title, Columns: a.Columns, Rows: len(a.Rows)}

@@ -33,6 +33,9 @@ func TestMain(m *testing.M) {
 	if archDir != "" {
 		os.RemoveAll(archDir)
 	}
+	if mvArchDir != "" {
+		os.RemoveAll(mvArchDir)
+	}
 	os.Exit(code)
 }
 

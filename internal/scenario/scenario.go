@@ -3,7 +3,10 @@
 // sim.Config — the paper replays one 23-month history; scenarios plus
 // multi-seed ensembles put error bars on its headline numbers and probe
 // the §8 "what if" discussion (no Flashbots, more mining centralization,
-// broader private-pool adoption, the post-London fee regime).
+// broader private-pool adoption, the post-London fee regime) as well as
+// the measurement side itself: the observation-network scenarios
+// (single-vantage, multi-vantage-union, degraded-observer) vary where —
+// and how well — the §6 mempool observer listens.
 package scenario
 
 import (
@@ -11,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"mevscope/internal/p2p"
 	"mevscope/internal/sim"
 	"mevscope/internal/types"
 )
@@ -46,6 +50,10 @@ type Scenario struct {
 	Name string
 	// Description is a one-line summary for CLI listings.
 	Description string
+	// View names the observation view the scenario classifies private
+	// transactions against ("" = the primary vantage; "union",
+	// "quorum:K", "vantage:N" — see internal/dataset).
+	View string
 	// mutate rewrites the baseline config into the counterfactual.
 	mutate func(*sim.Config)
 }
@@ -78,7 +86,25 @@ const (
 	// PostLondon truncates the window to August 2021 onward, so every
 	// block prices gas under EIP-1559.
 	PostLondon = "post-london"
+	// SingleVantage is the paper's measurement setup made explicit: one
+	// observer at node 0 of the default topology. Identical world and
+	// report to the baseline — the golden pin for the observation
+	// network refactor.
+	SingleVantage = "single-vantage"
+	// MultiVantageUnion spreads four observation vantages around the
+	// gossip network and classifies §6 against their union view — the
+	// "what if the study had listened from several places" robustness
+	// check.
+	MultiVantageUnion = "multi-vantage-union"
+	// DegradedObserver runs the paper's single vantage through a bad
+	// month: a 15 % miss rate plus two mid-window outages — how fragile
+	// the private/public split is to one flaky collector.
+	DegradedObserver = "degraded-observer"
 )
+
+// multiVantageCount is how many vantages the multi-vantage-union
+// scenario spreads around the network.
+const multiVantageCount = 4
 
 var registry = map[string]Scenario{
 	Baseline: {
@@ -114,6 +140,39 @@ var registry = map[string]Scenario{
 			// A full-window month count would overflow the truncated
 			// window; let sim.New re-derive the maximum.
 			cfg.Months = 0
+		},
+	},
+	SingleVantage: {
+		Name:        SingleVantage,
+		Description: "the paper's single node-0 observer, explicit (byte-identical to baseline)",
+	},
+	MultiVantageUnion: {
+		Name:        MultiVantageUnion,
+		Description: "4 observation vantages spread around the network, classified against their union",
+		View:        "union",
+		mutate: func(cfg *sim.Config) {
+			cfg.Net.Vantages = p2p.SpreadVantages(cfg.Net.Nodes, multiVantageCount, cfg.Net.ObserverMissRate)
+		},
+	},
+	DegradedObserver: {
+		Name:        DegradedObserver,
+		Description: "one flaky vantage: 15% miss rate plus two mid-window outages",
+		mutate: func(cfg *sim.Config) {
+			// Outage windows are block ranges, so they depend on the run's
+			// scale: half of the second observation month and a quarter of
+			// the fourth go dark.
+			tl := types.TimelineFrom(cfg.BlocksPerMonth, cfg.StartMonth)
+			bpm := cfg.BlocksPerMonth
+			m19 := tl.FirstBlockOfMonth(types.ObservationStartMonth + 1)
+			m21 := tl.FirstBlockOfMonth(types.ObservationStartMonth + 3)
+			cfg.Net.Vantages = []p2p.VantageConfig{{
+				Node:     0,
+				MissRate: 0.15,
+				Outages: []p2p.OutageWindow{
+					{Start: m19, Stop: m19 + bpm/2 - 1},
+					{Start: m21, Stop: m21 + bpm/4 - 1},
+				},
+			}}
 		},
 	},
 }

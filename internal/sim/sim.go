@@ -1,12 +1,17 @@
 // Package sim is the simulation driver: it assembles the world (chain,
-// gossip network, Flashbots relay, private pools, miners, agents), runs
-// the 23-month study window block by block following the per-month
-// calibration table, and retains ground truth for validation.
+// gossip network with its observation vantages, Flashbots relay, private
+// pools, miners, agents), runs the 23-month study window block by block
+// following the per-month calibration table, and retains ground truth
+// for validation.
 //
 // Everything downstream — detection, private-transaction inference, the
 // tables and figures — consumes only the artifacts a real measurement
-// would have: the chain, the observer's pending-transaction records and
-// the Flashbots public API.
+// would have: the chain, the observation network's per-vantage
+// pending-transaction records and the Flashbots public API. The
+// observation network is configured through Config.Net (p2p.Config):
+// vantage placement, gossip topology, per-vantage miss rates and outage
+// windows all ride that one knob, so scenarios reshape how the world is
+// measured without touching how it behaves.
 package sim
 
 import (

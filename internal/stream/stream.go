@@ -53,12 +53,13 @@ type Follower struct {
 	// moment covers exactly the completed months.
 	OnMonthEnd func(m types.Month, f *Follower)
 
-	chain   *chain.Chain
-	weth    types.Address
-	obs     *p2p.Observer
-	prices  *prices.Series
-	fbByNum FBLookup
-	workers int
+	chain    *chain.Chain
+	weth     types.Address
+	obs      *p2p.Observer
+	vantages []*p2p.Observer
+	prices   *prices.Series
+	fbByNum  FBLookup
+	workers  int
 
 	scanner *detect.Scanner
 	tracker *profit.Tracker
@@ -76,7 +77,7 @@ type Follower struct {
 // pool exactly like mevscope.AnalyzeWith (< 1 selects runtime.NumCPU()).
 func New(c *chain.Chain, weth types.Address, pr *prices.Series, obs *p2p.Observer, fbByNum FBLookup, workers int) *Follower {
 	fbset := make(map[types.Hash]flashbots.BundleType)
-	return &Follower{
+	f := &Follower{
 		chain:   c,
 		weth:    weth,
 		obs:     obs,
@@ -89,13 +90,24 @@ func New(c *chain.Chain, weth types.Address, pr *prices.Series, obs *p2p.Observe
 		fbset:   fbset,
 		next:    c.Timeline.StartBlock,
 	}
+	if obs != nil {
+		f.vantages = []*p2p.Observer{obs}
+	}
+	return f
 }
 
+// SetVantages registers the full observation-network vantage list (the
+// primary observer plus any additional vantages) so month rotation and
+// snapshots carry every per-vantage log. ForSim wires it automatically.
+func (f *Follower) SetVantages(vs []*p2p.Observer) { f.vantages = vs }
+
 // ForSim wires a follower to a live simulation: its chain, price series,
-// observer and relay. Call Sync after each sim.Step (or after any number
-// of steps) to catch up.
+// observation vantages and relay. Call Sync after each sim.Step (or
+// after any number of steps) to catch up.
 func ForSim(s *sim.Sim, workers int) *Follower {
-	return New(s.Chain, s.World.WETH, s.Prices, s.Net.Observer(), s.Relay.BlockByNumber, workers)
+	f := New(s.Chain, s.World.WETH, s.Prices, s.Net.Observer(), s.Relay.BlockByNumber, workers)
+	f.SetVantages(s.Net.Vantages())
+	return f
 }
 
 // Next returns the height the next fed block must carry.
@@ -210,7 +222,7 @@ func (f *Follower) Inferrer() *privinfer.Inferrer { return f.inf }
 func (f *Follower) MonthSegment(m types.Month) *dataset.Segment {
 	tl := f.chain.Timeline
 	seg := &dataset.Segment{Month: m, Blocks: f.chain.BlocksInMonth(m)}
-	// Both record logs are in ascending block order (records append as
+	// Every record log is in ascending block order (records append as
 	// blocks are fed / transactions are first seen), so the month's span
 	// is a binary-searched slice, not a scan of the whole run — rotation
 	// cost stays proportional to the month, not to the history.
@@ -218,11 +230,20 @@ func (f *Follower) MonthSegment(m types.Month) *dataset.Segment {
 	lo := sort.Search(len(fb), func(i int) bool { return tl.MonthOfBlock(fb[i].BlockNumber) >= m })
 	hi := sort.Search(len(fb), func(i int) bool { return tl.MonthOfBlock(fb[i].BlockNumber) > m })
 	seg.FBBlocks = append(seg.FBBlocks, fb[lo:hi]...)
-	if f.obs != nil {
-		recs := f.obs.Records()
+	monthSlice := func(v *p2p.Observer) []p2p.ObservedTx {
+		recs := v.Records()
 		lo := sort.Search(len(recs), func(i int) bool { return tl.MonthOfBlock(recs[i].FirstSeenBlock) >= m })
 		hi := sort.Search(len(recs), func(i int) bool { return tl.MonthOfBlock(recs[i].FirstSeenBlock) > m })
-		seg.Observed = append(seg.Observed, recs[lo:hi]...)
+		return append([]p2p.ObservedTx(nil), recs[lo:hi]...)
+	}
+	if len(f.vantages) > 0 {
+		seg.Observed = monthSlice(f.vantages[0])
+		seg.ObservedV = make([][]p2p.ObservedTx, len(f.vantages)-1)
+		for i, v := range f.vantages[1:] {
+			seg.ObservedV[i] = monthSlice(v)
+		}
+	} else if f.obs != nil {
+		seg.Observed = monthSlice(f.obs)
 	}
 	return seg
 }
@@ -240,6 +261,7 @@ func (f *Follower) Dataset() *dataset.Dataset {
 	}
 	if f.inf != nil {
 		ds.Observer = f.obs
+		ds.Vantages = f.vantages
 	}
 	return ds
 }
@@ -259,6 +281,7 @@ func (f *Follower) Report() *measure.Report {
 	}
 	if f.inf != nil {
 		in.Observer = f.obs
+		in.Vantages = f.vantages
 	}
 	return f.acc.Report(in, f.inf)
 }

@@ -58,6 +58,7 @@ import (
 	"mevscope/internal/core/privinfer"
 	"mevscope/internal/core/profit"
 	"mevscope/internal/dataset"
+	"mevscope/internal/p2p"
 	"mevscope/internal/parallel"
 	"mevscope/internal/scenario"
 	"mevscope/internal/sim"
@@ -79,8 +80,20 @@ type Options struct {
 	NumTraders int
 	// Scenario names the counterfactual world to simulate (see
 	// internal/scenario: baseline, no-flashbots, hashpower-skew,
-	// high-private, post-london). Empty selects the baseline.
+	// high-private, post-london, single-vantage, multi-vantage-union,
+	// degraded-observer). Empty selects the baseline.
 	Scenario string
+	// Vantages places that many observation vantages evenly around the
+	// gossip network (p2p.SpreadVantages); zero keeps the scenario's
+	// layout (the paper's single node-0 observer by default).
+	Vantages int
+	// Topology selects the gossip graph shape (ring, ring-chords,
+	// small-world); empty keeps the default ring-chords graph.
+	Topology string
+	// View selects the observation view the §6 inference classifies
+	// against: "", "vantage:N", "union" or "quorum:K". Empty defers to
+	// the scenario's view (the primary vantage for most).
+	View string
 	// Parallelism sizes the measurement worker pool; zero or negative
 	// selects runtime.NumCPU(), 1 forces the sequential path.
 	Parallelism int
@@ -98,13 +111,49 @@ func (o Options) Params() scenario.Params {
 }
 
 // Config resolves the options into the simulation config of the named
-// scenario.
+// scenario, applying the observation-network overrides (-vantages,
+// -topology) on top of whatever the scenario chose.
 func (o Options) Config() (sim.Config, error) {
 	sc, err := scenario.MustLookup(o.Scenario)
 	if err != nil {
 		return sim.Config{}, err
 	}
-	return sc.Config(o.Params()), nil
+	cfg := sc.Config(o.Params())
+	if o.Topology != "" {
+		top, err := p2p.ParseTopology(o.Topology)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Net.Topology = top
+	}
+	if o.Vantages < 0 {
+		return sim.Config{}, fmt.Errorf("mevscope: Vantages must be ≥ 0, got %d", o.Vantages)
+	}
+	if o.Vantages > 0 {
+		cfg.Net.Vantages = p2p.SpreadVantages(cfg.Net.Nodes, o.Vantages, cfg.Net.ObserverMissRate)
+	}
+	// The vantage count is fully resolved here, so an out-of-range
+	// vantage:N or quorum:K fails now — not after minutes of simulation.
+	vantages := len(cfg.Net.Vantages)
+	if vantages == 0 {
+		vantages = 1
+	}
+	if err := dataset.CheckViewFor(o.resolvedView(), vantages); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// resolvedView is the observation view a run classifies against: the
+// explicit option, else the scenario's view.
+func (o Options) resolvedView() string {
+	if o.View != "" {
+		return o.View
+	}
+	if sc, ok := scenario.Lookup(o.Scenario); ok {
+		return sc.View
+	}
+	return ""
 }
 
 // Study is the outcome of a run: the simulated world plus every
@@ -123,7 +172,8 @@ type Study struct {
 }
 
 // Run simulates the study window under the configured scenario and
-// executes the full measurement pipeline over the result.
+// executes the full measurement pipeline over the result, classifying
+// private transactions against the resolved observation view.
 func Run(opts Options) (*Study, error) {
 	cfg, err := opts.Config()
 	if err != nil {
@@ -136,7 +186,14 @@ func Run(opts Options) (*Study, error) {
 	if err := s.Run(); err != nil {
 		return nil, err
 	}
-	return AnalyzeWith(s, opts.Parallelism)
+	ds := dataset.FromSim(s)
+	ds.View = opts.resolvedView()
+	st, err := AnalyzeDataset(ds, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	st.Sim = s
+	return st, nil
 }
 
 // Analyze runs the measurement pipeline over a completed simulation,
@@ -184,12 +241,18 @@ func AnalyzeDataset(ds *dataset.Dataset, workers int) (*Study, error) {
 		Profits:  profits,
 		WETH:     ds.WETH,
 		Workers:  workers,
+		Vantages: ds.VantageList(),
+		View:     ds.View,
+	}
+	view, err := ds.ResolveView()
+	if err != nil {
+		return nil, err
 	}
 	var inf *privinfer.Inferrer
-	if ds.Observer != nil {
-		in.Observer = ds.Observer
+	if view != nil {
+		in.Observer = view
 		winStart := c.Timeline.FirstBlockOfMonth(types.PrivateWindowStartMonth)
-		inf = privinfer.New(c, ds.Observer, ds.FBSet, winStart, c.Head().Header.Number)
+		inf = privinfer.New(c, view, ds.FBSet, winStart, c.Head().Header.Number)
 		inf.Workers = workers
 	}
 	report := measure.Build(in, inf)
