@@ -1,0 +1,484 @@
+// Command loadgen replays a configurable mix of mevscope serve queries
+// at N concurrent clients and reports the serving tier's throughput and
+// latency distribution — the measurement surface behind CI's
+// BENCH_load.json artifact. It drives either an in-process query.Server
+// over an archive (-from, no sockets, so allocs/request are the
+// server's) or a remote `mevscope serve` instance (-url).
+//
+// Usage:
+//
+//	loadgen -from DIR [-clients 1,64,1024] [-duration 2s]
+//	        [-mix artifact:6,report:2,artifacts:1,manifest:1] [-inm 0.5]
+//	        [-parallel W] [-out BENCH_load.json]
+//	loadgen -url http://127.0.0.1:8571 [...]
+//
+// Each clients level runs for -duration: a warmup pass first fetches
+// every URL the mix can produce (building the report once and capturing
+// each response's ETag), then N clients issue the weighted mix
+// back-to-back, attaching If-None-Match to the -inm fraction of
+// requests so the 304 path is exercised at its production ratio. Per
+// level the JSON output carries qps, p50/p90/p99 latency (via the same
+// log-bucket histogram the server's /metrics uses), allocs and bytes
+// per request, the 304 ratio, and the status-class breakdown.
+//
+// Any 5xx or transport error fails the run (exit 1) after the JSON is
+// written — CI uses that as its "no server errors under load" gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mevscope"
+	"mevscope/internal/core/measure"
+	"mevscope/internal/dataset"
+	"mevscope/internal/query"
+)
+
+func main() {
+	var (
+		from     = flag.String("from", "", "archive directory to serve in-process")
+		url      = flag.String("url", "", "base URL of a running `mevscope serve` to load instead")
+		clients  = flag.String("clients", "1,64,1024", "comma-separated concurrency levels")
+		duration = flag.Duration("duration", 2*time.Second, "run length per concurrency level")
+		mix      = flag.String("mix", "artifact:6,report:2,artifacts:1,manifest:1", "weighted query mix (kind:weight,...); kinds: artifact, report, artifacts, manifest, cache")
+		inm      = flag.Float64("inm", 0.5, "fraction of requests sent with If-None-Match (conditional GETs)")
+		parallel = flag.Int("parallel", 0, "in-process analysis worker-pool size (0 = all cores)")
+		out      = flag.String("out", "", "JSON result file (default: stdout)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
+
+	cfg, err := parseConfig(*from, *url, *clients, *mix, *inm, *duration, *parallel, *quiet)
+	if err != nil {
+		fatal(err)
+	}
+	result, err := run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	if bad := result.serverFailures(); bad > 0 {
+		fatal(fmt.Errorf("%d requests failed with 5xx or transport errors under load", bad))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}
+
+// config is one parsed invocation.
+type config struct {
+	from, url string
+	clients   []int
+	duration  time.Duration
+	mix       []mixEntry
+	mixSpec   string
+	inm       float64
+	parallel  int
+	quiet     bool
+}
+
+// mixEntry is one weighted request kind.
+type mixEntry struct {
+	kind   string
+	weight int
+}
+
+// mixKinds maps each kind to the URLs it rotates through. Artifact
+// queries spread over several artifacts so the mix touches differently
+// sized bodies; everything shares one (full-window) report, so the
+// server pays one analysis and the run measures serving, not the
+// pipeline.
+var mixKinds = map[string][]string{
+	"artifact": {
+		"/v1/artifact/table1?format=json",
+		"/v1/artifact/fig3?format=json",
+		"/v1/artifact/fig9?format=json",
+		"/v1/artifact/bundles?format=csv",
+	},
+	"report":    {"/v1/report?format=text"},
+	"artifacts": {"/v1/artifacts"},
+	"manifest":  {"/v1/manifest"},
+	"cache":     {"/v1/cache"},
+}
+
+// parseConfig validates the flag combination.
+func parseConfig(from, url, clients, mixSpec string, inm float64, duration time.Duration, parallel int, quiet bool) (config, error) {
+	if (from == "") == (url == "") {
+		return config{}, fmt.Errorf("need exactly one of -from DIR (in-process) or -url URL (remote)")
+	}
+	levels, err := parseClients(clients)
+	if err != nil {
+		return config{}, err
+	}
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return config{}, err
+	}
+	if inm < 0 || inm > 1 {
+		return config{}, fmt.Errorf("-inm must be in [0, 1] (got %g)", inm)
+	}
+	if duration <= 0 {
+		return config{}, fmt.Errorf("-duration must be positive (got %v)", duration)
+	}
+	return config{
+		from: from, url: strings.TrimRight(url, "/"), clients: levels,
+		duration: duration, mix: mix, mixSpec: mixSpec, inm: inm,
+		parallel: parallel, quiet: quiet,
+	}, nil
+}
+
+// parseClients parses the comma-separated concurrency levels.
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad client count %q in -clients", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-clients names no levels")
+	}
+	return out, nil
+}
+
+// parseMix parses "kind:weight,..." into weighted entries.
+func parseMix(s string) ([]mixEntry, error) {
+	var out []mixEntry
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		kind, weightStr, ok := strings.Cut(p, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want kind:weight)", p)
+		}
+		if _, known := mixKinds[kind]; !known {
+			kinds := make([]string, 0, len(mixKinds))
+			for k := range mixKinds {
+				kinds = append(kinds, k)
+			}
+			return nil, fmt.Errorf("unknown mix kind %q (valid: %s)", kind, strings.Join(kinds, ", "))
+		}
+		w, err := strconv.Atoi(weightStr)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight in mix entry %q", p)
+		}
+		out = append(out, mixEntry{kind, w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-mix names no queries")
+	}
+	return out, nil
+}
+
+// urls returns every distinct URL the mix can produce (the warmup set).
+func (c config) urls() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range c.mix {
+		for _, u := range mixKinds[e.kind] {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// pick selects a request URL from the weighted mix.
+func (c config) pick(rng *rand.Rand) string {
+	total := 0
+	for _, e := range c.mix {
+		total += e.weight
+	}
+	n := rng.Intn(total)
+	for _, e := range c.mix {
+		if n < e.weight {
+			urls := mixKinds[e.kind]
+			return urls[rng.Intn(len(urls))]
+		}
+		n -= e.weight
+	}
+	return mixKinds[c.mix[0].kind][0]
+}
+
+// target issues one request and reports what came back.
+type target interface {
+	do(path, ifNoneMatch string) (status int, etag string, bytes int64, err error)
+}
+
+// inprocTarget drives a query.Server directly — no sockets, no client
+// allocations beyond the request plumbing, so allocs/request reflect
+// the server.
+type inprocTarget struct{ srv *query.Server }
+
+// nullWriter is the in-process ResponseWriter: counts body bytes,
+// captures status and headers, writes nothing.
+type nullWriter struct {
+	h      http.Header
+	status int
+	n      int64
+}
+
+func (w *nullWriter) Header() http.Header { return w.h }
+func (w *nullWriter) WriteHeader(c int)   { w.status = c }
+func (w *nullWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func (t *inprocTarget) do(path, inm string) (int, string, int64, error) {
+	req, err := http.NewRequest(http.MethodGet, "http://loadgen"+path, nil)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	w := &nullWriter{h: make(http.Header), status: http.StatusOK}
+	t.srv.ServeHTTP(w, req)
+	return w.status, w.h.Get("ETag"), w.n, nil
+}
+
+// remoteTarget drives a running server over HTTP.
+type remoteTarget struct {
+	base   string
+	client *http.Client
+}
+
+func (t *remoteTarget) do(path, inm string) (int, string, int64, error) {
+	req, err := http.NewRequest(http.MethodGet, t.base+path, nil)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("ETag"), n, err
+}
+
+// Level is one concurrency level's results.
+type Level struct {
+	Clients          int              `json:"clients"`
+	Requests         int64            `json:"requests"`
+	DurationSec      float64          `json:"duration_sec"`
+	QPS              float64          `json:"qps"`
+	P50Ms            float64          `json:"p50_ms"`
+	P90Ms            float64          `json:"p90_ms"`
+	P99Ms            float64          `json:"p99_ms"`
+	MeanMs           float64          `json:"mean_ms"`
+	AllocsPerReq     float64          `json:"allocs_per_req"`
+	BytesPerReq      float64          `json:"bytes_per_req"`
+	NotModified      int64            `json:"not_modified"`
+	NotModifiedRatio float64          `json:"not_modified_ratio"`
+	Status           map[string]int64 `json:"status"`
+	Errors           int64            `json:"errors"`
+}
+
+// Output is the BENCH_load.json shape.
+type Output struct {
+	Target      string  `json:"target"`
+	Mix         string  `json:"mix"`
+	INMFraction float64 `json:"if_none_match_fraction"`
+	Levels      []Level `json:"levels"`
+}
+
+// serverFailures counts what should fail CI: 5xx responses and
+// transport errors.
+func (o *Output) serverFailures() int64 {
+	var n int64
+	for _, l := range o.Levels {
+		n += l.Status["5xx"] + l.Errors
+	}
+	return n
+}
+
+// run executes the full sweep: build the target, warm it, then one
+// timed run per concurrency level.
+func run(cfg config) (*Output, error) {
+	var tgt target
+	name := cfg.url
+	if cfg.from != "" {
+		srv, err := query.New(query.Config{
+			Archive: cfg.from,
+			Workers: cfg.parallel,
+			Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+				st, err := mevscope.AnalyzeDataset(ds, workers)
+				if err != nil {
+					return nil, err
+				}
+				return st.Report, nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		tgt = &inprocTarget{srv: srv}
+		name = "in-process:" + cfg.from
+	} else {
+		tgt = &remoteTarget{base: cfg.url, client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        4096,
+				MaxIdleConnsPerHost: 4096,
+			},
+		}}
+	}
+
+	// Warmup: one GET per distinct URL builds the report once and
+	// captures each representation's validator for the conditional-GET
+	// share of the run.
+	etags := map[string]string{}
+	for _, u := range cfg.urls() {
+		status, etag, _, err := tgt.do(u, "")
+		if err != nil {
+			return nil, fmt.Errorf("warmup %s: %w", u, err)
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("warmup %s: status %d", u, status)
+		}
+		if etag != "" {
+			etags[u] = etag
+		}
+	}
+
+	out := &Output{Target: name, Mix: cfg.mixSpec, INMFraction: cfg.inm}
+	for _, n := range cfg.clients {
+		if !cfg.quiet {
+			fmt.Fprintf(os.Stderr, "loadgen: %d clients for %v...\n", n, cfg.duration)
+		}
+		lvl := runLevel(cfg, tgt, etags, n)
+		if !cfg.quiet {
+			fmt.Fprintf(os.Stderr, "loadgen: %d clients: %.0f qps, p50 %.2fms, p99 %.2fms, 304 ratio %.2f\n",
+				n, lvl.QPS, lvl.P50Ms, lvl.P99Ms, lvl.NotModifiedRatio)
+		}
+		out.Levels = append(out.Levels, lvl)
+	}
+	return out, nil
+}
+
+// runLevel hammers the target with n concurrent clients for the
+// configured duration.
+func runLevel(cfg config, tgt target, etags map[string]string, n int) Level {
+	var (
+		hist     query.Histogram
+		requests atomic.Int64
+		bytes    atomic.Int64
+		notMod   atomic.Int64
+		errors   atomic.Int64
+		classes  [5]atomic.Int64
+	)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Per-client deterministic stream: the mix and the
+			// conditional-GET schedule replay identically run to run.
+			rng := rand.New(rand.NewSource(int64(id) + 1))
+			for time.Now().Before(deadline) {
+				u := cfg.pick(rng)
+				inm := ""
+				if etag, ok := etags[u]; ok && rng.Float64() < cfg.inm {
+					inm = etag
+				}
+				t0 := time.Now()
+				status, _, nbytes, err := tgt.do(u, inm)
+				hist.Observe(time.Since(t0))
+				requests.Add(1)
+				bytes.Add(nbytes)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				if cls := status/100 - 1; cls >= 0 && cls < len(classes) {
+					classes[cls].Add(1)
+				}
+				if status == http.StatusNotModified {
+					notMod.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
+	total := requests.Load()
+	lvl := Level{
+		Clients:     n,
+		Requests:    total,
+		DurationSec: elapsed.Seconds(),
+		P50Ms:       ms(hist.Quantile(0.50)),
+		P90Ms:       ms(hist.Quantile(0.90)),
+		P99Ms:       ms(hist.Quantile(0.99)),
+		MeanMs:      ms(hist.Mean()),
+		NotModified: notMod.Load(),
+		Status:      map[string]int64{},
+		Errors:      errors.Load(),
+	}
+	if elapsed > 0 {
+		lvl.QPS = float64(total) / elapsed.Seconds()
+	}
+	if total > 0 {
+		lvl.AllocsPerReq = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total)
+		lvl.BytesPerReq = float64(bytes.Load()) / float64(total)
+		lvl.NotModifiedRatio = float64(notMod.Load()) / float64(total)
+	}
+	for c := range classes {
+		if v := classes[c].Load(); v > 0 {
+			lvl.Status[fmt.Sprintf("%dxx", c+1)] = v
+		}
+	}
+	return lvl
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

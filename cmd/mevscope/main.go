@@ -13,7 +13,7 @@
 //	mevscope analyze -from DIR [-range 2021-03..2021-06] [-section NAME]
 //	         [-view union|quorum:K|vantage:N] [-parallel W] [-csv DIR]
 //	mevscope serve -from DIR [-addr HOST:PORT] [-cache N] [-parallel W]
-//	         [-live [-seed N] [-scenario NAME] [-bpm BLOCKS]]
+//	         [-metrics=false] [-live [-seed N] [-scenario NAME] [-bpm BLOCKS]]
 //
 // The archive subcommand simulates a world once and persists the
 // collected dataset as a segmented on-disk archive (one directory per
@@ -32,7 +32,9 @@
 // multi-vantage archives), backed by an LRU of analyzed reports so
 // repeated queries skip the pipeline; with -live it also simulates a
 // world in the background and serves the streaming follower's snapshot
-// from the same endpoints (?source=live).
+// from the same endpoints (?source=live). Request metrics — per-endpoint
+// counts, status classes, bytes, p50/p99 latency — are exposed at
+// /metrics (Prometheus text or ?format=json) unless -metrics=false.
 //
 // -vantages/-topology reshape the observation network (see internal/p2p):
 // N vantages spread around a ring, ring-chords or small-world gossip
@@ -384,14 +386,15 @@ func resolveRange(dir, spec string) (types.Month, types.Month, error) {
 }
 
 // checkServe validates the serve flag combination up front: the server
-// needs at least one source, and a cache that cannot hold a report is a
-// misconfiguration, not a degraded mode.
+// needs at least one source, and a negative cache size is a
+// misconfiguration, not a degraded mode. 0 is valid and selects
+// query.Config's documented default (16 entries).
 func checkServe(from string, live bool, cacheSize int) error {
 	if from == "" && !live {
 		return fmt.Errorf("serve: need -from DIR, -live, or both")
 	}
-	if cacheSize < 1 {
-		return fmt.Errorf("serve: -cache must be ≥ 1 (got %d)", cacheSize)
+	if cacheSize < 0 {
+		return fmt.Errorf("serve: -cache must be ≥ 0 (got %d; 0 selects the default 16)", cacheSize)
 	}
 	return nil
 }
@@ -417,7 +420,8 @@ func runServe(args []string) {
 	var (
 		from        = fs.String("from", "", "archive directory to serve")
 		addr        = fs.String("addr", "127.0.0.1:8571", "listen address")
-		cacheSize   = fs.Int("cache", 16, "analyzed-report LRU capacity")
+		cacheSize   = fs.Int("cache", 16, "analyzed-report LRU capacity (0 = the default 16)")
+		metrics     = fs.Bool("metrics", true, "expose request metrics at /metrics (Prometheus text; ?format=json)")
 		parallelism = fs.Int("parallel", 0, "analysis worker-pool size (0 = all cores)")
 		live        = fs.Bool("live", false, "simulate a world in the background and serve its streaming snapshot (?source=live)")
 		seed        = fs.Int64("seed", 42, "live simulation seed")
@@ -452,8 +456,9 @@ func runServe(args []string) {
 			}
 			return st.Report, nil
 		},
-		Workers:   *parallelism,
-		CacheSize: *cacheSize,
+		Workers:        *parallelism,
+		CacheSize:      *cacheSize,
+		DisableMetrics: !*metrics,
 	})
 	if err != nil {
 		fail(1, err)

@@ -77,7 +77,8 @@ func TestCheckObservation(t *testing.T) {
 
 // TestCheckServe: the serve subcommand must reject invalid flag
 // combinations (exit 2) before binding a socket — no source at all, or a
-// cache that cannot hold a single report.
+// negative cache size. -cache 0 is valid: query.Config documents 0 as
+// "selects 16", and the CLI must agree with the library it fronts.
 func TestCheckServe(t *testing.T) {
 	bad := []struct {
 		from  string
@@ -86,7 +87,7 @@ func TestCheckServe(t *testing.T) {
 		want  string
 	}{
 		{"", false, 16, "-from DIR, -live"},
-		{"dir", false, 0, "-cache must be"},
+		{"dir", false, -1, "-cache must be"},
 		{"", true, -1, "-cache must be"},
 	}
 	for _, c := range bad {
@@ -100,11 +101,12 @@ func TestCheckServe(t *testing.T) {
 		}
 	}
 	for _, c := range []struct {
-		from string
-		live bool
-	}{{"dir", false}, {"", true}, {"dir", true}} {
-		if err := checkServe(c.from, c.live, 16); err != nil {
-			t.Errorf("checkServe(%q, %v, 16) rejected: %v", c.from, c.live, err)
+		from  string
+		live  bool
+		cache int
+	}{{"dir", false, 16}, {"", true, 16}, {"dir", true, 16}, {"dir", false, 0}} {
+		if err := checkServe(c.from, c.live, c.cache); err != nil {
+			t.Errorf("checkServe(%q, %v, %d) rejected: %v", c.from, c.live, c.cache, err)
 		}
 	}
 }

@@ -1,0 +1,382 @@
+package query
+
+// Request metrics: the operational surface of the serving tier. Every
+// request through Server.ServeHTTP is classified by endpoint and
+// recorded — request count, status class, bytes sent, 304s, and a
+// latency observation in a fixed log-scale histogram — then exposed at
+// GET /metrics in Prometheus text exposition format (the default, so a
+// stock scraper works unconfigured) or as JSON (?format=json, which
+// also embeds both cache levels' counters so one scrape reconciles
+// request counts against cache lookups). Everything is plain atomics
+// over a fixed endpoint set: no locks on the hot path, no dependencies.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: factor-2 upper bounds from 10µs up, plus one
+// overflow bucket. 10µs·2^23 ≈ 84s, wide enough for a cold archive
+// restore and fine enough that a ~0.3ms cached hit and a ~1s cold build
+// land many buckets apart.
+const (
+	histBase    = 10 * time.Microsecond
+	histBuckets = 24
+)
+
+// Histogram is a concurrency-safe streaming latency histogram over
+// fixed log-scale buckets. The zero value is ready to use; Observe is
+// lock-free (atomics only), so it sits on the request hot path and in
+// cmd/loadgen's per-request accounting without serializing clients.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	n      atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// bucketOf maps a duration to its bucket index (the first bucket whose
+// upper bound is ≥ d; durations beyond the last bound overflow).
+func bucketOf(d time.Duration) int {
+	ub := histBase
+	for i := 0; i < histBuckets; i++ {
+		if d <= ub {
+			return i
+		}
+		ub *= 2
+	}
+	return histBuckets
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the q-th quantile (0 < q ≤ 1), linearly interpolated
+// within the bucket the rank falls in; observations past the last bound
+// report that bound. With factor-2 buckets the answer is exact to within
+// 2× — the right fidelity for p50/p99 trend lines at zero allocation.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	lo, ub := time.Duration(0), histBase
+	for i := 0; i <= histBuckets; i++ {
+		n := h.counts[i].Load()
+		if cum+n >= rank {
+			if i == histBuckets {
+				return lo // overflow: report the last finite bound
+			}
+			frac := float64(rank-cum) / float64(n)
+			return lo + time.Duration(frac*float64(ub-lo))
+		}
+		cum += n
+		lo, ub = ub, ub*2
+	}
+	return lo
+}
+
+// buckets snapshots the per-bucket counts (not cumulative).
+func (h *Histogram) buckets() [histBuckets + 1]int64 {
+	var out [histBuckets + 1]int64
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// endpointLabels is the fixed classification of request paths; every
+// path outside the API maps to "other" so the metric label set is
+// bounded no matter what clients probe.
+var endpointLabels = []string{
+	"/v1/artifacts", "/v1/artifact", "/v1/report", "/v1/manifest", "/v1/cache", "/metrics", "other",
+}
+
+// endpointLabel classifies one request path.
+func endpointLabel(path string) string {
+	if strings.HasPrefix(path, "/v1/artifact/") {
+		return "/v1/artifact"
+	}
+	switch path {
+	case "/v1/artifacts", "/v1/report", "/v1/manifest", "/v1/cache", "/metrics":
+		return path
+	}
+	return "other"
+}
+
+// endpointMetrics is one endpoint's counters.
+type endpointMetrics struct {
+	requests    atomic.Int64
+	classes     [5]atomic.Int64 // status/100 - 1: 1xx..5xx
+	notModified atomic.Int64
+	bytes       atomic.Int64
+	latency     Histogram
+}
+
+// metrics is the server-wide registry: a read-only map over a fixed
+// endpoint set, so recording never takes a lock.
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics() *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpointLabels))}
+	for _, l := range endpointLabels {
+		m.endpoints[l] = &endpointMetrics{}
+	}
+	return m
+}
+
+// record accounts one finished request.
+func (m *metrics) record(path string, status int, bytes int64, d time.Duration) {
+	e := m.endpoints[endpointLabel(path)]
+	e.requests.Add(1)
+	if c := status/100 - 1; c >= 0 && c < len(e.classes) {
+		e.classes[c].Add(1)
+	}
+	if status == http.StatusNotModified {
+		e.notModified.Add(1)
+	}
+	e.bytes.Add(bytes)
+	e.latency.Observe(d)
+}
+
+// LatencySummary is the histogram's JSON rendering: count, mean and the
+// headline quantiles, in milliseconds.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean_ms"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+// EndpointMetrics is one endpoint's counters, snapshotted for JSON.
+type EndpointMetrics struct {
+	Requests    int64            `json:"requests"`
+	Status      map[string]int64 `json:"status,omitempty"`
+	NotModified int64            `json:"not_modified,omitempty"`
+	Bytes       int64            `json:"bytes"`
+	Latency     LatencySummary   `json:"latency"`
+}
+
+// MetricsSnapshot is the /metrics?format=json document: per-endpoint
+// request metrics plus both cache levels, so hit/miss counters can be
+// reconciled against request counts in one read.
+type MetricsSnapshot struct {
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+	Caches    struct {
+		Reports  CacheStats        `json:"reports"`
+		Segments SegmentCacheStats `json:"segments"`
+	} `json:"caches"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// MetricsSnapshot builds the JSON view of the registry; endpoints that
+// saw no traffic are omitted. The second return is false when metrics
+// are disabled (Config.DisableMetrics).
+func (s *Server) MetricsSnapshot() (MetricsSnapshot, bool) {
+	if s.metrics == nil {
+		return MetricsSnapshot{}, false
+	}
+	out := MetricsSnapshot{Endpoints: make(map[string]EndpointMetrics)}
+	for _, label := range endpointLabels {
+		e := s.metrics.endpoints[label]
+		n := e.requests.Load()
+		if n == 0 {
+			continue
+		}
+		em := EndpointMetrics{
+			Requests:    n,
+			NotModified: e.notModified.Load(),
+			Bytes:       e.bytes.Load(),
+			Status:      make(map[string]int64),
+			Latency: LatencySummary{
+				Count: e.latency.Count(),
+				Mean:  ms(e.latency.Mean()),
+				P50:   ms(e.latency.Quantile(0.50)),
+				P90:   ms(e.latency.Quantile(0.90)),
+				P99:   ms(e.latency.Quantile(0.99)),
+			},
+		}
+		for c := range e.classes {
+			if v := e.classes[c].Load(); v > 0 {
+				em.Status[fmt.Sprintf("%dxx", c+1)] = v
+			}
+		}
+		out.Endpoints[label] = em
+	}
+	out.Caches.Reports = s.cache.stats()
+	out.Caches.Segments = s.segs.stats()
+	return out, true
+}
+
+// handleMetrics serves the registry: Prometheus text exposition by
+// default (a stock scraper needs no configuration), JSON with
+// ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		fail(w, &httpError{http.StatusNotFound, "query: metrics disabled"})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "prometheus", "prom":
+		respond(w, "text/plain; version=0.0.4; charset=utf-8", "", func(w io.Writer) error {
+			return s.writePrometheus(w)
+		})
+	case "json":
+		snap, _ := s.MetricsSnapshot()
+		writeJSON(w, snap)
+	default:
+		fail(w, errBadRequest("query: unknown format %q (want prometheus or json)", r.URL.Query().Get("format")))
+	}
+}
+
+// writePrometheus renders the registry in the text exposition format:
+// request/byte/304 counters by endpoint and status class, the latency
+// histogram with cumulative le-labelled buckets, and both cache levels.
+func (s *Server) writePrometheus(w io.Writer) error {
+	active := make([]string, 0, len(endpointLabels))
+	for _, l := range endpointLabels {
+		if s.metrics.endpoints[l].requests.Load() > 0 {
+			active = append(active, l)
+		}
+	}
+	sort.Strings(active)
+
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# HELP mevscope_http_requests_total Requests by endpoint and status class.\n# TYPE mevscope_http_requests_total counter\n"); err != nil {
+		return err
+	}
+	for _, l := range active {
+		e := s.metrics.endpoints[l]
+		for c := range e.classes {
+			if v := e.classes[c].Load(); v > 0 {
+				if err := p("mevscope_http_requests_total{endpoint=%q,class=\"%dxx\"} %d\n", l, c+1, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := p("# HELP mevscope_http_response_bytes_total Body bytes sent by endpoint.\n# TYPE mevscope_http_response_bytes_total counter\n"); err != nil {
+		return err
+	}
+	for _, l := range active {
+		if err := p("mevscope_http_response_bytes_total{endpoint=%q} %d\n", l, s.metrics.endpoints[l].bytes.Load()); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP mevscope_http_not_modified_total Conditional GETs answered 304 without re-encoding.\n# TYPE mevscope_http_not_modified_total counter\n"); err != nil {
+		return err
+	}
+	for _, l := range active {
+		if err := p("mevscope_http_not_modified_total{endpoint=%q} %d\n", l, s.metrics.endpoints[l].notModified.Load()); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP mevscope_http_request_seconds Request latency by endpoint.\n# TYPE mevscope_http_request_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, l := range active {
+		e := s.metrics.endpoints[l]
+		counts := e.latency.buckets()
+		var cum int64
+		ub := histBase
+		for i := 0; i < histBuckets; i++ {
+			cum += counts[i]
+			le := strconv.FormatFloat(ub.Seconds(), 'g', -1, 64)
+			if err := p("mevscope_http_request_seconds_bucket{endpoint=%q,le=%q} %d\n", l, le, cum); err != nil {
+				return err
+			}
+			ub *= 2
+		}
+		cum += counts[histBuckets]
+		if err := p("mevscope_http_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", l, cum); err != nil {
+			return err
+		}
+		if err := p("mevscope_http_request_seconds_sum{endpoint=%q} %g\n", l, time.Duration(e.latency.sum.Load()).Seconds()); err != nil {
+			return err
+		}
+		if err := p("mevscope_http_request_seconds_count{endpoint=%q} %d\n", l, e.latency.Count()); err != nil {
+			return err
+		}
+	}
+	type cacheRow struct {
+		name                    string
+		hits, misses, evictions int64
+		size                    int
+	}
+	rs := s.cache.stats()
+	ss := s.segs.stats()
+	caches := []cacheRow{
+		{"reports", rs.Hits, rs.Misses, rs.Evictions, rs.Size},
+		{"segments", ss.Hits, ss.Misses, ss.Evictions, ss.Size},
+	}
+	if err := p("# HELP mevscope_cache_hits_total Cache hits by level.\n# TYPE mevscope_cache_hits_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range caches {
+		if err := p("mevscope_cache_hits_total{cache=%q} %d\n", c.name, c.hits); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP mevscope_cache_misses_total Cache misses by level.\n# TYPE mevscope_cache_misses_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range caches {
+		if err := p("mevscope_cache_misses_total{cache=%q} %d\n", c.name, c.misses); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP mevscope_cache_evictions_total Cache evictions by level.\n# TYPE mevscope_cache_evictions_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range caches {
+		if err := p("mevscope_cache_evictions_total{cache=%q} %d\n", c.name, c.evictions); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP mevscope_cache_size Entries held by cache level.\n# TYPE mevscope_cache_size gauge\n"); err != nil {
+		return err
+	}
+	for _, c := range caches {
+		if err := p("mevscope_cache_size{cache=%q} %d\n", c.name, c.size); err != nil {
+			return err
+		}
+	}
+	return p("# HELP mevscope_cache_bytes Decoded bytes held by the segment cache.\n# TYPE mevscope_cache_bytes gauge\nmevscope_cache_bytes{cache=\"segments\"} %d\n", ss.Bytes)
+}

@@ -24,10 +24,24 @@
 //	GET /v1/report?format=text|json&months=…&view=…
 //	GET /v1/manifest
 //	GET /v1/cache
+//	GET /metrics?format=prometheus|json
 //
 // The view parameter selects which observation view of a multi-vantage
 // archive the §6 inference classifies against (default: the primary
 // vantage); each view is analyzed and cached independently.
+//
+// Every response body is encoded fully before the first byte is sent:
+// Content-Length is always set, a mid-encode failure is a real 500 (not
+// a 200 with a truncated body), and HEAD answers with the same headers
+// and status as GET at no extra cost. /v1/artifact/* and /v1/report
+// responses carry a strong ETag — reports are immutable per (archive,
+// month range, view, scenario), so the cache key plus the encoding
+// hashes to one for free — and a matching If-None-Match comes back 304
+// without re-encoding, and without rebuilding the report even when the
+// LRU has evicted it. GET /metrics exposes per-endpoint request counts,
+// status classes, bytes sent, 304 counts and a log-bucket latency
+// histogram (p50/p90/p99), in Prometheus text exposition format by
+// default or as JSON (which also embeds both cache levels' counters).
 //
 // A live source (a streaming follower's snapshot function, see
 // Server.SetLive) is served from the same endpoints with ?source=live;
@@ -37,11 +51,17 @@
 package query
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mevscope/internal/archive"
 	"mevscope/internal/core/measure"
@@ -82,15 +102,20 @@ type Config struct {
 	// segments they both touch through this cache, so a cold report build
 	// re-reads only the months no earlier query decoded.
 	SegmentCacheSize int
+	// DisableMetrics turns off request accounting and the /metrics
+	// endpoint (which then 404s). Metrics are on by default: recording is
+	// a handful of atomic adds per request.
+	DisableMetrics bool
 }
 
 // Server answers artifact queries over one archive (and optionally one
 // live source). It is an http.Handler; all state is concurrency-safe.
 type Server struct {
-	cfg   Config
-	cache *reportCache
-	segs  *segmentCache
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *reportCache
+	segs    *segmentCache
+	mux     *http.ServeMux
+	metrics *metrics // nil when Config.DisableMetrics
 
 	mu       sync.Mutex
 	man      *archive.Manifest // lazily loaded
@@ -123,12 +148,16 @@ func New(cfg Config) (*Server, error) {
 		segs:     newSegmentCache(cfg.SegmentCacheSize),
 		inflight: make(map[Key]*call),
 	}
+	if !cfg.DisableMetrics {
+		s.metrics = newMetrics()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/artifacts", s.handleArtifacts)
 	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/manifest", s.handleManifest)
 	mux.HandleFunc("/v1/cache", s.handleCache)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
 }
@@ -146,14 +175,61 @@ func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
 // SegmentCacheStats reports the second-level segment cache's counters.
 func (s *Server) SegmentCacheStats() SegmentCacheStats { return s.segs.stats() }
 
-// ServeHTTP dispatches to the /v1 API.
+// ServeHTTP dispatches to the /v1 API (and /metrics). GET and HEAD are
+// the only methods — bodies are buffered, so HEAD is the same handler
+// with the body stripped — and a 405 names them in Allow (RFC 9110
+// requires the header on every 405). Every request is timed and
+// recorded into the metrics registry with the status and body bytes it
+// actually sent.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	if s.metrics != nil {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			s.metrics.record(r.URL.Path, rec.status, rec.bytes, time.Since(start))
+		}()
+		w = rec
+	}
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodHead:
+		w = &headWriter{w}
+	default:
+		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// statusRecorder captures the status and body byte count a handler
+// actually produced, for the metrics registry. It sits inside the HEAD
+// body-stripper, so a HEAD response records zero body bytes — what went
+// on the wire, not what the handler encoded.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// headWriter strips the body from a HEAD response: headers and status
+// pass through, body writes are swallowed (reported as consumed so
+// handlers run unchanged), and the explicit Content-Length the buffered
+// write path sets still tells the client how big the GET body would be.
+type headWriter struct{ http.ResponseWriter }
+
+func (h *headWriter) Write(p []byte) (int, error) { return len(p), nil }
 
 // httpError is an error with a status code.
 type httpError struct {
@@ -354,12 +430,77 @@ func (s *Server) analyze(key Key) (*measure.Report, error) {
 	return s.cfg.Analyze(ds, s.cfg.Workers)
 }
 
-// writeJSON writes v as indented JSON.
+// respond writes one fully-buffered response: encode runs to completion
+// into memory before any byte reaches the client, so a mid-encode
+// failure is a real 500 (nothing of the partial body leaks into a 200)
+// and Content-Length is always exact. A non-empty etag is set on the
+// response. Bodies here are small — one artifact or one rendered report
+// — so the buffer is cheap insurance, not a streaming bottleneck.
+func respond(w http.ResponseWriter, contentType, etag string, encode func(io.Writer) error) {
+	var buf bytes.Buffer
+	if err := encode(&buf); err != nil {
+		fail(w, fmt.Errorf("query: encoding response: %w", err))
+		return
+	}
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// writeJSON writes v as indented JSON, buffered like every other body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	respond(w, "application/json; charset=utf-8", "", func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
+}
+
+// etagFor hashes a response body's immutable identity — the cache key
+// plus the encoding — into a strong ETag. Reports are immutable per
+// (archive, month range, view, scenario), and resolveKey canonicalizes
+// every spelling of a slice to one key, so the hash is a free validator:
+// no body bytes are touched to compute it. Live sources are mutable and
+// get no ETag.
+func etagFor(key Key, format, name string) string {
+	if key.Live {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%s|%s|%s|%s",
+		key.Archive, key.From, key.To, key.View, key.Scenario, format, name)))
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// etagMatch reports whether an If-None-Match header matches etag, using
+// the weak comparison RFC 9110 prescribes for If-None-Match.
+func etagMatch(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	for _, tok := range strings.Split(header, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "*" || tok == etag || strings.TrimPrefix(tok, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// notModified answers a conditional GET whose validator still matches:
+// 304, the ETag, no body. Callers check it before building the report —
+// the match is decided by the request's identity alone, so a 304 skips
+// not just the encoding but the analysis a cold LRU would otherwise pay.
+func notModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	if !etagMatch(r.Header.Get("If-None-Match"), etag) {
+		return false
+	}
+	w.Header().Set("ETag", etag)
+	w.WriteHeader(http.StatusNotModified)
+	return true
 }
 
 // artifactInfo describes one artifact in the /v1/artifacts listing.
@@ -406,11 +547,19 @@ func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// handleArtifact serves one artifact in the requested format.
+// handleArtifact serves one artifact in the requested format. The
+// artifact name is validated against the model's static name list
+// before the conditional-GET check, so a fabricated If-None-Match for a
+// name that never had a representation cannot turn a 404 into a 304.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
 	if name == "" || strings.Contains(name, "/") {
 		fail(w, errBadRequest("query: bad artifact path %q", r.URL.Path))
+		return
+	}
+	if !knownArtifact(name) {
+		fail(w, &httpError{http.StatusNotFound,
+			fmt.Sprintf("query: no artifact %q (valid: %s)", name, strings.Join(measure.ArtifactNames(), ", "))})
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -428,6 +577,10 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
+	etag := etagFor(key, format, name)
+	if notModified(w, r, etag) {
+		return
+	}
 	rep, err := s.report(key)
 	if err != nil {
 		fail(w, err)
@@ -441,15 +594,25 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	switch format {
 	case "csv":
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		a.WriteCSV(w)
+		respond(w, "text/csv; charset=utf-8", etag, a.WriteCSV)
 	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		measure.WriteText(w, a)
+		respond(w, "text/plain; charset=utf-8", etag, func(w io.Writer) error {
+			measure.WriteText(w, a)
+			return nil
+		})
 	default:
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		a.WriteJSON(w)
+		respond(w, "application/json; charset=utf-8", etag, a.WriteJSON)
 	}
+}
+
+// knownArtifact reports whether name is in the artifact model.
+func knownArtifact(name string) bool {
+	for _, n := range measure.ArtifactNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // handleReport serves the full report: the text rendering (the classic
@@ -468,17 +631,27 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
+	etag := etagFor(key, format, "report")
+	if notModified(w, r, etag) {
+		return
+	}
 	rep, err := s.report(key)
 	if err != nil {
 		fail(w, err)
 		return
 	}
 	if format == "json" {
-		writeJSON(w, rep.Artifacts())
+		respond(w, "application/json; charset=utf-8", etag, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep.Artifacts())
+		})
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	measure.WriteReportText(w, rep)
+	respond(w, "text/plain; charset=utf-8", etag, func(w io.Writer) error {
+		measure.WriteReportText(w, rep)
+		return nil
+	})
 }
 
 // handleManifest serves the archive manifest (no data files touched).

@@ -1,0 +1,159 @@
+package query_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"mevscope/internal/core/measure"
+	"mevscope/internal/dataset"
+	"mevscope/internal/query"
+)
+
+// TestConcurrentStressLRUDedup hammers the report LRU and the in-flight
+// dedup from many goroutines across evictions, under -race. The cache
+// holds 2 reports while 8 distinct keys are requested by 25 goroutines
+// each, so builds evict each other while they publish — and the
+// in-flight dedup must still collapse every key to exactly one Analyze.
+//
+// Determinism: the stub Analyze blocks every build on a gate, and the
+// gate opens only once all 200 requests have registered a report-cache
+// lookup (CacheStats misses — nothing can be cached while builds are
+// gated, so every lookup is a miss). At that point each goroutine is
+// either its key's builder or a waiter on the builder's in-flight call;
+// none can arrive after an eviction and rebuild, so "exactly one per
+// key" is an invariant, not a scheduling accident.
+func TestConcurrentStressLRUDedup(t *testing.T) {
+	const (
+		keys       = 8
+		perKey     = 25
+		totalBurst = keys * perKey
+	)
+	release := make(chan struct{})
+	perKeyCalls := make(map[string]*int, keys)
+	var callsMu sync.Mutex
+	srv, err := query.New(query.Config{
+		Archive:   testArchive(t),
+		CacheSize: 2,
+		Workers:   1,
+		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+			// The restored slice starts at the requested month, which
+			// identifies the key this build is for.
+			id := ds.Chain.Timeline.FirstMonth.Label()
+			callsMu.Lock()
+			if perKeyCalls[id] == nil {
+				perKeyCalls[id] = new(int)
+			}
+			*perKeyCalls[id]++
+			callsMu.Unlock()
+			<-release
+			return &measure.Report{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urlFor := func(k int) string {
+		return fmt.Sprintf("/v1/artifact/table1?format=json&months=2021-%02d..2021-%02d", k+1, k+1)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, totalBurst)
+	for k := 0; k < keys; k++ {
+		for i := 0; i < perKey; i++ {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				if code, body := get(t, srv, url); code != http.StatusOK {
+					errs <- fmt.Sprintf("%s → %d: %s", url, code, body)
+				}
+			}(urlFor(k))
+		}
+	}
+
+	// Open the gate once every request has registered its lookup.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.CacheStats().Hits+srv.CacheStats().Misses < totalBurst {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d lookups registered before the deadline",
+				srv.CacheStats().Misses, totalBurst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	callsMu.Lock()
+	totalAnalyzes := 0
+	for id, n := range perKeyCalls {
+		totalAnalyzes += *n
+		if *n != 1 {
+			t.Errorf("key %s analyzed %d times, want exactly 1 (in-flight dedup)", id, *n)
+		}
+	}
+	callsMu.Unlock()
+	if len(perKeyCalls) != keys {
+		t.Errorf("%d distinct keys analyzed, want %d", len(perKeyCalls), keys)
+	}
+
+	burst := srv.CacheStats()
+	if burst.Hits+burst.Misses != totalBurst {
+		t.Errorf("burst lookups = %d hits + %d misses, want %d total",
+			burst.Hits, burst.Misses, totalBurst)
+	}
+	if burst.Evictions < keys-2 {
+		t.Errorf("evictions = %d, want ≥ %d (8 builds through a 2-entry LRU)", burst.Evictions, keys-2)
+	}
+
+	// A sequential re-pass over every key: evicted keys rebuild, cached
+	// ones hit — either way every request is exactly one lookup, so the
+	// /v1/cache and /metrics counters must reconcile:
+	// hits + misses == lookups == artifact-endpoint requests.
+	for k := 0; k < keys; k++ {
+		if code, body := get(t, srv, urlFor(k)); code != http.StatusOK {
+			t.Fatalf("re-pass %s → %d: %s", urlFor(k), code, body)
+		}
+	}
+	totalRequests := int64(totalBurst + keys)
+
+	code, body := get(t, srv, "/v1/cache")
+	if code != http.StatusOK {
+		t.Fatal("cache endpoint failed")
+	}
+	var cacheView struct {
+		Reports query.CacheStats `json:"reports"`
+	}
+	if err := json.Unmarshal([]byte(body), &cacheView); err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheView.Reports.Hits + cacheView.Reports.Misses; got != totalRequests {
+		t.Errorf("report-cache lookups = %d, want %d (one per request)", got, totalRequests)
+	}
+
+	snap, ok := srv.MetricsSnapshot()
+	if !ok {
+		t.Fatal("metrics disabled")
+	}
+	art := snap.Endpoints["/v1/artifact"]
+	if art.Requests != totalRequests {
+		t.Errorf("metrics artifact requests = %d, want %d", art.Requests, totalRequests)
+	}
+	if art.Requests != cacheView.Reports.Hits+cacheView.Reports.Misses {
+		t.Errorf("metrics (%d requests) and cache counters (%d lookups) do not reconcile",
+			art.Requests, cacheView.Reports.Hits+cacheView.Reports.Misses)
+	}
+	if art.Status["2xx"] != totalRequests {
+		t.Errorf("status classes = %v, want %d clean 2xx", art.Status, totalRequests)
+	}
+	if art.Latency.Count != totalRequests {
+		t.Errorf("latency observations = %d, want %d", art.Latency.Count, totalRequests)
+	}
+}
