@@ -2,8 +2,8 @@
 // at N concurrent clients and reports the serving tier's throughput and
 // latency distribution — the measurement surface behind CI's
 // BENCH_load.json artifact. It drives either an in-process query.Server
-// over an archive (-from, no sockets, so allocs/request are the
-// server's) or a remote `mevscope serve` instance (-url).
+// over an archive (-from, no sockets, so the process's allocs/request
+// reflect the server) or a remote `mevscope serve` instance (-url).
 //
 // Usage:
 //
@@ -18,8 +18,12 @@
 // back-to-back, attaching If-None-Match to the -inm fraction of
 // requests so the 304 path is exercised at its production ratio. Per
 // level the JSON output carries qps, p50/p90/p99 latency (via the same
-// log-bucket histogram the server's /metrics uses), allocs and bytes
-// per request, the 304 ratio, and the status-class breakdown.
+// log-bucket histogram the server's /metrics uses), bytes per request,
+// the 304 ratio, and the status-class breakdown. In-process runs also
+// report process_allocs_per_req — the whole process's MemStats delta
+// (client plumbing + server) per request; -url runs omit it, since a
+// client-side alloc count says nothing about the server across a
+// socket.
 //
 // Any 5xx or transport error fails the run (exit 1) after the JSON is
 // written — CI uses that as its "no server errors under load" gate.
@@ -43,6 +47,7 @@ import (
 	"mevscope"
 	"mevscope/internal/core/measure"
 	"mevscope/internal/dataset"
+	"mevscope/internal/obs"
 	"mevscope/internal/query"
 )
 
@@ -302,20 +307,24 @@ func (t *remoteTarget) do(path, inm string) (int, string, int64, error) {
 
 // Level is one concurrency level's results.
 type Level struct {
-	Clients          int              `json:"clients"`
-	Requests         int64            `json:"requests"`
-	DurationSec      float64          `json:"duration_sec"`
-	QPS              float64          `json:"qps"`
-	P50Ms            float64          `json:"p50_ms"`
-	P90Ms            float64          `json:"p90_ms"`
-	P99Ms            float64          `json:"p99_ms"`
-	MeanMs           float64          `json:"mean_ms"`
-	AllocsPerReq     float64          `json:"allocs_per_req"`
-	BytesPerReq      float64          `json:"bytes_per_req"`
-	NotModified      int64            `json:"not_modified"`
-	NotModifiedRatio float64          `json:"not_modified_ratio"`
-	Status           map[string]int64 `json:"status"`
-	Errors           int64            `json:"errors"`
+	Clients     int     `json:"clients"`
+	Requests    int64   `json:"requests"`
+	DurationSec float64 `json:"duration_sec"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+	// ProcessAllocsPerReq is the process-wide allocation delta per
+	// request, reported only for in-process (-from) runs where the
+	// server runs inside this process; in -url mode the delta would
+	// count just the client and is omitted.
+	ProcessAllocsPerReq float64          `json:"process_allocs_per_req,omitempty"`
+	BytesPerReq         float64          `json:"bytes_per_req"`
+	NotModified         int64            `json:"not_modified"`
+	NotModifiedRatio    float64          `json:"not_modified_ratio"`
+	Status              map[string]int64 `json:"status"`
+	Errors              int64            `json:"errors"`
 }
 
 // Output is the BENCH_load.json shape.
@@ -345,8 +354,8 @@ func run(cfg config) (*Output, error) {
 		srv, err := query.New(query.Config{
 			Archive: cfg.from,
 			Workers: cfg.parallel,
-			Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
-				st, err := mevscope.AnalyzeDataset(ds, workers)
+			Analyze: func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
+				st, err := mevscope.AnalyzeDatasetTraced(ds, workers, sp)
 				if err != nil {
 					return nil, err
 				}
@@ -469,7 +478,9 @@ func runLevel(cfg config, tgt target, etags map[string]string, n int) Level {
 		lvl.QPS = float64(total) / elapsed.Seconds()
 	}
 	if total > 0 {
-		lvl.AllocsPerReq = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total)
+		if _, inproc := tgt.(*inprocTarget); inproc {
+			lvl.ProcessAllocsPerReq = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total)
+		}
 		lvl.BytesPerReq = float64(bytes.Load()) / float64(total)
 		lvl.NotModifiedRatio = float64(notMod.Load()) / float64(total)
 	}

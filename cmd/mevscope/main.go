@@ -12,8 +12,10 @@
 //	         [-vantages N] [-topology NAME]
 //	mevscope analyze -from DIR [-range 2021-03..2021-06] [-section NAME]
 //	         [-view union|quorum:K|vantage:N] [-parallel W] [-csv DIR]
+//	         [-trace FILE] [-progress]
 //	mevscope serve -from DIR [-addr HOST:PORT] [-cache N] [-parallel W]
-//	         [-metrics=false] [-live [-seed N] [-scenario NAME] [-bpm BLOCKS]]
+//	         [-metrics=false] [-pprof]
+//	         [-live [-seed N] [-scenario NAME] [-bpm BLOCKS]]
 //
 // The archive subcommand simulates a world once and persists the
 // collected dataset as a segmented on-disk archive (one directory per
@@ -33,8 +35,18 @@
 // repeated queries skip the pipeline; with -live it also simulates a
 // world in the background and serves the streaming follower's snapshot
 // from the same endpoints (?source=live). Request metrics — per-endpoint
-// counts, status classes, bytes, p50/p99 latency — are exposed at
-// /metrics (Prometheus text or ?format=json) unless -metrics=false.
+// counts, status classes, bytes, p50/p99 latency, per-stage cold-build
+// histograms and Go runtime gauges — are exposed at /metrics
+// (Prometheus text or ?format=json) unless -metrics=false; -pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
+//
+// The study and analyze paths carry a flight recorder: -trace FILE
+// records every pipeline stage (with worker-pool utilization) as a
+// hierarchical span tree and writes it as Chrome trace-event JSON —
+// loadable at ui.perfetto.dev — plus a per-stage wall-time summary on
+// stderr; -progress prints a live stage ticker instead (or as well).
+// Tracing never changes the report: output is byte-identical with it
+// on or off.
 //
 // -vantages/-topology reshape the observation network (see internal/p2p):
 // N vantages spread around a ring, ring-chords or small-world gossip
@@ -65,6 +77,7 @@ import (
 	"mevscope/internal/archive"
 	"mevscope/internal/core/measure"
 	"mevscope/internal/dataset"
+	"mevscope/internal/obs"
 	"mevscope/internal/p2p"
 	"mevscope/internal/query"
 	"mevscope/internal/scenario"
@@ -143,6 +156,8 @@ func runStudy(args []string) {
 		view        = fs.String("view", "", "observation view for §6 classification: vantage:N, union, quorum:K (default: scenario's)")
 		section     = fs.String("section", "all", "which artifact to print")
 		csvDir      = fs.String("csv", "", "also write every artifact as CSV into this directory")
+		traceFile   = fs.String("trace", "", "record the run and write Chrome trace-event JSON to this file (view at ui.perfetto.dev)")
+		progress    = fs.Bool("progress", false, "print a per-stage progress ticker to stderr")
 		quiet       = fs.Bool("q", false, "suppress progress output")
 	)
 	fs.Parse(args)
@@ -153,11 +168,13 @@ func runStudy(args []string) {
 	if err := checkObservation(*vantages, *topology, *view); err != nil {
 		fail(2, err)
 	}
+	rec := newTracer("study", *traceFile, *progress)
 
 	opts := mevscope.Options{
 		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners,
 		Scenario: *scen, Parallelism: *parallelism,
 		Vantages: *vantages, Topology: *topology, View: *view,
+		Span: rec.root(),
 	}
 	// Resolve the full config once up front: cross-flag mistakes (a view
 	// the resolved vantage count cannot satisfy) are usage errors too.
@@ -167,6 +184,7 @@ func runStudy(args []string) {
 
 	if *seeds != "" {
 		runEnsemble(opts, *seeds, *parallelism, *quiet)
+		rec.finish()
 		return
 	}
 
@@ -183,8 +201,11 @@ func runStudy(args []string) {
 		fmt.Fprintf(os.Stderr, "mevscope: %d blocks, %d MEV extractions measured in %v\n",
 			study.Sim.Chain.Len(), len(study.Profits), time.Since(t0).Round(time.Millisecond))
 	}
+	rsp := rec.root().Child(obs.StageRender)
 	writeCSV(study, *csvDir, *quiet)
 	printSection(study, *section)
+	rsp.End()
+	rec.finish()
 }
 
 // runArchive simulates a world and persists the collected dataset as a
@@ -310,6 +331,8 @@ func runAnalyze(args []string) {
 		section     = fs.String("section", "all", "which artifact to print")
 		parallelism = fs.Int("parallel", 0, "analysis worker-pool size (0 = all cores)")
 		csvDir      = fs.String("csv", "", "also write every artifact as CSV into this directory")
+		traceFile   = fs.String("trace", "", "record the run and write Chrome trace-event JSON to this file (view at ui.perfetto.dev)")
+		progress    = fs.Bool("progress", false, "print a per-stage progress ticker to stderr")
 		quiet       = fs.Bool("q", false, "suppress progress output")
 	)
 	fs.Parse(args)
@@ -324,8 +347,10 @@ func runAnalyze(args []string) {
 	if err != nil {
 		fail(2, err)
 	}
+	rec := newTracer("analyze", *traceFile, *progress)
 	t0 := time.Now()
-	ds, man, err := archive.ReadRangeWith(*from, lo, hi, archive.ReadOptions{Workers: *parallelism})
+	ds, man, err := archive.ReadRangeWith(*from, lo, hi,
+		archive.ReadOptions{Workers: *parallelism, Span: rec.root()})
 	if err != nil {
 		fail(1, err)
 	}
@@ -349,7 +374,7 @@ func runAnalyze(args []string) {
 		fmt.Fprintf(os.Stderr, "mevscope: restored %d blocks (months %s..%s of %d segments, head %d) from %s\n",
 			ds.Chain.Len(), first.Label(), last.Label(), len(man.Segments), man.Head, *from)
 	}
-	study, err := mevscope.AnalyzeDataset(ds, *parallelism)
+	study, err := mevscope.AnalyzeDatasetTraced(ds, *parallelism, rec.root())
 	if err != nil {
 		fail(1, err)
 	}
@@ -357,8 +382,11 @@ func runAnalyze(args []string) {
 		fmt.Fprintf(os.Stderr, "mevscope: %d MEV extractions measured in %v\n",
 			len(study.Profits), time.Since(t0).Round(time.Millisecond))
 	}
+	rsp := rec.root().Child(obs.StageRender)
 	writeCSV(study, *csvDir, *quiet)
 	printSection(study, *section)
+	rsp.End()
+	rec.finish()
 }
 
 // resolveRange parses analyze's -range and validates it against the
@@ -422,6 +450,7 @@ func runServe(args []string) {
 		addr        = fs.String("addr", "127.0.0.1:8571", "listen address")
 		cacheSize   = fs.Int("cache", 16, "analyzed-report LRU capacity (0 = the default 16)")
 		metrics     = fs.Bool("metrics", true, "expose request metrics at /metrics (Prometheus text; ?format=json)")
+		pprofFlag   = fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 		parallelism = fs.Int("parallel", 0, "analysis worker-pool size (0 = all cores)")
 		live        = fs.Bool("live", false, "simulate a world in the background and serve its streaming snapshot (?source=live)")
 		seed        = fs.Int64("seed", 42, "live simulation seed")
@@ -449,8 +478,8 @@ func runServe(args []string) {
 	}
 	srv, err := query.New(query.Config{
 		Archive: *from,
-		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
-			st, err := mevscope.AnalyzeDataset(ds, workers)
+		Analyze: func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
+			st, err := mevscope.AnalyzeDatasetTraced(ds, workers, sp)
 			if err != nil {
 				return nil, err
 			}
@@ -459,6 +488,7 @@ func runServe(args []string) {
 		Workers:        *parallelism,
 		CacheSize:      *cacheSize,
 		DisableMetrics: !*metrics,
+		EnablePprof:    *pprofFlag,
 	})
 	if err != nil {
 		fail(1, err)
@@ -505,6 +535,15 @@ func startLive(srv *query.Server, opts mevscope.Options, quiet bool) error {
 			mu.Lock()
 			defer mu.Unlock()
 			return f.Report(), f.Blocks()
+		},
+		// Lag is how many sealed blocks the follower has not yet consumed
+		// — the serving tier's freshness gauge (mevscope_live_lag_blocks).
+		// Stepping and syncing run under the same mutex, so it reads as a
+		// consistent pair.
+		Lag: func() uint64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return s.Chain.NextNumber() - f.Next()
 		},
 	})
 	if !quiet {
@@ -637,7 +676,9 @@ func runEnsemble(base mevscope.Options, seedList string, parallelism int, quiet 
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "mevscope: %d runs merged in %v\n", len(ens.Seeds), time.Since(t0).Round(time.Millisecond))
 	}
+	rsp := base.Span.Child(obs.StageRender)
 	ens.WriteSummary(os.Stdout)
+	rsp.End()
 }
 
 // parseSeeds parses a comma-separated int64 list.

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mevscope/internal/obs"
+)
+
+// record builds a small but realistic trace through the real recorder
+// and exports it with the real Chrome writer, so the validator is
+// tested against exactly what mevscope emits.
+func record(tb testing.TB, stages []string) []byte {
+	tb.Helper()
+	tr := obs.New("test")
+	for _, st := range stages {
+		sp := tr.Root().Child(st)
+		time.Sleep(2 * time.Millisecond)
+		sp.End()
+	}
+	tr.Root().End()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckAcceptsRealTrace(t *testing.T) {
+	stages := []string{"archive:restore", "detect", "profit", "aggregate", "build", "render"}
+	data := record(t, stages)
+	summary, err := check(data, 0.9, stages)
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if !strings.Contains(summary, "7 spans") {
+		t.Errorf("summary = %q, want 7 spans (root + 6 stages)", summary)
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	good := record(t, []string{"detect"})
+	cases := []struct {
+		name     string
+		data     []byte
+		coverage float64
+		stages   []string
+		want     string
+	}{
+		{"garbage", []byte("not json"), 0, nil, "not valid trace JSON"},
+		{"empty", []byte(`{"traceEvents":[]}`), 0, nil, "no complete"},
+		{"missing stage", good, 0, []string{"detect", "profit"}, "required stages missing: profit"},
+		{"orphan parent", []byte(`{"traceEvents":[
+			{"name":"root","ph":"X","ts":0,"dur":100,"args":{"span":1}},
+			{"name":"kid","ph":"X","ts":0,"dur":50,"args":{"span":2,"parent":9}}]}`),
+			0, nil, "parent 9 does not exist"},
+		{"escapes parent", []byte(`{"traceEvents":[
+			{"name":"root","ph":"X","ts":0,"dur":100000,"args":{"span":1}},
+			{"name":"kid","ph":"X","ts":50000,"dur":100000,"args":{"span":2,"parent":1}}]}`),
+			0, nil, "escapes parent"},
+		{"duplicate id", []byte(`{"traceEvents":[
+			{"name":"root","ph":"X","ts":0,"dur":100,"args":{"span":1}},
+			{"name":"again","ph":"X","ts":0,"dur":50,"args":{"span":1}}]}`),
+			0, nil, "duplicate span id"},
+		{"no root", []byte(`{"traceEvents":[
+			{"name":"a","ph":"X","ts":0,"dur":100,"args":{"span":1,"parent":2}},
+			{"name":"b","ph":"X","ts":0,"dur":100,"args":{"span":2,"parent":1}}]}`),
+			0, nil, "no root span"},
+		{"low coverage", []byte(`{"traceEvents":[
+			{"name":"root","ph":"X","ts":0,"dur":100000,"args":{"span":1}},
+			{"name":"kid","ph":"X","ts":0,"dur":1000,"args":{"span":2,"parent":1}}]}`),
+			0.95, nil, "cover"},
+	}
+	for _, tc := range cases {
+		if _, err := check(tc.data, tc.coverage, tc.stages); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCoverageUnion: overlapping siblings count once — two children
+// covering the same half of the root yield 50%, not 100%.
+func TestCoverageUnion(t *testing.T) {
+	data := []byte(`{"traceEvents":[
+		{"name":"root","ph":"X","ts":0,"dur":100000,"args":{"span":1}},
+		{"name":"a","ph":"X","ts":0,"dur":50000,"args":{"span":2,"parent":1}},
+		{"name":"b","ph":"X","ts":10000,"dur":40000,"args":{"span":3,"parent":1}}]}`)
+	if _, err := check(data, 0.6, nil); err == nil {
+		t.Error("overlap double-counted: 50% of wall passed a 60% floor")
+	}
+	if _, err := check(data, 0.45, nil); err != nil {
+		t.Errorf("union coverage rejected a 45%% floor: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"mevscope/internal/core/measure"
+	"mevscope/internal/obs"
 	"mevscope/internal/parallel"
 	"mevscope/internal/stats"
 	"mevscope/internal/types"
@@ -121,10 +122,14 @@ func RunEnsembleWith(base Options, seeds []int64, parallelism int) (*Ensemble, e
 		study *Study
 		err   error
 	}
-	outcomes := parallel.Map(len(sorted), fanOut, func(i int) outcome {
+	outcomes := parallel.MapSpan(base.Span, len(sorted), fanOut, func(i int) outcome {
 		opts := base
 		opts.Seed = sorted[i]
+		rsp := base.Span.Child(obs.StageRun)
+		rsp.SetLabel(fmt.Sprintf("seed %d", opts.Seed))
+		opts.Span = rsp
 		st, err := Run(opts)
+		rsp.End()
 		return outcome{study: st, err: err}
 	})
 	studies := make([]*Study, len(outcomes))

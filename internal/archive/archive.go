@@ -47,6 +47,7 @@ import (
 
 	"mevscope/internal/dataset"
 	"mevscope/internal/flashbots"
+	"mevscope/internal/obs"
 	"mevscope/internal/p2p"
 	"mevscope/internal/parallel"
 	"mevscope/internal/prices"
@@ -343,6 +344,15 @@ type SegmentCache interface {
 	Add(dir string, m types.Month, seg *dataset.Segment, bytes int64)
 }
 
+// segBytes is a segment's total on-disk size per the manifest.
+func segBytes(si SegmentInfo) int64 {
+	bytes := si.Blocks.Bytes + si.Flashbots.Bytes + si.Observed.Bytes
+	for _, fi := range si.ObservedV {
+		bytes += fi.Bytes
+	}
+	return bytes
+}
+
 // ReadOptions tune a ReadRangeWith call.
 type ReadOptions struct {
 	// Workers sizes the parallel segment-decode pool (< 1 = all cores).
@@ -350,6 +360,11 @@ type ReadOptions struct {
 	// Cache, when non-nil, is consulted before and filled after each
 	// segment decode.
 	Cache SegmentCache
+	// Span, when non-nil, is the tracing parent the restore records
+	// itself under: one "archive:restore" span with an "archive:decode"
+	// child per segment actually decoded (cache hits record nothing).
+	// Nil disables recording at zero cost (internal/obs).
+	Span *obs.Span
 }
 
 // Read restores the full dataset from a segmented archive, verifying
@@ -401,24 +416,37 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 	}
 	full := len(segs) == len(man.Segments)
 
+	rsp := opt.Span.Child(obs.StageRestore)
+	defer rsp.End()
+	if rsp != nil {
+		blocks, bytes := 0, int64(0)
+		for _, si := range segs {
+			blocks += si.Blocks.Count
+			bytes += segBytes(si)
+		}
+		rsp.SetBlocks(blocks)
+		rsp.SetBytes(bytes)
+	}
+
 	// Decode the selected segments in parallel, reusing cached decodes.
-	decoded := parallel.Map(len(segs), opt.Workers, func(i int) decodeResult {
+	decoded := parallel.MapSpan(rsp, len(segs), opt.Workers, func(i int) decodeResult {
 		si := segs[i]
 		if opt.Cache != nil {
 			if seg, ok := opt.Cache.Get(dir, si.Month); ok {
 				return decodeResult{seg: seg}
 			}
 		}
+		dsp := rsp.Child(obs.StageDecode)
+		dsp.SetLabel(si.Label)
+		dsp.SetBlocks(si.Blocks.Count)
+		dsp.SetBytes(segBytes(si))
 		seg, err := readSegment(dir, man, si)
+		dsp.End()
 		if err != nil {
 			return decodeResult{err: err}
 		}
 		if opt.Cache != nil {
-			bytes := si.Blocks.Bytes + si.Flashbots.Bytes + si.Observed.Bytes
-			for _, fi := range si.ObservedV {
-				bytes += fi.Bytes
-			}
-			opt.Cache.Add(dir, si.Month, seg, bytes)
+			opt.Cache.Add(dir, si.Month, seg, segBytes(si))
 		}
 		return decodeResult{seg: seg}
 	})

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"mevscope/internal/dataset"
+	"mevscope/internal/obs"
 	"mevscope/internal/parallel"
 	"mevscope/internal/types"
 )
@@ -34,7 +35,13 @@ type StreamWriter struct {
 	format Format
 	man    *Manifest
 	done   bool
+	span   *obs.Span
 }
+
+// SetSpan attaches a tracing parent: each segment written — rotated or
+// finalized — records an "archive:encode" span under it (internal/obs).
+// A nil span (the default) disables recording at zero cost.
+func (w *StreamWriter) SetSpan(sp *obs.Span) { w.span = sp }
 
 // NewStreamWriter creates the archive directory and an empty manifest in
 // the given format. The manifest is only written by Finalize: a run that
@@ -69,12 +76,26 @@ func (w *StreamWriter) WriteSegment(seg *dataset.Segment) error {
 		return fmt.Errorf("archive: segment %s arrived after %s (months must ascend)",
 			seg.Month.Label(), w.man.Segments[n-1].Label)
 	}
-	info, err := writeSegment(w.dir, w.format, seg)
+	info, err := w.writeSegmentSpan(w.span, seg)
 	if err != nil {
 		return err
 	}
 	w.man.Segments = append(w.man.Segments, info)
 	return nil
+}
+
+// writeSegmentSpan encodes one segment under an "archive:encode" span
+// carrying the month, block count and bytes landed on disk.
+func (w *StreamWriter) writeSegmentSpan(parent *obs.Span, seg *dataset.Segment) (SegmentInfo, error) {
+	sp := parent.Child(obs.StageEncode)
+	defer sp.End()
+	sp.SetLabel(seg.Month.Label())
+	sp.SetBlocks(len(seg.Blocks))
+	info, err := writeSegment(w.dir, w.format, seg)
+	if err == nil {
+		sp.SetBytes(segBytes(info))
+	}
+	return info, err
 }
 
 // Finalize writes every month not yet rotated (encoded in parallel),
@@ -108,7 +129,7 @@ func (w *StreamWriter) Finalize(ds *dataset.Dataset) (*Manifest, error) {
 		err  error
 	}
 	results := parallel.Map(len(pending), 0, func(i int) segResult {
-		info, err := writeSegment(w.dir, w.format, pending[i])
+		info, err := w.writeSegmentSpan(w.span, pending[i])
 		return segResult{info, err}
 	})
 	for _, r := range results {

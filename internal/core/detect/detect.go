@@ -16,6 +16,7 @@ package detect
 import (
 	"mevscope/internal/chain"
 	"mevscope/internal/events"
+	"mevscope/internal/obs"
 	"mevscope/internal/parallel"
 	"mevscope/internal/types"
 )
@@ -376,12 +377,23 @@ func Scan(c *chain.Chain, weth types.Address, from, to uint64) *Result {
 // sequential Scan — and to a single Scanner fed every block — for any
 // worker count. workers < 1 selects runtime.NumCPU().
 func ScanParallel(c *chain.Chain, weth types.Address, from, to uint64, workers int) *Result {
+	return ScanParallelSpan(c, weth, from, to, workers, nil)
+}
+
+// ScanParallelSpan is ScanParallel recorded as a "detect" stage under
+// the given parent span: block count, detection count, pool size and
+// per-worker busy time land on the trace. A nil parent disables
+// recording at zero cost; the result is identical either way.
+func ScanParallelSpan(c *chain.Chain, weth types.Address, from, to uint64, workers int, parent *obs.Span) *Result {
+	sp := parent.Child(obs.StageDetect)
+	defer sp.End()
 	var blocks []*types.Block
 	c.Range(from, to, func(b *types.Block) bool {
 		blocks = append(blocks, b)
 		return true
 	})
-	parts := parallel.MapChunks(len(blocks), workers, func(lo, hi int) *Result {
+	sp.SetBlocks(len(blocks))
+	parts := parallel.MapChunksSpan(sp, len(blocks), workers, func(lo, hi int) *Result {
 		sc := NewScanner(weth)
 		for _, b := range blocks[lo:hi] {
 			sc.Feed(b)
@@ -392,6 +404,7 @@ func ScanParallel(c *chain.Chain, weth types.Address, from, to uint64, workers i
 	for _, part := range parts {
 		res.merge(part)
 	}
+	sp.SetTxs(len(res.Sandwiches) + len(res.Arbitrages) + len(res.Liquidations))
 	return res
 }
 

@@ -6,6 +6,7 @@ import (
 	"mevscope/internal/core/privinfer"
 	"mevscope/internal/core/profit"
 	"mevscope/internal/flashbots"
+	"mevscope/internal/obs"
 	"mevscope/internal/parallel"
 	"mevscope/internal/stats"
 	"mevscope/internal/types"
@@ -89,9 +90,12 @@ func (a *Accumulator) Report(in Inputs, inf *privinfer.Inferrer) *Report {
 // withGas skips the receipt sweep when the caller only needs block-level
 // aggregates (Figures 3 and 4).
 func accumulate(in Inputs, withGas bool) *Accumulator {
+	sp := in.Span.Child(obs.StageAggregate)
+	defer sp.End()
+	sp.SetBlocks(in.Chain.Len())
 	a := NewAccumulator(in.Chain.Timeline, in.WETH)
 	a.fb = in.FBBlocks
-	aggs := parallel.Map(types.StudyMonths, in.workers(), func(mi int) *monthAgg {
+	aggs := parallel.MapSpan(sp, types.StudyMonths, in.workers(), func(mi int) *monthAgg {
 		blocks := in.Chain.BlocksInMonth(types.Month(mi))
 		if len(blocks) == 0 {
 			return nil

@@ -12,6 +12,7 @@ import (
 	"mevscope/internal/core/privinfer"
 	"mevscope/internal/core/profit"
 	"mevscope/internal/flashbots"
+	"mevscope/internal/obs"
 	"mevscope/internal/p2p"
 	"mevscope/internal/parallel"
 	"mevscope/internal/stats"
@@ -42,6 +43,11 @@ type Inputs struct {
 	// merges per-month partials in month order, so the report is identical
 	// for any worker count.
 	Workers int
+
+	// Span, when non-nil, is the parent the aggregate and build stages
+	// record themselves under (internal/obs). Tracing never perturbs the
+	// report; nil disables it at zero cost.
+	Span *obs.Span
 }
 
 // workers resolves the pool size: the zero value stays sequential.
@@ -539,36 +545,45 @@ func Build(in Inputs, inf *privinfer.Inferrer) *Report {
 // they fan out across the worker pool; each writes a distinct Report
 // field, which keeps the assembly deterministic.
 func buildWith(in Inputs, acc *Accumulator, inf *privinfer.Inferrer) *Report {
+	sp := in.Span.Child(obs.StageBuild)
+	defer sp.End()
 	r := &Report{}
-	builders := []func(){
-		func() { r.Table1 = BuildTable1(in) },
-		func() { r.Fig3 = figure3(in, acc) },
-		func() { r.Fig4 = figure4(in, acc) },
-		func() { r.Fig5 = BuildFigure5(in) },
-		func() { r.Fig6 = figure6(in, acc) },
-		func() { r.Fig7 = BuildFigure7(in) },
-		func() { r.Fig8 = figure8(in, acc.minerSet) },
-		func() { r.Bundles = BuildBundleStats(in) },
-		func() { r.Negatives = BuildNegativeProfits(in) },
-		func() { r.Damage = BuildVictimDamage(in) },
-		func() { r.Concentration = BuildConcentration(in) },
-		func() { r.VantageSensitivity = BuildVantageSensitivity(in) },
+	type builder struct {
+		name string
+		fn   func()
+	}
+	builders := []builder{
+		{"table1", func() { r.Table1 = BuildTable1(in) }},
+		{"fig3", func() { r.Fig3 = figure3(in, acc) }},
+		{"fig4", func() { r.Fig4 = figure4(in, acc) }},
+		{"fig5", func() { r.Fig5 = BuildFigure5(in) }},
+		{"fig6", func() { r.Fig6 = figure6(in, acc) }},
+		{"fig7", func() { r.Fig7 = BuildFigure7(in) }},
+		{"fig8", func() { r.Fig8 = figure8(in, acc.minerSet) }},
+		{"bundles", func() { r.Bundles = BuildBundleStats(in) }},
+		{"negatives", func() { r.Negatives = BuildNegativeProfits(in) }},
+		{"damage", func() { r.Damage = BuildVictimDamage(in) }},
+		{"concentration", func() { r.Concentration = BuildConcentration(in) }},
+		{"vantages", func() { r.VantageSensitivity = BuildVantageSensitivity(in) }},
 	}
 	if inf != nil {
 		builders = append(builders,
-			func() {
+			builder{"fig9", func() {
 				f9 := BuildFigure9(in, inf)
 				r.Fig9 = &f9
-			},
-			func() {
+			}},
+			builder{"mevsplit", func() {
 				split := inf.SplitAll(in.Detect)
 				r.MEVSplit = &split
-			},
-			func() { r.PrivateLinks = inf.LinkPrivateSandwiches(in.Detect.Sandwiches) },
+			}},
+			builder{"privatelinks", func() { r.PrivateLinks = inf.LinkPrivateSandwiches(in.Detect.Sandwiches) }},
 		)
 	}
-	parallel.Map(len(builders), in.workers(), func(i int) struct{} {
-		builders[i]()
+	parallel.MapSpan(sp, len(builders), in.workers(), func(i int) struct{} {
+		bsp := sp.Child(obs.StageArtifact)
+		bsp.SetLabel(builders[i].name)
+		builders[i].fn()
+		bsp.End()
 		return struct{}{}
 	})
 	return r

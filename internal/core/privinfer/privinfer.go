@@ -13,6 +13,7 @@ import (
 	"mevscope/internal/chain"
 	"mevscope/internal/core/detect"
 	"mevscope/internal/flashbots"
+	obspkg "mevscope/internal/obs"
 	"mevscope/internal/parallel"
 	"mevscope/internal/types"
 )
@@ -67,6 +68,11 @@ type Inferrer struct {
 	// observer and Flashbots set, and per-extraction verdicts are reduced
 	// in input order, so results are identical for any worker count.
 	Workers int
+
+	// Span, when non-nil, is the parent each classification fan-out
+	// records itself under as an "infer" span (internal/obs). The memoized
+	// paths record nothing — they do no work. Nil disables tracing.
+	Span *obspkg.Span
 
 	// Sandwich verdicts memoized per input slice: Figure 9, the MEV split
 	// and the §6.3 attribution all classify the same detector sweep, so
@@ -283,9 +289,13 @@ func (in *Inferrer) classifySandwiches(sandwiches []detect.Sandwich) []verdict {
 		return v
 	}
 	in.mu.Unlock()
-	v := parallel.Map(len(sandwiches), in.workers(), func(i int) verdict {
+	sp := in.Span.Child(obspkg.StageInfer)
+	sp.SetLabel("sandwiches")
+	sp.SetTxs(len(sandwiches))
+	v := parallel.MapSpan(sp, len(sandwiches), in.workers(), func(i int) verdict {
 		return in.sandwichVerdict(sandwiches[i])
 	})
+	sp.End()
 	in.mu.Lock()
 	in.cacheKey, in.cacheLen, in.cacheVerd = key, len(sandwiches), v
 	in.mu.Unlock()
@@ -302,7 +312,11 @@ func (in *Inferrer) classifyArbs(arbs []detect.Arbitrage) []verdict {
 		return v
 	}
 	in.mu.Unlock()
-	return parallel.Map(len(arbs), in.workers(), func(i int) verdict {
+	sp := in.Span.Child(obspkg.StageInfer)
+	sp.SetLabel("arbitrages")
+	sp.SetTxs(len(arbs))
+	defer sp.End()
+	return parallel.MapSpan(sp, len(arbs), in.workers(), func(i int) verdict {
 		return in.arbVerdict(arbs[i])
 	})
 }
@@ -317,7 +331,11 @@ func (in *Inferrer) classifyLiqs(liqs []detect.Liquidation) []verdict {
 		return v
 	}
 	in.mu.Unlock()
-	return parallel.Map(len(liqs), in.workers(), func(i int) verdict {
+	sp := in.Span.Child(obspkg.StageInfer)
+	sp.SetLabel("liquidations")
+	sp.SetTxs(len(liqs))
+	defer sp.End()
+	return parallel.MapSpan(sp, len(liqs), in.workers(), func(i int) verdict {
 		return in.liqVerdict(liqs[i])
 	})
 }

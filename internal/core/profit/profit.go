@@ -7,10 +7,12 @@ package profit
 
 import (
 	"fmt"
+	"time"
 
 	"mevscope/internal/chain"
 	"mevscope/internal/core/detect"
 	"mevscope/internal/flashbots"
+	"mevscope/internal/obs"
 	"mevscope/internal/parallel"
 	"mevscope/internal/prices"
 	"mevscope/internal/types"
@@ -275,16 +277,33 @@ func (c *Computer) ResolveAll(res *detect.Result) []Record {
 // slots and compacted in detector order — the output matches ResolveAll
 // exactly for any worker count. workers < 1 selects runtime.NumCPU().
 func (c *Computer) ResolveAllParallel(res *detect.Result, workers int) []Record {
-	if workers == 1 {
-		return c.ResolveAll(res)
-	}
+	return c.ResolveAllParallelSpan(res, workers, nil)
+}
+
+// ResolveAllParallelSpan is ResolveAllParallel recorded as a "profit"
+// stage under the given parent span (detection count, pool size,
+// per-worker busy time). A nil parent disables recording at zero cost.
+func (c *Computer) ResolveAllParallelSpan(res *detect.Result, workers int, parent *obs.Span) []Record {
+	sp := parent.Child(obs.StageProfit)
+	defer sp.End()
 	nS, nA := len(res.Sandwiches), len(res.Arbitrages)
 	total := nS + nA + len(res.Liquidations)
+	sp.SetTxs(total)
+	if workers == 1 {
+		if sp == nil {
+			return c.ResolveAll(res)
+		}
+		sp.SetWorkers(1)
+		t0 := time.Now()
+		out := c.ResolveAll(res)
+		sp.AddBusy(time.Since(t0))
+		return out
+	}
 	type slot struct {
 		rec Record
 		ok  bool
 	}
-	slots := parallel.Map(total, workers, func(i int) slot {
+	slots := parallel.MapSpan(sp, total, workers, func(i int) slot {
 		var (
 			rec Record
 			err error

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry in the Chrome trace-event format's
+// traceEvents array. Only "X" (complete) and "M" (metadata) phases are
+// emitted; ts and dur are microseconds. Perfetto and chrome://tracing
+// both load this shape directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the trace as Chrome trace-event JSON. Concurrent
+// sibling spans (parallel segment decodes, the artifact builder
+// fan-out) are assigned separate lanes (tids) so they render side by
+// side instead of stacking into a false hierarchy. Call after the
+// traced work has completed; spans still running are exported with
+// their elapsed-so-far duration.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].id < spans[j].id
+	})
+	lanes := assignLanes(spans)
+
+	maxLane := 0
+	for _, l := range lanes {
+		if l > maxLane {
+			maxLane = l
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans)+maxLane+2)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "mevscope " + t.name},
+	})
+	for l := 0; l <= maxLane; l++ {
+		name := "pipeline"
+		if l > 0 {
+			name = "workers"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: l,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, sp := range spans {
+		args := map[string]any{"span": sp.id}
+		if sp.parent != nil {
+			args["parent"] = sp.parent.id
+		}
+		if sp.label != "" {
+			args["label"] = sp.label
+		}
+		if sp.blocks > 0 {
+			args["blocks"] = sp.blocks
+		}
+		if sp.txs > 0 {
+			args["txs"] = sp.txs
+		}
+		if sp.bytes > 0 {
+			args["bytes"] = sp.bytes
+		}
+		if sp.workers > 0 {
+			args["workers"] = sp.workers
+			args["utilization"] = round3(sp.Utilization())
+		}
+		events = append(events, chromeEvent{
+			Name: sp.name,
+			Ph:   "X",
+			Ts:   micros(sp.start),
+			Dur:  micros(sp.Duration()),
+			Pid:  1,
+			Tid:  lanes[sp],
+		})
+		events[len(events)-1].Args = args
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// assignLanes greedily places spans (pre-sorted by start) onto lanes.
+// A span prefers its parent's lane; nesting inside an ancestor is fine
+// (that is what renders the hierarchy), but overlapping a non-ancestor
+// already on the lane is not, so the span walks to the first lane free
+// of such conflicts. O(n²) — traces hold tens to hundreds of spans.
+func assignLanes(spans []*Span) map[*Span]int {
+	lanes := make(map[*Span]int, len(spans))
+	for _, sp := range spans {
+		want := 0
+		if sp.parent != nil {
+			if l, ok := lanes[sp.parent]; ok {
+				want = l
+			}
+		}
+		if laneFree(spans, lanes, sp, want) {
+			lanes[sp] = want
+			continue
+		}
+		for lane := 0; ; lane++ {
+			if lane != want && laneFree(spans, lanes, sp, lane) {
+				lanes[sp] = lane
+				break
+			}
+		}
+	}
+	return lanes
+}
+
+func laneFree(spans []*Span, lanes map[*Span]int, sp *Span, lane int) bool {
+	s0, s1 := sp.start, sp.start+sp.Duration()
+	for _, other := range spans {
+		l, ok := lanes[other]
+		if !ok || l != lane || other == sp {
+			continue
+		}
+		if sp.isAncestor(other) {
+			continue
+		}
+		o0, o1 := other.start, other.start+other.Duration()
+		if s0 < o1 && o0 < s1 {
+			return false
+		}
+	}
+	return true
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}
+
+func round3(f float64) float64 {
+	return float64(int64(f*1000+0.5)) / 1000
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceIsInert: the disabled recorder — a nil *Trace / *Span —
+// must accept every call without doing anything, because instrumented
+// code threads spans unconditionally.
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	if tr.Root() != nil {
+		t.Error("nil trace Root() != nil")
+	}
+	if tr.Spans() != nil {
+		t.Error("nil trace Spans() != nil")
+	}
+	if tr.Summary() != nil {
+		t.Error("nil trace Summary() != nil")
+	}
+	if tr.Coverage() != 0 {
+		t.Error("nil trace Coverage() != 0")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil trace Chrome export is not valid JSON: %v", err)
+	}
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var sp *Span
+	c := sp.Child("x")
+	if c != nil {
+		t.Error("nil span Child() != nil")
+	}
+	sp.End()
+	sp.SetBlocks(1)
+	sp.SetTxs(1)
+	sp.SetBytes(1)
+	sp.SetWorkers(1)
+	sp.SetLabel("x")
+	sp.AddBusy(time.Second)
+	if sp.Duration() != 0 || sp.Utilization() != 0 || sp.Name() != "" {
+		t.Error("nil span accessors not zero")
+	}
+}
+
+// TestNilSpanZeroAllocs pins the disabled path at zero allocations:
+// the full per-stage call pattern on a nil span must not allocate.
+func TestNilSpanZeroAllocs(t *testing.T) {
+	var sp *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		c := sp.Child(StageDetect)
+		c.SetBlocks(100)
+		c.SetWorkers(4)
+		c.AddBusy(time.Millisecond)
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil span path allocates %v per run; want 0", allocs)
+	}
+}
+
+// TestSpanTree: children register under the right parent with the
+// right depth, attrs round-trip, and durations are monotone.
+func TestSpanTree(t *testing.T) {
+	tr := New("test")
+	root := tr.Root()
+	a := root.Child("a")
+	a.SetBlocks(10)
+	a.SetTxs(20)
+	a.SetBytes(30)
+	a.SetLabel("first")
+	b := a.Child("b")
+	time.Sleep(2 * time.Millisecond)
+	b.End()
+	a.End()
+	root.End()
+
+	if b.Parent() != a || a.Parent() != root || root.Parent() != nil {
+		t.Error("parent links wrong")
+	}
+	if a.depth() != 1 || b.depth() != 2 {
+		t.Errorf("depths = %d, %d; want 1, 2", a.depth(), b.depth())
+	}
+	if !b.isAncestor(root) || !b.isAncestor(a) || b.isAncestor(b) {
+		t.Error("isAncestor wrong")
+	}
+	if a.Blocks() != 10 || a.Txs() != 20 || a.Bytes() != 30 || a.Label() != "first" {
+		t.Error("attrs did not round-trip")
+	}
+	if b.Duration() <= 0 || a.Duration() < b.Duration() || root.Duration() < a.Duration() {
+		t.Errorf("durations not nested: root=%v a=%v b=%v",
+			root.Duration(), a.Duration(), b.Duration())
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Errorf("Spans() = %d spans; want 3", got)
+	}
+	// End is idempotent.
+	d := a.Duration()
+	a.End()
+	if a.Duration() != d {
+		t.Error("second End changed duration")
+	}
+}
+
+// TestUtilization: no pool → 0; a pool span whose busy time exceeds
+// wall×workers (clock granularity) clamps to 1.
+func TestUtilization(t *testing.T) {
+	tr := New("test")
+	sp := tr.Root().Child("pool")
+	if sp.Utilization() != 0 {
+		t.Error("utilization without workers != 0")
+	}
+	sp.SetWorkers(2)
+	sp.AddBusy(time.Hour)
+	sp.End()
+	if got := sp.Utilization(); got != 1 {
+		t.Errorf("over-busy utilization = %v; want clamped 1", got)
+	}
+}
+
+// TestConcurrentChildren: spans may be created and ended from many
+// goroutines at once (the parallel.Map workers do exactly this).
+func TestConcurrentChildren(t *testing.T) {
+	tr := New("test")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("worker")
+			c.AddBusy(time.Microsecond)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 33 {
+		t.Errorf("Spans() = %d; want 33", got)
+	}
+	ids := map[int]bool{}
+	for _, sp := range tr.Spans() {
+		if ids[sp.id] {
+			t.Fatalf("duplicate span id %d", sp.id)
+		}
+		ids[sp.id] = true
+	}
+}
+
+// TestHooks: OnSpanStart/OnSpanEnd fire synchronously with the span.
+func TestHooks(t *testing.T) {
+	tr := New("test")
+	var started, ended []string
+	tr.OnSpanStart = func(sp *Span) { started = append(started, sp.Name()) }
+	tr.OnSpanEnd = func(sp *Span) { ended = append(ended, sp.Name()) }
+	a := tr.Root().Child("a")
+	b := a.Child("b")
+	b.End()
+	a.End()
+	if strings.Join(started, ",") != "a,b" {
+		t.Errorf("started = %v", started)
+	}
+	if strings.Join(ended, ",") != "b,a" {
+		t.Errorf("ended = %v", ended)
+	}
+}
+
+// TestWriteChrome: the export parses as a Chrome trace, every span
+// becomes one "X" event carrying its id/parent, and overlapping
+// sibling spans land on distinct lanes while a child nested inside its
+// parent shares the parent's lane.
+func TestWriteChrome(t *testing.T) {
+	tr := New("test")
+	root := tr.Root()
+	s1 := root.Child("decode")
+	s2 := root.Child("decode") // overlaps s1 — both open
+	time.Sleep(time.Millisecond)
+	inner := s1.Child("frame")
+	inner.End()
+	s1.End()
+	s2.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	lanes := map[string]int{}
+	var xEvents int
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+			if ev.Args["span"] == nil {
+				t.Errorf("event %q missing span id", ev.Name)
+			}
+			if ev.Name != "test" && ev.Args["parent"] == nil {
+				t.Errorf("non-root event %q missing parent id", ev.Name)
+			}
+			key := ev.Name
+			if v, ok := ev.Args["span"].(float64); ok {
+				key = ev.Name + string(rune('0'+int(v)))
+			}
+			lanes[key] = ev.Tid
+		case "M":
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if xEvents != 4 {
+		t.Fatalf("exported %d X events; want 4", xEvents)
+	}
+	// s1 has id 2, s2 id 3, inner id 4 (creation order after root=1).
+	if lanes["decode2"] == lanes["decode3"] {
+		t.Error("overlapping sibling decodes share a lane")
+	}
+	if lanes["frame4"] != lanes["decode2"] {
+		t.Error("nested child not on its parent's lane")
+	}
+}
+
+// TestSummaryAndCoverage: stages aggregate by name with first-seen
+// order, and Coverage measures the union of the root's children.
+func TestSummaryAndCoverage(t *testing.T) {
+	tr := New("test")
+	root := tr.Root()
+	a := root.Child("detect")
+	time.Sleep(4 * time.Millisecond)
+	a.End()
+	b := root.Child("build")
+	b.SetWorkers(2)
+	b.AddBusy(time.Millisecond)
+	time.Sleep(4 * time.Millisecond)
+	b.End()
+	c := root.Child("build")
+	c.End()
+	root.End()
+
+	rows := tr.Summary()
+	if len(rows) != 3 {
+		t.Fatalf("summary rows = %d; want 3 (root, detect, build)", len(rows))
+	}
+	if rows[0].Name != "test" || rows[1].Name != "detect" || rows[2].Name != "build" {
+		t.Errorf("row order = %s, %s, %s", rows[0].Name, rows[1].Name, rows[2].Name)
+	}
+	if rows[2].Count != 2 {
+		t.Errorf("build count = %d; want 2", rows[2].Count)
+	}
+	if rows[0].Share < 0.99 || rows[0].Share > 1.01 {
+		t.Errorf("root share = %v; want ~1", rows[0].Share)
+	}
+	if rows[2].Utilization <= 0 || rows[2].Utilization > 1 {
+		t.Errorf("build utilization = %v; want (0, 1]", rows[2].Utilization)
+	}
+	if cov := tr.Coverage(); cov < 0.9 || cov > 1.0 {
+		t.Errorf("coverage = %v; want ~1 (children span nearly the whole root)", cov)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stage", "detect", "build", "cover"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("summary text missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stage is one row of the per-stage summary: every span sharing a name
+// aggregated into total wall time, share of the root span's wall, and
+// (for pool stages) a busy-time-weighted utilization.
+type Stage struct {
+	Name        string  `json:"stage"`
+	Depth       int     `json:"depth"`
+	Count       int     `json:"count"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Share       float64 `json:"share"` // of root wall; nested stages overlap their parents
+	Utilization float64 `json:"utilization,omitempty"`
+	Blocks      int64   `json:"blocks,omitempty"`
+	Txs         int64   `json:"txs,omitempty"`
+	Bytes       int64   `json:"bytes,omitempty"`
+}
+
+// Summary aggregates the trace's spans by stage name, ordered by first
+// occurrence. Depth is the tree depth of the shallowest span with that
+// name; nested stages (e.g. archive:decode under archive:restore)
+// overlap their parents, so shares do not sum to 100%.
+func (t *Trace) Summary() []Stage {
+	if t == nil {
+		return nil
+	}
+	root := t.Root()
+	rootWall := root.Duration()
+	order := []string{}
+	rows := map[string]*Stage{}
+	weighted := map[string]float64{} // utilization numerator: Σ busy
+	capacity := map[string]float64{} // utilization denominator: Σ wall×workers
+	for _, sp := range t.Spans() {
+		st, ok := rows[sp.name]
+		if !ok {
+			st = &Stage{Name: sp.name, Depth: sp.depth()}
+			rows[sp.name] = st
+			order = append(order, sp.name)
+		}
+		if d := sp.depth(); d < st.Depth {
+			st.Depth = d
+		}
+		st.Count++
+		st.WallSeconds += sp.Duration().Seconds()
+		st.Blocks += sp.Blocks()
+		st.Txs += sp.Txs()
+		st.Bytes += sp.Bytes()
+		if sp.Workers() > 0 {
+			weighted[sp.name] += float64(sp.Busy())
+			capacity[sp.name] += float64(sp.Duration()) * float64(sp.Workers())
+		}
+	}
+	out := make([]Stage, 0, len(order))
+	for _, name := range order {
+		st := rows[name]
+		if rootWall > 0 {
+			st.Share = st.WallSeconds / rootWall.Seconds()
+		}
+		if c := capacity[name]; c > 0 {
+			st.Utilization = weighted[name] / c
+			if st.Utilization > 1 {
+				st.Utilization = 1
+			}
+		}
+		out = append(out, *st)
+	}
+	return out
+}
+
+// Coverage reports how much of the root span's wall time is accounted
+// for by its direct children, as the length of the union of their
+// intervals divided by the root's duration. This is the acceptance
+// metric for "the stage summary accounts for ≥95% of wall time".
+func (t *Trace) Coverage() float64 {
+	if t == nil {
+		return 0
+	}
+	root := t.Root()
+	rootWall := root.Duration()
+	if rootWall <= 0 {
+		return 0
+	}
+	type iv struct{ lo, hi time.Duration }
+	var ivs []iv
+	for _, sp := range t.Spans() {
+		if sp.parent == root {
+			ivs = append(ivs, iv{sp.start, sp.start + sp.Duration()})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var covered, hi time.Duration
+	for _, v := range ivs {
+		if v.lo > hi {
+			covered += v.hi - v.lo
+			hi = v.hi
+		} else if v.hi > hi {
+			covered += v.hi - hi
+			hi = v.hi
+		}
+	}
+	return float64(covered) / float64(rootWall)
+}
+
+// WriteSummary renders the per-stage table as aligned text, stages
+// indented by tree depth.
+func (t *Trace) WriteSummary(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	rows := t.Summary()
+	fmt.Fprintf(w, "%-28s %6s %10s %7s %6s %9s %9s %11s\n",
+		"stage", "count", "wall", "%", "util", "blocks", "txs", "bytes")
+	for _, st := range rows {
+		indent := strings.Repeat("  ", st.Depth)
+		util := ""
+		if st.Utilization > 0 {
+			util = fmt.Sprintf("%.2f", st.Utilization)
+		}
+		fmt.Fprintf(w, "%-28s %6d %10s %6.1f%% %6s %9s %9s %11s\n",
+			indent+st.Name, st.Count,
+			fmtSeconds(st.WallSeconds), st.Share*100, util,
+			fmtCount(st.Blocks), fmtCount(st.Txs), fmtCount(st.Bytes))
+	}
+	_, err := fmt.Fprintf(w, "top-level stages cover %.1f%% of wall time\n", t.Coverage()*100)
+	return err
+}
+
+func fmtSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	return d.Round(time.Microsecond * 10).String()
+}
+
+func fmtCount(n int64) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprint(n)
+}

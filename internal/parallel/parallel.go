@@ -3,11 +3,19 @@
 // inference classifications, whole simulations) across a bounded set of
 // goroutines and hands results back in input order, so parallel runs are
 // byte-identical to sequential ones.
+//
+// The Span variants accept an obs.Span and record the pool's size and
+// per-worker busy time on it, so traces can report pool utilization as
+// busy/(wall×workers). A nil span selects the exact uninstrumented
+// code path — zero extra allocations, no clock reads.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"mevscope/internal/obs"
 )
 
 // Workers normalizes a requested worker count: values below 1 select
@@ -24,29 +32,57 @@ func Workers(n int) int {
 // pre-assigned slots, so the output is identical to a sequential loop
 // regardless of scheduling. fn must be safe to call concurrently.
 func Map[T any](n, workers int, fn func(i int) T) []T {
+	return MapSpan(nil, n, workers, fn)
+}
+
+// MapSpan is Map with pool instrumentation: the span (when non-nil)
+// records the worker count and accumulates each worker's busy time —
+// the time spent inside fn, excluding hand-off waits. Scheduling and
+// output are identical to Map; tracing never perturbs results.
+func MapSpan[T any](sp *obs.Span, n, workers int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
 	workers = Workers(workers)
 	if workers == 1 || n == 1 {
+		if sp == nil {
+			for i := 0; i < n; i++ {
+				out[i] = fn(i)
+			}
+			return out
+		}
+		sp.SetWorkers(1)
+		t0 := time.Now()
 		for i := 0; i < n; i++ {
 			out[i] = fn(i)
 		}
+		sp.AddBusy(time.Since(t0))
 		return out
 	}
 	if workers > n {
 		workers = n
 	}
+	sp.SetWorkers(workers)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				out[i] = fn(i)
+			if sp == nil {
+				for i := range next {
+					out[i] = fn(i)
+				}
+				return
 			}
+			var busy time.Duration
+			for i := range next {
+				t0 := time.Now()
+				out[i] = fn(i)
+				busy += time.Since(t0)
+			}
+			sp.AddBusy(busy)
 		}()
 	}
 	for i := 0; i < n; i++ {
@@ -63,6 +99,11 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 // overhead when per-item work is small (e.g. per-block detector sweeps);
 // merging the returned slice in order reproduces the sequential result.
 func MapChunks[T any](n, workers int, fn func(lo, hi int) T) []T {
+	return MapChunksSpan(nil, n, workers, fn)
+}
+
+// MapChunksSpan is MapChunks with pool instrumentation; see MapSpan.
+func MapChunksSpan[T any](sp *obs.Span, n, workers int, fn func(lo, hi int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -72,15 +113,29 @@ func MapChunks[T any](n, workers int, fn func(lo, hi int) T) []T {
 	}
 	bounds := chunkBounds(n, workers)
 	if workers == 1 {
-		return []T{fn(0, n)}
+		if sp == nil {
+			return []T{fn(0, n)}
+		}
+		sp.SetWorkers(1)
+		t0 := time.Now()
+		out := []T{fn(0, n)}
+		sp.AddBusy(time.Since(t0))
+		return out
 	}
+	sp.SetWorkers(len(bounds))
 	out := make([]T, len(bounds))
 	var wg sync.WaitGroup
 	wg.Add(len(bounds))
 	for c, b := range bounds {
 		go func(c int, lo, hi int) {
 			defer wg.Done()
+			if sp == nil {
+				out[c] = fn(lo, hi)
+				return
+			}
+			t0 := time.Now()
 			out[c] = fn(lo, hi)
+			sp.AddBusy(time.Since(t0))
 		}(c, b[0], b[1])
 	}
 	wg.Wait()

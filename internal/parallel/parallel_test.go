@@ -3,6 +3,9 @@ package parallel
 import (
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"mevscope/internal/obs"
 )
 
 func TestMapOrderAndCoverage(t *testing.T) {
@@ -63,5 +66,100 @@ func TestWorkersNormalization(t *testing.T) {
 	}
 	if Workers(0) < 1 || Workers(-5) < 1 {
 		t.Error("non-positive should select at least one worker")
+	}
+}
+
+// TestMapSpanMatchesMap: instrumentation must not perturb results —
+// the span variants return exactly what the plain variants do at every
+// worker count.
+func TestMapSpanMatchesMap(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		tr := obs.New("test")
+		sp := tr.Root().Child("stage")
+		got := MapSpan(sp, 50, workers, func(i int) int { return i * 3 })
+		sp.End()
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+		parts := MapChunksSpan(sp, 50, workers, func(lo, hi int) int { return hi - lo })
+		sum := 0
+		for _, p := range parts {
+			sum += p
+		}
+		if sum != 50 {
+			t.Fatalf("workers=%d: chunk coverage = %d", workers, sum)
+		}
+	}
+}
+
+// TestMapSpanRecordsPool: a traced fan-out records the pool size and
+// accumulates busy time bounded by wall×workers (modulo clamping).
+func TestMapSpanRecordsPool(t *testing.T) {
+	tr := obs.New("test")
+	sp := tr.Root().Child("stage")
+	MapSpan(sp, 64, 4, func(i int) int {
+		time.Sleep(100 * time.Microsecond)
+		return i
+	})
+	sp.End()
+	if sp.Workers() != 4 {
+		t.Errorf("workers = %d; want 4", sp.Workers())
+	}
+	if sp.Busy() <= 0 {
+		t.Error("no busy time recorded")
+	}
+	if u := sp.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v; want (0, 1]", u)
+	}
+}
+
+// TestDisabledTracerZeroAllocs pins the disabled-tracer contract from
+// the flight-recorder work: Map with a nil span must allocate exactly
+// what the uninstrumented implementation did — one slice for the
+// sequential path (the result) — and enabling the span on that path
+// must add nothing either (attrs are plain fields, busy is an atomic).
+func TestDisabledTracerZeroAllocs(t *testing.T) {
+	fn := func(i int) int { return i }
+	if got := testing.AllocsPerRun(100, func() { Map(64, 1, fn) }); got != 1 {
+		t.Errorf("sequential Map allocates %v per run; want 1 (result slice)", got)
+	}
+	if got := testing.AllocsPerRun(100, func() { MapSpan(nil, 64, 1, fn) }); got != 1 {
+		t.Errorf("sequential MapSpan(nil) allocates %v per run; want 1", got)
+	}
+	tr := obs.New("test")
+	sp := tr.Root().Child("stage")
+	if got := testing.AllocsPerRun(100, func() { MapSpan(sp, 64, 1, fn) }); got != 1 {
+		t.Errorf("sequential MapSpan(live) allocates %v per run; want 1", got)
+	}
+	cfn := func(lo, hi int) int { return hi - lo }
+	base := testing.AllocsPerRun(100, func() { MapChunks(64, 1, cfn) })
+	if got := testing.AllocsPerRun(100, func() { MapChunksSpan(nil, 64, 1, cfn) }); got != base {
+		t.Errorf("MapChunksSpan(nil) allocates %v per run; want %v (same as MapChunks)", got, base)
+	}
+}
+
+// BenchmarkMapDisabledTracer is the allocs-pinning benchmark for the
+// nil-span fast path; run with -benchmem and compare allocs/op against
+// BenchmarkMapTraced to see the disabled tracer's zero overhead.
+func BenchmarkMapDisabledTracer(b *testing.B) {
+	fn := func(i int) int { return i * i }
+	b.ReportAllocs()
+	for b.Loop() {
+		MapSpan(nil, 256, 1, fn)
+	}
+}
+
+// BenchmarkMapTraced measures the enabled path at one worker: the only
+// addition over the disabled path is two clock reads and one atomic add
+// per Map call.
+func BenchmarkMapTraced(b *testing.B) {
+	tr := obs.New("bench")
+	sp := tr.Root().Child("stage")
+	fn := func(i int) int { return i * i }
+	b.ReportAllocs()
+	for b.Loop() {
+		MapSpan(sp, 256, 1, fn)
 	}
 }

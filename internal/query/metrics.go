@@ -9,17 +9,29 @@ package query
 // also embeds both cache levels' counters so one scrape reconciles
 // request counts against cache lookups). Everything is plain atomics
 // over a fixed endpoint set: no locks on the hot path, no dependencies.
+//
+// Beyond per-request accounting, the registry carries the flight
+// recorder's serving view: every cold report build runs under an
+// internal/obs trace, and each stage's wall time lands in a per-stage
+// histogram (mevscope_stage_seconds{stage=...}) keyed by the fixed
+// obs.MetricStages set plus "total" — the label set is bounded no
+// matter what the pipeline does. Go runtime gauges (goroutines, heap
+// bytes, GC cycles and pause total) and the live follower's lag in
+// blocks round out the exposition, in both formats.
 
 import (
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"mevscope/internal/obs"
 )
 
 // Histogram bucket layout: factor-2 upper bounds from 10µs up, plus one
@@ -119,13 +131,16 @@ func (h *Histogram) buckets() [histBuckets + 1]int64 {
 // path outside the API maps to "other" so the metric label set is
 // bounded no matter what clients probe.
 var endpointLabels = []string{
-	"/v1/artifacts", "/v1/artifact", "/v1/report", "/v1/manifest", "/v1/cache", "/metrics", "other",
+	"/v1/artifacts", "/v1/artifact", "/v1/report", "/v1/manifest", "/v1/cache", "/metrics", "/debug/pprof", "other",
 }
 
 // endpointLabel classifies one request path.
 func endpointLabel(path string) string {
 	if strings.HasPrefix(path, "/v1/artifact/") {
 		return "/v1/artifact"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
 	}
 	switch path {
 	case "/v1/artifacts", "/v1/report", "/v1/manifest", "/v1/cache", "/metrics":
@@ -143,18 +158,55 @@ type endpointMetrics struct {
 	latency     Histogram
 }
 
-// metrics is the server-wide registry: a read-only map over a fixed
-// endpoint set, so recording never takes a lock.
+// stageTotal is the pseudo-stage recording whole cold builds (the
+// trace's root span), alongside the per-stage entries.
+const stageTotal = "total"
+
+// stageLabels is the fixed, bounded label set of the per-stage build
+// histograms: the pipeline stages that feed serving builds, plus the
+// whole-build total.
+func stageLabels() []string { return append(obs.MetricStages(), stageTotal) }
+
+// metrics is the server-wide registry: read-only maps over fixed
+// endpoint and stage sets, so recording never takes a lock.
 type metrics struct {
 	endpoints map[string]*endpointMetrics
+	stages    map[string]*Histogram
 }
 
 func newMetrics() *metrics {
-	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpointLabels))}
+	m := &metrics{
+		endpoints: make(map[string]*endpointMetrics, len(endpointLabels)),
+		stages:    make(map[string]*Histogram),
+	}
 	for _, l := range endpointLabels {
 		m.endpoints[l] = &endpointMetrics{}
 	}
+	for _, st := range stageLabels() {
+		m.stages[st] = &Histogram{}
+	}
 	return m
+}
+
+// observeTrace folds one finished cold-build trace into the per-stage
+// histograms: every span whose stage is in the bounded label set
+// contributes its wall time, and the root span lands in "total". Spans
+// outside the set (per-artifact children, sim stages) are skipped, so
+// the label set never grows. Nil-safe on both sides.
+func (m *metrics) observeTrace(tr *obs.Trace) {
+	if m == nil || tr == nil {
+		return
+	}
+	root := tr.Root()
+	for _, sp := range tr.Spans() {
+		if sp == root {
+			m.stages[stageTotal].Observe(sp.Duration())
+			continue
+		}
+		if h, ok := m.stages[sp.Name()]; ok {
+			h.Observe(sp.Duration())
+		}
+	}
 }
 
 // record accounts one finished request.
@@ -190,11 +242,51 @@ type EndpointMetrics struct {
 	Latency     LatencySummary   `json:"latency"`
 }
 
+// StageMetrics is one pipeline stage's build-time summary for JSON:
+// how many cold builds touched the stage and how its wall time
+// distributes, in seconds (stage builds live on a much coarser scale
+// than request latencies).
+type StageMetrics struct {
+	Count  int64   `json:"count"`
+	MeanS  float64 `json:"mean_s"`
+	P50S   float64 `json:"p50_s"`
+	P99S   float64 `json:"p99_s"`
+	TotalS float64 `json:"total_s"`
+}
+
+// RuntimeMetrics is the Go runtime's health snapshot: live goroutines,
+// heap in use, and the garbage collector's cycle and cumulative pause
+// counters.
+type RuntimeMetrics struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GCPauseSeconds float64 `json:"gc_pause_seconds"`
+}
+
+// runtimeMetrics samples the runtime. ReadMemStats costs a brief
+// stop-the-world, which is fine at scrape frequency.
+func runtimeMetrics() RuntimeMetrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeMetrics{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		GCCycles:       ms.NumGC,
+		GCPauseSeconds: time.Duration(ms.PauseTotalNs).Seconds(),
+	}
+}
+
 // MetricsSnapshot is the /metrics?format=json document: per-endpoint
-// request metrics plus both cache levels, so hit/miss counters can be
-// reconciled against request counts in one read.
+// request metrics, per-stage cold-build histograms, the Go runtime
+// gauges, the live follower's lag when one is attached, and both cache
+// levels, so hit/miss counters can be reconciled against request
+// counts in one read.
 type MetricsSnapshot struct {
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+	Stages    map[string]StageMetrics    `json:"stages,omitempty"`
+	Runtime   RuntimeMetrics             `json:"runtime"`
+	LiveLag   *uint64                    `json:"live_lag_blocks,omitempty"`
 	Caches    struct {
 		Reports  CacheStats        `json:"reports"`
 		Segments SegmentCacheStats `json:"segments"`
@@ -237,9 +329,42 @@ func (s *Server) MetricsSnapshot() (MetricsSnapshot, bool) {
 		}
 		out.Endpoints[label] = em
 	}
+	for _, st := range stageLabels() {
+		h := s.metrics.stages[st]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		if out.Stages == nil {
+			out.Stages = make(map[string]StageMetrics)
+		}
+		out.Stages[st] = StageMetrics{
+			Count:  n,
+			MeanS:  h.Mean().Seconds(),
+			P50S:   h.Quantile(0.50).Seconds(),
+			P99S:   h.Quantile(0.99).Seconds(),
+			TotalS: time.Duration(h.sum.Load()).Seconds(),
+		}
+	}
+	out.Runtime = runtimeMetrics()
+	if lag, ok := s.liveLag(); ok {
+		out.LiveLag = &lag
+	}
 	out.Caches.Reports = s.cache.stats()
 	out.Caches.Segments = s.segs.stats()
 	return out, true
+}
+
+// liveLag reads the registered live source's lag; false when no live
+// source (or no lag probe) is attached.
+func (s *Server) liveLag() (uint64, bool) {
+	s.mu.Lock()
+	live := s.live
+	s.mu.Unlock()
+	if live == nil || live.Lag == nil {
+		return 0, false
+	}
+	return live.Lag(), true
 }
 
 // handleMetrics serves the registry: Prometheus text exposition by
@@ -265,7 +390,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // writePrometheus renders the registry in the text exposition format:
 // request/byte/304 counters by endpoint and status class, the latency
-// histogram with cumulative le-labelled buckets, and both cache levels.
+// histogram with cumulative le-labelled buckets, per-stage cold-build
+// histograms, the Go runtime gauges, the live lag gauge when a live
+// source is attached, and both cache levels.
 func (s *Server) writePrometheus(w io.Writer) error {
 	active := make([]string, 0, len(endpointLabels))
 	for _, l := range endpointLabels {
@@ -332,6 +459,54 @@ func (s *Server) writePrometheus(w io.Writer) error {
 			return err
 		}
 		if err := p("mevscope_http_request_seconds_count{endpoint=%q} %d\n", l, e.latency.Count()); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP mevscope_stage_seconds Cold report build wall time by pipeline stage.\n# TYPE mevscope_stage_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, st := range stageLabels() {
+		h := s.metrics.stages[st]
+		counts := h.buckets()
+		var cum int64
+		if h.Count() == 0 {
+			continue
+		}
+		ub := histBase
+		for i := 0; i < histBuckets; i++ {
+			cum += counts[i]
+			le := strconv.FormatFloat(ub.Seconds(), 'g', -1, 64)
+			if err := p("mevscope_stage_seconds_bucket{stage=%q,le=%q} %d\n", st, le, cum); err != nil {
+				return err
+			}
+			ub *= 2
+		}
+		cum += counts[histBuckets]
+		if err := p("mevscope_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st, cum); err != nil {
+			return err
+		}
+		if err := p("mevscope_stage_seconds_sum{stage=%q} %g\n", st, time.Duration(h.sum.Load()).Seconds()); err != nil {
+			return err
+		}
+		if err := p("mevscope_stage_seconds_count{stage=%q} %d\n", st, h.Count()); err != nil {
+			return err
+		}
+	}
+	rt := runtimeMetrics()
+	if err := p("# HELP mevscope_go_goroutines Live goroutines.\n# TYPE mevscope_go_goroutines gauge\nmevscope_go_goroutines %d\n", rt.Goroutines); err != nil {
+		return err
+	}
+	if err := p("# HELP mevscope_go_heap_alloc_bytes Heap bytes in use.\n# TYPE mevscope_go_heap_alloc_bytes gauge\nmevscope_go_heap_alloc_bytes %d\n", rt.HeapAllocBytes); err != nil {
+		return err
+	}
+	if err := p("# HELP mevscope_go_gc_cycles_total Completed GC cycles.\n# TYPE mevscope_go_gc_cycles_total counter\nmevscope_go_gc_cycles_total %d\n", rt.GCCycles); err != nil {
+		return err
+	}
+	if err := p("# HELP mevscope_go_gc_pause_seconds_total Cumulative GC stop-the-world pause.\n# TYPE mevscope_go_gc_pause_seconds_total counter\nmevscope_go_gc_pause_seconds_total %g\n", rt.GCPauseSeconds); err != nil {
+		return err
+	}
+	if lag, ok := s.liveLag(); ok {
+		if err := p("# HELP mevscope_live_lag_blocks Blocks the live follower trails the world tip.\n# TYPE mevscope_live_lag_blocks gauge\nmevscope_live_lag_blocks %d\n", lag); err != nil {
 			return err
 		}
 	}

@@ -58,6 +58,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -66,13 +67,15 @@ import (
 	"mevscope/internal/archive"
 	"mevscope/internal/core/measure"
 	"mevscope/internal/dataset"
+	"mevscope/internal/obs"
 	"mevscope/internal/types"
 )
 
 // AnalyzeFunc runs the measurement pipeline over a restored dataset with
-// the given worker-pool size. `mevscope serve` wires it to
-// mevscope.AnalyzeDataset; tests substitute counters and stubs.
-type AnalyzeFunc func(ds *dataset.Dataset, workers int) (*measure.Report, error)
+// the given worker-pool size, recording its stages under sp when non-nil
+// (internal/obs). `mevscope serve` wires it to
+// mevscope.AnalyzeDatasetTraced; tests substitute counters and stubs.
+type AnalyzeFunc func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error)
 
 // Live describes a live source (a streaming follower). Height keys the
 // cache and runs on every live request, so it must be cheap; Snapshot
@@ -83,6 +86,10 @@ type AnalyzeFunc func(ds *dataset.Dataset, workers int) (*measure.Report, error)
 type Live struct {
 	Height   func() uint64
 	Snapshot func() (*measure.Report, uint64)
+	// Lag, when set, reports how many blocks the live source trails the
+	// world's tip (0 = fully caught up). Exposed as the
+	// mevscope_live_lag_blocks gauge; must be cheap and concurrency-safe.
+	Lag func() uint64
 }
 
 // Config configures a Server.
@@ -106,6 +113,11 @@ type Config struct {
 	// endpoint (which then 404s). Metrics are on by default: recording is
 	// a handful of atomic adds per request.
 	DisableMetrics bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — CPU and
+	// heap profiles, goroutine dumps, execution traces. Off by default:
+	// profiling endpoints are a diagnostic surface, opted into with
+	// `mevscope serve -pprof`.
+	EnablePprof bool
 }
 
 // Server answers artifact queries over one archive (and optionally one
@@ -158,6 +170,13 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/manifest", s.handleManifest)
 	mux.HandleFunc("/v1/cache", s.handleCache)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -419,15 +438,27 @@ func (s *Server) report(key Key) (rep *measure.Report, err error) {
 // analyze is the cold path: restore the month slice — months another
 // range already decoded come from the segment cache, the rest from disk
 // in parallel — select the requested observation view, and run the
-// measurement pipeline over it.
+// measurement pipeline over it. When metrics are on, the build runs
+// under a flight-recorder trace whose stage durations feed the
+// mevscope_stage_seconds histograms.
 func (s *Server) analyze(key Key) (*measure.Report, error) {
+	var tr *obs.Trace
+	if s.metrics != nil {
+		tr = obs.New("build")
+	}
+	sp := tr.Root()
 	ds, _, err := archive.ReadRangeWith(key.Archive, key.From, key.To,
-		archive.ReadOptions{Workers: s.cfg.Workers, Cache: s.segs})
+		archive.ReadOptions{Workers: s.cfg.Workers, Cache: s.segs, Span: sp})
 	if err != nil {
 		return nil, err
 	}
 	ds.View = key.View
-	return s.cfg.Analyze(ds, s.cfg.Workers)
+	rep, err := s.cfg.Analyze(ds, s.cfg.Workers, sp)
+	if err == nil {
+		sp.End()
+		s.metrics.observeTrace(tr)
+	}
+	return rep, err
 }
 
 // respond writes one fully-buffered response: encode runs to completion

@@ -17,6 +17,7 @@ import (
 	"mevscope/internal/archive"
 	"mevscope/internal/core/measure"
 	"mevscope/internal/dataset"
+	"mevscope/internal/obs"
 	"mevscope/internal/query"
 	"mevscope/internal/sim"
 )
@@ -89,8 +90,8 @@ func testArchives(tb testing.TB) (v2, v1 string) {
 }
 
 // analyzeReal adapts the full measurement pipeline to query.AnalyzeFunc.
-func analyzeReal(ds *dataset.Dataset, workers int) (*measure.Report, error) {
-	st, err := mevscope.AnalyzeDataset(ds, workers)
+func analyzeReal(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
+	st, err := mevscope.AnalyzeDatasetTraced(ds, workers, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -103,11 +104,11 @@ func newServer(tb testing.TB, cacheSize int, calls *atomic.Int64) *query.Server 
 	tb.Helper()
 	srv, err := query.New(query.Config{
 		Archive: testArchive(tb),
-		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+		Analyze: func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
 			if calls != nil {
 				calls.Add(1)
 			}
-			return analyzeReal(ds, workers)
+			return analyzeReal(ds, workers, sp)
 		},
 		Workers:   1,
 		CacheSize: cacheSize,
@@ -422,9 +423,9 @@ func TestMonthsOutsideArchive(t *testing.T) {
 	var calls atomic.Int64
 	srv, err := query.New(query.Config{
 		Archive: dir,
-		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+		Analyze: func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
 			calls.Add(1)
-			return analyzeReal(ds, workers)
+			return analyzeReal(ds, workers, sp)
 		},
 		Workers: 1,
 	})

@@ -10,6 +10,7 @@ import (
 
 	"mevscope/internal/core/measure"
 	"mevscope/internal/dataset"
+	"mevscope/internal/obs"
 	"mevscope/internal/query"
 )
 
@@ -39,7 +40,7 @@ func TestConcurrentStressLRUDedup(t *testing.T) {
 		Archive:   testArchive(t),
 		CacheSize: 2,
 		Workers:   1,
-		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+		Analyze: func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
 			// The restored slice starts at the requested month, which
 			// identifies the key this build is for.
 			id := ds.Chain.Timeline.FirstMonth.Label()

@@ -13,6 +13,7 @@ import (
 	"mevscope/internal/archive"
 	"mevscope/internal/core/measure"
 	"mevscope/internal/dataset"
+	"mevscope/internal/obs"
 	"mevscope/internal/query"
 	"mevscope/internal/sim"
 )
@@ -63,11 +64,11 @@ func newMultiVantageServer(tb testing.TB, calls *atomic.Int64) *query.Server {
 	tb.Helper()
 	srv, err := query.New(query.Config{
 		Archive: multiVantageArchive(tb),
-		Analyze: func(ds *dataset.Dataset, workers int) (*measure.Report, error) {
+		Analyze: func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
 			if calls != nil {
 				calls.Add(1)
 			}
-			return analyzeReal(ds, workers)
+			return analyzeReal(ds, workers, sp)
 		},
 		Workers:   1,
 		CacheSize: 8,

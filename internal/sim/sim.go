@@ -26,6 +26,7 @@ import (
 	"mevscope/internal/flashbots"
 	"mevscope/internal/genesis"
 	"mevscope/internal/miner"
+	"mevscope/internal/obs"
 	"mevscope/internal/p2p"
 	"mevscope/internal/prices"
 	"mevscope/internal/privpool"
@@ -88,7 +89,8 @@ type Sim struct {
 	// Prices is the CoinGecko-substitute series recorded during the run.
 	Prices *prices.Series
 
-	rng *rand.Rand
+	rng  *rand.Rand
+	span *obs.Span
 
 	traders     []*agents.Trader
 	protected   []*agents.Trader
@@ -288,14 +290,37 @@ func (s *Sim) EndBlock() uint64 {
 	return s.Chain.Timeline.StartBlock + uint64(s.Cfg.Months)*s.Cfg.BlocksPerMonth - 1
 }
 
+// SetSpan attaches a tracing parent: Run records each study month of
+// sealing as a "sim:month" span under it (internal/obs). A nil span —
+// the default — disables recording at zero cost.
+func (s *Sim) SetSpan(sp *obs.Span) { s.span = sp }
+
 // Run simulates the configured window to completion.
 func (s *Sim) Run() error {
 	end := s.EndBlock()
+	var (
+		msp    *obs.Span
+		cur    types.Month
+		sealed int
+	)
 	for s.Chain.NextNumber() <= end {
+		if s.span != nil {
+			if m := s.Chain.Timeline.MonthOfBlock(s.Chain.NextNumber()); msp == nil || m != cur {
+				msp.SetBlocks(sealed)
+				msp.End()
+				msp = s.span.Child(obs.StageSimMonth)
+				msp.SetLabel(m.Label())
+				cur, sealed = m, 0
+			}
+		}
 		if err := s.Step(); err != nil {
+			msp.End()
 			return err
 		}
+		sealed++
 	}
+	msp.SetBlocks(sealed)
+	msp.End()
 	return nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"mevscope/internal/core/profit"
 	"mevscope/internal/dataset"
 	"mevscope/internal/flashbots"
+	obspkg "mevscope/internal/obs"
 	"mevscope/internal/p2p"
 	"mevscope/internal/parallel"
 	"mevscope/internal/prices"
@@ -69,7 +70,15 @@ type Follower struct {
 
 	next uint64 // height the next fed block must carry
 	fed  uint64 // blocks consumed so far
+
+	span *obspkg.Span
 }
+
+// SetSpan attaches a tracing parent (internal/obs): each month rotation
+// records a "stream:rotate" span and each Report snapshot a
+// "stream:snapshot" span under it. A nil span — the default — disables
+// recording at zero cost.
+func (f *Follower) SetSpan(sp *obspkg.Span) { f.span = sp }
 
 // New creates a follower over a (possibly still empty) chain. obs may be
 // nil when no pending-transaction capture exists; fbByNum may be nil when
@@ -145,7 +154,10 @@ func (f *Follower) Feed(b *types.Block, fbRec *flashbots.BlockRecord) error {
 		tl := f.chain.Timeline
 		m := tl.MonthOfBlock(b.Header.Number)
 		if b.Header.Number == tl.EndBlock() || tl.MonthOfBlock(b.Header.Number+1) != m {
+			rsp := f.span.Child(obspkg.StageRotate)
+			rsp.SetLabel(m.Label())
 			f.OnMonthEnd(m, f)
+			rsp.End()
 		}
 	}
 	return nil
@@ -271,6 +283,8 @@ func (f *Follower) Dataset() *dataset.Dataset {
 // the same world truncated at n; the aggregates are already up to date,
 // so only the final builder fan-out runs.
 func (f *Follower) Report() *measure.Report {
+	sp := f.span.Child(obspkg.StageSnapshot)
+	defer sp.End()
 	in := measure.Inputs{
 		Chain:   f.chain,
 		FBSet:   f.fbset,
@@ -278,6 +292,7 @@ func (f *Follower) Report() *measure.Report {
 		Profits: f.tracker.Records(),
 		WETH:    f.weth,
 		Workers: f.workers,
+		Span:    sp,
 	}
 	if f.inf != nil {
 		in.Observer = f.obs

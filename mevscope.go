@@ -58,6 +58,7 @@ import (
 	"mevscope/internal/core/privinfer"
 	"mevscope/internal/core/profit"
 	"mevscope/internal/dataset"
+	"mevscope/internal/obs"
 	"mevscope/internal/p2p"
 	"mevscope/internal/parallel"
 	"mevscope/internal/scenario"
@@ -97,6 +98,11 @@ type Options struct {
 	// Parallelism sizes the measurement worker pool; zero or negative
 	// selects runtime.NumCPU(), 1 forces the sequential path.
 	Parallelism int
+	// Span, when non-nil, is the tracing parent the run records itself
+	// under (internal/obs): simulation sealing as a "sim" span with
+	// per-month children, then the measurement stages. Tracing never
+	// perturbs the report; nil (the default) disables it at zero cost.
+	Span *obs.Span
 }
 
 // Params converts the options into scenario scale parameters.
@@ -183,12 +189,17 @@ func Run(opts Options) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
+	simSp := opts.Span.Child(obs.StageSim)
+	s.SetSpan(simSp)
 	if err := s.Run(); err != nil {
+		simSp.End()
 		return nil, err
 	}
+	simSp.SetBlocks(s.Chain.Len())
+	simSp.End()
 	ds := dataset.FromSim(s)
 	ds.View = opts.resolvedView()
-	st, err := AnalyzeDataset(ds, opts.Parallelism)
+	st, err := AnalyzeDatasetTraced(ds, opts.Parallelism, opts.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -223,15 +234,24 @@ func AnalyzeWith(s *sim.Sim, workers int) (*Study, error) {
 // follower's snapshots and `mevscope analyze -from <dir>` (a dataset
 // restored by internal/archive). Study.Sim is nil in the result.
 func AnalyzeDataset(ds *dataset.Dataset, workers int) (*Study, error) {
+	return AnalyzeDatasetTraced(ds, workers, nil)
+}
+
+// AnalyzeDatasetTraced is AnalyzeDataset with the pipeline's flight
+// recorder attached: each measurement stage (detect, profit, aggregate,
+// build, infer) records a span — with block/tx counts, pool size and
+// per-worker busy time — under the given parent. A nil parent selects
+// the exact untraced path; the report is byte-identical either way.
+func AnalyzeDatasetTraced(ds *dataset.Dataset, workers int, sp *obs.Span) (*Study, error) {
 	if ds.Chain == nil || ds.Chain.Head() == nil {
 		return nil, fmt.Errorf("mevscope: dataset has no blocks")
 	}
 	workers = parallel.Workers(workers)
 	c := ds.Chain
 
-	res := detect.ScanParallel(c, ds.WETH, c.Timeline.StartBlock, c.Head().Header.Number, workers)
+	res := detect.ScanParallelSpan(c, ds.WETH, c.Timeline.StartBlock, c.Head().Header.Number, workers, sp)
 	comp := profit.New(c, ds.Prices, ds.WETH, ds.FBSet)
-	profits := comp.ResolveAllParallel(res, workers)
+	profits := comp.ResolveAllParallelSpan(res, workers, sp)
 
 	in := measure.Inputs{
 		Chain:    c,
@@ -243,6 +263,7 @@ func AnalyzeDataset(ds *dataset.Dataset, workers int) (*Study, error) {
 		Workers:  workers,
 		Vantages: ds.VantageList(),
 		View:     ds.View,
+		Span:     sp,
 	}
 	view, err := ds.ResolveView()
 	if err != nil {
@@ -254,6 +275,7 @@ func AnalyzeDataset(ds *dataset.Dataset, workers int) (*Study, error) {
 		winStart := c.Timeline.FirstBlockOfMonth(types.PrivateWindowStartMonth)
 		inf = privinfer.New(c, view, ds.FBSet, winStart, c.Head().Header.Number)
 		inf.Workers = workers
+		inf.Span = sp
 	}
 	report := measure.Build(in, inf)
 	return &Study{Detected: res, Profits: profits, Inferrer: inf, Report: report}, nil

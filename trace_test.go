@@ -1,0 +1,132 @@
+package mevscope
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"mevscope/internal/obs"
+	"mevscope/internal/sim"
+	"mevscope/internal/stream"
+)
+
+// TestTracedRunMatchesGolden is the tentpole determinism gate: running
+// the golden world with the flight recorder attached produces a report
+// byte-identical to the recorded golden. Spans only measure; they never
+// reorder work or touch a measured value.
+func TestTracedRunMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/report_seed1234_bpm100.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New("golden")
+	st, err := Run(Options{Seed: 1234, BlocksPerMonth: 100, Span: tr.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Root().End()
+	var buf bytes.Buffer
+	st.WriteReport(&buf)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("traced run's report differs from the golden (tracing perturbed the output)")
+	}
+	if len(tr.Spans()) < 10 {
+		t.Fatalf("trace recorded only %d spans over a full run", len(tr.Spans()))
+	}
+}
+
+// TestTracedStreamMatchesBatch: the batch≡stream identity holds with
+// tracing enabled on both sides — the follower's rotation and snapshot
+// spans, and the batch pipeline's stage spans, leave the reports
+// byte-identical.
+func TestTracedStreamMatchesBatch(t *testing.T) {
+	opts := Options{Seed: 6, BlocksPerMonth: 35, Parallelism: 2}
+
+	btr := obs.New("batch")
+	batch, err := Run(Options{Seed: 6, BlocksPerMonth: 35, Parallelism: 2, Span: btr.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	btr.Root().End()
+	var want bytes.Buffer
+	batch.WriteReport(&want)
+
+	cfg, err := opts.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := obs.New("stream")
+	f := stream.ForSim(s, 2)
+	f.SetSpan(str.Root())
+	end := s.EndBlock()
+	for s.Chain.NextNumber() <= end {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got bytes.Buffer
+	WriteReportTo(&got, f.Report())
+	str.Root().End()
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("traced streamed report differs from traced batch run")
+	}
+	for _, tr := range []*obs.Trace{btr, str} {
+		if len(tr.Spans()) < 2 {
+			t.Errorf("trace recorded only %d spans", len(tr.Spans()))
+		}
+	}
+}
+
+// TestTraceExportCoverage: a traced full run exports loadable Chrome
+// JSON whose stage summary accounts for nearly all of the recorded
+// wall time — the flight recorder sees the run, not slivers of it.
+func TestTraceExportCoverage(t *testing.T) {
+	tr := obs.New("study")
+	st, err := Run(Options{Seed: 7, BlocksPerMonth: 40, Parallelism: 2, Span: tr.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Root().End()
+	if st.Report == nil {
+		t.Fatal("no report")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range file.TraceEvents {
+		if e.Ph == "X" {
+			seen[e.Name] = true
+		}
+	}
+	for _, stage := range []string{obs.StageSim, obs.StageSimMonth, obs.StageDetect,
+		obs.StageProfit, obs.StageAggregate, obs.StageBuild, obs.StageInfer} {
+		if !seen[stage] {
+			t.Errorf("exported trace is missing stage %q", stage)
+		}
+	}
+	if cov := tr.Coverage(); cov < 0.95 {
+		t.Errorf("top-level stages cover %.1f%% of wall time, want ≥ 95%%", 100*cov)
+	}
+}
