@@ -7,9 +7,10 @@
 //	mevscope [-seed N] [-bpm BLOCKS] [-months M] [-section NAME]
 //	         [-scenario NAME] [-seeds N,N,...] [-parallel W]
 //	         [-vantages N] [-topology NAME] [-view union|quorum:K|vantage:N]
-//	mevscope archive -out DIR [-format v1|v2] [-live] [-seed N]
+//	mevscope archive -out DIR [-format v1|v2|v3] [-live] [-seed N]
 //	         [-bpm BLOCKS] [-months M] [-scenario NAME]
 //	         [-vantages N] [-topology NAME]
+//	mevscope archive -recompress DIR -out DIR [-format v1|v2|v3]
 //	mevscope analyze -from DIR [-range 2021-03..2021-06] [-section NAME]
 //	         [-view union|quorum:K|vantage:N] [-parallel W] [-csv DIR]
 //	         [-trace FILE] [-progress]
@@ -21,10 +22,13 @@
 // collected dataset as a segmented on-disk archive (one directory per
 // study month: blocks, observed pending transactions, Flashbots API
 // records, with a checksummed manifest). -format picks the encoding
-// (default v2: gzip-compressed, block-indexed frames; v1 is the legacy
+// (default v3: per-column chunks with zone maps and projection-aware
+// reads; v2 is gzip-compressed block-indexed frames, v1 the legacy
 // JSON-lines layout) and -live streams each month to disk as it
-// completes instead of serializing everything at the end. The analyze
-// subcommand restores such an archive — either format, auto-detected —
+// completes instead of serializing everything at the end. -recompress
+// rewrites an existing archive into -out under -format — the migration
+// path from v1/v2 archives to v3 — instead of simulating. The analyze
+// subcommand restores such an archive — any format, auto-detected —
 // and reruns the measurement pipeline over it without re-simulating;
 // the report is byte-identical to the original run's. -range restores
 // only a month slice, reading just those segments.
@@ -214,17 +218,18 @@ func runStudy(args []string) {
 func runArchive(args []string) {
 	fs := flag.NewFlagSet("mevscope archive", flag.ExitOnError)
 	var (
-		out      = fs.String("out", "", "archive directory to create (required)")
-		format   = fs.String("format", "v2", "archive format: v2 (compressed frames) or v1 (JSON lines)")
-		live     = fs.Bool("live", false, "stream: rotate each month to disk as it completes instead of serializing at the end")
-		seed     = fs.Int64("seed", 42, "simulation seed")
-		scen     = fs.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
-		bpm      = fs.Uint64("bpm", 600, "blocks per simulated month")
-		months   = fs.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
-		miners   = fs.Int("miners", 0, "miner-set size (0 = default 55)")
-		vantages = fs.Int("vantages", 0, "observation vantages spread around the gossip network (0 = scenario default)")
-		topology = fs.String("topology", "", "gossip topology: ring-chords (default), ring, small-world")
-		quiet    = fs.Bool("q", false, "suppress progress output")
+		out        = fs.String("out", "", "archive directory to create (required)")
+		format     = fs.String("format", archive.DefaultFormat.String(), "archive format: "+archive.FormatHelp())
+		recompress = fs.String("recompress", "", "rewrite an existing archive DIR into -out in -format instead of simulating")
+		live       = fs.Bool("live", false, "stream: rotate each month to disk as it completes instead of serializing at the end")
+		seed       = fs.Int64("seed", 42, "simulation seed")
+		scen       = fs.String("scenario", "baseline", "named scenario: "+strings.Join(scenario.Names(), ", "))
+		bpm        = fs.Uint64("bpm", 600, "blocks per simulated month")
+		months     = fs.Int("months", 0, "limit the window to the first N months (0 = all remaining)")
+		miners     = fs.Int("miners", 0, "miner-set size (0 = default 55)")
+		vantages   = fs.Int("vantages", 0, "observation vantages spread around the gossip network (0 = scenario default)")
+		topology   = fs.String("topology", "", "gossip topology: ring-chords (default), ring, small-world")
+		quiet      = fs.Bool("q", false, "suppress progress output")
 	)
 	fs.Parse(args)
 	noPositional(fs)
@@ -240,6 +245,21 @@ func runArchive(args []string) {
 	af, err := archive.ParseFormat(*format)
 	if err != nil {
 		fail(2, err)
+	}
+	if *recompress != "" {
+		if *live {
+			fail(2, fmt.Errorf("archive: -recompress and -live are mutually exclusive"))
+		}
+		t0 := time.Now()
+		man, err := archive.Recompress(*recompress, *out, af)
+		if err != nil {
+			fail(1, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "mevscope: recompressed %d blocks (%d segments) from %s into %s as %s in %v\n",
+				man.TotalBlocks, len(man.Segments), *recompress, *out, af, time.Since(t0).Round(time.Millisecond))
+		}
+		return
 	}
 	opts := mevscope.Options{
 		Seed: *seed, BlocksPerMonth: *bpm, Months: *months, NumMiners: *miners, Scenario: *scen,
@@ -485,10 +505,11 @@ func runServe(args []string) {
 			}
 			return st.Report, nil
 		},
-		Workers:        *parallelism,
-		CacheSize:      *cacheSize,
-		DisableMetrics: !*metrics,
-		EnablePprof:    *pprofFlag,
+		AnalyzeProjection: mevscope.AnalyzeDatasetProjection,
+		Workers:           *parallelism,
+		CacheSize:         *cacheSize,
+		DisableMetrics:    !*metrics,
+		EnablePprof:       *pprofFlag,
 	})
 	if err != nil {
 		fail(1, err)

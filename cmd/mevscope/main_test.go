@@ -197,17 +197,26 @@ func TestResolveRange(t *testing.T) {
 	}
 }
 
-// TestParseFormatFlag: the archive subcommand's -format values.
+// TestParseFormatFlag: the archive subcommand's -format values come
+// from the archive package's format registry, so a new format shows up
+// in the flag (and its help text and error message) without CLI edits.
 func TestParseFormatFlag(t *testing.T) {
-	for spec, want := range map[string]archive.Format{"v1": archive.FormatV1, "v2": archive.FormatV2} {
+	for spec, want := range map[string]archive.Format{
+		"v1": archive.FormatV1, "v2": archive.FormatV2, "v3": archive.FormatV3,
+	} {
 		got, err := archive.ParseFormat(spec)
 		if err != nil || got != want {
 			t.Errorf("ParseFormat(%q) = (%v, %v), want %v", spec, got, err, want)
 		}
 	}
-	for _, bad := range []string{"", "v3", "jsonl", "V2"} {
+	for _, bad := range []string{"", "v4", "jsonl", "V2"} {
 		if _, err := archive.ParseFormat(bad); err == nil {
 			t.Errorf("ParseFormat(%q) accepted", bad)
+		}
+	}
+	for _, name := range archive.FormatNames() {
+		if !strings.Contains(archive.FormatHelp(), name) {
+			t.Errorf("FormatHelp() %q does not mention %q", archive.FormatHelp(), name)
 		}
 	}
 }

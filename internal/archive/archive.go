@@ -4,7 +4,7 @@
 // pending transactions and Flashbots API records, plus a top-level
 // manifest with per-file SHA-256 checksums and the run's price history.
 //
-// Two on-disk formats coexist, auto-detected through the manifest's
+// Three on-disk formats coexist, auto-detected through the manifest's
 // version field:
 //
 //	v1  JSON-lines data files (one JSON document per line)
@@ -12,28 +12,36 @@
 //	    (magic "MSEG" + format byte) followed by a gzip stream of
 //	    length-prefixed JSON document frames, with a sparse per-segment
 //	    block index in the manifest for sub-segment random access
+//	v3  column-chunk files: one file per (month, column) with
+//	    column-appropriate codecs (delta varints, dictionaries,
+//	    presence-mask payloads) and per-chunk zone maps in the
+//	    manifest, so reads decode only the columns — and touch only
+//	    the chunks — a query needs (ReadOptions.Columns)
 //
-// The directory layout is the same for both (v2 shown):
+// The directory layout is the same shape for all three (v3 shown):
 //
 //	<dir>/
-//	  manifest.json          version, timeline, WETH, checksums, block index
-//	  prices.seg             token → price history
+//	  manifest.json          version, timeline, WETH, checksums, zone maps
+//	  prices.seg             token → price history (v2 frame codec)
 //	  2020-05/               one segment per calendar month
-//	    blocks.seg           blocks with transactions and receipts
-//	    flashbots.seg        public blocks-API records
-//	    observed.seg         observer pending-transaction captures
+//	    headers.col          block headers + per-block tx counts
+//	    txs.col              transactions
+//	    receipts.col         execution outcomes
+//	    logs.col             event logs
+//	    flashbots.col        public blocks-API records
+//	    observed.col         observer pending-transaction captures
 //	  2020-06/ ...
 //
 // A world is simulated once, archived, and re-analyzed many times: Write
-// persists a dataset.Dataset (v2 by default, months encoded in
+// persists a dataset.Dataset (v3 by default, months encoded in
 // parallel), Read/ReadRange restore one bit-compatibly (segments decoded
 // in parallel, every file checksum-verified), and `mevscope analyze
 // -from <dir>` reproduces the original run's report without
-// re-simulating. v1 archives written by earlier releases keep reading
-// transparently. StreamWriter is the live-rotation path: a streaming
-// follower hands it each study month as it completes, so `mevscope
-// archive -live` writes segments while the world grows instead of
-// serializing everything at the end.
+// re-simulating. v1 and v2 archives written by earlier releases keep
+// reading transparently. StreamWriter is the live-rotation path: a
+// streaming follower hands it each study month as it completes, so
+// `mevscope archive -live` writes segments while the world grows instead
+// of serializing everything at the end.
 package archive
 
 import (
@@ -44,6 +52,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 
 	"mevscope/internal/dataset"
 	"mevscope/internal/flashbots"
@@ -64,26 +74,67 @@ const (
 	FormatV1 Format = 1
 	// FormatV2 is the compressed frame encoding with a block index.
 	FormatV2 Format = 2
+	// FormatV3 is the column-chunk encoding with zone maps.
+	FormatV3 Format = 3
 )
 
 // DefaultFormat is what Write uses: the current format.
-const DefaultFormat = FormatV2
+const DefaultFormat = FormatV3
 
-// ParseFormat parses a CLI-style format name ("v1", "v2").
-func ParseFormat(s string) (Format, error) {
-	switch s {
-	case "v1":
-		return FormatV1, nil
-	case "v2":
-		return FormatV2, nil
+// formats is the single format registry: CLI parsing, help strings,
+// error messages and manifest validation all derive from it, so adding
+// a format updates every surface at once.
+var formats = []struct {
+	format Format
+	name   string
+	desc   string
+}{
+	{FormatV3, "v3", "column chunks with zone maps"},
+	{FormatV2, "v2", "compressed frames"},
+	{FormatV1, "v1", "JSON lines"},
+}
+
+// FormatNames lists the CLI spellings of every supported format,
+// current first.
+func FormatNames() []string {
+	names := make([]string, len(formats))
+	for i, f := range formats {
+		names[i] = f.name
 	}
-	return 0, fmt.Errorf("archive: unknown format %q (want v1 or v2)", s)
+	return names
+}
+
+// FormatHelp describes the supported formats for CLI flag help, e.g.
+// "v3 (column chunks with zone maps), v2 (compressed frames), v1 (JSON lines)".
+func FormatHelp() string {
+	parts := make([]string, len(formats))
+	for i, f := range formats {
+		parts[i] = fmt.Sprintf("%s (%s)", f.name, f.desc)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseFormat parses a CLI-style format name ("v1", "v2", "v3").
+func ParseFormat(s string) (Format, error) {
+	for _, f := range formats {
+		if f.name == s {
+			return f.format, nil
+		}
+	}
+	return 0, fmt.Errorf("archive: unknown format %q (want %s)", s, strings.Join(FormatNames(), ", "))
 }
 
 // String names the format like the CLI flag spells it.
 func (f Format) String() string { return fmt.Sprintf("v%d", int(f)) }
 
-func (f Format) valid() bool { return f == FormatV1 || f == FormatV2 }
+func (f Format) valid() bool {
+	for _, sf := range formats {
+		if sf.format == f {
+			return true
+		}
+	}
+	return false
+}
 
 // ManifestName is the manifest file name inside an archive directory.
 const ManifestName = "manifest.json"
@@ -125,6 +176,29 @@ type SegmentInfo struct {
 	ObservedV []FileInfo `json:"observed_v,omitempty"`
 	// Index is the sparse block index of the blocks file (v2 only).
 	Index []BlockIndexEntry `json:"index,omitempty"`
+	// Columns are the month's column chunks with their zone maps (v3
+	// only). The classic FileInfo fields above then carry logical
+	// document counts with no file behind them.
+	Columns []ColumnInfo `json:"columns,omitempty"`
+}
+
+// ColumnInfo describes one v3 column chunk: its integrity record plus
+// the zone map readers use to skip the chunk without decoding it. The
+// zone map is load-bearing — decoders recompute it from the payload and
+// refuse a chunk whose stored bounds disagree.
+type ColumnInfo struct {
+	Name  string      `json:"name"`
+	Month types.Month `json:"month"`
+	File  FileInfo    `json:"file"`
+	// MinBlock/MaxBlock bound the block heights the chunk's rows touch
+	// (header range for block-aligned columns, record heights for
+	// flashbots and observed captures). Zero for empty chunks.
+	MinBlock uint64 `json:"min_block,omitempty"`
+	MaxBlock uint64 `json:"max_block,omitempty"`
+	// MinGas/MaxGas bound the chunk's gas prices: bid prices for the tx
+	// column, effective prices for receipts. Absent elsewhere.
+	MinGas types.Amount `json:"min_gas,omitempty"`
+	MaxGas types.Amount `json:"max_gas,omitempty"`
 }
 
 // ObserverInfo records the observation window bounds.
@@ -200,9 +274,25 @@ func WriteFormat(dir string, ds *dataset.Dataset, meta map[string]string, format
 	return sw.Finalize(ds)
 }
 
+// Recompress restores the archive at src — whatever format it holds —
+// and rewrites it into dst in the given format, carrying the source
+// manifest's meta over. The restored dataset drives a normal
+// WriteFormat, so dst is byte-identical to what archiving the original
+// world directly in that format would have produced.
+func Recompress(src, dst string, format Format) (*Manifest, error) {
+	ds, man, err := Read(src)
+	if err != nil {
+		return nil, err
+	}
+	return WriteFormat(dst, ds, man.Meta, format)
+}
+
 // writeSegment persists one month's files in the given format and
 // returns its manifest entry.
 func writeSegment(dir string, format Format, seg *dataset.Segment) (SegmentInfo, error) {
+	if format == FormatV3 {
+		return writeSegmentV3(dir, seg)
+	}
 	label := SegmentLabel(seg.Month)
 	segDir := filepath.Join(dir, label)
 	info := SegmentInfo{
@@ -310,7 +400,7 @@ func verifyFile(root string, fi FileInfo) (string, error) {
 }
 
 // ReadManifest loads and sanity-checks an archive's manifest without
-// touching the data files. Both format versions are accepted; the
+// touching the data files. Every format version is accepted; the
 // version field routes every later read to the right decoder.
 func ReadManifest(dir string) (*Manifest, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
@@ -322,8 +412,8 @@ func ReadManifest(dir string) (*Manifest, error) {
 		return nil, fmt.Errorf("archive: manifest: %w", err)
 	}
 	if !Format(man.Version).valid() {
-		return nil, fmt.Errorf("archive: unsupported version %d (want %d or %d)",
-			man.Version, FormatV1, FormatV2)
+		return nil, fmt.Errorf("archive: unsupported version %d (want %s)",
+			man.Version, strings.Join(FormatNames(), ", "))
 	}
 	if man.Timeline.BlocksPerMonth == 0 {
 		return nil, fmt.Errorf("archive: manifest has no timeline")
@@ -344,11 +434,54 @@ type SegmentCache interface {
 	Add(dir string, m types.Month, seg *dataset.Segment, bytes int64)
 }
 
+// ChunkCache is the column-granular upgrade of SegmentCache: a
+// SegmentCache that also implements it caches v3 reads per decoded
+// column chunk instead of per month, so a projected read warms exactly
+// the chunks it decoded and a later full read reuses them. The cached
+// value is the decoder's immutable column representation — opaque to
+// callers, who store and return it as-is. Implementations must be safe
+// for concurrent use.
+type ChunkCache interface {
+	// GetChunk returns the cached decode of (dir, month, column).
+	GetChunk(dir string, m types.Month, col string) (any, bool)
+	// AddChunk caches a freshly decoded column chunk; bytes is its
+	// on-disk size.
+	AddChunk(dir string, m types.Month, col string, v any, bytes int64)
+}
+
+// ReadStats, when attached to ReadOptions, accumulates byte-level
+// accounting of a read: how much stored data was decoded, and how many
+// chunks the projection and zone maps skipped or the cache served. Safe
+// for concurrent use (reads decode in parallel).
+type ReadStats struct {
+	// DecodedBytes counts stored (compressed) bytes actually decoded.
+	DecodedBytes atomic.Int64
+	// DecodedChunks counts chunk/segment files decoded.
+	DecodedChunks atomic.Int64
+	// SkippedChunks counts v3 chunks skipped without decoding.
+	SkippedChunks atomic.Int64
+	// CachedChunks counts chunks (or whole segments) served from cache.
+	CachedChunks atomic.Int64
+}
+
 // segBytes is a segment's total on-disk size per the manifest.
 func segBytes(si SegmentInfo) int64 {
 	bytes := si.Blocks.Bytes + si.Flashbots.Bytes + si.Observed.Bytes
 	for _, fi := range si.ObservedV {
 		bytes += fi.Bytes
+	}
+	for _, ci := range si.Columns {
+		bytes += ci.File.Bytes
+	}
+	return bytes
+}
+
+// DataBytes is the archive's total on-disk data size per the manifest:
+// every segment's files plus the price history.
+func (m *Manifest) DataBytes() int64 {
+	bytes := m.Prices.Bytes
+	for _, si := range m.Segments {
+		bytes += segBytes(si)
 	}
 	return bytes
 }
@@ -358,13 +491,28 @@ type ReadOptions struct {
 	// Workers sizes the parallel segment-decode pool (< 1 = all cores).
 	Workers int
 	// Cache, when non-nil, is consulted before and filled after each
-	// segment decode.
+	// segment decode. If it also implements ChunkCache, v3 reads cache
+	// per column chunk instead of per month.
 	Cache SegmentCache
 	// Span, when non-nil, is the tracing parent the restore records
 	// itself under: one "archive:restore" span with an "archive:decode"
-	// child per segment actually decoded (cache hits record nothing).
-	// Nil disables recording at zero cost (internal/obs).
+	// child per segment actually decoded (cache hits record nothing);
+	// v3 decodes additionally record one "archive:column" child per
+	// chunk. Nil disables recording at zero cost (internal/obs).
 	Span *obs.Span
+	// Columns projects the read onto a column subset (v3 column names,
+	// see ColumnNames): only the selected columns are decoded and
+	// populated, and the rest of each segment's chunks are skipped on
+	// disk. Nil restores everything. The set is closed over its
+	// dependencies (headers always load; logs pull receipts; receipts
+	// and txs travel together), a projection without "observed" skips
+	// the observer restore entirely, and the resulting dataset records
+	// the projection in its Projection field. On v1/v2 archives the
+	// selection is honored but decodes the full segment (those formats
+	// cannot skip bytes per column).
+	Columns []string
+	// Stats, when non-nil, accumulates decode-byte accounting.
+	Stats *ReadStats
 }
 
 // Read restores the full dataset from a segmented archive, verifying
@@ -400,6 +548,10 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 	if err != nil {
 		return nil, nil, err
 	}
+	cols, norm, err := normalizeColumns(opt.Columns)
+	if err != nil {
+		return nil, nil, err
+	}
 	var segs, preSegs []SegmentInfo
 	for _, seg := range man.Segments {
 		switch {
@@ -422,7 +574,7 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 		blocks, bytes := 0, int64(0)
 		for _, si := range segs {
 			blocks += si.Blocks.Count
-			bytes += segBytes(si)
+			bytes += segBytesFor(si, cols, man.Format())
 		}
 		rsp.SetBlocks(blocks)
 		rsp.SetBytes(bytes)
@@ -430,25 +582,8 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 
 	// Decode the selected segments in parallel, reusing cached decodes.
 	decoded := parallel.MapSpan(rsp, len(segs), opt.Workers, func(i int) decodeResult {
-		si := segs[i]
-		if opt.Cache != nil {
-			if seg, ok := opt.Cache.Get(dir, si.Month); ok {
-				return decodeResult{seg: seg}
-			}
-		}
-		dsp := rsp.Child(obs.StageDecode)
-		dsp.SetLabel(si.Label)
-		dsp.SetBlocks(si.Blocks.Count)
-		dsp.SetBytes(segBytes(si))
-		seg, err := readSegment(dir, man, si)
-		dsp.End()
-		if err != nil {
-			return decodeResult{err: err}
-		}
-		if opt.Cache != nil {
-			opt.Cache.Add(dir, si.Month, seg, segBytes(si))
-		}
-		return decodeResult{seg: seg}
+		seg, err := decodeSegment(dir, man, segs[i], cols, opt, rsp)
+		return decodeResult{seg: seg, err: err}
 	})
 	parts := make([]*dataset.Segment, len(decoded))
 	for i, r := range decoded {
@@ -461,7 +596,7 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 	// Pre-slice observation logs: reuse a cached segment's, else read just
 	// the (tiny) observed files — every vantage's, so a restored slice
 	// classifies against the same observation network as the full
-	// archive.
+	// archive. A projection without the observed column skips all of it.
 	vinfos := man.Vantages
 	if len(vinfos) == 0 {
 		vinfos = []VantageInfo{{Node: 0}}
@@ -475,25 +610,40 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 			}
 		}
 	}
-	for _, si := range preSegs {
-		if opt.Cache != nil {
-			if seg, ok := opt.Cache.Get(dir, si.Month); ok {
-				appendSeg(seg)
+	if cols.want(ColObserved) {
+		for _, si := range preSegs {
+			if opt.Cache != nil {
+				if seg, ok := opt.Cache.Get(dir, si.Month); ok {
+					appendSeg(seg)
+					continue
+				}
+			}
+			if man.Format() == FormatV3 {
+				primary, extra, err := readObservedV3(dir, si, opt, rsp)
+				if err != nil {
+					return nil, nil, err
+				}
+				observedV[0] = append(observedV[0], primary...)
+				for i, recs := range extra {
+					if i+1 < len(observedV) {
+						observedV[i+1] = append(observedV[i+1], recs...)
+					}
+				}
 				continue
 			}
-		}
-		obs, err := readDocs[p2p.ObservedTx](dir, man.Format(), si.Observed)
-		if err != nil {
-			return nil, nil, err
-		}
-		observedV[0] = append(observedV[0], obs...)
-		for i, fi := range si.ObservedV {
-			recs, err := readDocs[p2p.ObservedTx](dir, man.Format(), fi)
+			obs, err := readDocs[p2p.ObservedTx](dir, man.Format(), si.Observed)
 			if err != nil {
 				return nil, nil, err
 			}
-			if i+1 < len(observedV) {
-				observedV[i+1] = append(observedV[i+1], recs...)
+			observedV[0] = append(observedV[0], obs...)
+			for i, fi := range si.ObservedV {
+				recs, err := readDocs[p2p.ObservedTx](dir, man.Format(), fi)
+				if err != nil {
+					return nil, nil, err
+				}
+				if i+1 < len(observedV) {
+					observedV[i+1] = append(observedV[i+1], recs...)
+				}
 			}
 		}
 	}
@@ -505,6 +655,7 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 	if err != nil {
 		return nil, nil, fmt.Errorf("archive: %w", err)
 	}
+	ds.Projection = norm
 	for _, seg := range parts {
 		appendSeg(seg)
 	}
@@ -524,7 +675,7 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 	if head == nil || head.Header.Number != wantHead {
 		return nil, nil, fmt.Errorf("archive: restored head does not match manifest head %d", wantHead)
 	}
-	if man.Observer != nil && man.Observer.Start <= head.Header.Number {
+	if cols.want(ColObserved) && man.Observer != nil && man.Observer.Start <= head.Header.Number {
 		for i, vi := range vinfos {
 			ds.Vantages = append(ds.Vantages,
 				p2p.RestoreVantage(vi.Node, observedV[i], man.Observer.Start, man.Observer.Stop))
@@ -542,6 +693,74 @@ func ReadRangeWith(dir string, from, to types.Month, opt ReadOptions) (*dataset.
 		}
 	}
 	return ds, man, nil
+}
+
+// segBytesFor is the on-disk size a read of si under a projection
+// actually covers: selected chunk bytes for a projected v3 read, the
+// whole segment otherwise.
+func segBytesFor(si SegmentInfo, cols columnSet, format Format) int64 {
+	if cols == nil || format != FormatV3 {
+		return segBytes(si)
+	}
+	var bytes int64
+	for _, ci := range si.Columns {
+		if cols.want(ci.Name) {
+			bytes += ci.File.Bytes
+		}
+	}
+	return bytes
+}
+
+// decodeSegment restores one selected segment, routing by format and
+// reusing cached decodes. v1/v2 segments (and full v3 reads against a
+// month-granular cache) cache whole months; a chunk-granular cache
+// takes over inside readSegmentV3. Projected v3 reads never touch the
+// month-granular cache — a partial segment must not masquerade as a
+// full one.
+func decodeSegment(dir string, man *Manifest, si SegmentInfo, cols columnSet, opt ReadOptions, rsp *obs.Span) (*dataset.Segment, error) {
+	if man.Format() == FormatV3 {
+		_, chunked := opt.Cache.(ChunkCache)
+		if cols == nil && !chunked && opt.Cache != nil {
+			if seg, ok := opt.Cache.Get(dir, si.Month); ok {
+				if opt.Stats != nil {
+					opt.Stats.CachedChunks.Add(1)
+				}
+				return seg, nil
+			}
+			seg, err := readSegmentV3(dir, si, nil, opt, rsp)
+			if err != nil {
+				return nil, err
+			}
+			opt.Cache.Add(dir, si.Month, seg, segBytes(si))
+			return seg, nil
+		}
+		return readSegmentV3(dir, si, cols, opt, rsp)
+	}
+	if opt.Cache != nil {
+		if seg, ok := opt.Cache.Get(dir, si.Month); ok {
+			if opt.Stats != nil {
+				opt.Stats.CachedChunks.Add(1)
+			}
+			return seg, nil
+		}
+	}
+	dsp := rsp.Child(obs.StageDecode)
+	dsp.SetLabel(si.Label)
+	dsp.SetBlocks(si.Blocks.Count)
+	dsp.SetBytes(segBytes(si))
+	seg, err := readSegment(dir, man, si)
+	dsp.End()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Stats != nil {
+		opt.Stats.DecodedBytes.Add(segBytes(si))
+		opt.Stats.DecodedChunks.Add(int64(3 + len(si.ObservedV)))
+	}
+	if opt.Cache != nil {
+		opt.Cache.Add(dir, si.Month, seg, segBytes(si))
+	}
+	return seg, nil
 }
 
 // decodeResult carries one segment decode across the parallel fan-out.

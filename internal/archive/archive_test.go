@@ -90,11 +90,12 @@ func TestArchiveRoundTrip(t *testing.T) {
 	}
 }
 
-// TestFormatsProduceIdenticalReports is the v2 acceptance gate: one
-// world archived in both formats must restore to reports byte-identical
+// TestFormatsProduceIdenticalReports is the format acceptance gate: one
+// world archived in every format must restore to reports byte-identical
 // to each other AND to the in-memory pipeline's — the encoding is an
 // implementation detail the measurement can never see. It also pins the
-// compression claim: the v2 archive must be smaller on disk.
+// compression ladder: each format must be smaller on disk than its
+// predecessor.
 func TestFormatsProduceIdenticalReports(t *testing.T) {
 	s := world(t)
 	ds := dataset.FromSim(s)
@@ -106,7 +107,7 @@ func TestFormatsProduceIdenticalReports(t *testing.T) {
 	mevscope.WriteReportTo(&mem, memStudy.Report)
 
 	sizes := map[archive.Format]int64{}
-	for _, format := range []archive.Format{archive.FormatV1, archive.FormatV2} {
+	for _, format := range []archive.Format{archive.FormatV1, archive.FormatV2, archive.FormatV3} {
 		dir := t.TempDir()
 		man, err := archive.WriteFormat(dir, ds, map[string]string{"seed": "17"}, format)
 		if err != nil {
@@ -115,11 +116,13 @@ func TestFormatsProduceIdenticalReports(t *testing.T) {
 		if man.Format() != format {
 			t.Fatalf("manifest format = %s, want %s", man.Format(), format)
 		}
-		sizes[format] = man.Prices.Bytes
+		sizes[format] = man.DataBytes()
 		for _, seg := range man.Segments {
-			sizes[format] += seg.Blocks.Bytes + seg.Flashbots.Bytes + seg.Observed.Bytes
 			if format == archive.FormatV2 && len(seg.Index) == 0 {
 				t.Errorf("%s: v2 segment %s has no block index", format, seg.Label)
+			}
+			if format == archive.FormatV3 && len(seg.Columns) == 0 {
+				t.Errorf("%s: v3 segment %s has no column chunks", format, seg.Label)
 			}
 		}
 		restored, _, err := archive.Read(dir)
@@ -140,14 +143,18 @@ func TestFormatsProduceIdenticalReports(t *testing.T) {
 		t.Errorf("v2 archive (%d bytes) is not smaller than v1 (%d bytes)",
 			sizes[archive.FormatV2], sizes[archive.FormatV1])
 	}
+	if sizes[archive.FormatV3] >= sizes[archive.FormatV2] {
+		t.Errorf("v3 archive (%d bytes) is not smaller than v2 (%d bytes)",
+			sizes[archive.FormatV3], sizes[archive.FormatV2])
+	}
 }
 
-// TestReadBlock: the block index's random-access path returns the same
-// sealed block a full restore does, for blocks on and off the sparse
-// index points, in both formats.
+// TestReadBlock: the random-access path (block index for v2, zone-map
+// chunk selection for v3) returns the same sealed block a full restore
+// does, for blocks on and off the sparse index points, in every format.
 func TestReadBlock(t *testing.T) {
 	s := world(t)
-	for _, format := range []archive.Format{archive.FormatV1, archive.FormatV2} {
+	for _, format := range []archive.Format{archive.FormatV1, archive.FormatV2, archive.FormatV3} {
 		dir := t.TempDir()
 		if _, err := archive.WriteFormat(dir, dataset.FromSim(s), nil, format); err != nil {
 			t.Fatal(err)
@@ -275,7 +282,17 @@ func TestArchiveDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	victim := filepath.Join(dir, filepath.FromSlash(man.Segments[0].Blocks.Name))
+	// The default format is v3: the block data lives in the headers
+	// column chunk (v1/v2 archives name it in Blocks instead).
+	name := man.Segments[0].Blocks.Name
+	if name == "" {
+		for _, ci := range man.Segments[0].Columns {
+			if ci.Name == archive.ColHeaders {
+				name = ci.File.Name
+			}
+		}
+	}
+	victim := filepath.Join(dir, filepath.FromSlash(name))
 	raw, err := os.ReadFile(victim)
 	if err != nil {
 		t.Fatal(err)
@@ -442,5 +459,53 @@ func TestReadEqualsFullRange(t *testing.T) {
 	}
 	if a.Chain.Len() != b.Chain.Len() || a.Chain.Timeline != b.Chain.Timeline {
 		t.Errorf("Read and full ReadRange differ: %d/%d blocks", a.Chain.Len(), b.Chain.Len())
+	}
+}
+
+// TestRecompressMatchesDirectWrite: migrating a v2 archive through
+// Recompress must produce a v3 archive file-for-file identical to
+// archiving the dataset as v3 directly — the v2→v3 migration path adds
+// no drift, so a recompressed archive serves the same reports.
+func TestRecompressMatchesDirectWrite(t *testing.T) {
+	s := world(t)
+	ds := dataset.FromSim(s)
+	v2Dir, directDir, migratedDir := t.TempDir(), t.TempDir(), t.TempDir()
+	if _, err := archive.WriteFormat(v2Dir, ds, map[string]string{"seed": "17"}, archive.FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := archive.WriteFormat(directDir, ds, map[string]string{"seed": "17"}, archive.FormatV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := archive.Recompress(v2Dir, migratedDir, archive.FormatV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(migrated.Segments) != len(direct.Segments) {
+		t.Fatalf("migrated archive has %d segments, direct write has %d", len(migrated.Segments), len(direct.Segments))
+	}
+	for i, mseg := range migrated.Segments {
+		dseg := direct.Segments[i]
+		if len(mseg.Columns) != len(dseg.Columns) {
+			t.Fatalf("segment %s: migrated %d columns, direct %d", mseg.Label, len(mseg.Columns), len(dseg.Columns))
+		}
+		for j, mc := range mseg.Columns {
+			if dc := dseg.Columns[j]; mc.File.SHA256 != dc.File.SHA256 || mc != dc {
+				t.Errorf("segment %s column %s: migrated chunk differs from direct write", mseg.Label, mc.Name)
+			}
+		}
+	}
+	if migrated.Prices.SHA256 != direct.Prices.SHA256 {
+		t.Error("migrated prices file differs from direct write")
+	}
+	restored, man, err := archive.Read(migratedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Format() != archive.FormatV3 {
+		t.Errorf("migrated archive reads back as %v, want v3", man.Format())
+	}
+	if restored.Chain.Len() != ds.Chain.Len() {
+		t.Errorf("migrated archive restored %d blocks, want %d", restored.Chain.Len(), ds.Chain.Len())
 	}
 }

@@ -13,11 +13,13 @@ import (
 
 // The archive benchmarks behind CI's BENCH_archive.json artifact:
 // encode and decode throughput plus on-disk size for v1 (JSON lines)
-// vs v2 (compressed frames), and the block index's random-access
-// latency. The acceptance bar is v2 smaller on disk and at least as
-// fast to restore as v1; the cold `mevscope serve` query benchmark
-// (internal/query, which serves a v2 archive) rides in the same
-// artifact so restore cost regressions show up where users feel them.
+// vs v2 (compressed frames) vs v3 (column chunks), single-block random
+// access, and the v3 projected-read path. The acceptance bar is v3 at
+// least 3× smaller than v2 on disk (pinned by
+// TestArchiveV3CompressionRatio below) and a projected read decoding
+// strictly fewer bytes than a full restore; the cold `mevscope serve`
+// query benchmark (internal/query) rides in the same artifact so
+// restore cost regressions show up where users feel them.
 
 var (
 	benchOnce sync.Once
@@ -26,9 +28,10 @@ var (
 	benchErr  error
 )
 
-// benchDataset simulates one shared small full-window world.
-func benchDataset(b *testing.B) *dataset.Dataset {
-	b.Helper()
+// benchDataset simulates one shared small full-window world (the bpm-50
+// world the CI load harness also uses).
+func benchDataset(tb testing.TB) *dataset.Dataset {
+	tb.Helper()
 	benchOnce.Do(func() {
 		cfg, err := mevscope.Options{Seed: 7, BlocksPerMonth: 50}.Config()
 		if err != nil {
@@ -44,18 +47,9 @@ func benchDataset(b *testing.B) *dataset.Dataset {
 		}
 	})
 	if benchErr != nil {
-		b.Fatal(benchErr)
+		tb.Fatal(benchErr)
 	}
 	return benchDS
-}
-
-// diskBytes sums a manifest's data-file sizes.
-func diskBytes(man *archive.Manifest) int64 {
-	total := man.Prices.Bytes
-	for _, seg := range man.Segments {
-		total += seg.Blocks.Bytes + seg.Flashbots.Bytes + seg.Observed.Bytes
-	}
-	return total
 }
 
 // benchEncode measures one format's write path, reporting the on-disk
@@ -80,7 +74,7 @@ func benchEncode(b *testing.B, format archive.Format) {
 		os.RemoveAll(dir)
 		b.StartTimer()
 	}
-	b.ReportMetric(float64(diskBytes(man)), "disk-bytes")
+	b.ReportMetric(float64(man.DataBytes()), "disk-bytes")
 	b.ReportMetric(float64(ds.Chain.Len()), "blocks/op")
 }
 
@@ -99,22 +93,23 @@ func benchDecode(b *testing.B, format archive.Format) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(diskBytes(man)), "disk-bytes")
+	b.ReportMetric(float64(man.DataBytes()), "disk-bytes")
 	b.ReportMetric(float64(ds.Chain.Len()), "blocks/op")
 }
 
 func BenchmarkArchiveEncodeV1(b *testing.B) { benchEncode(b, archive.FormatV1) }
 func BenchmarkArchiveEncodeV2(b *testing.B) { benchEncode(b, archive.FormatV2) }
+func BenchmarkArchiveEncodeV3(b *testing.B) { benchEncode(b, archive.FormatV3) }
 func BenchmarkArchiveDecodeV1(b *testing.B) { benchDecode(b, archive.FormatV1) }
 func BenchmarkArchiveDecodeV2(b *testing.B) { benchDecode(b, archive.FormatV2) }
+func BenchmarkArchiveDecodeV3(b *testing.B) { benchDecode(b, archive.FormatV3) }
 
-// BenchmarkArchiveReadBlockV2 measures single-block random access
-// through the sparse block index — decompress-and-skip to the nearest
-// index point instead of decoding the whole segment.
-func BenchmarkArchiveReadBlockV2(b *testing.B) {
+// benchReadBlock measures single-block random access (sparse block
+// index for v2, zone-map chunk selection for v3).
+func benchReadBlock(b *testing.B, format archive.Format) {
 	ds := benchDataset(b)
 	dir := b.TempDir()
-	man, err := archive.WriteFormat(dir, ds, nil, archive.FormatV2)
+	man, err := archive.WriteFormat(dir, ds, nil, format)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -127,5 +122,79 @@ func BenchmarkArchiveReadBlockV2(b *testing.B) {
 		if _, err := archive.ReadBlockFrom(dir, man, n); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkArchiveReadBlockV2(b *testing.B) { benchReadBlock(b, archive.FormatV2) }
+func BenchmarkArchiveReadBlockV3(b *testing.B) { benchReadBlock(b, archive.FormatV3) }
+
+// BenchmarkArchiveProjectedReadV3 measures a projected full-window read
+// of the columns the paper's headline figures need (headers +
+// flashbots), reporting decoded vs skipped bytes — the byte savings a
+// projected cold artifact serve sees.
+func BenchmarkArchiveProjectedReadV3(b *testing.B) {
+	ds := benchDataset(b)
+	dir := b.TempDir()
+	man, err := archive.WriteFormat(dir, ds, nil, archive.FormatV3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stats archive.ReadStats
+	for i := 0; i < b.N; i++ {
+		stats = archive.ReadStats{}
+		_, _, err := archive.ReadRangeWith(dir, 0, 1<<30, archive.ReadOptions{
+			Columns: []string{archive.ColHeaders, archive.ColFlashbots},
+			Stats:   &stats,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.DecodedBytes.Load()), "decoded-bytes")
+	b.ReportMetric(float64(man.DataBytes()), "disk-bytes")
+}
+
+// TestArchiveV3CompressionRatio pins the v3 acceptance bar on the
+// bpm-50 world: at least 3× smaller than v2 on disk, and a projected
+// single-artifact read decodes strictly fewer bytes than a full
+// restore.
+func TestArchiveV3CompressionRatio(t *testing.T) {
+	ds := benchDataset(t)
+	dirV2, dirV3 := t.TempDir(), t.TempDir()
+	manV2, err := archive.WriteFormat(dirV2, ds, nil, archive.FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manV3, err := archive.WriteFormat(dirV3, ds, nil, archive.FormatV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, v3 := manV2.DataBytes(), manV3.DataBytes()
+	t.Logf("disk bytes: v2 %d, v3 %d (%.2fx)", v2, v3, float64(v2)/float64(v3))
+	if v3*3 > v2 {
+		t.Errorf("v3 archive is %d bytes, want at least 3x smaller than v2's %d", v3, v2)
+	}
+
+	var full, proj archive.ReadStats
+	if _, _, err := archive.Read(dirV3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := archive.ReadRangeWith(dirV3, 0, 1<<30, archive.ReadOptions{Stats: &full}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := archive.ReadRangeWith(dirV3, 0, 1<<30, archive.ReadOptions{
+		Columns: []string{archive.ColHeaders, archive.ColFlashbots},
+		Stats:   &proj,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if proj.DecodedBytes.Load() >= full.DecodedBytes.Load() {
+		t.Errorf("projected read decoded %d bytes, full restore %d — projection saved nothing",
+			proj.DecodedBytes.Load(), full.DecodedBytes.Load())
+	}
+	if proj.SkippedChunks.Load() == 0 {
+		t.Error("projected read skipped no chunks")
 	}
 }

@@ -330,6 +330,9 @@ func ReadBlockFrom(dir string, man *Manifest, number uint64) (*types.Block, erro
 	if si == nil {
 		return nil, fmt.Errorf("archive: no segment holds block %d", number)
 	}
+	if man.Format() == FormatV3 {
+		return readBlockV3(dir, *si, number)
+	}
 	if man.Format() == FormatV1 {
 		blocks, err := readJSONL[*types.Block](dir, si.Blocks)
 		if err != nil {

@@ -1,0 +1,1327 @@
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"mevscope/internal/dataset"
+	"mevscope/internal/events"
+	"mevscope/internal/flashbots"
+	"mevscope/internal/obs"
+	"mevscope/internal/p2p"
+	"mevscope/internal/types"
+)
+
+// The v3 column layout. One month becomes one chunk file per column:
+//
+//	<dir>/2020-05/
+//	  headers.col     block headers + per-block tx counts
+//	  txs.col         transactions (dictionary senders, presence-mask payloads)
+//	  receipts.col    execution outcomes (TxHash derived from txs on read)
+//	  logs.col        event logs (dictionary addresses and topics)
+//	  flashbots.col   public blocks-API records
+//	  observed.col    primary vantage captures (observed_vN.col per extra vantage)
+//
+// The manifest records one ColumnInfo per chunk: the file's integrity
+// record plus a zone map (month, min/max block, min/max gas price) that
+// lets ReadBlock pick chunks and projection reads skip columns without
+// decoding a byte. Receipt TxHash is not stored — receipts align
+// positionally with transactions, so the reader derives it, and the
+// writer refuses any segment where the stored receipt identity drifts
+// from the recomputed transaction hash (the check v2 ran on read runs
+// at write time instead).
+
+// Column names of the v3 format. Extra vantages store under
+// "observed_v1", "observed_v2", … and project under ColObserved.
+const (
+	ColHeaders   = "headers"
+	ColTxs       = "txs"
+	ColReceipts  = "receipts"
+	ColLogs      = "logs"
+	ColFlashbots = "flashbots"
+	ColObserved  = "observed"
+)
+
+// ColumnNames lists the selectable v3 columns in storage order.
+func ColumnNames() []string {
+	return []string{ColHeaders, ColTxs, ColReceipts, ColLogs, ColFlashbots, ColObserved}
+}
+
+// colBase maps a chunk column name to its selectable column:
+// "observed_v2" → "observed", everything else to itself.
+func colBase(name string) string {
+	if strings.HasPrefix(name, ColObserved+"_v") {
+		return ColObserved
+	}
+	return name
+}
+
+// columnSet is a normalized projection: nil selects everything.
+type columnSet map[string]bool
+
+// normalizeColumns validates and closes a projection over its
+// dependencies: headers are always included (they carry the block
+// skeleton everything hangs off), logs need receipts, and receipts and
+// transactions travel together — receipts are positionally 1:1 with
+// transactions and their identity (TxHash) is derived from them.
+func normalizeColumns(cols []string) (columnSet, []string, error) {
+	if cols == nil {
+		return nil, nil, nil
+	}
+	known := make(map[string]bool, 6)
+	for _, c := range ColumnNames() {
+		known[c] = true
+	}
+	set := columnSet{ColHeaders: true}
+	for _, c := range cols {
+		if !known[c] {
+			return nil, nil, fmt.Errorf("archive: unknown column %q (want one of %s)",
+				c, strings.Join(ColumnNames(), ", "))
+		}
+		set[c] = true
+	}
+	if set[ColLogs] {
+		set[ColReceipts] = true
+	}
+	if set[ColReceipts] {
+		set[ColTxs] = true
+	}
+	if set[ColTxs] {
+		set[ColReceipts] = true
+	}
+	norm := make([]string, 0, len(set))
+	for c := range set {
+		norm = append(norm, c)
+	}
+	sort.Strings(norm)
+	return set, norm, nil
+}
+
+// want reports whether a chunk column is selected (nil = everything).
+func (s columnSet) want(name string) bool { return s == nil || s[colBase(name)] }
+
+// findColumn locates a segment's chunk record by column name.
+func findColumn(si SegmentInfo, name string) (ColumnInfo, error) {
+	for _, ci := range si.Columns {
+		if ci.Name == name {
+			return ci, nil
+		}
+	}
+	return ColumnInfo{}, fmt.Errorf("archive: segment %s has no %q column", si.Label, name)
+}
+
+// ---------------------------------------------------------------------------
+// Encode
+
+// writeSegmentV3 persists one month as per-column chunks and returns its
+// manifest entry: chunk records with zone maps, plus logical document
+// counts in the classic FileInfo slots so format-agnostic consumers
+// (drift checks, span sizing) keep working.
+func writeSegmentV3(root string, seg *dataset.Segment) (SegmentInfo, error) {
+	label := SegmentLabel(seg.Month)
+	segDir := filepath.Join(root, label)
+	info := SegmentInfo{
+		Month:      seg.Month,
+		Label:      label,
+		FirstBlock: seg.Blocks[0].Header.Number,
+		LastBlock:  seg.Blocks[len(seg.Blocks)-1].Header.Number,
+	}
+	// Receipt identity is derived on read, so the stored archive can only
+	// be faithful if it holds at write time — refuse drift here, where
+	// the original data still exists.
+	for _, b := range seg.Blocks {
+		if len(b.Receipts) != len(b.Txs) {
+			return info, fmt.Errorf("archive: segment %s block %d has %d receipts for %d txs",
+				label, b.Header.Number, len(b.Receipts), len(b.Txs))
+		}
+		for i, rcpt := range b.Receipts {
+			if rcpt.TxHash != b.Txs[i].Hash() {
+				return info, fmt.Errorf("archive: segment %s block %d tx %d: identity drift (receipt %v vs recomputed %v)",
+					label, b.Header.Number, i, rcpt.TxHash.Short(), b.Txs[i].Hash().Short())
+			}
+		}
+	}
+	encoders := []func() (ColumnInfo, error){
+		func() (ColumnInfo, error) { return encodeHeadersCol(root, segDir, seg.Month, seg.Blocks) },
+		func() (ColumnInfo, error) { return encodeTxsCol(root, segDir, seg.Month, seg.Blocks) },
+		func() (ColumnInfo, error) { return encodeReceiptsCol(root, segDir, seg.Month, seg.Blocks) },
+		func() (ColumnInfo, error) { return encodeLogsCol(root, segDir, seg.Month, seg.Blocks) },
+		func() (ColumnInfo, error) { return encodeFlashbotsCol(root, segDir, seg.Month, seg.FBBlocks) },
+		func() (ColumnInfo, error) {
+			return encodeObservedCol(root, segDir, seg.Month, ColObserved, seg.Observed)
+		},
+	}
+	for _, enc := range encoders {
+		ci, err := enc()
+		if err != nil {
+			return info, err
+		}
+		info.Columns = append(info.Columns, ci)
+	}
+	for i, recs := range seg.ObservedV {
+		ci, err := encodeObservedCol(root, segDir, seg.Month, fmt.Sprintf("%s_v%d", ColObserved, i+1), recs)
+		if err != nil {
+			return info, err
+		}
+		info.Columns = append(info.Columns, ci)
+		info.ObservedV = append(info.ObservedV, FileInfo{Count: len(recs)})
+	}
+	// Logical counts: v3 has no monolithic per-kind files, but the counts
+	// still size restore spans and back the stream/batch drift checks.
+	info.Blocks.Count = len(seg.Blocks)
+	info.Flashbots.Count = len(seg.FBBlocks)
+	info.Observed.Count = len(seg.Observed)
+	return info, nil
+}
+
+func encodeHeadersCol(root, segDir string, month types.Month, blocks []*types.Block) (ColumnInfo, error) {
+	w := newColWriter()
+	var prevNum uint64
+	for i, b := range blocks {
+		n := b.Header.Number
+		if i == 0 {
+			w.uvarint(n)
+		} else {
+			if n < prevNum {
+				return ColumnInfo{}, fmt.Errorf("archive: segment %s blocks out of order (%d after %d)", segDir, n, prevNum)
+			}
+			w.uvarint(n - prevNum)
+		}
+		prevNum = n
+	}
+	var prevTime int64
+	for i, b := range blocks {
+		ns := b.Header.Time.UnixNano()
+		if i == 0 {
+			w.svarint(ns)
+		} else {
+			w.svarint(ns - prevTime)
+		}
+		prevTime = ns
+	}
+	for _, b := range blocks {
+		w.raw(b.Header.ParentHash[:])
+	}
+	for _, b := range blocks {
+		w.addr(b.Header.Miner)
+	}
+	var prevFee int64
+	for i, b := range blocks {
+		f := int64(b.Header.BaseFee)
+		if i == 0 {
+			w.svarint(f)
+		} else {
+			w.svarint(f - prevFee)
+		}
+		prevFee = f
+	}
+	var prevLimit int64
+	for i, b := range blocks {
+		l := int64(b.Header.GasLimit)
+		if i == 0 {
+			w.svarint(l)
+		} else {
+			w.svarint(l - prevLimit)
+		}
+		prevLimit = l
+	}
+	for _, b := range blocks {
+		w.uvarint(b.Header.GasUsed)
+	}
+	for _, b := range blocks {
+		w.uvarint(uint64(len(b.Txs)))
+	}
+	fi, err := writeChunk(root, segDir, ColHeaders, len(blocks), w)
+	if err != nil {
+		return ColumnInfo{}, err
+	}
+	ci := ColumnInfo{Name: ColHeaders, Month: month, File: fi}
+	if len(blocks) > 0 {
+		ci.MinBlock = blocks[0].Header.Number
+		ci.MaxBlock = blocks[len(blocks)-1].Header.Number
+	}
+	return ci, nil
+}
+
+func encodeTxsCol(root, segDir string, month types.Month, blocks []*types.Block) (ColumnInfo, error) {
+	var flat []*types.Transaction
+	for _, b := range blocks {
+		flat = append(flat, b.Txs...)
+	}
+	w := newColWriter()
+	for _, tx := range flat {
+		w.uvarint(tx.Nonce)
+	}
+	for _, tx := range flat {
+		w.addr(tx.From)
+	}
+	for _, tx := range flat {
+		w.addr(tx.To)
+	}
+	for _, tx := range flat {
+		w.svarint(int64(tx.Value))
+	}
+	for _, tx := range flat {
+		w.uvarint(tx.GasLimit)
+	}
+	for _, tx := range flat {
+		w.svarint(int64(tx.GasPrice))
+	}
+	for _, tx := range flat {
+		w.svarint(int64(tx.FeeCap))
+	}
+	for _, tx := range flat {
+		w.svarint(int64(tx.TipCap))
+	}
+	for _, tx := range flat {
+		w.svarint(int64(tx.CoinbaseTip))
+	}
+	for _, tx := range flat {
+		w.payload(&tx.Payload)
+	}
+	fi, err := writeChunk(root, segDir, ColTxs, len(flat), w)
+	if err != nil {
+		return ColumnInfo{}, err
+	}
+	ci := ColumnInfo{Name: ColTxs, Month: month, File: fi}
+	if len(blocks) > 0 {
+		ci.MinBlock = blocks[0].Header.Number
+		ci.MaxBlock = blocks[len(blocks)-1].Header.Number
+	}
+	for i, tx := range flat {
+		p := tx.BidPrice()
+		if i == 0 || p < ci.MinGas {
+			ci.MinGas = p
+		}
+		if i == 0 || p > ci.MaxGas {
+			ci.MaxGas = p
+		}
+	}
+	return ci, nil
+}
+
+func encodeReceiptsCol(root, segDir string, month types.Month, blocks []*types.Block) (ColumnInfo, error) {
+	var flat []*types.Receipt
+	for _, b := range blocks {
+		flat = append(flat, b.Receipts...)
+	}
+	w := newColWriter()
+	for _, r := range flat {
+		w.svarint(int64(r.TxIndex))
+	}
+	for _, r := range flat {
+		w.byte1(byte(r.Status))
+	}
+	for _, r := range flat {
+		w.uvarint(r.GasUsed)
+	}
+	for _, r := range flat {
+		w.svarint(int64(r.EffectiveGasPrice))
+	}
+	for _, r := range flat {
+		w.svarint(int64(r.CoinbaseTransfer))
+	}
+	fi, err := writeChunk(root, segDir, ColReceipts, len(flat), w)
+	if err != nil {
+		return ColumnInfo{}, err
+	}
+	ci := ColumnInfo{Name: ColReceipts, Month: month, File: fi}
+	if len(blocks) > 0 {
+		ci.MinBlock = blocks[0].Header.Number
+		ci.MaxBlock = blocks[len(blocks)-1].Header.Number
+	}
+	for i, r := range flat {
+		p := r.EffectiveGasPrice
+		if i == 0 || p < ci.MinGas {
+			ci.MinGas = p
+		}
+		if i == 0 || p > ci.MaxGas {
+			ci.MaxGas = p
+		}
+	}
+	return ci, nil
+}
+
+// Log-row shape tags. Logs emitted by the simulated protocols follow the
+// typed vocabulary in internal/events, so most rows encode as a shape tag
+// plus dictionary refs and varint amounts instead of raw topics+data —
+// the topic hashes are recomputed from the addresses at decode. Rows that
+// don't round-trip through an event shape byte-exactly fall back to
+// logShapeRaw.
+const (
+	logShapeRaw = iota
+	logShapeTransfer
+	logShapeSwap
+	logShapeSync
+	logShapeLiqAave
+	logShapeLiqCompound
+	logShapeFlashLoan
+	logShapeOracle
+)
+
+// logEqual reports byte-exact equality, the bar a structured shape must
+// clear before replacing the raw encoding.
+func logEqual(a, b types.Log) bool {
+	if a.Address != b.Address || len(a.Topics) != len(b.Topics) || !bytes.Equal(a.Data, b.Data) {
+		return false
+	}
+	for i := range a.Topics {
+		if a.Topics[i] != b.Topics[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeLog emits one log row, preferring a structured event shape.
+func (w *colWriter) writeLog(lg types.Log) {
+	if ev, ok := events.DecodeTransfer(lg); ok && logEqual(lg, ev.Log()) {
+		w.byte1(logShapeTransfer)
+		w.addr(ev.Token)
+		w.addr(ev.From)
+		w.addr(ev.To)
+		w.uvarint(uint64(ev.Amount))
+		return
+	}
+	if ev, ok := events.DecodeSwap(lg); ok && logEqual(lg, ev.Log()) {
+		w.byte1(logShapeSwap)
+		w.addr(ev.Pool)
+		w.addr(ev.Sender)
+		w.addr(ev.Recipient)
+		w.addr(ev.TokenIn)
+		w.addr(ev.TokenOut)
+		w.uvarint(uint64(ev.AmountIn))
+		w.uvarint(uint64(ev.AmountOut))
+		return
+	}
+	if ev, ok := events.DecodeSync(lg); ok && logEqual(lg, ev.Log()) {
+		w.byte1(logShapeSync)
+		w.addr(ev.Pool)
+		w.uvarint(uint64(ev.ReserveA))
+		w.uvarint(uint64(ev.ReserveB))
+		return
+	}
+	if ev, ok := events.DecodeLiquidation(lg); ok && logEqual(lg, ev.Log()) {
+		if ev.Compound {
+			w.byte1(logShapeLiqCompound)
+		} else {
+			w.byte1(logShapeLiqAave)
+		}
+		w.addr(ev.Protocol)
+		w.addr(ev.Liquidator)
+		w.addr(ev.Borrower)
+		w.addr(ev.DebtToken)
+		w.addr(ev.CollateralToken)
+		w.uvarint(uint64(ev.DebtRepaid))
+		w.uvarint(uint64(ev.CollateralOut))
+		return
+	}
+	if ev, ok := events.DecodeFlashLoan(lg); ok && logEqual(lg, ev.Log()) {
+		w.byte1(logShapeFlashLoan)
+		w.addr(ev.Protocol)
+		w.addr(ev.Initiator)
+		w.addr(ev.Token)
+		w.uvarint(uint64(ev.Amount))
+		w.uvarint(uint64(ev.Fee))
+		return
+	}
+	if ev, ok := events.DecodeOracleUpdate(lg); ok && logEqual(lg, ev.Log()) {
+		w.byte1(logShapeOracle)
+		w.addr(ev.Oracle)
+		w.addr(ev.Token)
+		w.uvarint(uint64(ev.Price))
+		return
+	}
+	w.byte1(logShapeRaw)
+	w.addr(lg.Address)
+	w.uvarint(uint64(len(lg.Topics)))
+	for _, t := range lg.Topics {
+		w.hash(t)
+	}
+	w.uvarint(uint64(len(lg.Data)))
+	w.raw(lg.Data)
+}
+
+// readLog decodes one log row written by writeLog.
+func (r *colReader) readLog() types.Log {
+	switch tag := r.byte1(); tag {
+	case logShapeTransfer:
+		ev := events.Transfer{Token: r.addr(), From: r.addr(), To: r.addr()}
+		ev.Amount = types.Amount(r.uvarint())
+		return ev.Log()
+	case logShapeSwap:
+		ev := events.Swap{Pool: r.addr(), Sender: r.addr(), Recipient: r.addr(),
+			TokenIn: r.addr(), TokenOut: r.addr()}
+		ev.AmountIn = types.Amount(r.uvarint())
+		ev.AmountOut = types.Amount(r.uvarint())
+		return ev.Log()
+	case logShapeSync:
+		ev := events.Sync{Pool: r.addr()}
+		ev.ReserveA = types.Amount(r.uvarint())
+		ev.ReserveB = types.Amount(r.uvarint())
+		return ev.Log()
+	case logShapeLiqAave, logShapeLiqCompound:
+		ev := events.Liquidation{Protocol: r.addr(), Liquidator: r.addr(), Borrower: r.addr(),
+			DebtToken: r.addr(), CollateralToken: r.addr(), Compound: tag == logShapeLiqCompound}
+		ev.DebtRepaid = types.Amount(r.uvarint())
+		ev.CollateralOut = types.Amount(r.uvarint())
+		return ev.Log()
+	case logShapeFlashLoan:
+		ev := events.FlashLoan{Protocol: r.addr(), Initiator: r.addr(), Token: r.addr()}
+		ev.Amount = types.Amount(r.uvarint())
+		ev.Fee = types.Amount(r.uvarint())
+		return ev.Log()
+	case logShapeOracle:
+		ev := events.OracleUpdate{Oracle: r.addr(), Token: r.addr()}
+		ev.Price = types.Amount(r.uvarint())
+		return ev.Log()
+	case logShapeRaw:
+		var lg types.Log
+		lg.Address = r.addr()
+		nt := r.uvarint()
+		if nt > uint64(len(r.body)) {
+			r.fail("topic count %d exceeds chunk body (corrupt)", nt)
+			return types.Log{}
+		}
+		if nt > 0 {
+			lg.Topics = make([]types.Hash, nt)
+			for k := range lg.Topics {
+				lg.Topics[k] = r.hash()
+			}
+		}
+		nd := r.uvarint()
+		if raw := r.raw(int(nd)); len(raw) > 0 {
+			lg.Data = append([]byte(nil), raw...)
+		}
+		return lg
+	default:
+		r.fail("unknown log shape tag %d (corrupt)", tag)
+		return types.Log{}
+	}
+}
+
+func encodeLogsCol(root, segDir string, month types.Month, blocks []*types.Block) (ColumnInfo, error) {
+	var flat []*types.Receipt
+	for _, b := range blocks {
+		flat = append(flat, b.Receipts...)
+	}
+	w := newColWriter()
+	for _, r := range flat {
+		w.uvarint(uint64(len(r.Logs)))
+	}
+	for _, r := range flat {
+		for _, lg := range r.Logs {
+			w.writeLog(lg)
+		}
+	}
+	fi, err := writeChunk(root, segDir, ColLogs, len(flat), w)
+	if err != nil {
+		return ColumnInfo{}, err
+	}
+	ci := ColumnInfo{Name: ColLogs, Month: month, File: fi}
+	if len(blocks) > 0 {
+		ci.MinBlock = blocks[0].Header.Number
+		ci.MaxBlock = blocks[len(blocks)-1].Header.Number
+	}
+	return ci, nil
+}
+
+func encodeFlashbotsCol(root, segDir string, month types.Month, recs []flashbots.BlockRecord) (ColumnInfo, error) {
+	w := newColWriter()
+	var prevNum uint64
+	for i, rec := range recs {
+		if i == 0 {
+			w.uvarint(rec.BlockNumber)
+		} else {
+			if rec.BlockNumber < prevNum {
+				return ColumnInfo{}, fmt.Errorf("archive: segment %s flashbots records out of order", segDir)
+			}
+			w.uvarint(rec.BlockNumber - prevNum)
+		}
+		prevNum = rec.BlockNumber
+	}
+	for _, rec := range recs {
+		w.addr(rec.Miner)
+	}
+	for _, rec := range recs {
+		w.svarint(int64(rec.MinerReward))
+	}
+	for _, rec := range recs {
+		w.uvarint(uint64(len(rec.Txs)))
+	}
+	for _, rec := range recs {
+		for _, tx := range rec.Txs {
+			w.raw(tx.Hash[:])
+			w.addr(tx.EOA)
+			w.uvarint(tx.BundleID)
+			w.svarint(int64(tx.BundleIndex))
+			w.byte1(byte(tx.BundleType))
+			w.uvarint(tx.GasUsed)
+			w.svarint(int64(tx.GasPrice))
+			w.svarint(int64(tx.CoinbaseTransfer))
+		}
+	}
+	fi, err := writeChunk(root, segDir, ColFlashbots, len(recs), w)
+	if err != nil {
+		return ColumnInfo{}, err
+	}
+	ci := ColumnInfo{Name: ColFlashbots, Month: month, File: fi}
+	if len(recs) > 0 {
+		ci.MinBlock = recs[0].BlockNumber
+		ci.MaxBlock = recs[len(recs)-1].BlockNumber
+	}
+	return ci, nil
+}
+
+func encodeObservedCol(root, segDir string, month types.Month, name string, recs []p2p.ObservedTx) (ColumnInfo, error) {
+	w := newColWriter()
+	for _, rec := range recs {
+		w.raw(rec.Hash[:])
+	}
+	var prevBlock int64
+	for i, rec := range recs {
+		n := int64(rec.FirstSeenBlock)
+		if i == 0 {
+			w.svarint(n)
+		} else {
+			w.svarint(n - prevBlock)
+		}
+		prevBlock = n
+	}
+	var prevSeen int64
+	for i, rec := range recs {
+		ns := rec.FirstSeen.UnixNano()
+		if i == 0 {
+			w.svarint(ns)
+		} else {
+			w.svarint(ns - prevSeen)
+		}
+		prevSeen = ns
+	}
+	for _, rec := range recs {
+		w.uvarint(uint64(rec.Hops))
+	}
+	fi, err := writeChunk(root, segDir, name, len(recs), w)
+	if err != nil {
+		return ColumnInfo{}, err
+	}
+	ci := ColumnInfo{Name: name, Month: month, File: fi}
+	for i, rec := range recs {
+		if i == 0 || rec.FirstSeenBlock < ci.MinBlock {
+			ci.MinBlock = rec.FirstSeenBlock
+		}
+		if i == 0 || rec.FirstSeenBlock > ci.MaxBlock {
+			ci.MaxBlock = rec.FirstSeenBlock
+		}
+	}
+	return ci, nil
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+
+// Decoded chunk shapes. These are what a ChunkCache holds: immutable
+// after decode (transaction hashes are pre-cached, nothing is mutated on
+// assembly), so one cached chunk can serve concurrent reads.
+type colHeadersData struct {
+	numbers   []uint64
+	parents   []types.Hash
+	times     []int64 // UnixNano
+	miners    []types.Address
+	baseFees  []types.Amount
+	gasLimits []uint64
+	gasUseds  []uint64
+	txCounts  []int
+	totalTxs  int
+}
+
+type colTxsData struct{ txs []*types.Transaction }
+
+// colReceiptsData holds receipts by value, without TxHash or Logs —
+// assembly copies them into fresh per-read receipts, deriving TxHash
+// from the transaction column and attaching the log column, so cached
+// chunks stay immutable.
+type colReceiptsData struct{ rcpts []types.Receipt }
+
+type colLogsData struct{ logs [][]types.Log }
+
+type colFBData struct{ recs []flashbots.BlockRecord }
+
+type colObsData struct{ recs []p2p.ObservedTx }
+
+// zoneError reports a chunk whose decoded payload disagrees with the
+// manifest's zone map — the zone maps steer chunk skipping, so a drifted
+// one means reads would silently miss data; refuse instead.
+func zoneError(ci ColumnInfo, what string, wantMin, wantMax, gotMin, gotMax int64) error {
+	return fmt.Errorf("archive: %s: zone map disagrees with payload (%s %d..%d, payload %d..%d)",
+		ci.File.Name, what, wantMin, wantMax, gotMin, gotMax)
+}
+
+func verifyBlockZone(ci ColumnInfo, min, max uint64, rows int) error {
+	if rows == 0 {
+		if ci.MinBlock != 0 || ci.MaxBlock != 0 {
+			return zoneError(ci, "blocks", int64(ci.MinBlock), int64(ci.MaxBlock), 0, 0)
+		}
+		return nil
+	}
+	if ci.MinBlock != min || ci.MaxBlock != max {
+		return zoneError(ci, "blocks", int64(ci.MinBlock), int64(ci.MaxBlock), int64(min), int64(max))
+	}
+	return nil
+}
+
+func verifyGasZone(ci ColumnInfo, min, max types.Amount, rows int) error {
+	if rows == 0 {
+		return nil
+	}
+	if ci.MinGas != min || ci.MaxGas != max {
+		return zoneError(ci, "gas", int64(ci.MinGas), int64(ci.MaxGas), int64(min), int64(max))
+	}
+	return nil
+}
+
+func decodeHeadersCol(dir string, ci ColumnInfo) (*colHeadersData, error) {
+	r, err := readChunk(dir, ci.File, ColHeaders)
+	if err != nil {
+		return nil, err
+	}
+	n := r.rows
+	d := &colHeadersData{
+		numbers:   make([]uint64, n),
+		parents:   make([]types.Hash, n),
+		times:     make([]int64, n),
+		miners:    make([]types.Address, n),
+		baseFees:  make([]types.Amount, n),
+		gasLimits: make([]uint64, n),
+		gasUseds:  make([]uint64, n),
+		txCounts:  make([]int, n),
+	}
+	var prevNum uint64
+	for i := range d.numbers {
+		delta := r.uvarint()
+		if i == 0 {
+			prevNum = delta
+		} else {
+			prevNum += delta
+		}
+		d.numbers[i] = prevNum
+	}
+	var prevTime int64
+	for i := range d.times {
+		delta := r.svarint()
+		if i == 0 {
+			prevTime = delta
+		} else {
+			prevTime += delta
+		}
+		d.times[i] = prevTime
+	}
+	for i := range d.parents {
+		d.parents[i] = r.rawHash()
+	}
+	for i := range d.miners {
+		d.miners[i] = r.addr()
+	}
+	var prevFee int64
+	for i := range d.baseFees {
+		delta := r.svarint()
+		if i == 0 {
+			prevFee = delta
+		} else {
+			prevFee += delta
+		}
+		d.baseFees[i] = types.Amount(prevFee)
+	}
+	var prevLimit int64
+	for i := range d.gasLimits {
+		delta := r.svarint()
+		if i == 0 {
+			prevLimit = delta
+		} else {
+			prevLimit += delta
+		}
+		d.gasLimits[i] = uint64(prevLimit)
+	}
+	for i := range d.gasUseds {
+		d.gasUseds[i] = r.uvarint()
+	}
+	for i := range d.txCounts {
+		c := r.uvarint()
+		if c > uint64(len(r.body)) {
+			r.fail("tx count %d exceeds chunk body (corrupt)", c)
+			break
+		}
+		d.txCounts[i] = int(c)
+		d.totalTxs += int(c)
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", ci.File.Name, err)
+	}
+	if n > 0 {
+		if err := verifyBlockZone(ci, d.numbers[0], d.numbers[n-1], n); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func decodeTxsCol(dir string, ci ColumnInfo) (*colTxsData, error) {
+	r, err := readChunk(dir, ci.File, ColTxs)
+	if err != nil {
+		return nil, err
+	}
+	n := r.rows
+	txs := make([]*types.Transaction, n)
+	for i := range txs {
+		txs[i] = &types.Transaction{}
+	}
+	for _, tx := range txs {
+		tx.Nonce = r.uvarint()
+	}
+	for _, tx := range txs {
+		tx.From = r.addr()
+	}
+	for _, tx := range txs {
+		tx.To = r.addr()
+	}
+	for _, tx := range txs {
+		tx.Value = types.Amount(r.svarint())
+	}
+	for _, tx := range txs {
+		tx.GasLimit = r.uvarint()
+	}
+	for _, tx := range txs {
+		tx.GasPrice = types.Amount(r.svarint())
+	}
+	for _, tx := range txs {
+		tx.FeeCap = types.Amount(r.svarint())
+	}
+	for _, tx := range txs {
+		tx.TipCap = types.Amount(r.svarint())
+	}
+	for _, tx := range txs {
+		tx.CoinbaseTip = types.Amount(r.svarint())
+	}
+	for _, tx := range txs {
+		tx.Payload = r.payload(0)
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", ci.File.Name, err)
+	}
+	var minGas, maxGas types.Amount
+	for i, tx := range txs {
+		// Cache every hash before the chunk is shared across reads.
+		tx.Hash()
+		p := tx.BidPrice()
+		if i == 0 || p < minGas {
+			minGas = p
+		}
+		if i == 0 || p > maxGas {
+			maxGas = p
+		}
+	}
+	if err := verifyGasZone(ci, minGas, maxGas, n); err != nil {
+		return nil, err
+	}
+	return &colTxsData{txs: txs}, nil
+}
+
+func decodeReceiptsCol(dir string, ci ColumnInfo) (*colReceiptsData, error) {
+	r, err := readChunk(dir, ci.File, ColReceipts)
+	if err != nil {
+		return nil, err
+	}
+	n := r.rows
+	rcpts := make([]types.Receipt, n)
+	for i := range rcpts {
+		rcpts[i].TxIndex = int(r.svarint())
+	}
+	for i := range rcpts {
+		rcpts[i].Status = types.ReceiptStatus(r.byte1())
+	}
+	for i := range rcpts {
+		rcpts[i].GasUsed = r.uvarint()
+	}
+	for i := range rcpts {
+		rcpts[i].EffectiveGasPrice = types.Amount(r.svarint())
+	}
+	for i := range rcpts {
+		rcpts[i].CoinbaseTransfer = types.Amount(r.svarint())
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", ci.File.Name, err)
+	}
+	var minGas, maxGas types.Amount
+	for i := range rcpts {
+		p := rcpts[i].EffectiveGasPrice
+		if i == 0 || p < minGas {
+			minGas = p
+		}
+		if i == 0 || p > maxGas {
+			maxGas = p
+		}
+	}
+	if err := verifyGasZone(ci, minGas, maxGas, n); err != nil {
+		return nil, err
+	}
+	return &colReceiptsData{rcpts: rcpts}, nil
+}
+
+func decodeLogsCol(dir string, ci ColumnInfo) (*colLogsData, error) {
+	r, err := readChunk(dir, ci.File, ColLogs)
+	if err != nil {
+		return nil, err
+	}
+	n := r.rows
+	counts := make([]int, n)
+	for i := range counts {
+		c := r.uvarint()
+		if c > uint64(len(r.body)) {
+			r.fail("log count %d exceeds chunk body (corrupt)", c)
+			break
+		}
+		counts[i] = int(c)
+	}
+	logs := make([][]types.Log, n)
+	for i, c := range counts {
+		if r.err != nil {
+			break
+		}
+		if c == 0 {
+			continue
+		}
+		ls := make([]types.Log, c)
+		for j := range ls {
+			ls[j] = r.readLog()
+		}
+		logs[i] = ls
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", ci.File.Name, err)
+	}
+	return &colLogsData{logs: logs}, nil
+}
+
+func decodeFlashbotsCol(dir string, ci ColumnInfo) (*colFBData, error) {
+	r, err := readChunk(dir, ci.File, ColFlashbots)
+	if err != nil {
+		return nil, err
+	}
+	n := r.rows
+	recs := make([]flashbots.BlockRecord, n)
+	var prevNum uint64
+	for i := range recs {
+		delta := r.uvarint()
+		if i == 0 {
+			prevNum = delta
+		} else {
+			prevNum += delta
+		}
+		recs[i].BlockNumber = prevNum
+	}
+	for i := range recs {
+		recs[i].Miner = r.addr()
+	}
+	for i := range recs {
+		recs[i].MinerReward = types.Amount(r.svarint())
+	}
+	counts := make([]int, n)
+	for i := range counts {
+		c := r.uvarint()
+		if c > uint64(len(r.body)) {
+			r.fail("bundle tx count %d exceeds chunk body (corrupt)", c)
+			break
+		}
+		counts[i] = int(c)
+	}
+	for i := range recs {
+		if r.err != nil {
+			break
+		}
+		if counts[i] == 0 {
+			continue
+		}
+		txs := make([]flashbots.TxRecord, counts[i])
+		for j := range txs {
+			txs[j].Hash = r.rawHash()
+			txs[j].EOA = r.addr()
+			txs[j].BundleID = r.uvarint()
+			txs[j].BundleIndex = int(r.svarint())
+			txs[j].BundleType = flashbots.BundleType(r.byte1())
+			txs[j].GasUsed = r.uvarint()
+			txs[j].GasPrice = types.Amount(r.svarint())
+			txs[j].CoinbaseTransfer = types.Amount(r.svarint())
+		}
+		recs[i].Txs = txs
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", ci.File.Name, err)
+	}
+	if n > 0 {
+		min, max := recs[0].BlockNumber, recs[0].BlockNumber
+		for _, rec := range recs {
+			if rec.BlockNumber < min {
+				min = rec.BlockNumber
+			}
+			if rec.BlockNumber > max {
+				max = rec.BlockNumber
+			}
+		}
+		if err := verifyBlockZone(ci, min, max, n); err != nil {
+			return nil, err
+		}
+	}
+	return &colFBData{recs: recs}, nil
+}
+
+func decodeObservedCol(dir string, ci ColumnInfo, name string) (*colObsData, error) {
+	r, err := readChunk(dir, ci.File, name)
+	if err != nil {
+		return nil, err
+	}
+	n := r.rows
+	recs := make([]p2p.ObservedTx, n)
+	for i := range recs {
+		recs[i].Hash = r.rawHash()
+	}
+	var prevBlock int64
+	for i := range recs {
+		delta := r.svarint()
+		if i == 0 {
+			prevBlock = delta
+		} else {
+			prevBlock += delta
+		}
+		recs[i].FirstSeenBlock = uint64(prevBlock)
+	}
+	var prevSeen int64
+	for i := range recs {
+		delta := r.svarint()
+		if i == 0 {
+			prevSeen = delta
+		} else {
+			prevSeen += delta
+		}
+		recs[i].FirstSeen = time.Unix(0, prevSeen).UTC()
+	}
+	for i := range recs {
+		recs[i].Hops = int(r.uvarint())
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("archive: %s: %w", ci.File.Name, err)
+	}
+	if n > 0 {
+		min, max := recs[0].FirstSeenBlock, recs[0].FirstSeenBlock
+		for _, rec := range recs {
+			if rec.FirstSeenBlock < min {
+				min = rec.FirstSeenBlock
+			}
+			if rec.FirstSeenBlock > max {
+				max = rec.FirstSeenBlock
+			}
+		}
+		if err := verifyBlockZone(ci, min, max, n); err != nil {
+			return nil, err
+		}
+	}
+	return &colObsData{recs: recs}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Segment read
+
+// chunkLoader fetches decoded chunks for one segment, going through the
+// chunk cache when the caller's SegmentCache also implements ChunkCache,
+// and recording one "archive:column" span per chunk actually decoded
+// under a lazily created "archive:decode" segment span.
+type chunkLoader struct {
+	dir string
+	si  SegmentInfo
+	opt ReadOptions
+	cc  ChunkCache
+	rsp *obs.Span
+	dsp *obs.Span
+}
+
+func (cl *chunkLoader) decodeSpan() *obs.Span {
+	if cl.dsp == nil {
+		cl.dsp = cl.rsp.Child(obs.StageDecode)
+		cl.dsp.SetLabel(cl.si.Label)
+		cl.dsp.SetBlocks(cl.si.Blocks.Count)
+	}
+	return cl.dsp
+}
+
+func (cl *chunkLoader) end() { cl.dsp.End() }
+
+// load returns the decoded chunk for a column, consulting the chunk
+// cache first. dec decodes a verified chunk file on a miss.
+func (cl *chunkLoader) load(name string, dec func(ColumnInfo) (any, error)) (any, error) {
+	if cl.cc != nil {
+		if v, ok := cl.cc.GetChunk(cl.dir, cl.si.Month, name); ok {
+			if cl.opt.Stats != nil {
+				cl.opt.Stats.CachedChunks.Add(1)
+			}
+			return v, nil
+		}
+	}
+	ci, err := findColumn(cl.si, name)
+	if err != nil {
+		return nil, err
+	}
+	if ci.Month != cl.si.Month {
+		return nil, fmt.Errorf("archive: %s: zone map month %s disagrees with segment %s",
+			ci.File.Name, ci.Month.Label(), cl.si.Label)
+	}
+	sp := cl.decodeSpan().Child(obs.StageColumn)
+	sp.SetLabel(cl.si.Label + "/" + name)
+	sp.SetBytes(ci.File.Bytes)
+	v, err := dec(ci)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if cl.opt.Stats != nil {
+		cl.opt.Stats.DecodedBytes.Add(ci.File.Bytes)
+		cl.opt.Stats.DecodedChunks.Add(1)
+	}
+	if cl.cc != nil {
+		cl.cc.AddChunk(cl.dir, cl.si.Month, name, v, ci.File.Bytes)
+	}
+	return v, nil
+}
+
+// readSegmentV3 decodes one month's selected columns into a dataset
+// segment. cols == nil restores everything; a projection decodes only
+// the selected chunks (and counts the rest as skipped), leaving the
+// other fields zero.
+func readSegmentV3(dir string, si SegmentInfo, cols columnSet, opt ReadOptions, rsp *obs.Span) (*dataset.Segment, error) {
+	cc, _ := opt.Cache.(ChunkCache)
+	cl := &chunkLoader{dir: dir, si: si, opt: opt, cc: cc, rsp: rsp}
+	defer cl.end()
+
+	if opt.Stats != nil {
+		for _, ci := range si.Columns {
+			if !cols.want(ci.Name) {
+				opt.Stats.SkippedChunks.Add(1)
+			}
+		}
+	}
+
+	hv, err := cl.load(ColHeaders, func(ci ColumnInfo) (any, error) { return decodeHeadersCol(dir, ci) })
+	if err != nil {
+		return nil, err
+	}
+	hd := hv.(*colHeadersData)
+
+	var txs *colTxsData
+	var rcpts *colReceiptsData
+	if cols.want(ColTxs) {
+		tv, err := cl.load(ColTxs, func(ci ColumnInfo) (any, error) { return decodeTxsCol(dir, ci) })
+		if err != nil {
+			return nil, err
+		}
+		txs = tv.(*colTxsData)
+		rv, err := cl.load(ColReceipts, func(ci ColumnInfo) (any, error) { return decodeReceiptsCol(dir, ci) })
+		if err != nil {
+			return nil, err
+		}
+		rcpts = rv.(*colReceiptsData)
+		if len(txs.txs) != hd.totalTxs || len(rcpts.rcpts) != hd.totalTxs {
+			return nil, fmt.Errorf("archive: segment %s has %d txs and %d receipts, headers say %d",
+				si.Label, len(txs.txs), len(rcpts.rcpts), hd.totalTxs)
+		}
+	}
+	var logs *colLogsData
+	if cols.want(ColLogs) {
+		lv, err := cl.load(ColLogs, func(ci ColumnInfo) (any, error) { return decodeLogsCol(dir, ci) })
+		if err != nil {
+			return nil, err
+		}
+		logs = lv.(*colLogsData)
+		if len(logs.logs) != hd.totalTxs {
+			return nil, fmt.Errorf("archive: segment %s has logs for %d receipts, headers say %d",
+				si.Label, len(logs.logs), hd.totalTxs)
+		}
+	}
+
+	seg := &dataset.Segment{Month: si.Month}
+	seg.Blocks = make([]*types.Block, len(hd.numbers))
+	base := 0
+	for i := range seg.Blocks {
+		b := &types.Block{Header: types.Header{
+			Number:     hd.numbers[i],
+			ParentHash: hd.parents[i],
+			Time:       time.Unix(0, hd.times[i]).UTC(),
+			Miner:      hd.miners[i],
+			BaseFee:    hd.baseFees[i],
+			GasLimit:   hd.gasLimits[i],
+			GasUsed:    hd.gasUseds[i],
+		}}
+		cnt := hd.txCounts[i]
+		if txs != nil {
+			if base+cnt > len(txs.txs) {
+				return nil, fmt.Errorf("archive: segment %s tx counts overrun the tx column", si.Label)
+			}
+			b.Txs = txs.txs[base : base+cnt : base+cnt]
+			b.Receipts = make([]*types.Receipt, cnt)
+			for j := 0; j < cnt; j++ {
+				r := rcpts.rcpts[base+j] // copy; the cached chunk stays pristine
+				r.TxHash = b.Txs[j].Hash()
+				if logs != nil {
+					r.Logs = logs.logs[base+j]
+				}
+				b.Receipts[j] = &r
+			}
+		}
+		base += cnt
+		b.Seal()
+		seg.Blocks[i] = b
+	}
+
+	if cols.want(ColFlashbots) {
+		fv, err := cl.load(ColFlashbots, func(ci ColumnInfo) (any, error) { return decodeFlashbotsCol(dir, ci) })
+		if err != nil {
+			return nil, err
+		}
+		seg.FBBlocks = fv.(*colFBData).recs
+	}
+	if cols.want(ColObserved) {
+		ov, err := cl.load(ColObserved, func(ci ColumnInfo) (any, error) { return decodeObservedCol(dir, ci, ColObserved) })
+		if err != nil {
+			return nil, err
+		}
+		seg.Observed = ov.(*colObsData).recs
+		for i := range si.ObservedV {
+			name := fmt.Sprintf("%s_v%d", ColObserved, i+1)
+			ev, err := cl.load(name, func(ci ColumnInfo) (any, error) { return decodeObservedCol(dir, ci, name) })
+			if err != nil {
+				return nil, err
+			}
+			seg.ObservedV = append(seg.ObservedV, ev.(*colObsData).recs)
+		}
+	}
+	return seg, nil
+}
+
+// readObservedV3 reads one segment's observation columns only — the
+// pre-slice path, which needs every vantage's captures but none of the
+// block data.
+func readObservedV3(dir string, si SegmentInfo, opt ReadOptions, rsp *obs.Span) (primary []p2p.ObservedTx, extra [][]p2p.ObservedTx, err error) {
+	cc, _ := opt.Cache.(ChunkCache)
+	cl := &chunkLoader{dir: dir, si: si, opt: opt, cc: cc, rsp: rsp}
+	defer cl.end()
+	ov, err := cl.load(ColObserved, func(ci ColumnInfo) (any, error) { return decodeObservedCol(dir, ci, ColObserved) })
+	if err != nil {
+		return nil, nil, err
+	}
+	primary = ov.(*colObsData).recs
+	for i := range si.ObservedV {
+		name := fmt.Sprintf("%s_v%d", ColObserved, i+1)
+		ev, err := cl.load(name, func(ci ColumnInfo) (any, error) { return decodeObservedCol(dir, ci, name) })
+		if err != nil {
+			return nil, nil, err
+		}
+		extra = append(extra, ev.(*colObsData).recs)
+	}
+	return primary, extra, nil
+}
+
+// readBlockV3 restores a single block from a v3 segment. The zone maps
+// pick exactly the chunks whose block range holds the target, so the
+// flashbots, observed and price chunks are never touched, and a chunk
+// whose zone excludes the block is skipped without decoding.
+func readBlockV3(dir string, si SegmentInfo, number uint64) (*types.Block, error) {
+	inZone := func(name string) (ColumnInfo, bool, error) {
+		ci, err := findColumn(si, name)
+		if err != nil {
+			return ColumnInfo{}, false, err
+		}
+		return ci, ci.File.Count > 0 && ci.MinBlock <= number && number <= ci.MaxBlock, nil
+	}
+	hci, ok, err := inZone(ColHeaders)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("archive: block %d missing from segment %s", number, si.Label)
+	}
+	hd, err := decodeHeadersCol(dir, hci)
+	if err != nil {
+		return nil, err
+	}
+	idx := -1
+	base := 0
+	for i, n := range hd.numbers {
+		if n == number {
+			idx = i
+			break
+		}
+		base += hd.txCounts[i]
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("archive: block %d missing from segment %s", number, si.Label)
+	}
+	b := &types.Block{Header: types.Header{
+		Number:     hd.numbers[idx],
+		ParentHash: hd.parents[idx],
+		Time:       time.Unix(0, hd.times[idx]).UTC(),
+		Miner:      hd.miners[idx],
+		BaseFee:    hd.baseFees[idx],
+		GasLimit:   hd.gasLimits[idx],
+		GasUsed:    hd.gasUseds[idx],
+	}}
+	cnt := hd.txCounts[idx]
+	if cnt > 0 {
+		tci, ok, err := inZone(ColTxs)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			txs, err := decodeTxsCol(dir, tci)
+			if err != nil {
+				return nil, err
+			}
+			if base+cnt > len(txs.txs) {
+				return nil, fmt.Errorf("archive: segment %s tx counts overrun the tx column", si.Label)
+			}
+			b.Txs = txs.txs[base : base+cnt : base+cnt]
+		}
+		rci, ok, err := inZone(ColReceipts)
+		if err != nil {
+			return nil, err
+		}
+		if ok && len(b.Txs) == cnt {
+			rcpts, err := decodeReceiptsCol(dir, rci)
+			if err != nil {
+				return nil, err
+			}
+			var logs *colLogsData
+			if lci, lok, err := inZone(ColLogs); err != nil {
+				return nil, err
+			} else if lok {
+				if logs, err = decodeLogsCol(dir, lci); err != nil {
+					return nil, err
+				}
+			}
+			if base+cnt > len(rcpts.rcpts) {
+				return nil, fmt.Errorf("archive: segment %s receipt rows overrun the receipt column", si.Label)
+			}
+			b.Receipts = make([]*types.Receipt, cnt)
+			for j := 0; j < cnt; j++ {
+				r := rcpts.rcpts[base+j]
+				r.TxHash = b.Txs[j].Hash()
+				if logs != nil && base+j < len(logs.logs) {
+					r.Logs = logs.logs[base+j]
+				}
+				b.Receipts[j] = &r
+			}
+		}
+	}
+	b.Seal()
+	return b, nil
+}

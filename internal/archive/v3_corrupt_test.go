@@ -1,0 +1,206 @@
+package archive_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mevscope/internal/archive"
+	"mevscope/internal/dataset"
+)
+
+// The v3 refusal matrix: every way a column chunk or its manifest record
+// can rot — truncation, flipped dictionary bytes, a stale codec version,
+// foreign magic, a cross-linked column file, a zone map that disagrees
+// with the payload it summarizes — must surface as an error from Read,
+// never as a silently wrong dataset. The zone maps steer chunk skipping,
+// so zone/payload drift in particular would corrupt query results
+// without tripping any checksum.
+func TestArchiveV3RefusesCorruption(t *testing.T) {
+	s := world(t)
+	ds := dataset.FromSim(s)
+
+	// write lays down a pristine v3 archive for one subtest to break.
+	write := func(t *testing.T) (string, *archive.Manifest) {
+		t.Helper()
+		dir := t.TempDir()
+		man, err := archive.WriteFormat(dir, ds, nil, archive.FormatV3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, man
+	}
+
+	// column finds the first non-empty chunk of the named column.
+	column := func(t *testing.T, man *archive.Manifest, name string) archive.ColumnInfo {
+		t.Helper()
+		for _, seg := range man.Segments {
+			for _, ci := range seg.Columns {
+				if ci.Name == name && ci.File.Count > 0 {
+					return ci
+				}
+			}
+		}
+		t.Fatalf("archive has no non-empty %q chunk", name)
+		return archive.ColumnInfo{}
+	}
+
+	// tamper rewrites a chunk file in place through fn.
+	tamper := func(t *testing.T, dir string, ci archive.ColumnInfo, fn func([]byte) []byte) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(ci.File.Name))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, fn(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// rewriteManifest round-trips manifest.json through fn, so a subtest
+	// can drift a zone map or cross-link a chunk record while every file
+	// on disk stays bit-perfect.
+	rewriteManifest := func(t *testing.T, dir string, fn func(*archive.Manifest)) {
+		t.Helper()
+		path := filepath.Join(dir, archive.ManifestName)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var man archive.Manifest
+		if err := json.Unmarshal(raw, &man); err != nil {
+			t.Fatal(err)
+		}
+		fn(&man)
+		out, err := json.Marshal(&man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// mutateColumn applies fn to the manifest record rewriteManifest
+	// loaded that matches the given chunk.
+	mutateColumn := func(man *archive.Manifest, ci archive.ColumnInfo, fn func(*archive.ColumnInfo)) {
+		for i := range man.Segments {
+			for j := range man.Segments[i].Columns {
+				if man.Segments[i].Columns[j].File.Name == ci.File.Name {
+					fn(&man.Segments[i].Columns[j])
+					return
+				}
+			}
+		}
+	}
+
+	refuse := func(t *testing.T, dir, want string) {
+		t.Helper()
+		_, _, err := archive.Read(dir)
+		if err == nil {
+			t.Fatal("corrupted v3 archive read succeeded")
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("refusal error = %v; want mention of %q", err, want)
+		}
+	}
+
+	t.Run("truncated chunk", func(t *testing.T) {
+		dir, man := write(t)
+		tamper(t, dir, column(t, man, archive.ColHeaders), func(raw []byte) []byte {
+			return raw[:len(raw)*2/3]
+		})
+		refuse(t, dir, "archive:")
+	})
+
+	t.Run("bit-flipped dictionary", func(t *testing.T) {
+		dir, man := write(t)
+		ci := column(t, man, archive.ColTxs)
+		tamper(t, dir, ci, func(raw []byte) []byte {
+			// Past the plain chunk header and the gzip header: deflate
+			// data whose first bytes encode the address dictionary.
+			raw[6+len(archive.ColTxs)+16] ^= 0x10
+			return raw
+		})
+		refuse(t, dir, "archive:")
+	})
+
+	t.Run("stale codec version byte", func(t *testing.T) {
+		dir, man := write(t)
+		tamper(t, dir, column(t, man, archive.ColFlashbots), func(raw []byte) []byte {
+			raw[4] = 0x02
+			return raw
+		})
+		refuse(t, dir, "unsupported chunk codec version")
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		dir, man := write(t)
+		tamper(t, dir, column(t, man, archive.ColLogs), func(raw []byte) []byte {
+			copy(raw, "XCOL")
+			return raw
+		})
+		refuse(t, dir, "not a v3 column chunk")
+	})
+
+	t.Run("cross-linked column file", func(t *testing.T) {
+		// The manifest's headers record pointed at the (intact, checksum-
+		// clean) txs chunk: the embedded column name is the only guard.
+		dir, man := write(t)
+		hdr := column(t, man, archive.ColHeaders)
+		txs := column(t, man, archive.ColTxs)
+		rewriteManifest(t, dir, func(m *archive.Manifest) {
+			mutateColumn(m, hdr, func(ci *archive.ColumnInfo) { ci.File = txs.File })
+		})
+		refuse(t, dir, `holds column "txs"`)
+	})
+
+	t.Run("zone map block disagreement", func(t *testing.T) {
+		dir, man := write(t)
+		hdr := column(t, man, archive.ColHeaders)
+		rewriteManifest(t, dir, func(m *archive.Manifest) {
+			mutateColumn(m, hdr, func(ci *archive.ColumnInfo) { ci.MinBlock++ })
+		})
+		refuse(t, dir, "zone map disagrees with payload")
+	})
+
+	t.Run("zone map gas disagreement", func(t *testing.T) {
+		dir, man := write(t)
+		txs := column(t, man, archive.ColTxs)
+		rewriteManifest(t, dir, func(m *archive.Manifest) {
+			mutateColumn(m, txs, func(ci *archive.ColumnInfo) { ci.MaxGas++ })
+		})
+		refuse(t, dir, "zone map disagrees with payload")
+	})
+
+	t.Run("zone map month disagreement", func(t *testing.T) {
+		dir, man := write(t)
+		hdr := column(t, man, archive.ColHeaders)
+		rewriteManifest(t, dir, func(m *archive.Manifest) {
+			mutateColumn(m, hdr, func(ci *archive.ColumnInfo) { ci.Month++ })
+		})
+		refuse(t, dir, "disagrees with segment")
+	})
+
+	t.Run("projection skips the corrupt chunk", func(t *testing.T) {
+		// The flip side of refusal: a projected read never decodes the
+		// columns it skips, so corruption there is invisible to it while
+		// the full restore still refuses.
+		dir, man := write(t)
+		tamper(t, dir, column(t, man, archive.ColTxs), func(raw []byte) []byte {
+			raw[len(raw)/2] ^= 0x40
+			return raw
+		})
+		first, last := man.Window()
+		_, _, err := archive.ReadRangeWith(dir, first, last, archive.ReadOptions{
+			Columns: []string{archive.ColHeaders, archive.ColFlashbots},
+		})
+		if err != nil {
+			t.Errorf("projected read decoded the corrupt txs chunk: %v", err)
+		}
+		refuse(t, dir, "archive:")
+	})
+}

@@ -5,6 +5,7 @@
 package measure
 
 import (
+	"fmt"
 	"sort"
 
 	"mevscope/internal/chain"
@@ -540,53 +541,129 @@ func Build(in Inputs, inf *privinfer.Inferrer) *Report {
 	return accumulate(in, true).Report(in, inf)
 }
 
-// buildWith assembles the report from precomputed chain aggregates.
-// Artifact builders are independent read-only passes over the inputs, so
-// they fan out across the worker pool; each writes a distinct Report
-// field, which keeps the assembly deterministic.
-func buildWith(in Inputs, acc *Accumulator, inf *privinfer.Inferrer) *Report {
+// builderSpec declares one report artifact: its span label, the archive
+// columns a column-projected build of it needs (nil = the full dataset),
+// whether it needs the §6 inferrer, and the builder itself. Builders are
+// independent read-only passes over the inputs; each writes a distinct
+// Report field, which keeps the fan-out assembly deterministic.
+type builderSpec struct {
+	name string
+	// cols names the archive columns (internal/archive column names) the
+	// builder reads. The projectable artifacts touch only block headers
+	// and the Flashbots API records; everything else walks transactions,
+	// receipts or the observation capture and needs a complete dataset.
+	cols     []string
+	needsInf bool
+	run      func(in Inputs, acc *Accumulator, inf *privinfer.Inferrer, r *Report)
+}
+
+// headerCols is the projection the header-and-relay artifacts share:
+// "headers" and "flashbots" name archive columns (archive.ColHeaders,
+// archive.ColFlashbots — spelled out here so measure does not import the
+// storage layer).
+var headerCols = []string{"headers", "flashbots"}
+
+var builderSpecs = []builderSpec{
+	{"table1", nil, false, func(in Inputs, _ *Accumulator, _ *privinfer.Inferrer, r *Report) { r.Table1 = BuildTable1(in) }},
+	{"fig3", headerCols, false, func(in Inputs, acc *Accumulator, _ *privinfer.Inferrer, r *Report) { r.Fig3 = figure3(in, acc) }},
+	{"fig4", headerCols, false, func(in Inputs, acc *Accumulator, _ *privinfer.Inferrer, r *Report) { r.Fig4 = figure4(in, acc) }},
+	{"fig5", headerCols, false, func(in Inputs, _ *Accumulator, _ *privinfer.Inferrer, r *Report) { r.Fig5 = BuildFigure5(in) }},
+	{"fig6", nil, false, func(in Inputs, acc *Accumulator, _ *privinfer.Inferrer, r *Report) { r.Fig6 = figure6(in, acc) }},
+	{"fig7", nil, false, func(in Inputs, _ *Accumulator, _ *privinfer.Inferrer, r *Report) { r.Fig7 = BuildFigure7(in) }},
+	{"fig8", nil, false, func(in Inputs, acc *Accumulator, _ *privinfer.Inferrer, r *Report) {
+		r.Fig8 = figure8(in, acc.minerSet)
+	}},
+	{"bundles", headerCols, false, func(in Inputs, _ *Accumulator, _ *privinfer.Inferrer, r *Report) { r.Bundles = BuildBundleStats(in) }},
+	{"negatives", nil, false, func(in Inputs, _ *Accumulator, _ *privinfer.Inferrer, r *Report) {
+		r.Negatives = BuildNegativeProfits(in)
+	}},
+	{"damage", nil, false, func(in Inputs, _ *Accumulator, _ *privinfer.Inferrer, r *Report) { r.Damage = BuildVictimDamage(in) }},
+	{"concentration", headerCols, false, func(in Inputs, _ *Accumulator, _ *privinfer.Inferrer, r *Report) {
+		r.Concentration = BuildConcentration(in)
+	}},
+	{"vantages", nil, false, func(in Inputs, _ *Accumulator, _ *privinfer.Inferrer, r *Report) {
+		r.VantageSensitivity = BuildVantageSensitivity(in)
+	}},
+	{"fig9", nil, true, func(in Inputs, _ *Accumulator, inf *privinfer.Inferrer, r *Report) {
+		f9 := BuildFigure9(in, inf)
+		r.Fig9 = &f9
+	}},
+	{"mevsplit", nil, true, func(in Inputs, _ *Accumulator, inf *privinfer.Inferrer, r *Report) {
+		split := inf.SplitAll(in.Detect)
+		r.MEVSplit = &split
+	}},
+	{"privatelinks", nil, true, func(in Inputs, _ *Accumulator, inf *privinfer.Inferrer, r *Report) {
+		r.PrivateLinks = inf.LinkPrivateSandwiches(in.Detect.Sandwiches)
+	}},
+}
+
+// ProjectionColumns returns the archive columns a projected build of the
+// named artifact needs, or nil when the artifact requires a complete
+// dataset (or is unknown). Callers pass the result to
+// archive.ReadOptions.Columns so a cold build decodes only those columns.
+func ProjectionColumns(artifact string) []string {
+	for i := range builderSpecs {
+		if builderSpecs[i].name == artifact && builderSpecs[i].cols != nil {
+			return append([]string(nil), builderSpecs[i].cols...)
+		}
+	}
+	return nil
+}
+
+// runBuilders fans the given specs across the worker pool under a
+// StageBuild span, one StageArtifact child per builder.
+func runBuilders(in Inputs, acc *Accumulator, inf *privinfer.Inferrer, specs []builderSpec) *Report {
 	sp := in.Span.Child(obs.StageBuild)
 	defer sp.End()
 	r := &Report{}
-	type builder struct {
-		name string
-		fn   func()
-	}
-	builders := []builder{
-		{"table1", func() { r.Table1 = BuildTable1(in) }},
-		{"fig3", func() { r.Fig3 = figure3(in, acc) }},
-		{"fig4", func() { r.Fig4 = figure4(in, acc) }},
-		{"fig5", func() { r.Fig5 = BuildFigure5(in) }},
-		{"fig6", func() { r.Fig6 = figure6(in, acc) }},
-		{"fig7", func() { r.Fig7 = BuildFigure7(in) }},
-		{"fig8", func() { r.Fig8 = figure8(in, acc.minerSet) }},
-		{"bundles", func() { r.Bundles = BuildBundleStats(in) }},
-		{"negatives", func() { r.Negatives = BuildNegativeProfits(in) }},
-		{"damage", func() { r.Damage = BuildVictimDamage(in) }},
-		{"concentration", func() { r.Concentration = BuildConcentration(in) }},
-		{"vantages", func() { r.VantageSensitivity = BuildVantageSensitivity(in) }},
-	}
-	if inf != nil {
-		builders = append(builders,
-			builder{"fig9", func() {
-				f9 := BuildFigure9(in, inf)
-				r.Fig9 = &f9
-			}},
-			builder{"mevsplit", func() {
-				split := inf.SplitAll(in.Detect)
-				r.MEVSplit = &split
-			}},
-			builder{"privatelinks", func() { r.PrivateLinks = inf.LinkPrivateSandwiches(in.Detect.Sandwiches) }},
-		)
-	}
-	parallel.MapSpan(sp, len(builders), in.workers(), func(i int) struct{} {
+	parallel.MapSpan(sp, len(specs), in.workers(), func(i int) struct{} {
 		bsp := sp.Child(obs.StageArtifact)
-		bsp.SetLabel(builders[i].name)
-		builders[i].fn()
+		bsp.SetLabel(specs[i].name)
+		specs[i].run(in, acc, inf, r)
 		bsp.End()
 		return struct{}{}
 	})
 	return r
+}
+
+// buildWith assembles the full report from precomputed chain aggregates.
+func buildWith(in Inputs, acc *Accumulator, inf *privinfer.Inferrer) *Report {
+	specs := make([]builderSpec, 0, len(builderSpecs))
+	for _, spec := range builderSpecs {
+		if spec.needsInf && inf == nil {
+			continue
+		}
+		specs = append(specs, spec)
+	}
+	return runBuilders(in, acc, inf, specs)
+}
+
+// BuildProjection builds only the named artifacts into an otherwise-zero
+// Report. Every requested artifact must be projectable (ProjectionColumns
+// non-nil); the inputs need only the columns the artifacts declare, so
+// callers feed it a column-projected dataset restore. The artifact values
+// it does build are identical to a full Build's.
+func BuildProjection(in Inputs, artifacts []string) (*Report, error) {
+	var specs []builderSpec
+	for _, name := range artifacts {
+		found := false
+		for _, spec := range builderSpecs {
+			if spec.name != name {
+				continue
+			}
+			if spec.cols == nil {
+				return nil, fmt.Errorf("measure: artifact %q is not projectable", name)
+			}
+			specs = append(specs, spec)
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("measure: unknown artifact %q", name)
+		}
+	}
+	acc := accumulate(in, false)
+	return runBuilders(in, acc, nil, specs), nil
 }
 
 // ---------------------------------------------------------------------------

@@ -49,6 +49,12 @@ type Dataset struct {
 	Prices *prices.Series
 	// WETH anchors the detectors' buy/sell direction.
 	WETH types.Address
+	// Projection, when non-empty, lists the archive columns this dataset
+	// was restored with (sorted) — a column-projected read populated only
+	// those fields, so full-pipeline analyses must refuse it and
+	// projection-aware builders must check their columns are covered.
+	// Empty means a complete dataset.
+	Projection []string
 }
 
 // FromSim extracts the measurement dataset from a completed (or still

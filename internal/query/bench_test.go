@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"mevscope"
 	"mevscope/internal/query"
 )
 
@@ -42,9 +43,9 @@ func benchColdReport(b *testing.B, dir string) {
 }
 
 // BenchmarkServeColdReport is the cold query benchmark against a v2
-// archive — the default a new `mevscope archive` produces.
+// archive — the month-granular frame encoding.
 func BenchmarkServeColdReport(b *testing.B) {
-	dir, _ := testArchives(b)
+	dir, _, _ := testArchives(b)
 	benchColdReport(b, dir)
 }
 
@@ -52,8 +53,38 @@ func BenchmarkServeColdReport(b *testing.B) {
 // world in the legacy v1 encoding: the regression baseline for the v2
 // restore path.
 func BenchmarkServeColdReportV1(b *testing.B) {
-	_, dir := testArchives(b)
+	_, dir, _ := testArchives(b)
 	benchColdReport(b, dir)
+}
+
+// BenchmarkServeColdReportV3 is the same cold query against the same
+// world as column chunks — the default a new `mevscope archive`
+// produces.
+func BenchmarkServeColdReportV3(b *testing.B) {
+	_, _, dir := testArchives(b)
+	benchColdReport(b, dir)
+}
+
+// BenchmarkServeColdArtifactProjected measures the projected cold serve:
+// a header-level artifact against a v3 archive decodes only the headers
+// and flashbots chunks, so this is the number the projection path is
+// judged by against BenchmarkServeColdReportV3.
+func BenchmarkServeColdArtifactProjected(b *testing.B) {
+	_, _, dir := testArchives(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, err := query.New(query.Config{
+			Archive: dir, Analyze: analyzeReal,
+			AnalyzeProjection: mevscope.AnalyzeDatasetProjection, Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		benchGet(b, srv, "/v1/artifact/fig3?format=json")
+	}
 }
 
 // BenchmarkServeCachedReport measures the repeated full-report request:

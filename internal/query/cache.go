@@ -24,6 +24,10 @@ type Key struct {
 	Scenario string
 	Live     bool
 	Height   uint64
+	// Projection names the single artifact a column-projected build
+	// covers ("" = a full report). A projected report is sparse, so it
+	// must never be cached under — or served from — the full-report key.
+	Projection string
 }
 
 // CacheStats is a point-in-time view of the cache's effectiveness.
@@ -120,10 +124,13 @@ func (c *reportCache) stats() CacheStats {
 	}
 }
 
-// segKey identifies one decoded month segment of one archive.
+// segKey identifies one cached decode of one archive: a whole decoded
+// month segment (column "", the v1/v2 granularity) or a single v3 column
+// chunk.
 type segKey struct {
 	archive string
 	month   types.Month
+	column  string
 }
 
 // SegmentCacheStats is a point-in-time view of the segment LRU: entry
@@ -138,15 +145,19 @@ type SegmentCacheStats struct {
 }
 
 // segmentCache is the second cache level, under the report LRU: a
-// concurrency-safe LRU of decoded archive segments keyed by (archive,
-// month). A report-cache miss re-runs the measurement pipeline, but
-// overlapping month ranges of the same archive hit here for the months
-// they share, so the disk is read and the JSON decoded at most once per
-// month however the query ranges slice the window. Decoded segments are
-// immutable (blocks sealed, hashes cached), so one entry is assembled
-// into any number of concurrent datasets without copying.
+// concurrency-safe LRU of decoded archive data keyed by (archive, month,
+// column). For v1/v2 archives the unit is a whole decoded month segment
+// (column ""); for v3 archives it is a single decoded column chunk, so a
+// projected read warms exactly the chunks it touched and a later full
+// read (or a different projection) reuses them. A report-cache miss
+// re-runs the measurement pipeline, but overlapping month ranges of the
+// same archive hit here for the decodes they share. Cached values are
+// immutable (blocks sealed, hashes cached, column data never mutated
+// after decode), so one entry is assembled into any number of concurrent
+// datasets without copying. Every entry carries the on-disk bytes it
+// stands in for, surfaced in the stats.
 //
-// It implements archive.SegmentCache.
+// It implements archive.SegmentCache and archive.ChunkCache.
 type segmentCache struct {
 	mu        sync.Mutex
 	cap       int
@@ -158,14 +169,15 @@ type segmentCache struct {
 	evictions int64
 }
 
-// segEntry is one LRU element.
+// segEntry is one LRU element. val is a *dataset.Segment for column ""
+// and the archive decoder's opaque column representation otherwise.
 type segEntry struct {
 	key   segKey
-	seg   *dataset.Segment
+	val   any
 	bytes int64
 }
 
-// newSegmentCache creates an LRU holding up to capacity decoded segments
+// newSegmentCache creates an LRU holding up to capacity decoded entries
 // (minimum 1).
 func newSegmentCache(capacity int) *segmentCache {
 	if capacity < 1 {
@@ -174,34 +186,33 @@ func newSegmentCache(capacity int) *segmentCache {
 	return &segmentCache{cap: capacity, ll: list.New(), items: make(map[segKey]*list.Element)}
 }
 
-// Get returns the cached segment and promotes it to most-recently-used.
-func (c *segmentCache) Get(dir string, m types.Month) (*dataset.Segment, bool) {
+// get returns the cached value and promotes it to most-recently-used.
+func (c *segmentCache) get(k segKey) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[segKey{dir, m}]
+	el, ok := c.items[k]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*segEntry).seg, true
+	return el.Value.(*segEntry).val, true
 }
 
-// Add inserts (or refreshes) a decoded segment, evicting the
+// put inserts (or refreshes) a decoded value, evicting the
 // least-recently-used entries beyond capacity.
-func (c *segmentCache) Add(dir string, m types.Month, seg *dataset.Segment, bytes int64) {
+func (c *segmentCache) put(k segKey, val any, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	k := segKey{dir, m}
 	if el, ok := c.items[k]; ok {
 		e := el.Value.(*segEntry)
 		c.bytes += bytes - e.bytes
-		e.seg, e.bytes = seg, bytes
+		e.val, e.bytes = val, bytes
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[k] = c.ll.PushFront(&segEntry{key: k, seg: seg, bytes: bytes})
+	c.items[k] = c.ll.PushFront(&segEntry{key: k, val: val, bytes: bytes})
 	c.bytes += bytes
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
@@ -211,6 +222,31 @@ func (c *segmentCache) Add(dir string, m types.Month, seg *dataset.Segment, byte
 		c.bytes -= e.bytes
 		c.evictions++
 	}
+}
+
+// Get returns the cached month segment (archive.SegmentCache).
+func (c *segmentCache) Get(dir string, m types.Month) (*dataset.Segment, bool) {
+	v, ok := c.get(segKey{dir, m, ""})
+	if !ok {
+		return nil, false
+	}
+	return v.(*dataset.Segment), true
+}
+
+// Add caches a decoded month segment (archive.SegmentCache).
+func (c *segmentCache) Add(dir string, m types.Month, seg *dataset.Segment, bytes int64) {
+	c.put(segKey{dir, m, ""}, seg, bytes)
+}
+
+// GetChunk returns the cached decode of one v3 column chunk
+// (archive.ChunkCache).
+func (c *segmentCache) GetChunk(dir string, m types.Month, col string) (any, bool) {
+	return c.get(segKey{dir, m, col})
+}
+
+// AddChunk caches a decoded v3 column chunk (archive.ChunkCache).
+func (c *segmentCache) AddChunk(dir string, m types.Month, col string, v any, bytes int64) {
+	c.put(segKey{dir, m, col}, v, bytes)
 }
 
 // stats snapshots the counters.

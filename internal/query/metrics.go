@@ -131,7 +131,7 @@ func (h *Histogram) buckets() [histBuckets + 1]int64 {
 // path outside the API maps to "other" so the metric label set is
 // bounded no matter what clients probe.
 var endpointLabels = []string{
-	"/v1/artifacts", "/v1/artifact", "/v1/report", "/v1/manifest", "/v1/cache", "/metrics", "/debug/pprof", "other",
+	"/v1/artifacts", "/v1/artifact", "/v1/report", "/v1/manifest", "/v1/block", "/v1/cache", "/metrics", "/debug/pprof", "other",
 }
 
 // endpointLabel classifies one request path.
@@ -143,7 +143,7 @@ func endpointLabel(path string) string {
 		return "/debug/pprof"
 	}
 	switch path {
-	case "/v1/artifacts", "/v1/report", "/v1/manifest", "/v1/cache", "/metrics":
+	case "/v1/artifacts", "/v1/report", "/v1/manifest", "/v1/block", "/v1/cache", "/metrics":
 		return path
 	}
 	return "other"

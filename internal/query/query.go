@@ -23,6 +23,7 @@
 //	GET /v1/artifact/{name}?format=json|csv|text&months=2021-03..2021-06&view=union|quorum:K|vantage:N
 //	GET /v1/report?format=text|json&months=…&view=…
 //	GET /v1/manifest
+//	GET /v1/block?number=N
 //	GET /v1/cache
 //	GET /metrics?format=prometheus|json
 //
@@ -77,6 +78,13 @@ import (
 // mevscope.AnalyzeDatasetTraced; tests substitute counters and stubs.
 type AnalyzeFunc func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error)
 
+// ProjectionFunc builds only the named projectable artifacts from a
+// column-projected dataset restore (archive.ReadOptions.Columns).
+// `mevscope serve` wires it to mevscope.AnalyzeDatasetProjection; when
+// set, single-artifact queries for projectable artifacts decode only the
+// columns the artifact declares instead of restoring the full slice.
+type ProjectionFunc func(ds *dataset.Dataset, workers int, artifacts []string, sp *obs.Span) (*measure.Report, error)
+
 // Live describes a live source (a streaming follower). Height keys the
 // cache and runs on every live request, so it must be cheap; Snapshot
 // builds the full report and runs only on a cache miss, returning the
@@ -99,15 +107,21 @@ type Config struct {
 	Archive string
 	// Analyze runs the measurement pipeline over a restored dataset.
 	Analyze AnalyzeFunc
+	// AnalyzeProjection, when set, builds projectable artifacts from a
+	// column-projected restore. Optional: without it every artifact query
+	// restores and analyzes the full month slice.
+	AnalyzeProjection ProjectionFunc
 	// Workers sizes the analysis worker pool (passed through to Analyze
 	// and to the parallel segment decode).
 	Workers int
 	// CacheSize bounds the report LRU; 0 selects 16 entries.
 	CacheSize int
 	// SegmentCacheSize bounds the second-level LRU of decoded archive
-	// segments; 0 selects 64 entries. Overlapping month ranges share the
-	// segments they both touch through this cache, so a cold report build
-	// re-reads only the months no earlier query decoded.
+	// data; 0 selects 256 entries. The unit is one decoded month segment
+	// for v1/v2 archives and one decoded column chunk for v3 (several
+	// entries per month — hence the larger default). Overlapping month
+	// ranges share the decodes they both touch through this cache, so a
+	// cold report build re-reads only what no earlier query decoded.
 	SegmentCacheSize int
 	// DisableMetrics turns off request accounting and the /metrics
 	// endpoint (which then 404s). Metrics are on by default: recording is
@@ -152,7 +166,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.CacheSize = 16
 	}
 	if cfg.SegmentCacheSize == 0 {
-		cfg.SegmentCacheSize = 64
+		cfg.SegmentCacheSize = 256
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -168,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/manifest", s.handleManifest)
+	mux.HandleFunc("/v1/block", s.handleBlock)
 	mux.HandleFunc("/v1/cache", s.handleCache)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -392,7 +407,28 @@ func (s *Server) report(key Key) (rep *measure.Report, err error) {
 			return rep, nil
 		}
 	}
+	return s.runBuild(key, build)
+}
 
+// reportProjected resolves one projectable artifact of an archive key:
+// the already-cached full report when the LRU has it (free and complete),
+// else a column-projected build cached under its own projection key — so
+// a sparse report never masquerades as a full one.
+func (s *Server) reportProjected(key Key, artifact string) (*measure.Report, error) {
+	if rep, ok := s.cache.peek(key); ok {
+		return rep, nil
+	}
+	pkey := key
+	pkey.Projection = artifact
+	return s.runBuild(pkey, func(Key) (*measure.Report, error) {
+		return s.analyzeProjection(key, artifact)
+	})
+}
+
+// runBuild resolves a key through the cache and the in-flight dedup:
+// cache hit, wait on a concurrent build of the same key, or build (then
+// cache).
+func (s *Server) runBuild(key Key, build func(Key) (*measure.Report, error)) (rep *measure.Report, err error) {
 	if rep, ok := s.cache.get(key); ok {
 		return rep, nil
 	}
@@ -454,6 +490,34 @@ func (s *Server) analyze(key Key) (*measure.Report, error) {
 	}
 	ds.View = key.View
 	rep, err := s.cfg.Analyze(ds, s.cfg.Workers, sp)
+	if err == nil {
+		sp.End()
+		s.metrics.observeTrace(tr)
+	}
+	return rep, err
+}
+
+// analyzeProjection is the projected cold path: restore only the columns
+// the artifact declares (on a v3 archive the other column chunks are
+// never read, let alone decoded) and build just that artifact. The
+// column chunks it decodes warm the same cache full restores use.
+func (s *Server) analyzeProjection(key Key, artifact string) (*measure.Report, error) {
+	var tr *obs.Trace
+	if s.metrics != nil {
+		tr = obs.New("build")
+	}
+	sp := tr.Root()
+	ds, _, err := archive.ReadRangeWith(key.Archive, key.From, key.To,
+		archive.ReadOptions{
+			Workers: s.cfg.Workers,
+			Cache:   s.segs,
+			Span:    sp,
+			Columns: measure.ProjectionColumns(artifact),
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.cfg.AnalyzeProjection(ds, s.cfg.Workers, []string{artifact}, sp)
 	if err == nil {
 		sp.End()
 		s.metrics.observeTrace(tr)
@@ -612,7 +676,12 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	if notModified(w, r, etag) {
 		return
 	}
-	rep, err := s.report(key)
+	var rep *measure.Report
+	if s.cfg.AnalyzeProjection != nil && !key.Live && measure.ProjectionColumns(name) != nil {
+		rep, err = s.reportProjected(key, name)
+	} else {
+		rep, err = s.report(key)
+	}
 	if err != nil {
 		fail(w, err)
 		return
@@ -693,6 +762,47 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, man)
+}
+
+// handleBlock serves one block by number as JSON — a point lookup that
+// reuses the server's cached manifest (archive.ReadBlockFrom), so a hot
+// loop of block queries parses the manifest once, not once per request.
+// On a v3 archive the lookup decodes only the column chunks whose zone
+// maps contain the block.
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	man, err := s.manifest()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	numStr := r.URL.Query().Get("number")
+	if numStr == "" {
+		fail(w, errBadRequest("query: missing number parameter"))
+		return
+	}
+	n, err := strconv.ParseUint(numStr, 10, 64)
+	if err != nil {
+		fail(w, errBadRequest("query: bad block number %q", numStr))
+		return
+	}
+	held := false
+	for i := range man.Segments {
+		if seg := &man.Segments[i]; seg.FirstBlock <= n && n <= seg.LastBlock {
+			held = true
+			break
+		}
+	}
+	if !held {
+		fail(w, &httpError{http.StatusNotFound,
+			fmt.Sprintf("query: no archived segment holds block %d", n)})
+		return
+	}
+	b, err := archive.ReadBlockFrom(s.cfg.Archive, man, n)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, b)
 }
 
 // handleCache serves both cache levels' hit/miss counters: the report

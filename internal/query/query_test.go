@@ -41,15 +41,17 @@ func TestMain(m *testing.M) {
 }
 
 // testArchive simulates a small full-window world (the observation
-// window opens, so every artifact has rows) and archives it in both
-// formats: v2 (what the server normally fronts) and v1 (the legacy
-// baseline the cold-query benchmark compares against).
+// window opens, so every artifact has rows) and archives it in every
+// format: v2 (the month-granular baseline most tests front — its cache
+// counts are exact months), v1 (the legacy baseline the cold-query
+// benchmark compares against) and v3 (column chunks, the projection and
+// chunk-cache tests).
 func testArchive(tb testing.TB) string {
-	dir, _ := testArchives(tb)
+	dir, _, _ := testArchives(tb)
 	return dir
 }
 
-func testArchives(tb testing.TB) (v2, v1 string) {
+func testArchives(tb testing.TB) (v2, v1, v3 string) {
 	tb.Helper()
 	archOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "mevscope-query-*")
@@ -81,12 +83,16 @@ func testArchives(tb testing.TB) (v2, v1 string) {
 			archErr = err
 			return
 		}
+		if _, err := archive.WriteFormat(dir+"/v3", ds, meta, archive.FormatV3); err != nil {
+			archErr = err
+			return
+		}
 		archDir = dir
 	})
 	if archErr != nil {
 		tb.Fatal(archErr)
 	}
-	return archDir + "/v2", archDir + "/v1"
+	return archDir + "/v2", archDir + "/v1", archDir + "/v3"
 }
 
 // analyzeReal adapts the full measurement pipeline to query.AnalyzeFunc.
@@ -543,5 +549,147 @@ func TestSegmentCacheEviction(t *testing.T) {
 	}
 	if _, got := get(t, srv2, "/v1/artifact/fig3?months=2021-01..2021-06"); got != want {
 		t.Error("report over a thrashing segment cache differs")
+	}
+}
+
+// TestBlockEndpoint: /v1/block serves single blocks straight off the
+// manifest's block index — no report build, no full restore — against
+// both the frame (v2) and column-chunk (v3) encodings, and turns
+// out-of-range or malformed numbers into 404/400, not 500.
+func TestBlockEndpoint(t *testing.T) {
+	v2Dir, _, v3Dir := testArchives(t)
+	for _, dir := range []string{v2Dir, v3Dir} {
+		man, err := archive.ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var calls atomic.Int64
+		srv, err := query.New(query.Config{
+			Archive: dir,
+			Analyze: func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
+				calls.Add(1)
+				return analyzeReal(ds, workers, sp)
+			},
+			Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := man.Segments[len(man.Segments)/2].FirstBlock
+		status, body := get(t, srv, fmt.Sprintf("/v1/block?number=%d", want))
+		if status != http.StatusOK {
+			t.Fatalf("block %d → %d: %s", want, status, body)
+		}
+		var got struct {
+			Header struct{ Number uint64 }
+		}
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Header.Number != want {
+			t.Errorf("asked for block %d, got %d", want, got.Header.Number)
+		}
+		if calls.Load() != 0 {
+			t.Errorf("block lookup ran the analysis pipeline %d times", calls.Load())
+		}
+		if status, _ := get(t, srv, fmt.Sprintf("/v1/block?number=%d", man.Head+1)); status != http.StatusNotFound {
+			t.Errorf("past-head block → %d, want 404", status)
+		}
+		if status, _ := get(t, srv, "/v1/block?number=bogus"); status != http.StatusBadRequest {
+			t.Errorf("malformed block number → %d, want 400", status)
+		}
+		if status, _ := get(t, srv, "/v1/block"); status != http.StatusBadRequest {
+			t.Errorf("missing block number → %d, want 400", status)
+		}
+	}
+}
+
+// TestProjectedArtifactMatchesFull: with the projection hook installed,
+// a projectable artifact over a v3 archive is built from a column
+// projection — the full pipeline never runs — and its response body is
+// byte-identical to the same artifact served off a full report build.
+func TestProjectedArtifactMatchesFull(t *testing.T) {
+	_, _, v3Dir := testArchives(t)
+	var fullCalls, projCalls atomic.Int64
+	full, err := query.New(query.Config{Archive: v3Dir, Analyze: analyzeReal, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := query.New(query.Config{
+		Archive: v3Dir,
+		Analyze: func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Report, error) {
+			fullCalls.Add(1)
+			return analyzeReal(ds, workers, sp)
+		},
+		AnalyzeProjection: func(ds *dataset.Dataset, workers int, artifacts []string, sp *obs.Span) (*measure.Report, error) {
+			projCalls.Add(1)
+			if len(ds.Projection) == 0 {
+				t.Error("projection build got a non-projected dataset")
+			}
+			return mevscope.AnalyzeDatasetProjection(ds, workers, artifacts, sp)
+		},
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range []string{
+		"/v1/artifact/fig3?format=json",
+		"/v1/artifact/bundles?format=csv",
+		"/v1/artifact/concentration?format=text&from=2021-01&to=2021-06",
+	} {
+		fullStatus, fullBody := get(t, full, url)
+		projStatus, projBody := get(t, proj, url)
+		if fullStatus != http.StatusOK || projStatus != http.StatusOK {
+			t.Fatalf("%s → full %d, projected %d", url, fullStatus, projStatus)
+		}
+		if fullBody != projBody {
+			t.Errorf("%s: projected body differs from full build", url)
+		}
+	}
+	if fullCalls.Load() != 0 {
+		t.Errorf("projected server ran the full pipeline %d times", fullCalls.Load())
+	}
+	if projCalls.Load() == 0 {
+		t.Error("projection hook never ran")
+	}
+	// A non-projectable artifact falls back to the full pipeline.
+	if status, _ := get(t, proj, "/v1/artifact/fig6?format=json"); status != http.StatusOK {
+		t.Fatalf("non-projectable artifact → %d", status)
+	}
+	if fullCalls.Load() != 1 {
+		t.Errorf("non-projectable artifact ran the full pipeline %d times, want 1", fullCalls.Load())
+	}
+	// Repeats are report-cache hits, not rebuilds.
+	before := projCalls.Load()
+	get(t, proj, "/v1/artifact/fig3?format=json")
+	if projCalls.Load() != before {
+		t.Error("repeated projected artifact rebuilt instead of hitting the cache")
+	}
+}
+
+// TestChunkCacheGranularV3: fronting a v3 archive, the decode cache
+// holds individual column chunks — more entries than the archive has
+// months — so a projected read and a later full read share the chunks
+// they overlap on.
+func TestChunkCacheGranularV3(t *testing.T) {
+	_, _, v3Dir := testArchives(t)
+	srv, err := query.New(query.Config{Archive: v3Dir, Analyze: analyzeReal, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, body := get(t, srv, "/v1/report?format=text"); status != http.StatusOK {
+		t.Fatalf("report → %d: %s", status, body)
+	}
+	man, err := archive.ReadManifest(v3Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.SegmentCacheStats()
+	if st.Size <= len(man.Segments) {
+		t.Errorf("v3 decode cache holds %d entries for %d segments; want chunk granularity", st.Size, len(man.Segments))
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("chunk cache accounts %d bytes", st.Bytes)
 	}
 }

@@ -139,8 +139,29 @@ func TestFollowerFeedValidation(t *testing.T) {
 // OnMonthEnd (the `mevscope archive -live` path) must produce an archive
 // file-for-file identical to batch-archiving the finished dataset — same
 // checksums, same manifest shape — and restoring it must reproduce the
-// batch report byte for byte.
+// batch report byte for byte. Runs per format: the column encoders must
+// be as deterministic segment-at-a-time as the frame encoder is.
 func TestStreamedArchiveMatchesBatch(t *testing.T) {
+	for _, format := range []archive.Format{archive.FormatV2, archive.FormatV3} {
+		t.Run(format.String(), func(t *testing.T) { streamedMatchesBatch(t, format) })
+	}
+}
+
+// segmentFiles flattens one segment's data-file records: the legacy
+// trio for v1/v2 manifests, the column chunks for v3.
+func segmentFiles(si archive.SegmentInfo) []archive.FileInfo {
+	if len(si.Columns) > 0 {
+		files := make([]archive.FileInfo, 0, len(si.Columns))
+		for _, ci := range si.Columns {
+			files = append(files, ci.File)
+		}
+		return files
+	}
+	files := []archive.FileInfo{si.Blocks, si.Flashbots, si.Observed}
+	return append(files, si.ObservedV...)
+}
+
+func streamedMatchesBatch(t *testing.T, format archive.Format) {
 	cfg := sim.DefaultConfig(23)
 	cfg.BlocksPerMonth = 25
 	liveDir, batchDir := t.TempDir(), t.TempDir()
@@ -152,7 +173,7 @@ func TestStreamedArchiveMatchesBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err = archive.NewStreamWriter(liveDir, s.Chain.Timeline, s.World.WETH, archive.FormatV2, map[string]string{"seed": "23"})
+	sw, err = archive.NewStreamWriter(liveDir, s.Chain.Timeline, s.World.WETH, format, map[string]string{"seed": "23"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +204,7 @@ func TestStreamedArchiveMatchesBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	batchMan, err := archive.WriteFormat(batchDir, dataset.FromSim(s), map[string]string{"seed": "23"}, archive.FormatV2)
+	batchMan, err := archive.WriteFormat(batchDir, dataset.FromSim(s), map[string]string{"seed": "23"}, format)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,13 +212,14 @@ func TestStreamedArchiveMatchesBatch(t *testing.T) {
 		t.Fatalf("streamed archive has %d segments, batch has %d", len(liveMan.Segments), len(batchMan.Segments))
 	}
 	for i, live := range liveMan.Segments {
-		batch := batchMan.Segments[i]
-		for _, pair := range [][2]archive.FileInfo{
-			{live.Blocks, batch.Blocks}, {live.Flashbots, batch.Flashbots}, {live.Observed, batch.Observed},
-		} {
-			if pair[0].SHA256 != pair[1].SHA256 || pair[0].Count != pair[1].Count {
+		liveFiles, batchFiles := segmentFiles(live), segmentFiles(batchMan.Segments[i])
+		if len(liveFiles) != len(batchFiles) {
+			t.Fatalf("segment %s: streamed %d data files, batch %d", live.Label, len(liveFiles), len(batchFiles))
+		}
+		for j, lf := range liveFiles {
+			if bf := batchFiles[j]; lf.SHA256 != bf.SHA256 || lf.Count != bf.Count {
 				t.Errorf("segment %s: streamed %s differs from batch (%d vs %d docs)",
-					live.Label, pair[0].Name, pair[0].Count, pair[1].Count)
+					live.Label, lf.Name, lf.Count, bf.Count)
 			}
 		}
 	}

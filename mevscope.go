@@ -52,6 +52,7 @@ package mevscope
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"mevscope/internal/core/detect"
 	"mevscope/internal/core/measure"
@@ -246,6 +247,10 @@ func AnalyzeDatasetTraced(ds *dataset.Dataset, workers int, sp *obs.Span) (*Stud
 	if ds.Chain == nil || ds.Chain.Head() == nil {
 		return nil, fmt.Errorf("mevscope: dataset has no blocks")
 	}
+	if len(ds.Projection) > 0 {
+		return nil, fmt.Errorf("mevscope: dataset is a column projection (%s); the full pipeline needs a complete restore",
+			strings.Join(ds.Projection, ","))
+	}
 	workers = parallel.Workers(workers)
 	c := ds.Chain
 
@@ -279,6 +284,46 @@ func AnalyzeDatasetTraced(ds *dataset.Dataset, workers int, sp *obs.Span) (*Stud
 	}
 	report := measure.Build(in, inf)
 	return &Study{Detected: res, Profits: profits, Inferrer: inf, Report: report}, nil
+}
+
+// AnalyzeDatasetProjection builds only the named report artifacts from a
+// dataset, skipping detection, profit resolution and inference entirely.
+// Every artifact must be projectable (measure.ProjectionColumns non-nil),
+// and when ds carries a column projection (restored via
+// archive.ReadOptions.Columns) it must cover the columns the artifacts
+// declare. The artifact values are identical to a full AnalyzeDataset's;
+// the rest of the returned report is zero.
+func AnalyzeDatasetProjection(ds *dataset.Dataset, workers int, artifacts []string, sp *obs.Span) (*measure.Report, error) {
+	if ds.Chain == nil || ds.Chain.Head() == nil {
+		return nil, fmt.Errorf("mevscope: dataset has no blocks")
+	}
+	if len(ds.Projection) > 0 {
+		have := map[string]bool{}
+		for _, c := range ds.Projection {
+			have[c] = true
+		}
+		for _, a := range artifacts {
+			cols := measure.ProjectionColumns(a)
+			if cols == nil {
+				return nil, fmt.Errorf("mevscope: artifact %q is not projectable", a)
+			}
+			for _, c := range cols {
+				if !have[c] {
+					return nil, fmt.Errorf("mevscope: artifact %q needs column %q, dataset projection has only %s",
+						a, c, strings.Join(ds.Projection, ","))
+				}
+			}
+		}
+	}
+	in := measure.Inputs{
+		Chain:    ds.Chain,
+		FBBlocks: ds.FBBlocks,
+		FBSet:    ds.FBSet,
+		WETH:     ds.WETH,
+		Workers:  parallel.Workers(workers),
+		Span:     sp,
+	}
+	return measure.BuildProjection(in, artifacts)
 }
 
 // WriteReport renders every reproduced artifact as text, in paper order.

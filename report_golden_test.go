@@ -50,10 +50,10 @@ func TestWriteReportGolden(t *testing.T) {
 
 // TestArchiveRoundTripGolden pins the archive formats against the same
 // golden file the in-memory pipeline is pinned to: the golden world
-// archived as v1 and as v2 must each restore to a dataset whose report
+// archived as v1, v2 and v3 must each restore to a dataset whose report
 // is byte-for-byte the golden report. This is the acceptance gate for
-// the v2 encoding — compression, framing and the block index are
-// invisible to every measured value.
+// every encoding — compression, framing, the block index, per-column
+// codecs and zone maps are invisible to every measured value.
 func TestArchiveRoundTripGolden(t *testing.T) {
 	want, err := os.ReadFile("testdata/report_seed1234_bpm100.golden")
 	if err != nil {
@@ -64,7 +64,7 @@ func TestArchiveRoundTripGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds := dataset.FromSim(st.Sim)
-	for _, format := range []archive.Format{archive.FormatV1, archive.FormatV2} {
+	for _, format := range []archive.Format{archive.FormatV1, archive.FormatV2, archive.FormatV3} {
 		dir := t.TempDir()
 		if _, err := archive.WriteFormat(dir, ds, nil, format); err != nil {
 			t.Fatalf("%s: %v", format, err)
