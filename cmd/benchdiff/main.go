@@ -1,0 +1,179 @@
+// Command benchdiff compares two benchjson artifacts (BENCH_*.json) and
+// fails when a named metric regressed beyond the threshold — the gate
+// that turns CI's benchmark artifacts from passive history into a
+// ratchet. The baseline comes from the previous run's artifact (CI
+// restores it via actions/cache); the current file is this run's.
+//
+// Usage:
+//
+//	benchdiff -baseline old/BENCH_serve.json -current BENCH_serve.json \
+//	          [-metrics ns/op,allocs/op] [-max-regress 25]
+//
+// Every benchmark present in both files is compared on each named
+// metric (all lower-is-better); a change above -max-regress percent is
+// a regression and the exit status is 1 after the full table prints.
+// Benchmarks present on only one side are noted and skipped — new
+// benchmarks must not fail the gate, and retired ones must not block
+// it. A missing baseline file is not an error: the first run of a
+// trajectory has nothing to compare against, prints a note, and exits 0
+// so the cache seeds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result mirrors benchjson's per-benchmark shape (the fields benchdiff
+// reads).
+type Result struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Artifact mirrors benchjson's file shape.
+type Artifact struct {
+	Results []Result `json:"results"`
+}
+
+// Delta is one (benchmark, metric) comparison.
+type Delta struct {
+	Name, Metric   string
+	Base, Cur, Pct float64
+	Regressed      bool
+}
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "", "previous run's benchjson artifact")
+		current    = flag.String("current", "", "this run's benchjson artifact")
+		metrics    = flag.String("metrics", "ns/op,allocs/op", "comma-separated metric units to compare (lower is better)")
+		maxRegress = flag.Float64("max-regress", 25, "failing regression threshold, percent")
+	)
+	flag.Parse()
+	if *current == "" || *baseline == "" {
+		fatal(fmt.Errorf("need -baseline FILE and -current FILE"))
+	}
+	if _, err := os.Stat(*baseline); os.IsNotExist(err) {
+		fmt.Printf("benchdiff: no baseline at %s — first run of this trajectory, nothing to compare\n", *baseline)
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fatal(err)
+	}
+	deltas, skipped := compare(base, cur, splitMetrics(*metrics), *maxRegress)
+	report(os.Stdout, deltas, skipped)
+	for _, d := range deltas {
+		if d.Regressed {
+			fatal(fmt.Errorf("%d metric(s) regressed more than %g%%", countRegressed(deltas), *maxRegress))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+func load(path string) (*Artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{}
+	if err := json.Unmarshal(raw, a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(a.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return a, nil
+}
+
+func splitMetrics(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// compare pairs up benchmarks by name and measures each named metric.
+// Benchmarks on only one side land in skipped; so does a metric a
+// benchmark lacks on either side (not every bench reports allocs).
+func compare(base, cur *Artifact, metrics []string, maxRegress float64) (deltas []Delta, skipped []string) {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	curNames := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		curNames[r.Name] = true
+		b, ok := baseBy[r.Name]
+		if !ok {
+			skipped = append(skipped, r.Name+" (no baseline)")
+			continue
+		}
+		for _, m := range metrics {
+			bv, bok := b.Metrics[m]
+			cv, cok := r.Metrics[m]
+			if !bok || !cok || bv <= 0 {
+				continue
+			}
+			pct := (cv - bv) / bv * 100
+			deltas = append(deltas, Delta{
+				Name: r.Name, Metric: m,
+				Base: bv, Cur: cv, Pct: pct,
+				Regressed: pct > maxRegress,
+			})
+		}
+	}
+	for name := range baseBy {
+		if !curNames[name] {
+			skipped = append(skipped, name+" (retired)")
+		}
+	}
+	sort.Strings(skipped)
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Name != deltas[j].Name {
+			return deltas[i].Name < deltas[j].Name
+		}
+		return deltas[i].Metric < deltas[j].Metric
+	})
+	return deltas, skipped
+}
+
+func countRegressed(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+func report(w *os.File, deltas []Delta, skipped []string) {
+	for _, d := range deltas {
+		mark := "  "
+		if d.Regressed {
+			mark = "✗ "
+		}
+		fmt.Fprintf(w, "%s%-50s %-10s %14.1f → %14.1f  %+7.1f%%\n",
+			mark, d.Name, d.Metric, d.Base, d.Cur, d.Pct)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(w, "  skipped: %s\n", s)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	raw, err := json.Marshal(Artifact{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompare: the pairing and threshold rules — a >25% slowdown on a
+// named metric regresses, improvements and small wobbles do not, and
+// benchmarks present on one side only are skipped, never failed.
+func TestCompare(t *testing.T) {
+	base := &Artifact{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkRetired", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	cur := &Artifact{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 130, "allocs/op": 10}}, // +30% → regression
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 500}},                  // improvement
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 1}},                  // no baseline
+	}}
+	deltas, skipped := compare(base, cur, []string{"ns/op", "allocs/op"}, 25)
+
+	if n := countRegressed(deltas); n != 1 {
+		t.Fatalf("regressed = %d, want 1 (only BenchmarkA ns/op): %+v", n, deltas)
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Name+"/"+d.Metric] = d
+	}
+	if d := byKey["BenchmarkA/ns/op"]; !d.Regressed || d.Pct < 29 || d.Pct > 31 {
+		t.Errorf("BenchmarkA ns/op = %+v, want ~+30%% regressed", d)
+	}
+	if d := byKey["BenchmarkA/allocs/op"]; d.Regressed {
+		t.Errorf("flat allocs/op flagged as regression: %+v", d)
+	}
+	if d := byKey["BenchmarkB/ns/op"]; d.Regressed || d.Pct > -49 {
+		t.Errorf("2x improvement misread: %+v", d)
+	}
+	// BenchmarkB has no allocs/op on either side → no delta row for it.
+	if _, ok := byKey["BenchmarkB/allocs/op"]; ok {
+		t.Error("compared a metric the benchmark never reported")
+	}
+	joined := strings.Join(skipped, "; ")
+	if !strings.Contains(joined, "BenchmarkNew (no baseline)") || !strings.Contains(joined, "BenchmarkRetired (retired)") {
+		t.Errorf("skipped = %v, want the new and retired benchmarks noted", skipped)
+	}
+}
+
+// TestCompareBoundary pins the threshold edge: exactly at -max-regress
+// passes, just over fails.
+func TestCompareBoundary(t *testing.T) {
+	base := &Artifact{Results: []Result{{Name: "BenchmarkEdge", Metrics: map[string]float64{"ns/op": 100}}}}
+	at := &Artifact{Results: []Result{{Name: "BenchmarkEdge", Metrics: map[string]float64{"ns/op": 125}}}}
+	over := &Artifact{Results: []Result{{Name: "BenchmarkEdge", Metrics: map[string]float64{"ns/op": 126}}}}
+	if deltas, _ := compare(base, at, []string{"ns/op"}, 25); countRegressed(deltas) != 0 {
+		t.Errorf("+25.0%% exactly should pass: %+v", deltas)
+	}
+	if deltas, _ := compare(base, over, []string{"ns/op"}, 25); countRegressed(deltas) != 1 {
+		t.Errorf("+26%% should fail: %+v", deltas)
+	}
+}
+
+// TestLoad: a real benchjson-shaped file round-trips; junk and empty
+// files are refused.
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	good := writeArtifact(t, dir, "good.json", []Result{
+		{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 42, "B/op": 7}},
+	})
+	a, err := load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != 1 || a.Results[0].Metrics["ns/op"] != 42 {
+		t.Errorf("loaded %+v", a)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(empty); err == nil {
+		t.Error("load accepted an artifact with no results")
+	}
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(junk); err == nil {
+		t.Error("load accepted junk")
+	}
+}

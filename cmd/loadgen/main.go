@@ -9,8 +9,19 @@
 //
 //	loadgen -from DIR [-clients 1,64,1024] [-duration 2s]
 //	        [-mix artifact:6,report:2,artifacts:1,manifest:1] [-inm 0.5]
-//	        [-parallel W] [-out BENCH_load.json]
+//	        [-parallel W] [-out BENCH_load.json] [-require-partial-hits]
 //	loadgen -url http://127.0.0.1:8571 [...]
+//
+// Besides the fixed-URL kinds (artifact, projected, report, artifacts,
+// manifest, cache), two kinds resolve their URL set against the target's
+// /v1/manifest before the run: `sliding-window` walks overlapping
+// month-range report windows across the archive — every URL a distinct
+// report key, so the workload exercises the month-partial cache rather
+// than the report LRU — and `block` rotates point lookups across the
+// archived block range. The JSON output ends with the server's
+// partial-cache counters (from /v1/cache) when that level exists;
+// -require-partial-hits turns a zero hit count into a failing exit, CI's
+// "the sliding-window mix actually reused month partials" gate.
 //
 // Each clients level runs for -duration: a warmup pass first fetches
 // every URL the mix can produce (building the report once and capturing
@@ -30,6 +41,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -57,11 +70,12 @@ func main() {
 		url      = flag.String("url", "", "base URL of a running `mevscope serve` to load instead")
 		clients  = flag.String("clients", "1,64,1024", "comma-separated concurrency levels")
 		duration = flag.Duration("duration", 2*time.Second, "run length per concurrency level")
-		mix      = flag.String("mix", "artifact:6,report:2,artifacts:1,manifest:1", "weighted query mix (kind:weight,...); kinds: artifact, report, artifacts, manifest, cache")
+		mix      = flag.String("mix", "artifact:6,report:2,artifacts:1,manifest:1", "weighted query mix (kind:weight,...); kinds: artifact, projected, report, artifacts, manifest, cache, sliding-window, block")
 		inm      = flag.Float64("inm", 0.5, "fraction of requests sent with If-None-Match (conditional GETs)")
 		parallel = flag.Int("parallel", 0, "in-process analysis worker-pool size (0 = all cores)")
 		out      = flag.String("out", "", "JSON result file (default: stdout)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		reqHits  = flag.Bool("require-partial-hits", false, "fail unless the server's partial cache recorded at least one hit")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -72,7 +86,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	result, err := run(cfg)
+	result, err := run(&cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,6 +102,14 @@ func main() {
 	}
 	if bad := result.serverFailures(); bad > 0 {
 		fatal(fmt.Errorf("%d requests failed with 5xx or transport errors under load", bad))
+	}
+	if *reqHits {
+		if result.PartialCache == nil {
+			fatal(fmt.Errorf("-require-partial-hits: the target reports no partial-cache level"))
+		}
+		if result.PartialCache.Hits == 0 {
+			fatal(fmt.Errorf("-require-partial-hits: partial cache recorded zero hits (%d misses) — month partials were never reused", result.PartialCache.Misses))
+		}
 	}
 }
 
@@ -106,6 +128,10 @@ type config struct {
 	inm       float64
 	parallel  int
 	quiet     bool
+	// kindURLs is the per-run URL set behind each mix kind: the static
+	// mixKinds rotations plus whatever the dynamic kinds resolved from
+	// the target's manifest (see resolve).
+	kindURLs map[string][]string
 }
 
 // mixEntry is one weighted request kind.
@@ -126,10 +152,24 @@ var mixKinds = map[string][]string{
 		"/v1/artifact/fig9?format=json",
 		"/v1/artifact/bundles?format=csv",
 	},
+	// projected rotates the header-level artifacts a projection-wired
+	// server builds from a column-projected restore — the cheap cold path.
+	"projected": {
+		"/v1/artifact/fig4?format=json",
+		"/v1/artifact/fig5?format=json",
+		"/v1/artifact/concentration?format=json",
+	},
 	"report":    {"/v1/report?format=text"},
 	"artifacts": {"/v1/artifacts"},
 	"manifest":  {"/v1/manifest"},
 	"cache":     {"/v1/cache"},
+}
+
+// dynamicKinds name the mix kinds whose URL sets depend on the target's
+// archive and are resolved from /v1/manifest at run start.
+var dynamicKinds = map[string]bool{
+	"sliding-window": true,
+	"block":          true,
 }
 
 // parseConfig validates the flag combination.
@@ -151,10 +191,18 @@ func parseConfig(from, url, clients, mixSpec string, inm float64, duration time.
 	if duration <= 0 {
 		return config{}, fmt.Errorf("-duration must be positive (got %v)", duration)
 	}
+	// The static kinds are usable immediately; resolve() fills in the
+	// dynamic ones once a target exists to ask for the manifest.
+	kindURLs := make(map[string][]string, len(mix))
+	for _, e := range mix {
+		if !dynamicKinds[e.kind] {
+			kindURLs[e.kind] = mixKinds[e.kind]
+		}
+	}
 	return config{
 		from: from, url: strings.TrimRight(url, "/"), clients: levels,
 		duration: duration, mix: mix, mixSpec: mixSpec, inm: inm,
-		parallel: parallel, quiet: quiet,
+		parallel: parallel, quiet: quiet, kindURLs: kindURLs,
 	}, nil
 }
 
@@ -190,11 +238,15 @@ func parseMix(s string) ([]mixEntry, error) {
 		if !ok {
 			return nil, fmt.Errorf("bad mix entry %q (want kind:weight)", p)
 		}
-		if _, known := mixKinds[kind]; !known {
-			kinds := make([]string, 0, len(mixKinds))
+		if _, known := mixKinds[kind]; !known && !dynamicKinds[kind] {
+			kinds := make([]string, 0, len(mixKinds)+len(dynamicKinds))
 			for k := range mixKinds {
 				kinds = append(kinds, k)
 			}
+			for k := range dynamicKinds {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
 			return nil, fmt.Errorf("unknown mix kind %q (valid: %s)", kind, strings.Join(kinds, ", "))
 		}
 		w, err := strconv.Atoi(weightStr)
@@ -209,12 +261,80 @@ func parseMix(s string) ([]mixEntry, error) {
 	return out, nil
 }
 
+// resolve materializes the mix's URL sets, consulting the target's
+// manifest for the dynamic kinds: sliding-window becomes overlapping
+// month-range report windows stepping one month at a time (window width
+// one month short of the archive when the archive is small, capped at
+// six — so even a four-month test archive overlaps), and block becomes
+// sixteen point lookups spread across the archived block range.
+func (c *config) resolve(tgt target) error {
+	c.kindURLs = make(map[string][]string, len(c.mix))
+	needManifest := false
+	for _, e := range c.mix {
+		if dynamicKinds[e.kind] {
+			needManifest = true
+		} else {
+			c.kindURLs[e.kind] = mixKinds[e.kind]
+		}
+	}
+	if !needManifest {
+		return nil
+	}
+	raw, err := tgt.get("/v1/manifest")
+	if err != nil {
+		return fmt.Errorf("resolve mix: %w", err)
+	}
+	var man struct {
+		Segments []struct {
+			Label      string `json:"label"`
+			FirstBlock uint64 `json:"first_block"`
+			LastBlock  uint64 `json:"last_block"`
+		} `json:"segments"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return fmt.Errorf("resolve mix: decode manifest: %w", err)
+	}
+	if len(man.Segments) == 0 {
+		return fmt.Errorf("resolve mix: the manifest names no segments")
+	}
+	for _, e := range c.mix {
+		switch e.kind {
+		case "sliding-window":
+			n := len(man.Segments)
+			win := n - 1
+			if win > 6 {
+				win = 6
+			}
+			if win < 1 {
+				win = 1
+			}
+			var urls []string
+			for i := 0; i+win <= n; i++ {
+				urls = append(urls, fmt.Sprintf("/v1/report?format=text&months=%s..%s",
+					man.Segments[i].Label, man.Segments[i+win-1].Label))
+			}
+			c.kindURLs[e.kind] = urls
+		case "block":
+			first := man.Segments[0].FirstBlock
+			last := man.Segments[len(man.Segments)-1].LastBlock
+			const points = 16
+			var urls []string
+			for i := 0; i < points; i++ {
+				n := first + (last-first)*uint64(i)/(points-1)
+				urls = append(urls, fmt.Sprintf("/v1/block?number=%d", n))
+			}
+			c.kindURLs[e.kind] = urls
+		}
+	}
+	return nil
+}
+
 // urls returns every distinct URL the mix can produce (the warmup set).
 func (c config) urls() []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, e := range c.mix {
-		for _, u := range mixKinds[e.kind] {
+		for _, u := range c.kindURLs[e.kind] {
 			if !seen[u] {
 				seen[u] = true
 				out = append(out, u)
@@ -233,17 +353,20 @@ func (c config) pick(rng *rand.Rand) string {
 	n := rng.Intn(total)
 	for _, e := range c.mix {
 		if n < e.weight {
-			urls := mixKinds[e.kind]
+			urls := c.kindURLs[e.kind]
 			return urls[rng.Intn(len(urls))]
 		}
 		n -= e.weight
 	}
-	return mixKinds[c.mix[0].kind][0]
+	return c.kindURLs[c.mix[0].kind][0]
 }
 
 // target issues one request and reports what came back.
 type target interface {
 	do(path, ifNoneMatch string) (status int, etag string, bytes int64, err error)
+	// get fetches one path's body — the out-of-band channel for the
+	// manifest (mix resolution) and the cache counters (reporting).
+	get(path string) ([]byte, error)
 }
 
 // inprocTarget drives a query.Server directly — no sockets, no client
@@ -282,6 +405,36 @@ func (t *inprocTarget) do(path, inm string) (int, string, int64, error) {
 	return w.status, w.h.Get("ETag"), w.n, nil
 }
 
+// bodyWriter is the in-process ResponseWriter that keeps the body —
+// only the out-of-band get path uses it, never the hot loop.
+type bodyWriter struct {
+	h      http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *bodyWriter) Header() http.Header { return w.h }
+func (w *bodyWriter) WriteHeader(c int)   { w.status = c }
+func (w *bodyWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.buf.Write(p)
+}
+
+func (t *inprocTarget) get(path string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, "http://loadgen"+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	w := &bodyWriter{h: make(http.Header), status: http.StatusOK}
+	t.srv.ServeHTTP(w, req)
+	if w.status != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %s", path, w.status, w.buf.String())
+	}
+	return w.buf.Bytes(), nil
+}
+
 // remoteTarget drives a running server over HTTP.
 type remoteTarget struct {
 	base   string
@@ -303,6 +456,22 @@ func (t *remoteTarget) do(path, inm string) (int, string, int64, error) {
 	n, err := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, resp.Header.Get("ETag"), n, err
+}
+
+func (t *remoteTarget) get(path string) ([]byte, error) {
+	resp, err := t.client.Get(t.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, raw)
+	}
+	return raw, nil
 }
 
 // Level is one concurrency level's results.
@@ -327,12 +496,25 @@ type Level struct {
 	Errors              int64            `json:"errors"`
 }
 
+// PartialCacheSummary is the server's month-partial cache tally over
+// the whole run (warmup included — the sliding-window mix does most of
+// its partial reuse while the warmup walks the window set, after which
+// the report LRU absorbs repeats).
+type PartialCacheSummary struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
 // Output is the BENCH_load.json shape.
 type Output struct {
 	Target      string  `json:"target"`
 	Mix         string  `json:"mix"`
 	INMFraction float64 `json:"if_none_match_fraction"`
 	Levels      []Level `json:"levels"`
+	// PartialCache is present only when the target serves a
+	// month-partial cache level (/v1/cache reports it).
+	PartialCache *PartialCacheSummary `json:"partial_cache,omitempty"`
 }
 
 // serverFailures counts what should fail CI: 5xx responses and
@@ -345,9 +527,9 @@ func (o *Output) serverFailures() int64 {
 	return n
 }
 
-// run executes the full sweep: build the target, warm it, then one
-// timed run per concurrency level.
-func run(cfg config) (*Output, error) {
+// run executes the full sweep: build the target, resolve the mix
+// against it, warm it, then one timed run per concurrency level.
+func run(cfg *config) (*Output, error) {
 	var tgt target
 	name := cfg.url
 	if cfg.from != "" {
@@ -361,6 +543,8 @@ func run(cfg config) (*Output, error) {
 				}
 				return st.Report, nil
 			},
+			AnalyzeProjection: mevscope.AnalyzeDatasetProjection,
+			AnalyzePartial:    mevscope.AnalyzeDatasetPartial,
 		})
 		if err != nil {
 			return nil, err
@@ -375,6 +559,10 @@ func run(cfg config) (*Output, error) {
 				MaxIdleConnsPerHost: 4096,
 			},
 		}}
+	}
+
+	if err := cfg.resolve(tgt); err != nil {
+		return nil, err
 	}
 
 	// Warmup: one GET per distinct URL builds the report once and
@@ -399,14 +587,36 @@ func run(cfg config) (*Output, error) {
 		if !cfg.quiet {
 			fmt.Fprintf(os.Stderr, "loadgen: %d clients for %v...\n", n, cfg.duration)
 		}
-		lvl := runLevel(cfg, tgt, etags, n)
+		lvl := runLevel(*cfg, tgt, etags, n)
 		if !cfg.quiet {
 			fmt.Fprintf(os.Stderr, "loadgen: %d clients: %.0f qps, p50 %.2fms, p99 %.2fms, 304 ratio %.2f\n",
 				n, lvl.QPS, lvl.P50Ms, lvl.P99Ms, lvl.NotModifiedRatio)
 		}
 		out.Levels = append(out.Levels, lvl)
 	}
+	out.PartialCache = partialCacheSummary(tgt)
 	return out, nil
+}
+
+// partialCacheSummary reads the server's cumulative partial-cache
+// counters off /v1/cache; nil when the endpoint is unreachable or the
+// server has no partial level configured.
+func partialCacheSummary(tgt target) *PartialCacheSummary {
+	raw, err := tgt.get("/v1/cache")
+	if err != nil {
+		return nil
+	}
+	var view struct {
+		Partials *query.PartialCacheStats `json:"partials"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil || view.Partials == nil {
+		return nil
+	}
+	s := &PartialCacheSummary{Hits: view.Partials.Hits, Misses: view.Partials.Misses}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
 }
 
 // runLevel hammers the target with n concurrent clients for the

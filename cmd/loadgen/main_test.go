@@ -42,6 +42,9 @@ func TestParseConfig(t *testing.T) {
 			t.Errorf("parseConfig error %q does not mention %q", err, c.want)
 		}
 	}
+	if _, err := parseConfig("dir", "", "1", "sliding-window:3,block:1,projected:2", 0, time.Second, 0, true); err != nil {
+		t.Errorf("parseConfig rejected the dynamic kinds: %v", err)
+	}
 	cfg, err := parseConfig("dir", "", "1, 64 ,1024", "artifact:6,report:2", 0.5, time.Second, 0, true)
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +84,7 @@ func TestRunAgainstArchive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := run(cfg)
+	out, err := run(&cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,5 +118,54 @@ func TestRunAgainstArchive(t *testing.T) {
 	}
 	if last.NotModified == 0 {
 		t.Error("no 304s despite warm validators on every request")
+	}
+}
+
+// TestRunSlidingWindowMix drives the dynamic kinds end to end over a
+// four-month archive: sliding-window resolves to overlapping month
+// windows off the manifest, block resolves to archived point lookups,
+// projected exercises the column-projected artifact path — and the
+// overlap means the month-partial cache must record hits, which is
+// exactly what CI's -require-partial-hits gate asserts.
+func TestRunSlidingWindowMix(t *testing.T) {
+	dir := t.TempDir()
+	cfgSim, err := mevscope.Options{Seed: 5, BlocksPerMonth: 20, Months: 4}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(cfgSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := archive.Write(dir, dataset.FromSim(s), map[string]string{"scenario": "baseline"}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := parseConfig(dir, "", "2", "sliding-window:4,block:1,projected:1", 0, 300*time.Millisecond, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four months at window width three → two overlapping windows.
+	if got := len(cfg.kindURLs["sliding-window"]); got != 2 {
+		t.Errorf("sliding-window resolved %d windows (%v), want 2", got, cfg.kindURLs["sliding-window"])
+	}
+	if got := len(cfg.kindURLs["block"]); got != 16 {
+		t.Errorf("block resolved %d lookups, want 16", got)
+	}
+	if out.serverFailures() != 0 {
+		t.Fatalf("server failures under the sliding-window mix: %+v", out.Levels)
+	}
+	if out.PartialCache == nil {
+		t.Fatal("BENCH_load output carries no partial_cache block on a partial-wired server")
+	}
+	if out.PartialCache.Hits == 0 || out.PartialCache.HitRatio <= 0 {
+		t.Errorf("partial cache recorded no reuse across overlapping windows: %+v", out.PartialCache)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"mevscope/internal/types"
 )
@@ -301,6 +302,18 @@ func (r *colReader) done() error {
 	return nil
 }
 
+// Chunk-decode scratch pools. A projected v3 read decodes many small
+// chunk files, and a fresh 64 KiB bufio buffer pair plus a fresh gzip
+// inflater per chunk dominated its allocation profile — the readers are
+// fully resettable, so they recycle across chunks and across the
+// parallel segment-decode workers. Only the scratch recycles: the
+// decoded body and dictionaries are retained by the returned colReader
+// and must never enter a pool.
+var (
+	chunkBufPool  = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 1<<16) }}
+	chunkGzipPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+)
+
 // readChunk opens, verifies and fully decompresses one column chunk. The
 // SHA-256 is computed on the fly while the stream drains — one read
 // pass — and compared against the manifest before any row is released.
@@ -314,7 +327,9 @@ func readChunk(root string, fi FileInfo, wantCol string) (*colReader, error) {
 	defer f.Close()
 	h := sha256.New()
 	cr := &countingReader{r: io.TeeReader(f, h)}
-	br := bufio.NewReaderSize(cr, 1<<16)
+	br := chunkBufPool.Get().(*bufio.Reader)
+	br.Reset(cr)
+	defer chunkBufPool.Put(br)
 	var hdr [6]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("archive: %s is not a v3 column chunk", fi.Name)
@@ -325,18 +340,22 @@ func readChunk(root string, fi FileInfo, wantCol string) (*colReader, error) {
 	if hdr[4] != colCodecByte {
 		return nil, fmt.Errorf("archive: %s: unsupported chunk codec version %d (want %d)", fi.Name, hdr[4], colCodecByte)
 	}
-	nameBuf := make([]byte, int(hdr[5]))
+	var nameArr [255]byte
+	nameBuf := nameArr[:int(hdr[5])]
 	if _, err := io.ReadFull(br, nameBuf); err != nil {
 		return nil, fmt.Errorf("archive: %s: truncated column name", fi.Name)
 	}
 	if string(nameBuf) != wantCol {
 		return nil, fmt.Errorf("archive: %s holds column %q, manifest says %q", fi.Name, nameBuf, wantCol)
 	}
-	zr, err := gzip.NewReader(br)
-	if err != nil {
+	zr := chunkGzipPool.Get().(*gzip.Reader)
+	defer chunkGzipPool.Put(zr)
+	if err := zr.Reset(br); err != nil {
 		return nil, fmt.Errorf("archive: %s: %w", fi.Name, err)
 	}
-	zbr := bufio.NewReaderSize(zr, 1<<16)
+	zbr := chunkBufPool.Get().(*bufio.Reader)
+	zbr.Reset(zr)
+	defer chunkBufPool.Put(zbr)
 	r := &colReader{}
 	readDict := func(kind string) (int, error) {
 		n, err := binary.ReadUvarint(zbr)

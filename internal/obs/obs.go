@@ -50,6 +50,7 @@ const (
 	StageRotate    = "stream:rotate"   // follower month rotation
 	StageSnapshot  = "stream:snapshot" // follower report snapshot
 	StageRender    = "render"          // report rendering / encoding
+	StagePartial   = "analyze:partial" // one month partial (memoized or computed)
 )
 
 // MetricStages is the bounded set of stage names the query server
@@ -58,7 +59,7 @@ const (
 func MetricStages() []string {
 	return []string{
 		StageRestore, StageDecode, StageDetect, StageProfit,
-		StageInfer, StageAggregate, StageBuild,
+		StageInfer, StageAggregate, StageBuild, StagePartial,
 	}
 }
 

@@ -1,6 +1,7 @@
 package query_test
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"mevscope"
 	"mevscope/internal/query"
+	"mevscope/internal/types"
 )
 
 // The serve benchmarks behind CI's BENCH_serve.json artifact: cold
@@ -84,6 +86,94 @@ func BenchmarkServeColdArtifactProjected(b *testing.B) {
 		}
 		b.StartTimer()
 		benchGet(b, srv, "/v1/artifact/fig3?format=json")
+	}
+}
+
+// overlappingRangeURLs is the sliding-window query mix: 6-month report
+// windows stepping one month at a time across the whole archive. Every
+// URL is a distinct report key, so the report LRU never helps — the
+// workload is decided by how often each month is re-analyzed.
+func overlappingRangeURLs() []string {
+	const win = 6
+	var urls []string
+	for m := types.Month(0); m+win <= types.StudyMonths; m++ {
+		urls = append(urls, fmt.Sprintf("/v1/report?format=text&months=%s..%s", m.Label(), (m+win-1).Label()))
+	}
+	return urls
+}
+
+// benchColdOverlapping drives the sliding-window mix through a fresh
+// server per iteration. Each iteration first issues one full-range
+// warming request under a stopped timer — steady-state serving has the
+// segment LRU hot from prior traffic, and the warming request models
+// exactly that (on the partial path it also seals every month, the
+// analyze-each-month-once half of the memoization). The timed region
+// is the 18 sliding windows, every one a report key the server has
+// never seen: with the partial cache each window assembles cached
+// month partials; without it each window re-analyzes its whole range.
+func benchColdOverlapping(b *testing.B, partials bool) {
+	_, _, dir := testArchives(b)
+	urls := overlappingRangeURLs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := query.Config{Archive: dir, Analyze: analyzeReal, Workers: 1}
+		if partials {
+			cfg.AnalyzePartial = mevscope.AnalyzeDatasetPartial
+		}
+		srv, err := query.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchGet(b, srv, "/v1/report?format=text")
+		b.StartTimer()
+		for _, u := range urls {
+			benchGet(b, srv, u)
+		}
+	}
+}
+
+// BenchmarkServeColdOverlappingRanges is the month-partial memoization
+// headline number: the sliding-window mix over a cold server with the
+// partial cache on. The acceptance bar is ≥ 5× faster than the
+// ...Full baseline below.
+func BenchmarkServeColdOverlappingRanges(b *testing.B) { benchColdOverlapping(b, true) }
+
+// BenchmarkServeColdOverlappingRangesFull is the same mix on the legacy
+// path: every window re-analyzes its full range from scratch.
+func BenchmarkServeColdOverlappingRangesFull(b *testing.B) { benchColdOverlapping(b, false) }
+
+// BenchmarkServePartialAssemblyWarm measures pure assembly: every month
+// partial of a 12-month window is cached, and the report LRU is sized
+// to one entry while two windows alternate — so each request misses
+// the report cache and rebuilds the report from warm partials. This is
+// the steady-state cost of a never-seen range over a hot month set.
+func BenchmarkServePartialAssemblyWarm(b *testing.B) {
+	_, _, dir := testArchives(b)
+	srv, err := query.New(query.Config{
+		Archive: dir, Analyze: analyzeReal,
+		AnalyzePartial: mevscope.AnalyzeDatasetPartial,
+		Workers:        1, CacheSize: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := []string{
+		fmt.Sprintf("/v1/report?format=text&months=%s..%s", types.Month(0).Label(), types.Month(11).Label()),
+		fmt.Sprintf("/v1/report?format=text&months=%s..%s", types.Month(1).Label(), types.Month(12).Label()),
+	}
+	for _, u := range windows {
+		benchGet(b, srv, u) // warm the partial cache for months 0..12
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, srv, windows[i%2])
+	}
+	b.StopTimer()
+	if st := srv.PartialCacheStats(); st.Misses != 13 {
+		b.Fatalf("warm assembly benchmark rebuilt partials: %+v", st)
 	}
 }
 

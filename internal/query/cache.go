@@ -124,6 +124,128 @@ func (c *reportCache) stats() CacheStats {
 	}
 }
 
+// partialKey identifies one analyzed month partial: which archive,
+// which single month of it, which observation view the inference
+// classified against, which scenario produced it. It is the mid-level
+// cache key — finer than a report (one month, not a range), coarser
+// than a decoded chunk (analysis output, not storage).
+type partialKey struct {
+	archive  string
+	month    types.Month
+	view     string
+	scenario string
+}
+
+// PartialCacheStats is a point-in-time view of the partial LRU: entry
+// count, the byte budget and its current use, and the hit counters.
+type PartialCacheStats struct {
+	Size          int   `json:"size"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+	Bytes         int64 `json:"bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// partialCache is the third cache level, between the report LRU and the
+// decoded-segment LRU: a concurrency-safe, byte-accounted LRU of
+// analyzed month partials (measure.Partial). A range request that
+// misses the report LRU assembles its report from the partials of its
+// months, computing only the months not cached here — so overlapping,
+// sliding and adjacent ranges re-pay decoding at most (segment cache)
+// and analysis never, for the months they share. Partials are immutable
+// once sealed, so one entry feeds any number of concurrent merges
+// without copying. Eviction is by resident bytes (Partial.SizeBytes),
+// never below one entry.
+type partialCache struct {
+	mu        sync.Mutex
+	capBytes  int64
+	ll        *list.List
+	items     map[partialKey]*list.Element
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// partialEntry is one LRU element.
+type partialEntry struct {
+	key   partialKey
+	p     *measure.Partial
+	bytes int64
+}
+
+// newPartialCache creates a byte-bounded LRU (minimum one entry is
+// always retained, whatever its size).
+func newPartialCache(capBytes int64) *partialCache {
+	if capBytes < 1 {
+		capBytes = 1
+	}
+	return &partialCache{capBytes: capBytes, ll: list.New(), items: make(map[partialKey]*list.Element)}
+}
+
+// get returns the cached partial and promotes it to most-recently-used.
+func (c *partialCache) get(k partialKey) (*measure.Partial, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*partialEntry).p, true
+}
+
+// peek is get without the hit/miss accounting — the in-flight dedup's
+// re-check under the server lock.
+func (c *partialCache) peek(k partialKey) (*measure.Partial, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*partialEntry).p, true
+}
+
+// add inserts (or refreshes) a partial, evicting least-recently-used
+// entries until the byte budget holds (keeping at least one entry).
+func (c *partialCache) add(k partialKey, p *measure.Partial) {
+	size := p.SizeBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*partialEntry)
+		c.bytes += size - e.bytes
+		e.p, e.bytes = p, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&partialEntry{key: k, p: p, bytes: size})
+		c.bytes += size
+	}
+	for c.bytes > c.capBytes && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*partialEntry)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *partialCache) stats() PartialCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PartialCacheStats{
+		Size: c.ll.Len(), CapacityBytes: c.capBytes, Bytes: c.bytes,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}
+
 // segKey identifies one cached decode of one archive: a whole decoded
 // month segment (column "", the v1/v2 granularity) or a single v3 column
 // chunk.

@@ -288,8 +288,9 @@ type MetricsSnapshot struct {
 	Runtime   RuntimeMetrics             `json:"runtime"`
 	LiveLag   *uint64                    `json:"live_lag_blocks,omitempty"`
 	Caches    struct {
-		Reports  CacheStats        `json:"reports"`
-		Segments SegmentCacheStats `json:"segments"`
+		Reports  CacheStats         `json:"reports"`
+		Partials *PartialCacheStats `json:"partials,omitempty"`
+		Segments SegmentCacheStats  `json:"segments"`
 	} `json:"caches"`
 }
 
@@ -351,6 +352,7 @@ func (s *Server) MetricsSnapshot() (MetricsSnapshot, bool) {
 		out.LiveLag = &lag
 	}
 	out.Caches.Reports = s.cache.stats()
+	out.Caches.Partials = s.partialStatsPtr()
 	out.Caches.Segments = s.segs.stats()
 	return out, true
 }
@@ -517,10 +519,13 @@ func (s *Server) writePrometheus(w io.Writer) error {
 	}
 	rs := s.cache.stats()
 	ss := s.segs.stats()
-	caches := []cacheRow{
-		{"reports", rs.Hits, rs.Misses, rs.Evictions, rs.Size},
-		{"segments", ss.Hits, ss.Misses, ss.Evictions, ss.Size},
+	var ps PartialCacheStats
+	caches := []cacheRow{{"reports", rs.Hits, rs.Misses, rs.Evictions, rs.Size}}
+	if s.partials != nil {
+		ps = s.partials.stats()
+		caches = append(caches, cacheRow{"partials", ps.Hits, ps.Misses, ps.Evictions, ps.Size})
 	}
+	caches = append(caches, cacheRow{"segments", ss.Hits, ss.Misses, ss.Evictions, ss.Size})
 	if err := p("# HELP mevscope_cache_hits_total Cache hits by level.\n# TYPE mevscope_cache_hits_total counter\n"); err != nil {
 		return err
 	}
@@ -553,5 +558,13 @@ func (s *Server) writePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	return p("# HELP mevscope_cache_bytes Decoded bytes held by the segment cache.\n# TYPE mevscope_cache_bytes gauge\nmevscope_cache_bytes{cache=\"segments\"} %d\n", ss.Bytes)
+	if err := p("# HELP mevscope_cache_bytes Resident bytes held by the byte-accounted cache levels.\n# TYPE mevscope_cache_bytes gauge\n"); err != nil {
+		return err
+	}
+	if s.partials != nil {
+		if err := p("mevscope_cache_bytes{cache=\"partials\"} %d\n", ps.Bytes); err != nil {
+			return err
+		}
+	}
+	return p("mevscope_cache_bytes{cache=\"segments\"} %d\n", ss.Bytes)
 }

@@ -85,6 +85,13 @@ type AnalyzeFunc func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.
 // columns the artifact declares instead of restoring the full slice.
 type ProjectionFunc func(ds *dataset.Dataset, workers int, artifacts []string, sp *obs.Span) (*measure.Report, error)
 
+// PartialFunc analyzes one restored single-month dataset into a frozen,
+// mergeable month partial. `mevscope serve` wires it to
+// mevscope.AnalyzeDatasetPartial; when set, a report-cache miss is
+// served by merging per-month partials (computing only the uncached
+// months) instead of re-analyzing the whole range.
+type PartialFunc func(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Partial, error)
+
 // Live describes a live source (a streaming follower). Height keys the
 // cache and runs on every live request, so it must be cheap; Snapshot
 // builds the full report and runs only on a cache miss, returning the
@@ -111,6 +118,15 @@ type Config struct {
 	// column-projected restore. Optional: without it every artifact query
 	// restores and analyzes the full month slice.
 	AnalyzeProjection ProjectionFunc
+	// AnalyzePartial, when set, turns on the month-partial cache level:
+	// report-cache misses assemble their report from per-month partials,
+	// analyzing only the months no earlier range already analyzed.
+	// Optional: without it every report-cache miss re-analyzes its whole
+	// range.
+	AnalyzePartial PartialFunc
+	// PartialCacheBytes bounds the resident size of the partial LRU;
+	// 0 selects 256 MiB. Ignored without AnalyzePartial.
+	PartialCacheBytes int64
 	// Workers sizes the analysis worker pool (passed through to Analyze
 	// and to the parallel segment decode).
 	Workers int
@@ -137,16 +153,18 @@ type Config struct {
 // Server answers artifact queries over one archive (and optionally one
 // live source). It is an http.Handler; all state is concurrency-safe.
 type Server struct {
-	cfg     Config
-	cache   *reportCache
-	segs    *segmentCache
-	mux     *http.ServeMux
-	metrics *metrics // nil when Config.DisableMetrics
+	cfg      Config
+	cache    *reportCache
+	segs     *segmentCache
+	partials *partialCache // nil without Config.AnalyzePartial
+	mux      *http.ServeMux
+	metrics  *metrics // nil when Config.DisableMetrics
 
-	mu       sync.Mutex
-	man      *archive.Manifest // lazily loaded
-	live     *Live
-	inflight map[Key]*call
+	mu        sync.Mutex
+	man       *archive.Manifest // lazily loaded
+	live      *Live
+	inflight  map[Key]*call
+	pinflight map[partialKey]*pcall
 }
 
 // call deduplicates concurrent cache misses for one key: the first
@@ -154,6 +172,14 @@ type Server struct {
 type call struct {
 	done chan struct{}
 	rep  *measure.Report
+	err  error
+}
+
+// pcall deduplicates concurrent partial-cache misses for one month: the
+// first request analyzes the month, the rest wait for its partial.
+type pcall struct {
+	done chan struct{}
+	p    *measure.Partial
 	err  error
 }
 
@@ -173,6 +199,13 @@ func New(cfg Config) (*Server, error) {
 		cache:    newReportCache(cfg.CacheSize),
 		segs:     newSegmentCache(cfg.SegmentCacheSize),
 		inflight: make(map[Key]*call),
+	}
+	if cfg.AnalyzePartial != nil {
+		if s.cfg.PartialCacheBytes == 0 {
+			s.cfg.PartialCacheBytes = 256 << 20
+		}
+		s.partials = newPartialCache(s.cfg.PartialCacheBytes)
+		s.pinflight = make(map[partialKey]*pcall)
 	}
 	if !cfg.DisableMetrics {
 		s.metrics = newMetrics()
@@ -208,6 +241,15 @@ func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
 
 // SegmentCacheStats reports the second-level segment cache's counters.
 func (s *Server) SegmentCacheStats() SegmentCacheStats { return s.segs.stats() }
+
+// PartialCacheStats reports the month-partial cache's counters. Zero
+// when the server was configured without AnalyzePartial.
+func (s *Server) PartialCacheStats() PartialCacheStats {
+	if s.partials == nil {
+		return PartialCacheStats{}
+	}
+	return s.partials.stats()
+}
 
 // ServeHTTP dispatches to the /v1 API (and /metrics). GET and HEAD are
 // the only methods — bodies are buffered, so HEAD is the same handler
@@ -474,27 +516,130 @@ func (s *Server) runBuild(key Key, build func(Key) (*measure.Report, error)) (re
 // analyze is the cold path: restore the month slice — months another
 // range already decoded come from the segment cache, the rest from disk
 // in parallel — select the requested observation view, and run the
-// measurement pipeline over it. When metrics are on, the build runs
-// under a flight-recorder trace whose stage durations feed the
-// mevscope_stage_seconds histograms.
+// measurement pipeline over it. With AnalyzePartial configured, the
+// range is assembled from per-month partials instead: each month comes
+// out of the partial cache when an earlier range already analyzed it,
+// is analyzed once otherwise, and the partials merge into a report
+// byte-identical to the full-range analysis. When metrics are on, the
+// build runs under a flight-recorder trace whose stage durations feed
+// the mevscope_stage_seconds histograms.
 func (s *Server) analyze(key Key) (*measure.Report, error) {
 	var tr *obs.Trace
 	if s.metrics != nil {
 		tr = obs.New("build")
 	}
 	sp := tr.Root()
-	ds, _, err := archive.ReadRangeWith(key.Archive, key.From, key.To,
-		archive.ReadOptions{Workers: s.cfg.Workers, Cache: s.segs, Span: sp})
-	if err != nil {
-		return nil, err
+	var rep *measure.Report
+	var err error
+	if s.partials != nil {
+		rep, err = s.assembleFromPartials(key, sp)
+	} else {
+		var ds *dataset.Dataset
+		ds, _, err = archive.ReadRangeWith(key.Archive, key.From, key.To,
+			archive.ReadOptions{Workers: s.cfg.Workers, Cache: s.segs, Span: sp})
+		if err != nil {
+			return nil, err
+		}
+		ds.View = key.View
+		rep, err = s.cfg.Analyze(ds, s.cfg.Workers, sp)
 	}
-	ds.View = key.View
-	rep, err := s.cfg.Analyze(ds, s.cfg.Workers, sp)
 	if err == nil {
 		sp.End()
 		s.metrics.observeTrace(tr)
 	}
 	return rep, err
+}
+
+// assembleFromPartials builds a range report by merging the month
+// partials of every month the key covers, computing only the months the
+// partial cache does not hold. Months the archive has no segment for
+// are skipped (matching the month gaps a full-range restore would
+// surface as a restore error — MergePartials rejects the resulting
+// discontinuity the same way).
+func (s *Server) assembleFromPartials(key Key, sp *obs.Span) (*measure.Report, error) {
+	man, err := s.manifest()
+	if err != nil {
+		return nil, err
+	}
+	archived := make(map[types.Month]bool, len(man.Segments))
+	for _, seg := range man.Segments {
+		archived[seg.Month] = true
+	}
+	parts := make([]*measure.Partial, 0, int(key.To-key.From)+1)
+	for m := key.From; m <= key.To; m++ {
+		if !archived[m] {
+			continue
+		}
+		p, err := s.partial(key, m, sp)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return measure.MergePartials(parts, key.View, s.cfg.Workers, sp)
+}
+
+// partial resolves one month's partial: cache hit, wait on an in-flight
+// analysis of the same month, or analyze (then cache). Each month gets
+// an analyze:partial span labeled cached or computed, so a trace of an
+// assembled build shows exactly which months were memoized.
+func (s *Server) partial(key Key, m types.Month, sp *obs.Span) (p *measure.Partial, err error) {
+	pk := partialKey{archive: key.Archive, month: m, view: key.View, scenario: key.Scenario}
+	if p, ok := s.partials.get(pk); ok {
+		psp := sp.Child(obs.StagePartial)
+		psp.SetLabel(m.Label() + ":cached")
+		psp.End()
+		return p, nil
+	}
+	s.mu.Lock()
+	if c, ok := s.pinflight[pk]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.p, c.err
+	}
+	// Re-check under the lock, mirroring runBuild: a concurrent builder
+	// publishes and retires between our miss above and here.
+	if p, ok := s.partials.peek(pk); ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	c := &pcall{done: make(chan struct{})}
+	s.pinflight[pk] = c
+	s.mu.Unlock()
+
+	// Publish before retiring, in a defer, so a panicking analysis still
+	// releases the waiters (see runBuild).
+	defer func() {
+		if r := recover(); r != nil {
+			c.p, c.err = nil, fmt.Errorf("query: building month partial: panic: %v", r)
+			p, err = c.p, c.err
+		}
+		if c.err == nil && c.p != nil {
+			s.partials.add(pk, c.p)
+		}
+		s.mu.Lock()
+		delete(s.pinflight, pk)
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	c.p, c.err = s.buildPartial(pk, sp)
+	return c.p, c.err
+}
+
+// buildPartial is the partial cold path: a single-month restore (warmed
+// by and warming the shared segment cache) analyzed under the key's
+// view.
+func (s *Server) buildPartial(pk partialKey, sp *obs.Span) (*measure.Partial, error) {
+	psp := sp.Child(obs.StagePartial)
+	psp.SetLabel(pk.month.Label() + ":computed")
+	defer psp.End()
+	ds, _, err := archive.ReadRangeWith(pk.archive, pk.month, pk.month,
+		archive.ReadOptions{Workers: s.cfg.Workers, Cache: s.segs, Span: psp})
+	if err != nil {
+		return nil, err
+	}
+	ds.View = pk.view
+	return s.cfg.AnalyzePartial(ds, s.cfg.Workers, psp)
 }
 
 // analyzeProjection is the projected cold path: restore only the columns
@@ -805,11 +950,24 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, b)
 }
 
-// handleCache serves both cache levels' hit/miss counters: the report
-// LRU and the decoded-segment LRU beneath it.
+// handleCache serves every cache level's hit/miss counters: the report
+// LRU, the month-partial LRU (when configured) and the decoded-segment
+// LRU beneath them.
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
-		Reports  CacheStats        `json:"reports"`
-		Segments SegmentCacheStats `json:"segments"`
-	}{s.cache.stats(), s.segs.stats()})
+		Reports  CacheStats         `json:"reports"`
+		Partials *PartialCacheStats `json:"partials,omitempty"`
+		Segments SegmentCacheStats  `json:"segments"`
+	}{s.cache.stats(), s.partialStatsPtr(), s.segs.stats()})
+}
+
+// partialStatsPtr returns the partial cache's stats, or nil when the
+// level is not configured — /v1/cache then omits the field instead of
+// reporting an all-zero level that does not exist.
+func (s *Server) partialStatsPtr() *PartialCacheStats {
+	if s.partials == nil {
+		return nil
+	}
+	st := s.partials.stats()
+	return &st
 }

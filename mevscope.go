@@ -286,6 +286,58 @@ func AnalyzeDatasetTraced(ds *dataset.Dataset, workers int, sp *obs.Span) (*Stud
 	return &Study{Detected: res, Profits: profits, Inferrer: inf, Report: report}, nil
 }
 
+// AnalyzeDatasetPartial runs the measurement pipeline over a
+// single-month dataset and freezes the result as a measure.Partial —
+// the memoization unit of the query layer's partial cache. The dataset
+// must cover exactly one study month (an archive.ReadRange of [m, m]);
+// per the PR 3 cross-boundary rule its observation logs cover every
+// vantage up to the month's end, so the partial's inference verdicts
+// and coverage stats are exactly what a full-range analysis would
+// compute for that month. measure.MergePartials assembles contiguous
+// partials into a report byte-identical to AnalyzeDataset over the
+// same range.
+func AnalyzeDatasetPartial(ds *dataset.Dataset, workers int, sp *obs.Span) (*measure.Partial, error) {
+	if ds.Chain == nil || ds.Chain.Head() == nil {
+		return nil, fmt.Errorf("mevscope: dataset has no blocks")
+	}
+	if len(ds.Projection) > 0 {
+		return nil, fmt.Errorf("mevscope: dataset is a column projection (%s); the full pipeline needs a complete restore",
+			strings.Join(ds.Projection, ","))
+	}
+	workers = parallel.Workers(workers)
+	c := ds.Chain
+
+	res := detect.ScanParallelSpan(c, ds.WETH, c.Timeline.StartBlock, c.Head().Header.Number, workers, sp)
+	comp := profit.New(c, ds.Prices, ds.WETH, ds.FBSet)
+	profits := comp.ResolveAllParallelSpan(res, workers, sp)
+
+	in := measure.Inputs{
+		Chain:    c,
+		FBBlocks: ds.FBBlocks,
+		FBSet:    ds.FBSet,
+		Detect:   res,
+		Profits:  profits,
+		WETH:     ds.WETH,
+		Workers:  workers,
+		Vantages: ds.VantageList(),
+		View:     ds.View,
+		Span:     sp,
+	}
+	view, err := ds.ResolveView()
+	if err != nil {
+		return nil, err
+	}
+	var inf *privinfer.Inferrer
+	if view != nil {
+		in.Observer = view
+		winStart := c.Timeline.FirstBlockOfMonth(types.PrivateWindowStartMonth)
+		inf = privinfer.New(c, view, ds.FBSet, winStart, c.Head().Header.Number)
+		inf.Workers = workers
+		inf.Span = sp
+	}
+	return measure.NewPartial(in, inf)
+}
+
 // AnalyzeDatasetProjection builds only the named report artifacts from a
 // dataset, skipping detection, profit resolution and inference entirely.
 // Every artifact must be projectable (measure.ProjectionColumns non-nil),
