@@ -172,13 +172,17 @@ func main() {
 		})
 	}
 
-	for name, save := range map[string]func(string) error{
-		"mev":                  mev.SaveFile,
-		"pending_transactions": pending.SaveFile,
-		"flashbots_blocks":     fbBlocks.SaveFile,
-	} {
-		if err := save(o.out); err != nil {
-			fmt.Fprintf(os.Stderr, "chaingen: save %s: %v\n", name, err)
+	saves := []struct {
+		name string
+		save func(string) error
+	}{
+		{"mev", mev.SaveFile},
+		{"pending_transactions", pending.SaveFile},
+		{"flashbots_blocks", fbBlocks.SaveFile},
+	}
+	for _, s := range saves {
+		if err := s.save(o.out); err != nil {
+			fmt.Fprintf(os.Stderr, "chaingen: save %s: %v\n", s.name, err)
 			os.Exit(1)
 		}
 	}

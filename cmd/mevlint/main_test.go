@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mevscope/internal/lint"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean is the smoke test the issue asks for: the suite
+// over ./... on this repository itself must exit clean, with every
+// waiver justified. It is the same invocation CI runs as a blocking
+// step.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module via go list -export")
+	}
+	res, err := lint.Run(moduleRoot(t), []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range res.Unsuppressed() {
+		t.Errorf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	for _, f := range res.Findings {
+		if f.Suppressed && f.SuppressReason == "" {
+			t.Errorf("%s:%d: suppression without justification", f.Pos.Filename, f.Pos.Line)
+		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %q", code, errOut.String())
+	}
+	for _, name := range []string{"mapiterorder", "wallclock", "seededrand", "codecerr", "unstablesort"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerExits2(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-analyzers nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") || !strings.Contains(errOut.String(), "mapiterorder") {
+		t.Errorf("error should name the bad analyzer and list valid ones: %q", errOut.String())
+	}
+}

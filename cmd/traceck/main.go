@@ -177,7 +177,12 @@ func coverage(root *span, all []*span) float64 {
 			ivs = append(ivs, iv{sp.start, sp.end})
 		}
 	}
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
 	var covered, hi float64
 	for _, v := range ivs {
 		if v.lo > hi {

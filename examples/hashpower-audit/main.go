@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"mevscope"
 	"mevscope/internal/stats"
@@ -59,6 +60,7 @@ func main() {
 			top = n
 		}
 	}
+	sort.Float64s(xs) // Gini and topK are order-insensitive; pin the order anyway
 	// Two biggest miners' share (paper: >90 % of Flashbots blocks from two
 	// miners).
 	top2 := topK(xs, 2)

@@ -64,7 +64,7 @@ func writeSeg[T any](root, segDir, name string, docs []T) (FileInfo, []int64, er
 	}
 	offsets, err := encodeFrames(f, docs)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // encode error wins; the file is junk either way
 		return FileInfo{}, nil, fmt.Errorf("archive: write %s: %w", name, err)
 	}
 	if err := f.Close(); err != nil {

@@ -182,7 +182,7 @@ func writeChunk(root, segDir, col string, rows int, w *colWriter) (FileInfo, err
 		return bw.Flush()
 	}()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // encode error wins; the file is junk either way
 		return FileInfo{}, fmt.Errorf("archive: write %s: %w", col, err)
 	}
 	if err := f.Close(); err != nil {

@@ -198,7 +198,7 @@ func (w *StreamWriter) Finalize(ds *dataset.Dataset) (*Manifest, error) {
 	enc := json.NewEncoder(mf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(w.man); err != nil {
-		mf.Close()
+		_ = mf.Close() // encode error wins; the manifest is junk either way
 		return nil, fmt.Errorf("archive: manifest: %w", err)
 	}
 	if err := mf.Close(); err != nil {

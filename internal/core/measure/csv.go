@@ -64,7 +64,7 @@ func (r *Report) WriteCSVDir(dir string) error {
 			return err
 		}
 		if err := r.artifactCSV(f, name); err != nil {
-			f.Close()
+			_ = f.Close() // encode error wins; the file is junk either way
 			return fmt.Errorf("measure: write %s.csv: %w", name, err)
 		}
 		if err := f.Close(); err != nil {

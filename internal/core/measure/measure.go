@@ -453,7 +453,13 @@ func BuildBundleStats(in Inputs) BundleStats {
 		}
 		out.FlashbotsBlocks++
 		perBlock = append(perBlock, float64(len(sizes)))
-		for k, n := range sizes {
+		keys := make([]bkey, 0, len(sizes))
+		for k := range sizes {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].id < keys[j].id })
+		for _, k := range keys {
+			n := sizes[k]
 			out.Bundles++
 			perBundle = append(perBundle, float64(n))
 			if n == 1 {
@@ -738,6 +744,7 @@ func BuildConcentration(in Inputs) Concentration {
 		for _, n := range counts {
 			xs = append(xs, float64(n))
 		}
+		sort.Float64s(xs) // Gini is order-insensitive; pin the order anyway
 		out.GiniPerMonth[m] = stats.Gini(xs)
 	}
 	out.Miners = len(total)

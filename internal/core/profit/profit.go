@@ -294,9 +294,9 @@ func (c *Computer) ResolveAllParallelSpan(res *detect.Result, workers int, paren
 			return c.ResolveAll(res)
 		}
 		sp.SetWorkers(1)
-		t0 := time.Now()
+		t0 := time.Now() //lint:timing pool-utilization span for the flight recorder, never enters results
 		out := c.ResolveAll(res)
-		sp.AddBusy(time.Since(t0))
+		sp.AddBusy(time.Since(t0)) //lint:timing pool-utilization span for the flight recorder, never enters results
 		return out
 	}
 	type slot struct {

@@ -265,7 +265,9 @@ func (r *Relay) RecordBlock(block *types.Block, included []IncludedBundle) {
 func (r *Relay) Blocks() []BlockRecord {
 	out := make([]BlockRecord, len(r.records))
 	copy(out, r.records)
-	sort.Slice(out, func(i, j int) bool { return out[i].BlockNumber < out[j].BlockNumber })
+	// Stable: records are appended in seal order, so equal heights (if a
+	// relay ever reported one twice) keep a deterministic relative order.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].BlockNumber < out[j].BlockNumber })
 	return out
 }
 

@@ -274,6 +274,7 @@ func (p *Protocol) Loans() []Loan {
 	for _, l := range p.loans {
 		out = append(out, *l)
 	}
+	//lint:ignore unstablesort loans are stored keyed by ID, so the sort key is unique
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so that, should the x/tools
+// dependency ever become available to this module, each Run function
+// ports mechanically; the build environment for this repo is offline,
+// so the driver in load.go and run.go stands in for the multichecker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description: the invariant the analyzer
+	// guards and why violating it breaks the repo's determinism or
+	// correctness contract.
+	Doc string
+
+	// Run performs the check over one type-checked package and
+	// reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records a finding. Safe to call any number of times.
+	Report func(Diagnostic)
+}
+
+// Reportf is a convenience wrapper formatting a Diagnostic message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic as surfaced to callers of Run: the
+// position is materialized and suppression state is attached.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+
+	// Suppressed is true when a //lint: directive covers the finding;
+	// SuppressReason carries the directive's justification text.
+	Suppressed     bool
+	SuppressReason string
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CodecErr flags dropped error returns on write-path calls inside the
+// codec and encoder packages (CodecErrPrefixes). A Write or Flush
+// whose error vanishes turns a short write into a silently truncated
+// — but still checksummed-looking — segment or response; the archive
+// formats are only trustworthy because every byte on the way to disk
+// is either confirmed written or surfaces as an error.
+//
+// Flagged:
+//   - a statement-level call discarding an error from Write,
+//     WriteString, WriteByte, WriteRune, Flush, Encode or Close;
+//   - `defer w.Flush()` / `defer enc.Encode(..)`: the deferred error
+//     is unrecoverable by the time it happens;
+//   - encoding/csv's errorless Flush with no subsequent Error() check
+//     on the same writer in the same block.
+//
+// Not flagged: explicit discards (`_ = f.Close()`) — the decision is
+// visible in the code — and `defer f.Close()`, the conventional
+// cleanup for error paths (write paths must still Close explicitly on
+// success, which the statement-level rule keeps honest).
+var CodecErr = &Analyzer{
+	Name: "codecerr",
+	Doc:  "dropped write-path errors in archive/codec/encoder packages",
+	Run:  runCodecErr,
+}
+
+var codecErrMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Flush": true, "Encode": true, "Close": true,
+}
+
+// codecErrDeferred are the callees whose *deferred* error loss is
+// always a bug (Close is exempt; see the analyzer doc).
+var codecErrDeferred = map[string]bool{
+	"Write": true, "WriteString": true, "Flush": true, "Encode": true,
+}
+
+func runCodecErr(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), CodecErrPrefixes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedErr(pass, stmt.X)
+			case *ast.DeferStmt:
+				checkDeferredWrite(pass, stmt)
+			case *ast.BlockStmt:
+				checkCSVFlush(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedErr flags a statement-level write-path call whose
+// trailing error result is discarded.
+func checkDroppedErr(pass *Pass, x ast.Expr) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !codecErrMethods[sel.Sel.Name] {
+		return
+	}
+	if !returnsTrailingError(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s.%s is dropped; a swallowed short write corrupts the stream — check it, or assign to _ to make the discard explicit",
+		types.ExprString(sel.X), sel.Sel.Name)
+}
+
+func checkDeferredWrite(pass *Pass, stmt *ast.DeferStmt) {
+	sel, ok := stmt.Call.Fun.(*ast.SelectorExpr)
+	if !ok || !codecErrDeferred[sel.Sel.Name] {
+		return
+	}
+	if !returnsTrailingError(pass, stmt.Call) {
+		return
+	}
+	pass.Reportf(stmt.Pos(),
+		"deferred %s.%s discards its error after the function has already returned; call it on the success path and return its error",
+		types.ExprString(sel.X), sel.Sel.Name)
+}
+
+// returnsTrailingError reports whether the call's last result is error.
+func returnsTrailingError(pass *Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// checkCSVFlush handles encoding/csv.Writer.Flush, which returns
+// nothing: the sticky error must be read via Error() afterwards.
+func checkCSVFlush(pass *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Flush" || !isCSVWriter(pass, sel.X) {
+			continue
+		}
+		if !errorCheckedAfter(pass, block.List[i+1:], types.ExprString(sel.X)) {
+			pass.Reportf(call.Pos(),
+				"csv.Writer.Flush returns no error; follow it with %s.Error() or the last short write is silent",
+				types.ExprString(sel.X))
+		}
+	}
+}
+
+func isCSVWriter(pass *Pass, recv ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(recv)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "encoding/csv" && named.Obj().Name() == "Writer"
+}
+
+// errorCheckedAfter scans the remaining statements of the block for a
+// call to <recv>.Error().
+func errorCheckedAfter(pass *Pass, stmts []ast.Stmt, recv string) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "Error" && types.ExprString(sel.X) == recv {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

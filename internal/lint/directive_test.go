@@ -1,0 +1,97 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"mevscope/internal/lint"
+)
+
+// runOnSource type-checks one in-memory file and runs the analyzers
+// through the same driver path as cmd/mevlint.
+func runOnSource(t *testing.T, src string, analyzers []*lint.Analyzer) []lint.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var imports []string
+	for _, imp := range f.Imports {
+		imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+	}
+	pkg, err := lint.CheckFixture(fset, "fixture", []*ast.File{f}, imports)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	findings, err := lint.RunOnPackage(fset, pkg, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+const directiveSrc = `package fixture
+
+import "sort"
+
+type rec struct {
+	A, B int
+}
+
+func suppressed(rs []rec) {
+	//lint:ignore unstablesort A is unique by construction in this test
+	sort.Slice(rs, func(i, j int) bool { return rs[i].A < rs[j].A })
+}
+
+func reasonless(rs []rec) {
+	//lint:ignore unstablesort
+	sort.Slice(rs, func(i, j int) bool { return rs[i].A < rs[j].A })
+}
+
+func stale(rs []rec) {
+	//lint:ignore unstablesort this suppresses nothing: the comparator below is total
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].A != rs[j].A {
+			return rs[i].A < rs[j].A
+		}
+		return rs[i].B < rs[j].B
+	})
+}
+`
+
+// TestDirectiveHygiene pins the suppression contract: a justified
+// directive waives the finding; a reasonless directive still waives
+// it but is reported itself; a stale directive is reported as dead.
+func TestDirectiveHygiene(t *testing.T) {
+	findings := runOnSource(t, directiveSrc, []*lint.Analyzer{lint.UnstableSort})
+
+	var suppressed, noReason, stale int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "unstablesort" && f.Suppressed:
+			suppressed++
+			if f.SuppressReason == "" && !strings.Contains(directiveSrc, "//lint:ignore unstablesort\n") {
+				t.Errorf("suppressed finding lost its reason: %+v", f)
+			}
+		case f.Analyzer == "unstablesort":
+			t.Errorf("unsuppressed unstablesort finding should have been waived: %+v", f)
+		case f.Analyzer == "lintdirective" && strings.Contains(f.Message, "no justification"):
+			noReason++
+		case f.Analyzer == "lintdirective" && strings.Contains(f.Message, "suppresses nothing"):
+			stale++
+		}
+	}
+	if suppressed != 2 {
+		t.Errorf("suppressed unstablesort findings = %d, want 2 (justified + reasonless)", suppressed)
+	}
+	if noReason != 1 {
+		t.Errorf("reasonless-directive findings = %d, want 1", noReason)
+	}
+	if stale != 1 {
+		t.Errorf("stale-directive findings = %d, want 1", stale)
+	}
+}

@@ -1,0 +1,41 @@
+// Package lint is mevlint: a suite of static analyzers that enforce
+// this repository's determinism and correctness invariants at build
+// time instead of leaving them to after-the-fact golden tests.
+//
+// Every measurement claim the reproduction makes — golden reports,
+// batch≡stream equality, worker-count-independent merges, the
+// month-partial memoization — rests on byte-identical determinism.
+// Two shipped bugs motivated turning that contract into a compile
+// gate: the map-order-dependent sandwich ranking fixed in PR 1, and
+// the rng cross-contamination between observer miss rate and gossip
+// origin fixed in PR 5. The analyzers encode those bug classes:
+//
+//	mapiterorder  map range feeding an append/writer/merge, unsorted
+//	wallclock     time.Now/Since/Until in determinism-critical packages
+//	seededrand    global or wallclock-seeded math/rand outside tests
+//	codecerr      dropped Write/Flush/Close errors in codec write paths
+//	unstablesort  single-field sort.Slice comparators (no tie-break)
+//
+// Findings are waived with a justified directive on or immediately
+// above the flagged line — //lint:timing <reason> for observability
+// timing under wallclock, //lint:ignore <analyzer> <reason> for
+// everything else. The driver reports reasonless and stale directives
+// as findings of their own, and cmd/mevlint prints the number of
+// suppressions in use so growth is visible in CI logs.
+//
+// The Analyzer/Pass/Diagnostic API deliberately mirrors
+// golang.org/x/tools/go/analysis, but the driver is built on the
+// standard library alone (go list -export + the gc importer), because
+// this module is developed offline; if the x/tools dependency ever
+// lands, each analyzer's Run ports mechanically and the loader
+// retires in favor of the multichecker.
+//
+// Run it locally with:
+//
+//	go run ./cmd/mevlint ./...
+package lint
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{CodecErr, MapIterOrder, SeededRand, UnstableSort, Wallclock}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import "testing"
+
+func TestInScope(t *testing.T) {
+	prefixes := []string{"mevscope/internal/sim", "mevscope/internal/core"}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"mevscope/internal/sim", true},
+		{"mevscope/internal/sim/fixture", true},
+		{"mevscope/internal/core/measure", true},
+		{"mevscope/internal/simulator", false}, // prefix must end at a path boundary
+		{"mevscope/internal/query", false},
+		{"mevscope", false},
+	}
+	for _, tc := range cases {
+		if got := inScope(tc.path, prefixes); got != tc.want {
+			t.Errorf("inScope(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		reason   string
+		nil_     bool
+	}{
+		{"//lint:timing span for the flight recorder", "wallclock", "span for the flight recorder", false},
+		{"//lint:timing", "wallclock", "", false},
+		{"//lint:ignore unstablesort keys are unique", "unstablesort", "keys are unique", false},
+		{"//lint:ignore unstablesort", "unstablesort", "", false},
+		{"// ordinary comment", "", "", true},
+		{"//lint:unknown x", "", "", true},
+	}
+	for _, tc := range cases {
+		d := parseDirective(tc.text)
+		if tc.nil_ {
+			if d != nil {
+				t.Errorf("parseDirective(%q) = %+v, want nil", tc.text, d)
+			}
+			continue
+		}
+		if d == nil {
+			t.Fatalf("parseDirective(%q) = nil", tc.text)
+		}
+		if d.analyzer != tc.analyzer || d.reason != tc.reason {
+			t.Errorf("parseDirective(%q) = {%q %q}, want {%q %q}",
+				tc.text, d.analyzer, d.reason, tc.analyzer, tc.reason)
+		}
+	}
+}
+
+func TestAllAnalyzersHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if seen["lintdirective"] {
+		t.Error("\"lintdirective\" is reserved for driver-level directive hygiene findings")
+	}
+}

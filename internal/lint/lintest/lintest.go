@@ -1,0 +1,190 @@
+// Package lintest is the fixture harness for mevlint analyzers, in
+// the spirit of golang.org/x/tools/go/analysis/analysistest: a
+// fixture directory is one package of Go files annotated with
+//
+//	// want "substring"
+//
+// comments on the lines where a diagnostic is expected (several
+// quoted substrings mean several diagnostics on that line). The
+// harness type-checks the fixture, runs one analyzer, applies the
+// same //lint: suppression rules as the real driver, and fails the
+// test on any mismatch in either direction — so every fixture proves
+// both that the bad pattern is flagged and that the clean spelling is
+// not.
+package lintest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"mevscope/internal/lint"
+)
+
+// Config describes one fixture run.
+type Config struct {
+	// Dir is the fixture directory (all .go files in it are one package).
+	Dir string
+
+	// PkgPath is the package path the fixture is type-checked as.
+	// Scoped analyzers (wallclock, codecerr) consult it; fixtures for
+	// them use a path under the scoped prefixes, e.g.
+	// "mevscope/internal/sim/fixture". Defaults to "fixture".
+	PkgPath string
+
+	// Analyzer under test.
+	Analyzer *lint.Analyzer
+}
+
+// Analyze loads the fixture and returns every finding (suppressed
+// included) without comparing // want expectations. Tests that probe
+// scoping or directive hygiene inspect the findings directly.
+func Analyze(t *testing.T, cfg Config) []lint.Finding {
+	t.Helper()
+	if cfg.PkgPath == "" {
+		cfg.PkgPath = "fixture"
+	}
+	findings, _, _, err := analyze(cfg)
+	if err != nil {
+		t.Fatalf("lintest: %v", err)
+	}
+	return findings
+}
+
+// Run executes one fixture and reports mismatches on t.
+func Run(t *testing.T, cfg Config) {
+	t.Helper()
+	if cfg.PkgPath == "" {
+		cfg.PkgPath = "fixture"
+	}
+	findings, fset, files, err := analyze(cfg)
+	if err != nil {
+		t.Fatalf("lintest: %v", err)
+	}
+
+	got := map[string][]string{} // "file:line" -> messages
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		got[key] = append(got[key], f.Message)
+	}
+	want := wantComments(t, fset, files)
+
+	keys := map[string]bool{}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+
+	for _, k := range ordered {
+		g, w := got[k], want[k]
+		if len(g) != len(w) {
+			t.Errorf("%s: got %d diagnostic(s) %q, want %d matching %q", k, len(g), g, len(w), w)
+			continue
+		}
+		for i, substr := range w {
+			if !strings.Contains(g[i], substr) {
+				t.Errorf("%s: diagnostic %q does not contain %q", k, g[i], substr)
+			}
+		}
+	}
+}
+
+// analyze loads the fixture package and runs the analyzer through the
+// real driver path (including suppression directives).
+func analyze(cfg Config) ([]lint.Finding, *token.FileSet, []*ast.File, error) {
+	names, err := fixtureFiles(cfg.Dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	pkg, err := lint.CheckFixture(fset, cfg.PkgPath, files, sortedKeys(imports))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	findings, err := lint.RunOnPackage(fset, pkg, []*lint.Analyzer{cfg.Analyzer})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return findings, fset, files, nil
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// wantComments collects // want expectations keyed by "file:line".
+func wantComments(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]string {
+	t.Helper()
+	want := map[string][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, s := range wantStrRE.FindAllStringSubmatch(m[1], -1) {
+					want[key] = append(want[key], s[1])
+				}
+			}
+		}
+	}
+	return want
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed and type-checked target package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+}
+
+// goList shells out to the go command in dir and decodes the JSON
+// package stream. With -deps -export it compiles every dependency so
+// each one carries fresh export data in the build cache; the go
+// command is the only process that touches the network-free module
+// graph, exactly as `go vet` drives unitchecker-based tools.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := []string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Incomplete",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportImporter resolves imports from the export data files `go list
+// -export` left in the build cache. The stdlib gc importer reads them
+// directly, so the loader needs neither a network connection nor
+// golang.org/x/tools.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Load lists patterns from dir, then parses and type-checks every
+// matched (non-dependency) package from source, resolving imports via
+// export data. Test files are intentionally out of scope: `go list`'s
+// GoFiles excludes them, which is also what gives seededrand its
+// "outside tests" scope for free.
+func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || len(e.GoFiles) == 0 {
+			continue
+		}
+		if e.Incomplete {
+			return nil, nil, fmt.Errorf("lint: package %s does not compile; fix the build before linting", e.ImportPath)
+		}
+		pkg, err := checkPackage(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	//lint:ignore unstablesort import paths are unique within one go list invocation
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return fset, pkgs, nil
+}
+
+// checkPackage parses files and type-checks them as package pkgPath.
+func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := TypeCheck(fset, imp, pkgPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: pkgPath, Dir: dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+// CheckFixture type-checks an already-parsed fixture package as
+// pkgPath, resolving the given imports via fresh export data from the
+// go command. It exists for the lintest harness: fixture directories
+// live under testdata/ (invisible to the go tool) but still need real
+// types for std imports like time, sort and math/rand.
+func CheckFixture(fset *token.FileSet, pkgPath string, files []*ast.File, imports []string) (*Package, error) {
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		entries, err := goList(".", imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+	pkg, info, err := TypeCheck(fset, exportImporter(fset, exports), pkgPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: pkgPath, Files: files, Types: pkg, Info: info}, nil
+}
+
+// TypeCheck runs go/types over already-parsed files. Exported for the
+// lintest fixture harness, which parses fixture directories itself.
+func TypeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-check %s: %v", pkgPath, err)
+	}
+	return pkg, info, nil
+}

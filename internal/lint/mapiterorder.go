@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIterOrder flags `range` over a map whose body accumulates into
+// an order-sensitive sink — appending to a slice declared outside the
+// loop, writing to a writer/encoder, or feeding a Merge*/Feed* seam —
+// unless the accumulated slice is sorted later in the same function.
+//
+// This is the PR-1 bug class: privinfer.LinkPrivateSandwiches ranked
+// candidates straight out of a map range, so the report depended on
+// Go's randomized map iteration order. Commutative uses (sums, max,
+// set membership, deletes) read cleanly and are not flagged; channel
+// sends are not flagged either, because fan-out order is immaterial
+// when the downstream merge is deterministic.
+var MapIterOrder = &Analyzer{
+	Name: "mapiterorder",
+	Doc:  "map iteration feeding an order-sensitive sink without a subsequent sort",
+	Run:  runMapIterOrder,
+}
+
+// writerMethodNames are callee names that emit bytes or records in
+// call order; invoking one per map-range iteration bakes map order
+// into the output and no later sort can undo it.
+var writerMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapIterOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			checkBodyMapRanges(pass, body)
+		}
+	}
+	return nil
+}
+
+// functionBodies returns every function body in the file: top-level
+// declarations and function literals alike.
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// checkBodyMapRanges inspects the map-range loops whose innermost
+// enclosing function is body (nested function literals are analyzed
+// against their own body, so "sorted later in the same function"
+// means the function the loop actually runs in).
+func checkBodyMapRanges(pass *Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		if t := pass.TypesInfo.TypeOf(rng.X); t == nil || !isMapType(t) {
+			return
+		}
+		checkMapRange(pass, body, rng)
+	})
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals: their statements belong to a different function body.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, isLit := c.(*ast.FuncLit); isLit && c != n {
+			return false
+		}
+		if c != nil {
+			fn(c)
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange reports order-sensitive sinks inside one map range.
+func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(stmt.Lhs) {
+					continue
+				}
+				target := stmt.Lhs[i]
+				if declaredWithin(pass, target, rng) {
+					continue // loop-local scratch or per-entry state via the range vars
+				}
+				if sortedAfter(pass, fnBody, rng, target) {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"append to %s inside range over map %s bakes map iteration order into the slice; sort it afterwards with a total comparator or iterate sorted keys",
+					types.ExprString(target), types.ExprString(rng.X))
+			}
+		case *ast.CallExpr:
+			sel, ok := stmt.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case writerMethodNames[name]:
+				pass.Reportf(stmt.Pos(),
+					"%s called inside range over map %s emits in map iteration order; collect and sort before writing",
+					name, types.ExprString(rng.X))
+			case strings.HasPrefix(name, "Merge"), strings.HasPrefix(name, "Feed"):
+				pass.Reportf(stmt.Pos(),
+					"%s called inside range over map %s feeds a merge in map iteration order; iterate a sorted key slice instead",
+					name, types.ExprString(rng.X))
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether expr's root identifier resolves to
+// an object declared inside the given node's source range. The root
+// of a chain like ix.entries[k] is ix: appending through the range
+// loop's own key/value variable mutates per-entry state, which is
+// commutative across iterations and therefore order-insensitive.
+func declaredWithin(pass *Pass, expr ast.Expr, within ast.Node) bool {
+	id := rootIdent(expr)
+	if id == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= within.Pos() && obj.Pos() < within.End()
+}
+
+// rootIdent unwraps selector/index/star chains to the base identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortFuncs are the callees accepted as establishing a total order
+// over an accumulated slice. Whether the comparator is actually total
+// is unstablesort's job, so any sort call clears mapiterorder here.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether target is passed to a recognised sort
+// function at some point after the range loop in the same function.
+// The target may sit behind wrappers — sort.Sort(sort.Reverse(
+// sort.IntSlice(all))), sort.Sort(&byGas{txs}) — so any appearance of
+// it inside the sort call's argument subtree counts.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	inspectShallow(fnBody, func(n ast.Node) {
+		if found {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return
+		}
+		fns := sortFuncs[pkgName.Imported().Path()]
+		if fns == nil || !fns[sel.Sel.Name] {
+			return
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(sub ast.Node) bool {
+				if e, isExpr := sub.(ast.Expr); isExpr && types.ExprString(e) == want {
+					found = true
+				}
+				return !found
+			})
+		}
+	})
+	return found
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages.
+type Result struct {
+	// Findings holds every diagnostic, suppressed or not, ordered by
+	// file, line, column, analyzer.
+	Findings []Finding
+
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// Unsuppressed returns the findings that stand after directives.
+func (r *Result) Unsuppressed() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SuppressionsUsed counts findings waived by a //lint: directive.
+func (r *Result) SuppressionsUsed() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Run loads patterns from dir and applies every analyzer to every
+// matched package. Directive handling happens here, in the driver:
+// analyzers report every violation they see and never consult
+// comments, so a suppression can never hide a bug from a different
+// analyzer. Stale (unused) directives and directives without a
+// justification are themselves findings, reported under the
+// "lintdirective" name, so waivers cannot rot silently.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	fset, pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		findings, err := runPackage(fset, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		res.Findings = append(res.Findings, findings...)
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// RunOnPackage applies analyzers to one already-loaded package,
+// resolving //lint: directives exactly as Run does. It is the seam
+// the lintest fixture harness drives, so fixtures exercise the same
+// suppression semantics as the real gate.
+func RunOnPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, err := runPackage(fset, pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// runPackage applies analyzers to one package and resolves directives.
+func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		dirs = append(dirs, parseDirectives(fset, f)...)
+	}
+	idx := indexDirectives(dirs)
+
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+			if cov := idx.cover(a.Name, pos.Filename, pos.Line); cov != nil {
+				f.Suppressed = true
+				f.SuppressReason = cov.reason
+			}
+			findings = append(findings, f)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	findings = append(findings, directiveFindings(fset, idx)...)
+	return findings, nil
+}
+
+// directiveFindings reports directive hygiene: every directive must
+// carry a justification, and must actually suppress something.
+func directiveFindings(fset *token.FileSet, idx *suppressionIndex) []Finding {
+	var out []Finding
+	for _, d := range idx.all {
+		pos := fset.Position(d.pos)
+		if d.reason == "" {
+			out = append(out, Finding{
+				Analyzer: "lintdirective",
+				Pos:      pos,
+				Message:  fmt.Sprintf("//lint: directive for %q has no justification; say why the invariant is waived", d.analyzer),
+			})
+		}
+		if !d.used {
+			out = append(out, Finding{
+				Analyzer: "lintdirective",
+				Pos:      pos,
+				Message:  fmt.Sprintf("//lint: directive for %q suppresses nothing; delete it", d.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,39 @@
+package lint
+
+import "strings"
+
+// WallclockCriticalPrefixes lists the package subtrees where reading
+// the wall clock is forbidden: any time.Now that leaks into sealing,
+// measurement, encoding or streaming makes two runs of the same seed
+// diverge. internal/parallel and internal/obs are deliberately absent
+// — pool-utilization and flight-recorder timing is observability, not
+// data — and cmd/, examples/ and the serving tier in internal/query
+// measure real latency on purpose.
+var WallclockCriticalPrefixes = []string{
+	"mevscope/internal/sim",
+	"mevscope/internal/chain",
+	"mevscope/internal/core",
+	"mevscope/internal/dataset",
+	"mevscope/internal/archive",
+	"mevscope/internal/stream",
+}
+
+// CodecErrPrefixes lists the write paths where a dropped error on a
+// Write/Flush/Close silently corrupts a checksummed segment or an
+// encoded response: the archive codecs, the measure encoders, and the
+// query response writers.
+var CodecErrPrefixes = []string{
+	"mevscope/internal/archive",
+	"mevscope/internal/core/measure",
+	"mevscope/internal/query",
+}
+
+// inScope reports whether pkgPath is inside one of the prefixes.
+func inScope(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mevscope/internal/lint"
+)
+
+// TestSeededBadPatternFailsTheGate is the acceptance pin for the CI
+// gate: planting the PR-1 bug class — a map-range append feeding a
+// merge without a sort — in a scratch module makes lint.Run (and
+// therefore the blocking `mevlint ./...` CI step) report it.
+func TestSeededBadPatternFailsTheGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.21\n")
+	write("merge.go", `package scratch
+
+// A measure-style merge assembled straight out of a map range: the
+// known-bad pattern the determinism gate exists to catch.
+func mergeCounts(perMonth map[string]int) []int {
+	var merged []int
+	for _, n := range perMonth {
+		merged = append(merged, n)
+	}
+	return merged
+}
+`)
+
+	res, err := lint.Run(dir, []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	bad := res.Unsuppressed()
+	if len(bad) != 1 {
+		t.Fatalf("findings = %+v, want exactly one", bad)
+	}
+	f := bad[0]
+	if f.Analyzer != "mapiterorder" || !strings.Contains(f.Message, "map iteration order") {
+		t.Errorf("finding = %+v, want a mapiterorder diagnostic", f)
+	}
+
+	// Sorting the merge clears the gate again.
+	write("merge.go", `package scratch
+
+import "sort"
+
+func mergeCounts(perMonth map[string]int) []int {
+	var merged []int
+	for _, n := range perMonth {
+		merged = append(merged, n)
+	}
+	sort.Ints(merged)
+	return merged
+}
+`)
+	res, err = lint.Run(dir, []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("lint.Run (fixed): %v", err)
+	}
+	if bad := res.Unsuppressed(); len(bad) != 0 {
+		t.Errorf("fixed module still has findings: %+v", bad)
+	}
+}

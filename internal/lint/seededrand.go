@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand enforces the PR-5 split-stream rng discipline everywhere
+// outside tests: every source of randomness must be a component-owned,
+// explicitly seeded *rand.Rand. Two patterns are flagged:
+//
+//   - package-level draw functions on the shared global source
+//     (rand.Intn, rand.Float64, rand.Shuffle, …, in math/rand and
+//     math/rand/v2): the global source is process-wide state, so any
+//     two features drawing from it perturb each other — exactly the
+//     cross-contamination fixed in PR 5, where the observer miss rate
+//     shifted which node later transactions originated from;
+//   - wallclock-seeded sources (rand.NewSource(time.Now().UnixNano())
+//     and friends): a seed taken from the clock is a different world
+//     every run, so nothing downstream can be reproduced.
+//
+// Constructors (rand.New, rand.NewSource with a deterministic seed,
+// rand.NewZipf, …) and methods on a *rand.Rand value are clean.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "global or wallclock-seeded math/rand use outside tests",
+	Run:  runSeededRand,
+}
+
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// randConstructors are the package-level functions in math/rand[/v2]
+// that build a source or generator rather than draw from the global
+// one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeededRand(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an owned *rand.Rand: the discipline itself
+			}
+			switch {
+			case !randConstructors[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-wide source; give this component its own seeded *rand.Rand (PR-5 split-stream discipline)",
+					fn.Name())
+			case callsWallclock(pass, call):
+				pass.Reportf(call.Pos(),
+					"rand.%s seeded from the wall clock is a different world every run; thread an explicit seed instead",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callsWallclock reports whether any argument subtree reads the wall
+// clock (time.Now and derivatives).
+func callsWallclock(pass *Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass, inner); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && wallclockFuncs[fn.Name()] {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

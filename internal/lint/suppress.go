@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one //lint: suppression comment.
+//
+// Two forms are recognised:
+//
+//	//lint:timing <justification>            (wallclock only)
+//	//lint:ignore <analyzer> <justification>
+//
+// A directive covers findings by the matching analyzer on its own
+// line (end-of-line comment) and on the line immediately below it
+// (comment-above style). The justification is mandatory: determinism
+// waivers must say why, and CI prints the count of directives in use
+// so growth is visible in logs.
+type directive struct {
+	analyzer string // analyzer the directive suppresses
+	reason   string // justification text (may be empty; flagged if so)
+	file     string
+	line     int
+	pos      token.Pos
+	used     bool
+}
+
+const (
+	timingPrefix = "//lint:timing"
+	ignorePrefix = "//lint:ignore"
+)
+
+// parseDirectives extracts //lint: directives from one parsed file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d := parseDirective(c.Text)
+			if d == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d.file = pos.Filename
+			d.line = pos.Line
+			d.pos = c.Pos()
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func parseDirective(text string) *directive {
+	switch {
+	case strings.HasPrefix(text, timingPrefix):
+		rest := strings.TrimSpace(strings.TrimPrefix(text, timingPrefix))
+		return &directive{analyzer: "wallclock", reason: rest}
+	case strings.HasPrefix(text, ignorePrefix):
+		rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+		name, reason, _ := strings.Cut(rest, " ")
+		return &directive{analyzer: name, reason: strings.TrimSpace(reason)}
+	}
+	return nil
+}
+
+// suppressionIndex answers "is this finding covered?" lookups.
+type suppressionIndex struct {
+	// byFileLine[file][line] holds directives covering that line.
+	byFileLine map[string]map[int][]*directive
+	all        []*directive
+}
+
+func indexDirectives(ds []*directive) *suppressionIndex {
+	idx := &suppressionIndex{byFileLine: make(map[string]map[int][]*directive), all: ds}
+	for _, d := range ds {
+		lines := idx.byFileLine[d.file]
+		if lines == nil {
+			lines = make(map[int][]*directive)
+			idx.byFileLine[d.file] = lines
+		}
+		// A directive covers its own line and the next one.
+		lines[d.line] = append(lines[d.line], d)
+		lines[d.line+1] = append(lines[d.line+1], d)
+	}
+	return idx
+}
+
+// cover returns the directive suppressing a finding by analyzer at
+// file:line, marking it used, or nil if the finding stands. A
+// directive on the finding's own line wins over one on the line
+// above, so adjacent end-of-line directives each cover their own
+// statement.
+func (idx *suppressionIndex) cover(analyzer, file string, line int) *directive {
+	var above *directive
+	for _, d := range idx.byFileLine[file][line] {
+		if d.analyzer != analyzer {
+			continue
+		}
+		if d.line == line {
+			d.used = true
+			return d
+		}
+		if above == nil {
+			above = d
+		}
+	}
+	if above != nil {
+		above.used = true
+	}
+	return above
+}

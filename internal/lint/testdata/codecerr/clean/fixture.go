@@ -1,0 +1,52 @@
+package fixture
+
+import (
+	"bufio"
+	"encoding/csv"
+	"io"
+	"os"
+)
+
+// Every write-path error is either propagated or explicitly discarded.
+func checked(f *os.File, bw *bufio.Writer) error {
+	if _, err := bw.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// An explicit discard is a visible decision, typically on a path that
+// is already returning a better error.
+func errorPath(f *os.File, cause error) error {
+	_ = f.Close()
+	return cause
+}
+
+// Deferred Close is conventional cleanup and exempt; the success path
+// still closes explicitly.
+func deferClose(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// csv.Writer.Flush followed by Error() on the same writer.
+func csvChecked(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,30 @@
+package fixture
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Type-checked as a package under mevscope/internal/archive: every
+// byte on the way to disk must be confirmed written.
+func drops(f *os.File, bw *bufio.Writer, enc *json.Encoder, v any) {
+	bw.Write([]byte("x")) // want "error from bw.Write is dropped"
+	bw.Flush()            // want "error from bw.Flush is dropped"
+	enc.Encode(v)         // want "error from enc.Encode is dropped"
+	f.Close()             // want "error from f.Close is dropped"
+}
+
+func deferredFlush(bw *bufio.Writer) {
+	defer bw.Flush() // want "deferred bw.Flush discards its error"
+}
+
+func csvUnchecked(w io.Writer, rows [][]string) {
+	cw := csv.NewWriter(w)
+	for _, r := range rows {
+		_ = cw.Write(r)
+	}
+	cw.Flush() // want "csv.Writer.Flush returns no error"
+}

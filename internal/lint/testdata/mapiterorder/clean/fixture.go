@@ -1,0 +1,53 @@
+package fixture
+
+import "sort"
+
+// The canonical clean spelling: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sort through wrappers still counts.
+func sortedDescending(m map[string]int) []int {
+	var all []int
+	for _, v := range m {
+		all = append(all, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	return all
+}
+
+// Commutative reads are not order-sensitive.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type box struct{ items []int }
+
+// Appending through the range value mutates per-entry state, which is
+// commutative across iterations.
+func perEntry(m map[string]*box) {
+	for _, b := range m {
+		b.items = append(b.items, 1)
+	}
+}
+
+// Loop-local scratch is rebuilt every iteration.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+// Unsorted key collection: the PR-1 bug class in miniature.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "bakes map iteration order"
+	}
+	return keys
+}
+
+// Writing during iteration: no later sort can fix emitted bytes.
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "emits in map iteration order"
+	}
+}
+
+type accumulator struct{ log []int }
+
+func (a *accumulator) Feed(x int) { a.log = append(a.log, x) }
+
+// Feeding an append-only seam in map order corrupts the merge.
+func feeds(a *accumulator, m map[string]int) {
+	for _, v := range m {
+		a.Feed(v) // want "feeds a merge in map iteration order"
+	}
+}
+
+// Sorting a different slice does not clear the finding.
+func wrongSort(m map[string]int) ([]string, []string) {
+	var ks, other []string
+	for k := range m {
+		ks = append(ks, k) // want "bakes map iteration order"
+	}
+	sortStrings(other)
+	return ks, other
+}
+
+func sortStrings(xs []string) {}

@@ -1,0 +1,16 @@
+package fixture
+
+import "math/rand"
+
+// The split-stream discipline: every knob owns a seeded *rand.Rand.
+func owned(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func draw(r *rand.Rand) int {
+	return r.Intn(100)
+}
+
+func split(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}

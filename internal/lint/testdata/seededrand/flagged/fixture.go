@@ -1,0 +1,25 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global draws share one process-wide source: any two features
+// drawing from it perturb each other (the PR-5 bug class).
+func jitter() int {
+	return rand.Intn(100) // want "process-wide source"
+}
+
+func weight() float64 {
+	return rand.Float64() // want "process-wide source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-wide source"
+}
+
+// A wallclock seed is a different world every run.
+func clockSource() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "wall clock"
+}

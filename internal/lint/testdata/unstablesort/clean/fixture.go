@@ -1,0 +1,41 @@
+package fixture
+
+import "sort"
+
+type record struct {
+	Block uint64
+	Hash  string
+}
+
+// A tie-break makes the order total.
+func tieBreak(rs []record) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Block != rs[j].Block {
+			return rs[i].Block < rs[j].Block
+		}
+		return rs[i].Hash < rs[j].Hash
+	})
+}
+
+// SliceStable preserves a deterministic input order for equal keys.
+func stable(rs []record) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Block < rs[j].Block })
+}
+
+type wrapped struct{ id uint64 }
+
+// Single-field structs have nothing to tie-break on.
+func singleField(xs []wrapped) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].id < xs[j].id })
+}
+
+// Scalar elements are totally ordered already.
+func scalars(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// A justified waiver when the single key is provably unique.
+func uniqueKey(rs []record) {
+	//lint:ignore unstablesort Block is unique here: one record per sealed block
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Block < rs[j].Block })
+}

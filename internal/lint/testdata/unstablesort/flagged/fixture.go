@@ -1,0 +1,29 @@
+package fixture
+
+import "sort"
+
+type record struct {
+	Block uint64
+	Hash  string
+}
+
+// One-field comparator over a two-field struct: equal blocks keep
+// whatever order the slice arrived in.
+func byBlock(rs []record) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Block < rs[j].Block }) // want "only by Block"
+}
+
+// Pointer elements are looked through.
+func byBlockPtr(rs []*record) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Block > rs[j].Block }) // want "only by Block"
+}
+
+type nested struct {
+	Key  struct{ ID uint64 }
+	Name string
+}
+
+// Field paths through nested structs count as one field.
+func byNestedID(ns []nested) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Key.ID < ns[j].Key.ID }) // want "only by Key.ID"
+}

@@ -1,0 +1,19 @@
+package fixture
+
+import "time"
+
+// Type-checked under the default "fixture" path, outside the
+// determinism-critical prefixes: serving-tier latency measurement is
+// legitimate there.
+func latency(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+// Simulated time threaded as a value is always fine.
+func monthOf(t time.Time) time.Month {
+	return t.Month()
+}

@@ -1,0 +1,23 @@
+package fixture
+
+import "time"
+
+// Type-checked as a package under mevscope/internal/sim, where the
+// wall clock is forbidden: block time comes from the simulated chain.
+func sealTime() time.Time {
+	return time.Now() // want "determinism-critical"
+}
+
+func lag(t time.Time) time.Duration {
+	return time.Since(t) // want "determinism-critical"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "determinism-critical"
+}
+
+// A justified //lint:timing directive waives observability timing.
+func span() time.Duration {
+	t0 := time.Now()      //lint:timing pool-utilization span, never enters results
+	return time.Since(t0) //lint:timing pool-utilization span, never enters results
+}

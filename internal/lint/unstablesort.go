@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnstableSort flags sort.Slice calls whose comparator orders a
+// multi-field struct by exactly one field. sort.Slice is not stable:
+// elements equal under the comparator keep an unspecified relative
+// order, so if the slice was assembled from a map range (or from a
+// parallel merge) the tie region is nondeterministic and the bytes of
+// anything rendered from it can differ run to run. The fix is a
+// deterministic tie-break on a second field — a total order — or
+// sort.SliceStable over input whose order is already pinned.
+//
+// Single-field structs, non-struct elements, multi-clause comparators
+// and sort.SliceStable are all clean. The analyzer cannot prove a
+// single sort key is unique; where it genuinely is, waive the finding
+// with //lint:ignore unstablesort <why the key is unique>.
+var UnstableSort = &Analyzer{
+	Name: "unstablesort",
+	Doc:  "single-field sort.Slice comparator over a multi-field struct",
+	Run:  runUnstableSort,
+}
+
+func runUnstableSort(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			if fn := calleeFunc(pass, call); fn == nil || fn.Pkg() == nil ||
+				fn.Pkg().Path() != "sort" || fn.Name() != "Slice" {
+				return true
+			}
+			checkComparator(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkComparator(pass *Pass, call *ast.CallExpr) {
+	elem := sliceElemStruct(pass, call.Args[0])
+	if elem == nil || elem.NumFields() < 2 {
+		return
+	}
+	cmp, ok := call.Args[1].(*ast.FuncLit)
+	if !ok || len(cmp.Body.List) != 1 {
+		return
+	}
+	ret, ok := cmp.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return
+	}
+	bin, ok := ret.Results[0].(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.LSS && bin.Op != token.GTR) {
+		return
+	}
+	params := comparatorParams(cmp)
+	if params == nil {
+		return
+	}
+	fieldX, idxX := indexedField(bin.X, params)
+	fieldY, idxY := indexedField(bin.Y, params)
+	if fieldX == "" || fieldX != fieldY || idxX == idxY {
+		return // not a one-field i-vs-j comparison
+	}
+	pass.Reportf(call.Args[1].Pos(),
+		"sort.Slice comparator orders %s only by %s; equal values keep nondeterministic pre-sort order — add a tie-break field for a total order (or //lint:ignore unstablesort if the key is provably unique)",
+		elemName(pass, call.Args[0]), fieldX)
+}
+
+// sliceElemStruct returns the struct type of the slice's elements
+// (through one pointer level), or nil.
+func sliceElemStruct(pass *Pass, arg ast.Expr) *types.Struct {
+	t := pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return nil
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	e := sl.Elem()
+	if ptr, ok := e.Underlying().(*types.Pointer); ok {
+		e = ptr.Elem()
+	}
+	st, _ := e.Underlying().(*types.Struct)
+	return st
+}
+
+func elemName(pass *Pass, arg ast.Expr) string {
+	t := pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return types.ExprString(arg)
+	}
+	return t.String()
+}
+
+// comparatorParams maps the two int parameter names of func(i, j int).
+func comparatorParams(cmp *ast.FuncLit) map[string]int {
+	names := map[string]int{}
+	n := 0
+	for _, field := range cmp.Type.Params.List {
+		for _, id := range field.Names {
+			names[id.Name] = n
+			n++
+		}
+	}
+	if n != 2 {
+		return nil
+	}
+	return names
+}
+
+// indexedField matches expressions of the form <slice>[i].Field
+// (through chains like s[i].A.B, which count as field path "A.B") and
+// returns the field path plus which comparator parameter indexed it.
+func indexedField(e ast.Expr, params map[string]int) (string, int) {
+	path := ""
+	for {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		if path == "" {
+			path = sel.Sel.Name
+		} else {
+			path = sel.Sel.Name + "." + path
+		}
+		e = sel.X
+	}
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok || path == "" {
+		return "", -1
+	}
+	id, ok := idx.Index.(*ast.Ident)
+	if !ok {
+		return "", -1
+	}
+	which, ok := params[id.Name]
+	if !ok {
+		return "", -1
+	}
+	return path, which
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids reading the wall clock inside determinism-critical
+// packages (WallclockCriticalPrefixes). Simulated time comes from the
+// chain's own clock; a time.Now that reaches sealing, measurement,
+// encoding or streaming makes two runs of the same seed diverge, which
+// breaks every golden-report and batch≡stream pin in the suite.
+//
+// Observability timing inside a critical package — a span around a
+// worker pool, a progress line — is waived with a justified
+// //lint:timing directive on (or immediately above) the call line:
+//
+//	t0 := time.Now() //lint:timing pool-utilization span, not data
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock reads inside determinism-critical packages",
+	Run:  runWallclock,
+}
+
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallclock(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), WallclockCriticalPrefixes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass, call); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallclockFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"time.%s in determinism-critical package %s; derive time from the simulated chain, or waive observability timing with //lint:timing <reason>",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function object, if it is a named
+// function or method (as opposed to a builtin or a function value).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

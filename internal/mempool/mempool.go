@@ -130,6 +130,7 @@ func (p *Pool) All() []*types.Transaction {
 	for _, it := range p.byHash {
 		items = append(items, it)
 	}
+	//lint:ignore unstablesort seq is a unique per-insertion sequence number
 	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
 	out := make([]*types.Transaction, len(items))
 	for i, it := range items {

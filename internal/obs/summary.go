@@ -94,7 +94,12 @@ func (t *Trace) Coverage() float64 {
 			ivs = append(ivs, iv{sp.start, sp.start + sp.Duration()})
 		}
 	}
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
 	var covered, hi time.Duration
 	for _, v := range ivs {
 		if v.lo > hi {

@@ -688,7 +688,9 @@ func respond(w http.ResponseWriter, contentType, etag string, encode func(io.Wri
 	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(http.StatusOK)
-	w.Write(buf.Bytes())
+	// A short write here means the client hung up; the status line is
+	// already on the wire, so there is nothing left to report.
+	_, _ = w.Write(buf.Bytes())
 }
 
 // writeJSON writes v as indented JSON, buffered like every other body.

@@ -7,6 +7,7 @@
 package state
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -80,7 +81,12 @@ func (s *State) Tokens() []Token {
 	for _, t := range s.reg {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Symbol < out[j].Symbol })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Symbol != out[j].Symbol {
+			return out[i].Symbol < out[j].Symbol
+		}
+		return bytes.Compare(out[i].Addr[:], out[j].Addr[:]) < 0
+	})
 	return out
 }
 
